@@ -1,0 +1,85 @@
+// Ablation: view-set coding modes.
+//
+// The paper reorganizes light fields into view sets precisely because they
+// "provide a natural mechanism to exploit view coherence" (section 3.2), but
+// its implementation compresses each view set with plain zlib. This ablation
+// quantifies what inter-view difference coding adds on top: views 2.5
+// degrees apart differ by little, so coding each view against its block
+// predecessor shrinks the residual entropy further than per-view predictor
+// filtering alone. Decode cost is reported too, since figure 8 shows
+// decompression already matters at 500^2.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "lightfield/procedural.hpp"
+#include "lightfield/viewset.hpp"
+#include "volume/synthetic.hpp"
+
+namespace {
+
+using namespace lon;
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation: intra vs inter-view view-set coding",
+                      "the paper uses per-view zlib (intra); inter-view "
+                      "difference coding exploits the same coherence the "
+                      "view-set design is built on");
+
+  std::printf("%-12s %-10s %12s %8s %14s\n", "resolution", "mode", "compressed",
+              "ratio", "decode (s)");
+  for (const std::size_t resolution : {200u, 400u}) {
+    lightfield::ProceduralSource source(lightfield::LatticeConfig::paper(resolution));
+    const lightfield::ViewSet vs = source.build({6, 12});
+    for (const auto mode :
+         {lightfield::SerializeMode::kIntra, lightfield::SerializeMode::kInterView}) {
+      const Bytes packed = vs.compress(mode);
+      lightfield::ViewSet out;
+      const double decode_s =
+          wall_seconds([&] { out = lightfield::ViewSet::decompress(packed); });
+      std::printf("%4zux%-7zu %-10s %9.2f MB %7.2fx %12.3f\n", resolution, resolution,
+                  mode == lightfield::SerializeMode::kIntra ? "intra" : "inter-view",
+                  static_cast<double>(packed.size()) / 1e6,
+                  static_cast<double>(vs.pixel_bytes()) /
+                      static_cast<double>(packed.size()),
+                  decode_s);
+    }
+  }
+
+  // Cross-check on ray-cast content (the real generator pipeline).
+  std::printf("\nray-cast 64^3 negHip-like content (lattice 15 deg, 3x3, 128^2):\n");
+  {
+    lightfield::LatticeConfig cfg;
+    cfg.angular_step_deg = 15.0;
+    cfg.view_set_span = 3;
+    cfg.view_resolution = 128;
+    const auto vol = volume::make_neghip_like(64);
+    lightfield::RaycastBuilder builder(vol, volume::TransferFunction::neghip_preset(),
+                                       cfg);
+    const lightfield::ViewSet vs = builder.build({2, 2});
+    for (const auto mode :
+         {lightfield::SerializeMode::kIntra, lightfield::SerializeMode::kInterView}) {
+      const Bytes packed = vs.compress(mode);
+      std::printf("  %-10s %9.3f MB %7.2fx\n",
+                  mode == lightfield::SerializeMode::kIntra ? "intra" : "inter-view",
+                  static_cast<double>(packed.size()) / 1e6,
+                  static_cast<double>(vs.pixel_bytes()) /
+                      static_cast<double>(packed.size()));
+    }
+  }
+  std::printf(
+      "\nfinding: with per-view predictor filtering in place, naive inter-view\n"
+      "difference coding is roughly a wash on parallax-rich content (residuals\n"
+      "carry misaligned edges, and sensor-style noise doubles in differences);\n"
+      "it only wins decisively when views are near-identical and larger than\n"
+      "the LZ77 window. This matches the paper's choice of plain per-view zlib.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Ablation: LoRS wide-area download parameters.
+//
+// The multi-threaded download algorithms (Plank et al., CS-02-485) are why
+// "dramatically improved transmission bandwidth" is available to the client
+// agent. This bench sweeps parallel TCP streams, concurrent blocks, stripe
+// width and depot count for a 4 MB object pulled across the paper's WAN, in
+// virtual time.
+#include <cstdio>
+#include <optional>
+
+#include "bench_common.hpp"
+#include "lors/lors.hpp"
+
+namespace {
+
+using namespace lon;
+
+struct Setup {
+  sim::Simulator sim;
+  sim::Network net{sim};
+  ibp::Fabric fabric{sim, net};
+  lors::Lors lors{sim, net, fabric};
+  sim::NodeId client = 0;
+  std::vector<std::string> depots;
+};
+
+std::unique_ptr<Setup> make_setup(int depot_count) {
+  auto s = std::make_unique<Setup>();
+  s->client = s->net.add_node("client");
+  const sim::NodeId router = s->net.add_node("router");
+  s->net.add_link(s->client, router, {100e6, 35 * kMillisecond, 0.0});
+  for (int i = 0; i < depot_count; ++i) {
+    const std::string name = "ca-" + std::to_string(i);
+    const sim::NodeId node = s->net.add_node(name);
+    s->net.add_link(node, router, {1e9, kMillisecond, 0.0});
+    ibp::DepotConfig cfg;
+    cfg.capacity_bytes = 1ull << 30;
+    s->fabric.add_depot(node, name, cfg);
+    s->depots.push_back(name);
+  }
+  return s;
+}
+
+double timed_download(int depot_count, std::uint64_t block_bytes, int streams,
+                      int concurrent) {
+  auto s = make_setup(depot_count);
+  Bytes data(4 << 20);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 131);
+  }
+  lors::UploadOptions up;
+  up.depots = s->depots;
+  up.block_bytes = block_bytes;
+  up.net.streams = 8;
+  std::optional<exnode::ExNode> exnode;
+  s->lors.upload_async(s->client, data, up, [&](const lors::UploadResult& r) {
+    if (r.status == lors::LorsStatus::kOk) exnode = r.exnode;
+  });
+  s->sim.run();
+  if (!exnode) return -1.0;
+
+  lors::DownloadOptions down;
+  down.net.streams = streams;
+  down.max_concurrent = concurrent;
+  const SimTime start = s->sim.now();
+  SimTime end = 0;
+  s->lors.download_async(s->client, *exnode, down, [&](lors::DownloadResult r) {
+    end = s->sim.now();
+    if (r.status != lors::LorsStatus::kOk || r.data != data) end = -1;
+  });
+  s->sim.run();
+  return end < 0 ? -1.0 : to_seconds(end - start);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: LoRS wide-area download (4 MB object over the paper WAN)",
+      "parallel streams + striping beat the single-socket TCP window cap "
+      "(>100 Mb/s on Abilene/ESNet per Plank et al.)");
+
+  std::printf("%-8s %-10s %-9s %-12s %12s %14s\n", "depots", "block", "streams",
+              "concurrent", "seconds", "goodput Mb/s");
+  const double megabits = 4.0 * 8;
+  for (const int depots : {1, 3}) {
+    for (const std::uint64_t block : {256u * 1024u, 1024u * 1024u}) {
+      for (const int streams : {1, 4, 8}) {
+        for (const int concurrent : {1, 8}) {
+          const double seconds = timed_download(depots, block, streams, concurrent);
+          std::printf("%-8d %-10llu %-9d %-12d %10.3f s %12.1f\n", depots,
+                      static_cast<unsigned long long>(block), streams, concurrent,
+                      seconds, megabits / seconds);
+        }
+      }
+    }
+  }
+  std::printf("\n(1 stream, 1 block at a time = the pre-LoRS baseline; the\n"
+              " window cap 64 KiB / 70 ms RTT limits each stream to ~7.5 Mb/s)\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// lfz codec micro-benchmarks: compression/decompression throughput on
+// view-set-like imagery, plus the predictor filters and LZ77 stages.
+// These calibrate the decompression costs behind figure 8.
+#include <benchmark/benchmark.h>
+
+#include "compress/filters.hpp"
+#include "compress/lfz.hpp"
+#include "lightfield/procedural.hpp"
+
+namespace {
+
+using namespace lon;
+
+Bytes sample_viewset_bytes(std::size_t resolution) {
+  lightfield::LatticeConfig cfg;
+  cfg.angular_step_deg = 15.0;
+  cfg.view_set_span = 3;
+  cfg.view_resolution = resolution;
+  lightfield::ProceduralSource source(cfg);
+  return source.build({1, 3}).serialize();
+}
+
+void BM_LfzCompress(benchmark::State& state) {
+  const Bytes data = sample_viewset_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lfz::compress(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * data.size()));
+}
+BENCHMARK(BM_LfzCompress)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void BM_LfzDecompress(benchmark::State& state) {
+  const Bytes data = sample_viewset_bytes(static_cast<std::size_t>(state.range(0)));
+  const Bytes packed = lfz::compress(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lfz::decompress(packed));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * data.size()));
+  state.counters["ratio"] =
+      static_cast<double>(data.size()) / static_cast<double>(packed.size());
+}
+BENCHMARK(BM_LfzDecompress)->Arg(100)->Arg(200)->Arg(400)->Unit(benchmark::kMillisecond);
+
+void BM_FilterImage(benchmark::State& state) {
+  const auto resolution = static_cast<std::size_t>(state.range(0));
+  lightfield::LatticeConfig cfg;
+  cfg.angular_step_deg = 15.0;
+  cfg.view_set_span = 3;
+  cfg.view_resolution = resolution;
+  lightfield::ProceduralSource source(cfg);
+  const auto image = source.render_sample(5, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lfz::filter_image(image.bytes(), resolution, resolution, 3));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * image.byte_size()));
+}
+BENCHMARK(BM_FilterImage)->Arg(200)->Arg(500)->Unit(benchmark::kMillisecond);
+
+void BM_UnfilterImage(benchmark::State& state) {
+  const auto resolution = static_cast<std::size_t>(state.range(0));
+  lightfield::LatticeConfig cfg;
+  cfg.angular_step_deg = 15.0;
+  cfg.view_set_span = 3;
+  cfg.view_resolution = resolution;
+  lightfield::ProceduralSource source(cfg);
+  const auto image = source.render_sample(5, 5);
+  const Bytes filtered = lfz::filter_image(image.bytes(), resolution, resolution, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lfz::unfilter_image(filtered, resolution, resolution, 3));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * image.byte_size()));
+}
+BENCHMARK(BM_UnfilterImage)->Arg(200)->Arg(500)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

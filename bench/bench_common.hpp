@@ -1,0 +1,53 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation (section 4) and prints the same rows/series the paper reports,
+// plus a summary block comparing against the paper's qualitative claims.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "session/experiment.hpp"
+
+namespace lon::bench {
+
+/// The paper's experimental configuration at a given sample-view resolution:
+/// 72x144 lattice at 2.5 degrees, 6x6 view sets (12x24 grid), view sets
+/// striped over 3 WAN depots, 4 LAN depots for staging, 100 Mb/s / ~35 ms
+/// WAN, 1 Gb/s LAN, 58 orchestrated view-set accesses.
+inline session::ExperimentConfig paper_config(std::size_t resolution,
+                                              session::Case which) {
+  session::ExperimentConfig cfg;
+  cfg.lattice = lightfield::LatticeConfig::paper(resolution);
+  cfg.which = which;
+  cfg.accesses = 58;
+  cfg.dwell = 2 * kSecond;
+  cfg.client.display_resolution = resolution;
+  cfg.client.timing = streaming::ClientConfig::Timing::kMeasured;
+  return cfg;
+}
+
+/// A scaled-down configuration for quick ablation sweeps (4x8 view sets).
+inline session::ExperimentConfig small_config(std::size_t resolution,
+                                              session::Case which) {
+  session::ExperimentConfig cfg;
+  cfg.lattice.angular_step_deg = 15.0;
+  cfg.lattice.view_set_span = 3;
+  cfg.lattice.view_resolution = resolution;
+  cfg.which = which;
+  cfg.accesses = 30;
+  cfg.dwell = 2 * kSecond;
+  cfg.client.display_resolution = resolution;
+  cfg.client.timing = streaming::ClientConfig::Timing::kModeled;
+  return cfg;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace lon::bench

@@ -1,0 +1,54 @@
+// Figure 7: total light-field database size, compressed vs uncompressed,
+// at sample-view resolutions 200^2 .. 600^2.
+//
+// Paper: uncompressed 1.5 GB (200^2) to 14 GB (600^2 — n.b. the paper's bar
+// chart peaks near 14-15 GB); zlib reaches 5-7x, compressed total <= ~2 GB;
+// per-view-set compressed sizes average 1.2 MB (200^2) to 7.8 MB (600^2).
+//
+// Method: the full database is 288 view sets; we compress a spatial sample
+// of real view sets at each resolution and scale by the view-set count
+// (documented in EXPERIMENTS.md). All compression is the real lfz pipeline.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "lightfield/procedural.hpp"
+
+int main() {
+  using namespace lon;
+  bench::print_header(
+      "Figure 7: light field database size vs sample-view resolution",
+      "1.5-14 GB uncompressed; 5-7x lossless compression; <= ~2 GB compressed");
+
+  std::printf("%-12s %14s %14s %8s %18s\n", "resolution", "uncompressed", "compressed",
+              "ratio", "per-viewset (MB)");
+
+  // Sample view sets spread over the sphere (different content regimes).
+  const std::vector<lightfield::ViewSetId> sample = {
+      {6, 0}, {3, 6}, {9, 12}, {6, 18}, {1, 3}, {10, 21}};
+
+  for (const std::size_t resolution : {200u, 300u, 400u, 500u, 600u}) {
+    lightfield::ProceduralSource source(lightfield::LatticeConfig::paper(resolution));
+    const auto& lattice = source.lattice();
+
+    std::uint64_t raw_sampled = 0;
+    std::uint64_t packed_sampled = 0;
+    for (const auto& id : sample) {
+      const lightfield::ViewSet vs = source.build(id);
+      raw_sampled += vs.pixel_bytes();
+      packed_sampled += vs.compress().size();
+    }
+    const double scale =
+        static_cast<double>(lattice.view_set_count()) / static_cast<double>(sample.size());
+    const double raw_total = static_cast<double>(raw_sampled) * scale;
+    const double packed_total = static_cast<double>(packed_sampled) * scale;
+    const double ratio = raw_total / packed_total;
+    const double per_vs_mb =
+        static_cast<double>(packed_sampled) / static_cast<double>(sample.size()) / 1e6;
+
+    std::printf("%4zux%-7zu %11.2f GB %11.2f GB %7.2fx %15.2f\n", resolution, resolution,
+                raw_total / 1e9, packed_total / 1e9, ratio, per_vs_mb);
+  }
+  std::printf("\nview sets: 12x24 grid = 288; lattice 72x144 at 2.5 degrees; l = 6\n");
+  return 0;
+}

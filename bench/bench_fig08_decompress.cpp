@@ -1,0 +1,69 @@
+// Figure 8: time to decompress received view sets across the 58 orchestrated
+// accesses, at LFD resolutions 200^2, 300^2 and 500^2.
+//
+// Paper: decompression below 400^2 is sub-second; at 500^2 it approaches
+// ~1.8 s and is "not negligible in an interactive application any more".
+//
+// Method: the standard cursor script generates the access sequence; each
+// accessed view set is built for real (procedural imagery through the real
+// filter + lfz pipeline) and its decompression is wall-clock timed.
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "lightfield/procedural.hpp"
+#include "session/cursor.hpp"
+
+int main() {
+  using namespace lon;
+  bench::print_header(
+      "Figure 8: view-set decompression time over 58 orchestrated accesses",
+      "sub-second below 400^2; up to ~1.8 s at 500^2");
+
+  for (const std::size_t resolution : {200u, 300u, 500u}) {
+    lightfield::ProceduralSource source(lightfield::LatticeConfig::paper(resolution));
+    const auto& lattice = source.lattice();
+    const session::CursorScript script =
+        session::CursorScript::standard(lattice, kSecond, 58);
+
+    // The access sequence (transitions between view sets).
+    std::vector<lightfield::ViewSetId> sequence;
+    lightfield::ViewSetId current{-1, -1};
+    for (const auto& step : script.steps()) {
+      const auto id = lattice.view_set_of(step.direction);
+      if (!(id == current)) {
+        sequence.push_back(id);
+        current = id;
+      }
+    }
+
+    // Build (and compress) each unique view set once.
+    std::map<std::pair<int, int>, Bytes> compressed;
+    for (const auto& id : sequence) {
+      auto key = std::make_pair(id.row, id.col);
+      if (!compressed.contains(key)) {
+        compressed[key] = source.build_compressed(id);
+      }
+    }
+
+    std::printf("\n# resolution %zux%zu — decompression seconds per access\n",
+                resolution, resolution);
+    double total = 0.0, peak = 0.0;
+    for (std::size_t n = 0; n < sequence.size(); ++n) {
+      const Bytes& packed = compressed[{sequence[n].row, sequence[n].col}];
+      const auto start = std::chrono::steady_clock::now();
+      const auto vs = lightfield::ViewSet::decompress(packed);
+      const auto stop = std::chrono::steady_clock::now();
+      const double seconds = std::chrono::duration<double>(stop - start).count();
+      total += seconds;
+      peak = std::max(peak, seconds);
+      std::printf("%zu\t%.4f\n", n + 1, seconds);
+      (void)vs;
+    }
+    std::printf("# mean %.4f s, peak %.4f s over %zu accesses\n",
+                total / static_cast<double>(sequence.size()), peak, sequence.size());
+  }
+  return 0;
+}

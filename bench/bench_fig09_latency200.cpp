@@ -1,0 +1,13 @@
+// Figure 9: latency as measured at the client, 200x200 resolution,
+// cases 1 (data in LAN), 2 (data in WAN) and 3 (WAN + LAN depot).
+//
+// Paper: overall latency 0.5-2.0 s in case 1 and in case 3 after an initial
+// phase of a *single* access; case 2 spikes to several seconds throughout.
+#include "latency_figure.hpp"
+
+int main() {
+  lon::bench::run_latency_figure(
+      200, "Figure 9",
+      "case2 >> case1; case3 ~ case1 after an initial phase of ~1 access");
+  return 0;
+}

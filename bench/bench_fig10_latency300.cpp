@@ -1,0 +1,13 @@
+// Figure 10: latency as measured at the client, 300x300 resolution,
+// cases 1/2/3.
+//
+// Paper: same shape as figure 9 with larger magnitudes (case 2 up to ~6 s);
+// the case-3 initial phase is still a single access.
+#include "latency_figure.hpp"
+
+int main() {
+  lon::bench::run_latency_figure(
+      300, "Figure 10",
+      "case2 up to ~6 s; case3 ~ case1 after an initial phase of ~1 access");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Extension bench: scalability in the number of users.
+//
+// The paper's future work: "systematic testing of the scalability of our
+// system, both in terms of the number of users and the complexity of the
+// visualization process", and section 3.5's claim that "a client agent can
+// serve multiple clients, especially in a mobile environment".
+//
+// N clients share one client agent (case 3: WAN database + LAN staging);
+// each browses its own orchestrated path. As N grows, the shared agent
+// cache and the prestaged LAN replicas absorb more of the load; per-client
+// latency should degrade sub-linearly.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "lightfield/procedural.hpp"
+#include "session/cursor.hpp"
+#include "session/publisher.hpp"
+#include "streaming/client.hpp"
+#include "streaming/client_agent.hpp"
+
+namespace {
+
+using namespace lon;
+
+struct PerClient {
+  std::unique_ptr<streaming::Client> client;
+  session::CursorScript script;
+  std::size_t step = 0;
+  bool done = false;
+};
+
+void run_users(std::size_t n_clients) {
+  sim::Simulator sim;
+  sim::Network net(sim, 7);
+  ibp::Fabric fabric(sim, net);
+  lors::Lors lors(sim, net, fabric);
+
+  lightfield::LatticeConfig lattice_cfg;
+  lattice_cfg.angular_step_deg = 7.5;  // 8x16 = 128 view sets
+  lattice_cfg.view_set_span = 3;
+  lattice_cfg.view_resolution = 200;
+  lightfield::ProceduralSource source(lattice_cfg);
+
+  const sim::NodeId lan_switch = net.add_node("lan-switch");
+  const sim::NodeId agent_node = net.add_node("agent");
+  const sim::LinkConfig lan{1e9, 50 * kMicrosecond, 0.0};
+  net.add_link(agent_node, lan_switch, lan);
+  std::vector<std::string> lan_depots;
+  for (int i = 0; i < 4; ++i) {
+    const std::string name = "lan-" + std::to_string(i);
+    const sim::NodeId node = net.add_node(name);
+    net.add_link(node, lan_switch, lan);
+    ibp::DepotConfig cfg;
+    cfg.capacity_bytes = 8ull << 30;
+    fabric.add_depot(node, name, cfg);
+    lan_depots.push_back(name);
+  }
+  const sim::NodeId wan_router = net.add_node("wan");
+  net.add_link(lan_switch, wan_router, {100e6, 35 * kMillisecond, 0.0});
+  std::vector<std::string> wan_depots;
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "ca-" + std::to_string(i);
+    const sim::NodeId node = net.add_node(name);
+    net.add_link(node, wan_router, {1e9, kMillisecond, 0.0});
+    ibp::DepotConfig cfg;
+    cfg.capacity_bytes = 32ull << 30;
+    fabric.add_depot(node, name, cfg);
+    wan_depots.push_back(name);
+  }
+  const sim::NodeId dvs_node = net.add_node("dvs");
+  net.add_link(dvs_node, wan_router, {1e9, kMillisecond, 0.0});
+  const sim::NodeId server_node = net.add_node("server");
+  net.add_link(server_node, wan_router, {1e9, kMillisecond, 0.0});
+
+  streaming::DvsServer dvs(sim, net, dvs_node, source.lattice());
+  session::PublishOptions publish;
+  publish.depots = wan_depots;
+  publish.all_filler = true;  // latency study; clients skip decode
+  publish.net.streams = 8;
+  (void)session::publish_database(sim, lors, dvs, source, server_node, publish);
+
+  streaming::ClientAgentConfig agent_cfg;
+  agent_cfg.staging = true;
+  agent_cfg.lan_depots = lan_depots;
+  streaming::ClientAgent agent(sim, net, fabric, lors, dvs, source.lattice(),
+                               agent_node, agent_cfg);
+
+  streaming::ClientConfig client_cfg;
+  client_cfg.display_resolution = 200;
+  client_cfg.decode = false;
+  client_cfg.timing = streaming::ClientConfig::Timing::kModeled;
+
+  std::vector<PerClient> clients(n_clients);
+  for (std::size_t i = 0; i < n_clients; ++i) {
+    const sim::NodeId node = net.add_node("client-" + std::to_string(i));
+    net.add_link(node, lan_switch, lan);
+    clients[i].client = std::make_unique<streaming::Client>(
+        sim, net, lattice_cfg, node, agent, client_cfg);
+    clients[i].script =
+        session::CursorScript::standard(source.lattice(), 2 * kSecond, 25, 100 + i);
+  }
+
+  agent.start_staging();
+  std::size_t remaining = n_clients;
+  std::function<void(std::size_t)> advance = [&](std::size_t i) {
+    PerClient& pc = clients[i];
+    if (pc.step >= pc.script.size()) {
+      pc.done = true;
+      --remaining;
+      return;
+    }
+    const session::CursorStep step = pc.script.steps()[pc.step++];
+    pc.client->set_view(step.direction, [&, i, step](bool) {
+      sim.after(step.dwell, [&, i] { advance(i); });
+    });
+  };
+  for (std::size_t i = 0; i < n_clients; ++i) advance(i);
+  while (remaining > 0 && sim.step()) {
+  }
+
+  // Aggregate.
+  double sum = 0.0, worst = 0.0;
+  std::size_t accesses = 0;
+  for (const auto& pc : clients) {
+    for (const auto& a : pc.client->accesses()) {
+      sum += to_seconds(a.total());
+      worst = std::max(worst, to_seconds(a.total()));
+      ++accesses;
+    }
+  }
+  const auto& stats = agent.stats();
+  std::printf("%8zu %10zu %12.3f %12.3f %10.2f %8zu %8zu\n", n_clients, accesses,
+              sum / static_cast<double>(accesses), worst,
+              static_cast<double>(stats.hits) / static_cast<double>(stats.requests),
+              stats.lan_accesses, stats.wan_accesses);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Extension: one client agent serving N concurrent users (case 3)",
+      "future work in the paper; sharing should make per-user cost sublinear");
+  std::printf("%8s %10s %12s %12s %10s %8s %8s\n", "users", "accesses", "mean (s)",
+              "max (s)", "hit-rate", "lan", "wan");
+  for (const std::size_t n : {1u, 2u, 4u, 8u}) run_users(n);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// build_database: the server-side generator pipeline (paper section 3.4).
+//
+//   $ ./build_database [angular_step_deg] [resolution] [threads]
+//
+// Ray-casts a volume over a spherical camera lattice, partitions the sample
+// views into view sets, compresses each with lfz, and reports the database
+// inventory — the offline pre-computation step of the full system. With the
+// default coarse lattice this takes seconds; the paper's 2.5-degree lattice
+// at 600^2 took its 32-processor cluster 4.5 hours.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "lightfield/builder.hpp"
+#include "volume/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lon;
+  const double step = argc > 1 ? std::atof(argv[1]) : 22.5;
+  const std::size_t resolution = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 100;
+  const std::size_t threads = argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 0;
+
+  lightfield::LatticeConfig config;
+  config.angular_step_deg = step;
+  config.view_set_span = 2;
+  config.view_resolution = resolution;
+
+  const volume::ScalarVolume vol = volume::make_neghip_like(64);
+  lightfield::RaycastBuilder builder(vol, volume::TransferFunction::neghip_preset(),
+                                     config, {}, threads);
+  const auto& lattice = builder.lattice();
+
+  std::printf("lattice: %zux%zu cameras (%.1f deg), %zux%zu view sets, views %zux%zu\n",
+              lattice.rows(), lattice.cols(), step, lattice.view_set_rows(),
+              lattice.view_set_cols(), resolution, resolution);
+
+  std::uint64_t raw_total = 0;
+  std::uint64_t packed_total = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& id : lattice.all_view_sets()) {
+    const lightfield::ViewSet vs = builder.build(id);
+    const Bytes packed = vs.compress();
+    raw_total += vs.pixel_bytes();
+    packed_total += packed.size();
+    std::printf("  %-8s %8.2f MB -> %7.2f MB (%.1fx)\n", id.key().c_str(),
+                static_cast<double>(vs.pixel_bytes()) / 1e6,
+                static_cast<double>(packed.size()) / 1e6,
+                static_cast<double>(vs.pixel_bytes()) /
+                    static_cast<double>(packed.size()));
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  std::printf("\ndatabase: %.2f MB raw, %.2f MB compressed (%.1fx) in %.1f s\n",
+              static_cast<double>(raw_total) / 1e6,
+              static_cast<double>(packed_total) / 1e6,
+              static_cast<double>(raw_total) / static_cast<double>(packed_total),
+              seconds);
+  std::printf("(the paper's full configuration: 2.5 deg, l=6 -> 288 view sets,\n"
+              " 1.5-14 GB raw depending on resolution, built offline on a cluster)\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// interior_walkthrough: navigating a scene with multiple light-field
+// databases (paper section 3.2 and the rail-track viewer of Yang & Crawfis).
+//
+//   $ ./interior_walkthrough [output-dir]
+//
+// A single spherical light field only supports external views. This example
+// places two databases in one world — two renderings of the same volume
+// under different transfer functions, standing in for two regions of a large
+// scene — and walks a camera track past both. At every track position the
+// MultiDatabase selects which database can serve the view (with hysteresis
+// at the boundary), maps the position to that database's (theta, phi), and
+// replays from its view sets, fetching view sets lazily as the walk crosses
+// view-set windows. Three frames along the track are written as PPM.
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "lightfield/builder.hpp"
+#include "lightfield/multidb.hpp"
+#include "lightfield/renderer.hpp"
+#include "volume/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lon;
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+
+  lightfield::LatticeConfig lattice;
+  lattice.angular_step_deg = 15.0;
+  lattice.view_set_span = 3;
+  lattice.view_resolution = 128;
+
+  // Two "stations" along the track: the same protein viewed volumetrically
+  // and as a near-opaque iso-shell.
+  const volume::ScalarVolume vol = volume::make_neghip_like(64);
+  lightfield::RaycastBuilder station_a(vol, volume::TransferFunction::neghip_preset(),
+                                       lattice);
+  lightfield::RaycastBuilder station_b(
+      vol, volume::TransferFunction::opaque_preset(0.62, 0.06), lattice);
+
+  lightfield::MultiDatabase world(0.05);
+  const auto db_a = world.add("volumetric", {0, 0, 0}, lattice);
+  const auto db_b = world.add("iso-shell", {10, 0, 0}, lattice);
+
+  std::printf("scene manifest:\n%s\n", world.to_xml().c_str());
+
+  // One renderer + builder per database; view sets fetched on demand.
+  std::map<lightfield::DatabaseId, std::unique_ptr<lightfield::Renderer>> renderers;
+  renderers[db_a] = std::make_unique<lightfield::Renderer>(lattice);
+  renderers[db_b] = std::make_unique<lightfield::Renderer>(lattice);
+  auto builder_for = [&](lightfield::DatabaseId id) -> lightfield::RaycastBuilder& {
+    return id == db_a ? station_a : station_b;
+  };
+
+  std::optional<lightfield::DatabaseId> current;
+  std::size_t fetches = 0, switches = 0;
+  int frame_index = 0;
+
+  // A straight track flying past both stations.
+  for (double t = 0.0; t <= 1.0; t += 1.0 / 24.0) {
+    const Vec3 viewer{-6.0 + 22.0 * t, 4.5, 1.5};
+    const auto selected = world.select(viewer, current);
+    if (!selected.has_value()) {
+      std::printf("t=%.2f: no database covers this position\n", t);
+      continue;
+    }
+    if (current != selected) {
+      ++switches;
+      std::printf("t=%.2f: switching to database '%s'\n", t,
+                  world.entry(*selected).name.c_str());
+      current = selected;
+    }
+    const Spherical dir = world.direction_in(*selected, viewer);
+    lightfield::Renderer& renderer = *renderers[*selected];
+
+    // Lazy view-set fetch: pull the containing set (and the ones its
+    // corners need) straight from the generator — in the full system this
+    // request would go through the client agent and LoN.
+    const auto& lat = renderer.lattice();
+    while (!renderer.can_render(dir)) {
+      const auto id = lat.view_set_of(dir);
+      if (!renderer.has_view_set(id)) {
+        renderer.add_view_set(builder_for(*selected).build(id));
+        ++fetches;
+        continue;
+      }
+      // A corner falls in a neighbouring set: load the nearest missing one.
+      bool loaded = false;
+      for (const auto& n : lat.neighbors(id)) {
+        if (!renderer.has_view_set(n)) {
+          renderer.add_view_set(builder_for(*selected).build(n));
+          ++fetches;
+          loaded = true;
+          break;
+        }
+      }
+      if (!loaded) break;  // cannot happen, but never spin
+    }
+
+    // Digital zoom from the range: nearer than the camera sphere radius
+    // means zooming in on the replayed imagery.
+    const double range = world.range_in(*selected, viewer);
+    const double zoom =
+        std::clamp(world.entry(*selected).lattice.outer_radius / range * 1.6, 0.8, 2.5);
+    const auto frame = renderer.render(dir, 128, zoom);
+    if (frame_index % 8 == 0) {
+      const std::string path =
+          out_dir + "/walkthrough_" + std::to_string(frame_index / 8) + ".ppm";
+      frame.write_ppm(path);
+      std::printf("t=%.2f: db=%s dir=(%.2f, %.2f) zoom=%.2f -> %s\n", t,
+                  world.entry(*selected).name.c_str(), dir.theta, dir.phi, zoom,
+                  path.c_str());
+    }
+    ++frame_index;
+  }
+
+  std::printf("\n%d frames, %zu view-set fetches, %zu database switches\n", frame_index,
+              fetches, switches);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// LSB-first bit stream I/O (the DEFLATE bit order).
+//
+// BitWriter packs bits into bytes starting at the least significant bit;
+// BitReader consumes them in the same order. Huffman codes are written
+// most-significant-code-bit first via put_huff/get-by-length, matching the
+// canonical-code decoder in huffman.hpp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/bytes.hpp"
+
+namespace lon::lfz {
+
+class BitWriter {
+ public:
+  /// Writes the low `count` bits of `value`, LSB first.
+  void put(std::uint32_t value, int count) {
+    acc_ |= static_cast<std::uint64_t>(value & ((1u << count) - 1)) << filled_;
+    filled_ += count;
+    while (filled_ >= 8) {
+      out_.push_back(static_cast<std::uint8_t>(acc_));
+      acc_ >>= 8;
+      filled_ -= 8;
+    }
+  }
+
+  /// Writes a Huffman code of `length` bits, most significant bit first
+  /// (so the canonical decoder can accumulate bit-by-bit).
+  void put_code(std::uint32_t code, int length) {
+    for (int i = length - 1; i >= 0; --i) put((code >> i) & 1u, 1);
+  }
+
+  /// Flushes any partial byte (zero-padded).
+  void align() {
+    if (filled_ > 0) {
+      out_.push_back(static_cast<std::uint8_t>(acc_));
+      acc_ = 0;
+      filled_ = 0;
+    }
+  }
+
+  [[nodiscard]] Bytes take() {
+    align();
+    return std::move(out_);
+  }
+
+  [[nodiscard]] std::size_t bit_count() const { return out_.size() * 8 + filled_; }
+
+ private:
+  Bytes out_;
+  std::uint64_t acc_ = 0;
+  int filled_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Reads `count` bits, LSB first.
+  std::uint32_t get(int count) {
+    while (filled_ < count) {
+      if (pos_ >= data_.size()) throw DecodeError("lfz: bit stream truncated");
+      acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << filled_;
+      filled_ += 8;
+    }
+    const auto value = static_cast<std::uint32_t>(acc_ & ((1ull << count) - 1));
+    acc_ >>= count;
+    filled_ -= count;
+    return value;
+  }
+
+  /// Reads a single bit.
+  std::uint32_t bit() { return get(1); }
+
+  /// Discards bits up to the next byte boundary.
+  void align() {
+    const int drop = filled_ % 8;
+    acc_ >>= drop;
+    filled_ -= drop;
+  }
+
+  [[nodiscard]] std::size_t bytes_consumed() const { return pos_ - filled_ / 8; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  int filled_ = 0;
+};
+
+}  // namespace lon::lfz

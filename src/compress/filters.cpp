@@ -1,0 +1,138 @@
+#include "compress/filters.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace lon::lfz {
+
+std::uint8_t paeth_predict(std::uint8_t left, std::uint8_t up, std::uint8_t upleft) {
+  const int p = static_cast<int>(left) + up - upleft;
+  const int pa = std::abs(p - left);
+  const int pb = std::abs(p - up);
+  const int pc = std::abs(p - upleft);
+  if (pa <= pb && pa <= pc) return left;
+  if (pb <= pc) return up;
+  return upleft;
+}
+
+namespace {
+
+/// Computes the residual row for one filter type.
+void filter_row(FilterType type, std::span<const std::uint8_t> row,
+                std::span<const std::uint8_t> prev, std::size_t bpp,
+                std::span<std::uint8_t> out) {
+  const std::size_t n = row.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t left = i >= bpp ? row[i - bpp] : 0;
+    const std::uint8_t up = prev.empty() ? 0 : prev[i];
+    const std::uint8_t upleft = (!prev.empty() && i >= bpp) ? prev[i - bpp] : 0;
+    std::uint8_t prediction = 0;
+    switch (type) {
+      case FilterType::kNone:
+        prediction = 0;
+        break;
+      case FilterType::kSub:
+        prediction = left;
+        break;
+      case FilterType::kUp:
+        prediction = up;
+        break;
+      case FilterType::kAverage:
+        prediction = static_cast<std::uint8_t>((left + up) / 2);
+        break;
+      case FilterType::kPaeth:
+        prediction = paeth_predict(left, up, upleft);
+        break;
+    }
+    out[i] = static_cast<std::uint8_t>(row[i] - prediction);
+  }
+}
+
+/// Sum of "signed magnitudes" — the PNG heuristic for picking a filter.
+std::uint64_t residual_cost(std::span<const std::uint8_t> residuals) {
+  std::uint64_t sum = 0;
+  for (const std::uint8_t r : residuals) {
+    sum += r < 128 ? r : 256 - r;
+  }
+  return sum;
+}
+
+}  // namespace
+
+Bytes filter_image(std::span<const std::uint8_t> data, std::size_t width,
+                   std::size_t height, std::size_t bpp) {
+  const std::size_t stride = width * bpp;
+  if (data.size() != stride * height) {
+    throw std::invalid_argument("filter_image: size mismatch");
+  }
+  Bytes out;
+  out.reserve(height * (stride + 1));
+  std::array<Bytes, 5> candidates;
+  for (auto& c : candidates) c.resize(stride);
+
+  for (std::size_t y = 0; y < height; ++y) {
+    const auto row = data.subspan(y * stride, stride);
+    const auto prev = y > 0 ? data.subspan((y - 1) * stride, stride)
+                            : std::span<const std::uint8_t>{};
+    FilterType best = FilterType::kNone;
+    std::uint64_t best_cost = ~0ull;
+    for (int t = 0; t < 5; ++t) {
+      filter_row(static_cast<FilterType>(t), row, prev, bpp, candidates[t]);
+      const std::uint64_t cost = residual_cost(candidates[t]);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = static_cast<FilterType>(t);
+      }
+    }
+    out.push_back(static_cast<std::uint8_t>(best));
+    const Bytes& chosen = candidates[static_cast<int>(best)];
+    out.insert(out.end(), chosen.begin(), chosen.end());
+  }
+  return out;
+}
+
+Bytes unfilter_image(std::span<const std::uint8_t> filtered, std::size_t width,
+                     std::size_t height, std::size_t bpp) {
+  const std::size_t stride = width * bpp;
+  if (filtered.size() != height * (stride + 1)) {
+    throw DecodeError("unfilter_image: size mismatch");
+  }
+  Bytes out(stride * height);
+  for (std::size_t y = 0; y < height; ++y) {
+    const std::uint8_t type_byte = filtered[y * (stride + 1)];
+    if (type_byte > 4) throw DecodeError("unfilter_image: bad filter type");
+    const auto type = static_cast<FilterType>(type_byte);
+    const auto src = filtered.subspan(y * (stride + 1) + 1, stride);
+    std::uint8_t* row = out.data() + y * stride;
+    const std::uint8_t* prev = y > 0 ? out.data() + (y - 1) * stride : nullptr;
+    for (std::size_t i = 0; i < stride; ++i) {
+      const std::uint8_t left = i >= bpp ? row[i - bpp] : 0;
+      const std::uint8_t up = prev != nullptr ? prev[i] : 0;
+      const std::uint8_t upleft = (prev != nullptr && i >= bpp) ? prev[i - bpp] : 0;
+      std::uint8_t prediction = 0;
+      switch (type) {
+        case FilterType::kNone:
+          prediction = 0;
+          break;
+        case FilterType::kSub:
+          prediction = left;
+          break;
+        case FilterType::kUp:
+          prediction = up;
+          break;
+        case FilterType::kAverage:
+          prediction = static_cast<std::uint8_t>((left + up) / 2);
+          break;
+        case FilterType::kPaeth:
+          prediction = paeth_predict(left, up, upleft);
+          break;
+      }
+      row[i] = static_cast<std::uint8_t>(src[i] + prediction);
+    }
+  }
+  return out;
+}
+
+}  // namespace lon::lfz

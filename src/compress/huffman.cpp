@@ -1,0 +1,144 @@
+#include "compress/huffman.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace lon::lfz {
+
+namespace {
+
+/// Builds optimal code lengths for the given (all nonzero) frequency list
+/// via the standard two-queue Huffman construction. Returns the depth of
+/// each input symbol. Input size >= 2.
+std::vector<int> huffman_depths(const std::vector<std::uint64_t>& freqs) {
+  struct Node {
+    std::uint64_t weight;
+    int left = -1;   // node indices; -1 means leaf
+    int right = -1;
+  };
+  std::vector<Node> nodes;
+  nodes.reserve(freqs.size() * 2);
+  using Item = std::pair<std::uint64_t, int>;  // (weight, node index)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    nodes.push_back({freqs[i], -1, -1});
+    heap.emplace(freqs[i], static_cast<int>(i));
+  }
+  while (heap.size() > 1) {
+    const auto [wa, a] = heap.top();
+    heap.pop();
+    const auto [wb, b] = heap.top();
+    heap.pop();
+    nodes.push_back({wa + wb, a, b});
+    heap.emplace(wa + wb, static_cast<int>(nodes.size() - 1));
+  }
+  // Depth-first walk to assign leaf depths.
+  std::vector<int> depth(freqs.size(), 0);
+  std::vector<std::pair<int, int>> stack;  // (node, depth)
+  stack.emplace_back(heap.top().second, 0);
+  while (!stack.empty()) {
+    const auto [index, d] = stack.back();
+    stack.pop_back();
+    const Node& node = nodes[static_cast<std::size_t>(index)];
+    if (node.left < 0) {
+      depth[static_cast<std::size_t>(index)] = std::max(d, 1);
+    } else {
+      stack.emplace_back(node.left, d + 1);
+      stack.emplace_back(node.right, d + 1);
+    }
+  }
+  return depth;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> build_code_lengths(std::span<const std::uint64_t> freqs) {
+  std::vector<std::uint8_t> lengths(freqs.size(), 0);
+  // Collect used symbols.
+  std::vector<std::size_t> used;
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    if (freqs[i] > 0) used.push_back(i);
+  }
+  if (used.empty()) return lengths;
+  if (used.size() == 1) {
+    lengths[used[0]] = 1;
+    return lengths;
+  }
+
+  std::vector<std::uint64_t> working;
+  working.reserve(used.size());
+  for (const std::size_t i : used) working.push_back(freqs[i]);
+
+  for (;;) {
+    const std::vector<int> depths = huffman_depths(working);
+    const int max_depth = *std::max_element(depths.begin(), depths.end());
+    if (max_depth <= kMaxCodeLength) {
+      for (std::size_t k = 0; k < used.size(); ++k) {
+        lengths[used[k]] = static_cast<std::uint8_t>(depths[k]);
+      }
+      return lengths;
+    }
+    // Flatten the distribution and retry; nonzero frequencies stay nonzero.
+    for (auto& f : working) f = (f + 1) / 2;
+  }
+}
+
+HuffmanEncoder::HuffmanEncoder(std::span<const std::uint8_t> lengths)
+    : codes_(lengths.size(), 0), lengths_(lengths.begin(), lengths.end()) {
+  // Canonical code assignment: count codes per length, then compute the
+  // first code of each length.
+  std::uint32_t count[kMaxCodeLength + 1] = {};
+  for (const std::uint8_t l : lengths_) {
+    if (l > kMaxCodeLength) throw std::invalid_argument("huffman: length too long");
+    if (l > 0) ++count[l];
+  }
+  std::uint32_t next[kMaxCodeLength + 1] = {};
+  std::uint32_t code = 0;
+  for (int l = 1; l <= kMaxCodeLength; ++l) {
+    code = (code + count[l - 1]) << 1;
+    next[l] = code;
+  }
+  for (std::size_t i = 0; i < lengths_.size(); ++i) {
+    if (lengths_[i] > 0) codes_[i] = next[lengths_[i]]++;
+  }
+}
+
+HuffmanDecoder::HuffmanDecoder(std::span<const std::uint8_t> lengths) {
+  for (const std::uint8_t l : lengths) {
+    if (l > kMaxCodeLength) throw DecodeError("huffman: invalid code length");
+    if (l > 0) ++count_[l];
+  }
+  std::uint32_t code = 0;
+  std::uint32_t index = 0;
+  for (int l = 1; l <= kMaxCodeLength; ++l) {
+    code = (code + count_[l - 1]) << 1;
+    first_code_[l] = code;
+    offset_[l] = index;
+    index += count_[l];
+  }
+  symbol_count_ = index;
+  sorted_symbols_.resize(index);
+  std::uint32_t fill[kMaxCodeLength + 1];
+  std::copy(offset_, offset_ + kMaxCodeLength + 1, fill);
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    if (lengths[i] > 0) {
+      sorted_symbols_[fill[lengths[i]]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+}
+
+std::uint32_t HuffmanDecoder::decode(BitReader& in) const {
+  if (symbol_count_ == 0) throw DecodeError("huffman: decode with empty table");
+  std::uint32_t code = 0;
+  for (int l = 1; l <= kMaxCodeLength; ++l) {
+    code = (code << 1) | in.bit();
+    if (count_[l] > 0 && code - first_code_[l] < count_[l]) {
+      return sorted_symbols_[offset_[l] + (code - first_code_[l])];
+    }
+  }
+  throw DecodeError("huffman: invalid code in stream");
+}
+
+}  // namespace lon::lfz

@@ -1,0 +1,63 @@
+// Canonical Huffman coding with a bounded maximum code length.
+//
+// Code lengths are derived from symbol frequencies; if the optimal tree
+// exceeds kMaxCodeLength the frequencies are repeatedly halved (preserving
+// nonzero-ness) until it fits — a standard, slightly suboptimal but simple
+// length-limiting technique. Codes are assigned canonically (shorter codes
+// first, ties by symbol index), so only the length array needs to be stored
+// in the compressed stream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/bitio.hpp"
+
+namespace lon::lfz {
+
+inline constexpr int kMaxCodeLength = 15;
+
+/// Computes canonical code lengths (0 = symbol unused) for the given
+/// frequencies. At most kMaxCodeLength. If only one symbol has nonzero
+/// frequency it is assigned length 1.
+std::vector<std::uint8_t> build_code_lengths(std::span<const std::uint64_t> freqs);
+
+/// Canonical encoder table: code bits per symbol, derived from lengths.
+class HuffmanEncoder {
+ public:
+  explicit HuffmanEncoder(std::span<const std::uint8_t> lengths);
+
+  void encode(BitWriter& out, std::uint32_t symbol) const {
+    out.put_code(codes_[symbol], lengths_[symbol]);
+  }
+
+  [[nodiscard]] int length_of(std::uint32_t symbol) const { return lengths_[symbol]; }
+
+ private:
+  std::vector<std::uint32_t> codes_;
+  std::vector<std::uint8_t> lengths_;
+};
+
+/// Canonical decoder: walks the code length table bit by bit using the
+/// first-code/offset arrays (the classic zlib "huft"-style decode without
+/// lookup tables — simple and adequately fast).
+class HuffmanDecoder {
+ public:
+  explicit HuffmanDecoder(std::span<const std::uint8_t> lengths);
+
+  std::uint32_t decode(BitReader& in) const;
+
+  [[nodiscard]] bool empty() const { return symbol_count_ == 0; }
+
+ private:
+  // For each length l: first_code_[l] is the smallest canonical code of that
+  // length, offset_[l] the index into sorted_symbols_ of its first symbol.
+  std::uint32_t first_code_[kMaxCodeLength + 1] = {};
+  std::uint32_t count_[kMaxCodeLength + 1] = {};
+  std::uint32_t offset_[kMaxCodeLength + 1] = {};
+  std::vector<std::uint32_t> sorted_symbols_;
+  std::size_t symbol_count_ = 0;
+};
+
+}  // namespace lon::lfz

@@ -1,0 +1,289 @@
+#include "compress/lfz.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "compress/bitio.hpp"
+#include "compress/huffman.hpp"
+#include "util/checksum.hpp"
+
+namespace lon::lfz {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'L', 'F', 'Z', '1'};
+constexpr std::uint32_t kEob = 256;
+constexpr std::size_t kLitAlphabet = 286;  // 0..255 literals, 256 EOB, 257..285 lengths
+constexpr std::size_t kDistAlphabet = 30;
+
+// DEFLATE length codes: base length and extra bits for symbols 257..285.
+struct LengthCode {
+  std::uint32_t base;
+  int extra;
+};
+constexpr std::array<LengthCode, 29> kLengthCodes = {{
+    {3, 0},   {4, 0},   {5, 0},   {6, 0},   {7, 0},   {8, 0},   {9, 0},   {10, 0},
+    {11, 1},  {13, 1},  {15, 1},  {17, 1},  {19, 2},  {23, 2},  {27, 2},  {31, 2},
+    {35, 3},  {43, 3},  {51, 3},  {59, 3},  {67, 4},  {83, 4},  {99, 4},  {115, 4},
+    {131, 5}, {163, 5}, {195, 5}, {227, 5}, {258, 0},
+}};
+
+// DEFLATE distance codes: base distance and extra bits for symbols 0..29.
+constexpr std::array<LengthCode, 30> kDistCodes = {{
+    {1, 0},     {2, 0},     {3, 0},     {4, 0},     {5, 1},     {7, 1},
+    {9, 2},     {13, 2},    {17, 3},    {25, 3},    {33, 4},    {49, 4},
+    {65, 5},    {97, 5},    {129, 6},   {193, 6},   {257, 7},   {385, 7},
+    {513, 8},   {769, 8},   {1025, 9},  {1537, 9},  {2049, 10}, {3073, 10},
+    {4097, 11}, {6145, 11}, {8193, 12}, {12289, 12},{16385, 13},{24577, 13},
+}};
+
+/// Symbol for a match length in [3, 258].
+std::uint32_t length_symbol(std::uint32_t length) {
+  // Linear scan is fine: 29 entries, called once per token.
+  for (std::size_t i = kLengthCodes.size(); i-- > 0;) {
+    if (length >= kLengthCodes[i].base) return static_cast<std::uint32_t>(257 + i);
+  }
+  throw DecodeError("lfz: match length out of range");
+}
+
+/// Symbol for a distance in [1, 32768].
+std::uint32_t distance_symbol(std::uint32_t distance) {
+  for (std::size_t i = kDistCodes.size(); i-- > 0;) {
+    if (distance >= kDistCodes[i].base) return static_cast<std::uint32_t>(i);
+  }
+  throw DecodeError("lfz: distance out of range");
+}
+
+void write_lengths_packed(ByteWriter& out, std::span<const std::uint8_t> lengths) {
+  // Two 4-bit lengths per byte (code lengths never exceed 15).
+  for (std::size_t i = 0; i < lengths.size(); i += 2) {
+    const std::uint8_t lo = lengths[i];
+    const std::uint8_t hi = (i + 1 < lengths.size()) ? lengths[i + 1] : 0;
+    out.u8(static_cast<std::uint8_t>(lo | (hi << 4)));
+  }
+}
+
+std::vector<std::uint8_t> read_lengths_packed(ByteReader& in, std::size_t count) {
+  std::vector<std::uint8_t> lengths(count);
+  for (std::size_t i = 0; i < count; i += 2) {
+    const std::uint8_t byte = in.u8();
+    lengths[i] = byte & 0x0f;
+    if (i + 1 < count) lengths[i + 1] = byte >> 4;
+  }
+  return lengths;
+}
+
+}  // namespace
+
+Bytes compress(std::span<const std::uint8_t> data, const CompressOptions& options) {
+  ByteWriter header;
+  header.raw(std::span(kMagic));
+  header.u64(data.size());
+  header.u32(adler32(data));
+
+  const std::vector<Token> tokens = lz77_tokenize(data, options.lz);
+
+  // Gather symbol statistics.
+  std::vector<std::uint64_t> lit_freq(kLitAlphabet, 0);
+  std::vector<std::uint64_t> dist_freq(kDistAlphabet, 0);
+  for (const Token& t : tokens) {
+    if (t.is_literal()) {
+      ++lit_freq[t.literal];
+    } else {
+      ++lit_freq[length_symbol(t.length)];
+      ++dist_freq[distance_symbol(t.distance)];
+    }
+  }
+  ++lit_freq[kEob];
+
+  const auto lit_lengths = build_code_lengths(lit_freq);
+  const auto dist_lengths = build_code_lengths(dist_freq);
+  const HuffmanEncoder lit_enc(lit_lengths);
+  const HuffmanEncoder dist_enc(dist_lengths);
+
+  BitWriter bits;
+  for (const Token& t : tokens) {
+    if (t.is_literal()) {
+      lit_enc.encode(bits, t.literal);
+      continue;
+    }
+    const std::uint32_t lsym = length_symbol(t.length);
+    lit_enc.encode(bits, lsym);
+    const LengthCode& lc = kLengthCodes[lsym - 257];
+    if (lc.extra > 0) bits.put(t.length - lc.base, lc.extra);
+    const std::uint32_t dsym = distance_symbol(t.distance);
+    dist_enc.encode(bits, dsym);
+    const LengthCode& dc = kDistCodes[dsym];
+    if (dc.extra > 0) bits.put(t.distance - dc.base, dc.extra);
+  }
+  lit_enc.encode(bits, kEob);
+  const Bytes body = bits.take();
+
+  const std::size_t packed_tables = (kLitAlphabet + 1) / 2 + (kDistAlphabet + 1) / 2;
+  if (body.size() + packed_tables >= data.size()) {
+    // Stored block: compression would not pay off.
+    header.u8(0);
+    header.raw(data);
+    return header.take();
+  }
+  header.u8(1);
+  write_lengths_packed(header, lit_lengths);
+  write_lengths_packed(header, dist_lengths);
+  header.raw(body);
+  return header.take();
+}
+
+namespace {
+
+struct Header {
+  std::uint64_t original_size = 0;
+  std::uint32_t checksum = 0;
+  std::uint8_t method = 0;
+};
+
+Header read_header(ByteReader& in) {
+  const auto magic = in.raw(4);
+  if (!std::equal(magic.begin(), magic.end(), kMagic)) {
+    throw DecodeError("lfz: bad magic");
+  }
+  Header h;
+  h.original_size = in.u64();
+  h.checksum = in.u32();
+  h.method = in.u8();
+  if (h.method > 1) throw DecodeError("lfz: unknown method");
+  return h;
+}
+
+}  // namespace
+
+Bytes decompress(std::span<const std::uint8_t> compressed) {
+  ByteReader in(compressed);
+  const Header h = read_header(in);
+
+  Bytes out;
+  if (h.method == 0) {
+    const auto raw = in.raw(h.original_size);
+    out.assign(raw.begin(), raw.end());
+  } else {
+    const auto lit_lengths = read_lengths_packed(in, kLitAlphabet);
+    const auto dist_lengths = read_lengths_packed(in, kDistAlphabet);
+    const HuffmanDecoder lit_dec(lit_lengths);
+    const HuffmanDecoder dist_dec(dist_lengths);
+
+    BitReader bits(compressed.subspan(in.position()));
+    out.reserve(h.original_size);
+    for (;;) {
+      const std::uint32_t sym = lit_dec.decode(bits);
+      if (sym == kEob) break;
+      if (sym < 256) {
+        out.push_back(static_cast<std::uint8_t>(sym));
+        continue;
+      }
+      if (sym >= 257 + kLengthCodes.size()) throw DecodeError("lfz: bad length symbol");
+      const LengthCode& lc = kLengthCodes[sym - 257];
+      const std::uint32_t length =
+          lc.base + (lc.extra > 0 ? bits.get(lc.extra) : 0);
+      const std::uint32_t dsym = dist_dec.decode(bits);
+      if (dsym >= kDistCodes.size()) throw DecodeError("lfz: bad distance symbol");
+      const LengthCode& dc = kDistCodes[dsym];
+      const std::uint32_t distance = dc.base + (dc.extra > 0 ? bits.get(dc.extra) : 0);
+      if (distance == 0 || distance > out.size()) {
+        throw DecodeError("lfz: reference before start of stream");
+      }
+      const std::size_t from = out.size() - distance;
+      for (std::uint32_t k = 0; k < length; ++k) out.push_back(out[from + k]);
+      if (out.size() > h.original_size) throw DecodeError("lfz: output overrun");
+    }
+  }
+
+  if (out.size() != h.original_size) throw DecodeError("lfz: size mismatch");
+  if (adler32(out) != h.checksum) throw DecodeError("lfz: checksum mismatch");
+  return out;
+}
+
+std::uint64_t decompressed_size(std::span<const std::uint8_t> compressed) {
+  ByteReader in(compressed);
+  return read_header(in).original_size;
+}
+
+// --- chunked container ---------------------------------------------------------
+
+namespace {
+constexpr std::uint8_t kChunkedMagic[4] = {'L', 'F', 'Z', 'C'};
+}
+
+bool is_chunked(std::span<const std::uint8_t> compressed) {
+  return compressed.size() >= 4 &&
+         std::equal(compressed.begin(), compressed.begin() + 4, kChunkedMagic);
+}
+
+Bytes compress_chunked(std::span<const std::uint8_t> data, std::uint64_t chunk_bytes,
+                       const CompressOptions& options, ThreadPool* pool) {
+  if (chunk_bytes == 0) throw std::invalid_argument("compress_chunked: zero chunk size");
+  const std::size_t chunks =
+      data.empty() ? 0
+                   : static_cast<std::size_t>((data.size() + chunk_bytes - 1) / chunk_bytes);
+  std::vector<Bytes> compressed(chunks);
+  auto one = [&](std::size_t c) {
+    const std::uint64_t offset = c * chunk_bytes;
+    const std::uint64_t length =
+        std::min<std::uint64_t>(chunk_bytes, data.size() - offset);
+    compressed[c] = compress(data.subspan(offset, length), options);
+  };
+  if (pool != nullptr && chunks > 1) {
+    pool->parallel_for(0, chunks, one);
+  } else {
+    for (std::size_t c = 0; c < chunks; ++c) one(c);
+  }
+
+  ByteWriter out;
+  out.raw(std::span(kChunkedMagic));
+  out.u64(data.size());
+  out.u32(static_cast<std::uint32_t>(chunks));
+  for (const auto& chunk : compressed) out.blob(chunk);
+  return out.take();
+}
+
+Bytes decompress_chunked(std::span<const std::uint8_t> compressed, ThreadPool* pool) {
+  ByteReader in(compressed);
+  const auto magic = in.raw(4);
+  if (!std::equal(magic.begin(), magic.end(), kChunkedMagic)) {
+    throw DecodeError("lfz: bad chunked magic");
+  }
+  const std::uint64_t original = in.u64();
+  const std::uint32_t chunks = in.u32();
+  std::vector<Bytes> bodies;
+  bodies.reserve(chunks);
+  for (std::uint32_t c = 0; c < chunks; ++c) bodies.push_back(in.blob());
+  if (!in.done()) throw DecodeError("lfz: trailing bytes in chunked container");
+
+  std::vector<Bytes> plain(chunks);
+  // Exceptions from workers must surface on the caller's thread.
+  std::vector<std::exception_ptr> errors(chunks);
+  auto one = [&](std::size_t c) {
+    try {
+      plain[c] = decompress(bodies[c]);
+    } catch (...) {
+      errors[c] = std::current_exception();
+    }
+  };
+  if (pool != nullptr && chunks > 1) {
+    pool->parallel_for(0, chunks, one);
+  } else {
+    for (std::size_t c = 0; c < chunks; ++c) one(c);
+  }
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  Bytes out;
+  out.reserve(original);
+  for (const auto& chunk : plain) out.insert(out.end(), chunk.begin(), chunk.end());
+  if (out.size() != original) throw DecodeError("lfz: chunked size mismatch");
+  return out;
+}
+
+}  // namespace lon::lfz

@@ -1,0 +1,54 @@
+// LZ77 string matching with hash chains (the DEFLATE matcher).
+//
+// Produces a token stream of literals and (length, distance) references with
+// lengths in [3, 258] and distances in [1, 32768]. Greedy matching with a
+// one-step lazy evaluation, chain length bounded by the compression level.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace lon::lfz {
+
+inline constexpr std::uint32_t kMinMatch = 3;
+inline constexpr std::uint32_t kMaxMatch = 258;
+inline constexpr std::uint32_t kWindowSize = 32 * 1024;
+
+struct Token {
+  // literal when length == 0, reference otherwise.
+  std::uint32_t length = 0;
+  std::uint32_t distance = 0;
+  std::uint8_t literal = 0;
+
+  [[nodiscard]] bool is_literal() const { return length == 0; }
+
+  static Token make_literal(std::uint8_t byte) { return Token{0, 0, byte}; }
+  static Token make_match(std::uint32_t length, std::uint32_t distance) {
+    return Token{length, distance, 0};
+  }
+};
+
+struct Lz77Options {
+  /// Maximum hash-chain positions examined per match attempt. Higher finds
+  /// better matches but costs time (zlib levels span roughly 4..4096).
+  int max_chain = 128;
+  /// Stop searching early once a match at least this long is found.
+  std::uint32_t good_enough = 128;
+  /// Enable one-step lazy matching (defer a match if the next position
+  /// yields a strictly longer one).
+  bool lazy = true;
+};
+
+/// Tokenizes `data`. The output always reproduces `data` exactly when
+/// expanded.
+std::vector<Token> lz77_tokenize(std::span<const std::uint8_t> data,
+                                 const Lz77Options& options = {});
+
+/// Expands a token stream produced by lz77_tokenize. Throws DecodeError on
+/// references reaching before the start of output.
+Bytes lz77_expand(std::span<const Token> tokens, std::size_t size_hint = 0);
+
+}  // namespace lon::lfz

@@ -1,0 +1,95 @@
+// The exNode: a network inode.
+//
+// "ExNodes are modeled on the inodes that are a familiar part of the Unix
+// file system, except that exNodes map the data extent of a file into IBP
+// allocations on depots rather than to blocks on a local disk" (paper
+// section 2.2). Each extent of the logical object carries one or more
+// *replica* capabilities — the same bytes stored on different depots — so a
+// downloader can pick the closest or fastest copy, and striping falls out of
+// having multiple extents on distinct depots.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ibp/capability.hpp"
+
+namespace lon::exnode {
+
+/// One replica of an extent: where the bytes live within some allocation.
+/// The exNode "aggregates capabilities": the read capability is what any
+/// downloader needs; the manage capability (present only in the owner's
+/// copy) is what lease refresh and release need.
+struct Replica {
+  ibp::Capability read;            ///< read capability for the allocation
+  std::optional<ibp::Capability> manage;  ///< owner-side manage capability
+  std::uint64_t alloc_offset = 0;  ///< offset of this extent inside the allocation
+
+  bool operator==(const Replica&) const = default;
+};
+
+/// A contiguous range [offset, offset+length) of the logical object.
+struct Extent {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::vector<Replica> replicas;
+
+  [[nodiscard]] std::uint64_t end() const { return offset + length; }
+
+  bool operator==(const Extent&) const = default;
+};
+
+class ExNode {
+ public:
+  ExNode() = default;
+  explicit ExNode(std::uint64_t length) : length_(length) {}
+
+  [[nodiscard]] std::uint64_t length() const { return length_; }
+  void set_length(std::uint64_t length) { length_ = length; }
+
+  /// Adds an extent (kept sorted by offset). Extents may not overlap.
+  void add_extent(Extent extent);
+
+  /// Adds one more replica to the extent that starts at `offset`.
+  /// If `front` is true the replica is preferred by downloaders.
+  /// Returns false if no extent starts there.
+  bool add_replica(std::uint64_t offset, Replica replica, bool front = false);
+
+  /// Removes every replica living on the named depot (e.g. a dead depot).
+  /// Returns the number of replicas dropped.
+  std::size_t drop_depot(const std::string& depot);
+
+  [[nodiscard]] const std::vector<Extent>& extents() const { return extents_; }
+
+  /// The extent containing logical byte `offset`, or nullptr.
+  [[nodiscard]] const Extent* extent_at(std::uint64_t offset) const;
+
+  /// True when the extents cover [0, length) with no gaps and every extent
+  /// has at least one replica.
+  [[nodiscard]] bool complete() const;
+
+  /// Set of depot names appearing in any replica.
+  [[nodiscard]] std::vector<std::string> depots() const;
+
+  /// Free-form key/value metadata (dataset name, view-set id, ...).
+  std::map<std::string, std::string>& metadata() { return metadata_; }
+  [[nodiscard]] const std::map<std::string, std::string>& metadata() const {
+    return metadata_;
+  }
+
+  /// XML round-trip (the canonical exNode representation).
+  [[nodiscard]] std::string to_xml() const;
+  static ExNode from_xml(const std::string& xml);
+
+  bool operator==(const ExNode&) const = default;
+
+ private:
+  std::uint64_t length_ = 0;
+  std::vector<Extent> extents_;
+  std::map<std::string, std::string> metadata_;
+};
+
+}  // namespace lon::exnode

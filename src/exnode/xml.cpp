@@ -1,0 +1,240 @@
+#include "exnode/xml.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace lon::exnode {
+
+const XmlElement* XmlElement::child(const std::string& name_) const {
+  for (const auto& c : children) {
+    if (c.name == name_) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const XmlElement*> XmlElement::children_named(const std::string& name_) const {
+  std::vector<const XmlElement*> out;
+  for (const auto& c : children) {
+    if (c.name == name_) out.push_back(&c);
+  }
+  return out;
+}
+
+const std::string& XmlElement::attr(const std::string& key) const {
+  auto it = attributes.find(key);
+  if (it == attributes.end()) {
+    throw XmlError("missing attribute '" + key + "' on <" + name + ">");
+  }
+  return it->second;
+}
+
+std::string XmlElement::attr_or(const std::string& key, const std::string& fallback) const {
+  auto it = attributes.find(key);
+  return it == attributes.end() ? fallback : it->second;
+}
+
+std::string xml_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_element(std::ostringstream& os, const XmlElement& el, int depth) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  os << indent << '<' << el.name;
+  for (const auto& [key, value] : el.attributes) {
+    os << ' ' << key << "=\"" << xml_escape(value) << '"';
+  }
+  if (el.children.empty() && el.text.empty()) {
+    os << "/>\n";
+    return;
+  }
+  os << '>';
+  if (!el.text.empty()) os << xml_escape(el.text);
+  if (!el.children.empty()) {
+    os << '\n';
+    for (const auto& c : el.children) write_element(os, c, depth + 1);
+    os << indent;
+  }
+  os << "</" << el.name << ">\n";
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  XmlElement parse() {
+    skip_ws();
+    skip_prolog();
+    skip_ws();
+    XmlElement root = element();
+    skip_ws();
+    if (pos_ != text_.size()) throw XmlError("trailing content after root element");
+    return root;
+  }
+
+ private:
+  [[nodiscard]] char peek() const {
+    if (pos_ >= text_.size()) throw XmlError("unexpected end of document");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) {
+      throw XmlError(std::string("expected '") + c + "' at offset " + std::to_string(pos_));
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void skip_prolog() {
+    if (text_.compare(pos_, 5, "<?xml") == 0) {
+      const std::size_t end = text_.find("?>", pos_);
+      if (end == std::string::npos) throw XmlError("unterminated XML prolog");
+      pos_ = end + 2;
+    }
+  }
+
+  std::string name_token() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' || c == ':' ||
+          c == '.') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) throw XmlError("expected name at offset " + std::to_string(start));
+    return text_.substr(start, pos_ - start);
+  }
+
+  std::string unescape_until(char terminator) {
+    std::string out;
+    while (peek() != terminator) {
+      char c = take();
+      if (c == '&') {
+        std::string entity;
+        while (peek() != ';') entity += take();
+        take();  // ';'
+        if (entity == "amp") {
+          out += '&';
+        } else if (entity == "lt") {
+          out += '<';
+        } else if (entity == "gt") {
+          out += '>';
+        } else if (entity == "quot") {
+          out += '"';
+        } else if (entity == "apos") {
+          out += '\'';
+        } else {
+          throw XmlError("unknown entity &" + entity + ";");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  XmlElement element() {
+    expect('<');
+    XmlElement el;
+    el.name = name_token();
+    // Attributes.
+    for (;;) {
+      skip_ws();
+      if (consume('/')) {
+        expect('>');
+        return el;
+      }
+      if (consume('>')) break;
+      const std::string key = name_token();
+      skip_ws();
+      expect('=');
+      skip_ws();
+      expect('"');
+      el.attributes[key] = unescape_until('"');
+      expect('"');
+    }
+    // Content: text and child elements until the close tag.
+    for (;;) {
+      if (peek() == '<') {
+        if (text_.compare(pos_, 2, "</") == 0) {
+          pos_ += 2;
+          const std::string closing = name_token();
+          if (closing != el.name) {
+            throw XmlError("mismatched close tag </" + closing + "> for <" + el.name + ">");
+          }
+          skip_ws();
+          expect('>');
+          return el;
+        }
+        el.children.push_back(element());
+      } else {
+        std::string chunk = unescape_until('<');
+        // Trim pure-indentation whitespace, keep meaningful text.
+        const auto non_ws = chunk.find_first_not_of(" \t\r\n");
+        if (non_ws != std::string::npos) el.text += chunk;
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string to_xml(const XmlElement& root) {
+  std::ostringstream os;
+  os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  write_element(os, root, 0);
+  return os.str();
+}
+
+XmlElement parse_xml(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace lon::exnode

@@ -1,0 +1,51 @@
+// Minimal XML subset used for exNode serialization.
+//
+// The exNode is "an XML-encoded data structure for aggregation of
+// capabilities" (paper section 2.2). We implement exactly the subset we
+// emit: nested elements, double-quoted attributes, text content, and the
+// five standard entities. No namespaces, comments, CDATA or processing
+// instructions.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lon::exnode {
+
+class XmlError : public std::runtime_error {
+ public:
+  explicit XmlError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct XmlElement {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+  std::vector<XmlElement> children;
+  std::string text;  ///< concatenated character data directly inside this element
+
+  /// First child with the given name, or nullptr.
+  [[nodiscard]] const XmlElement* child(const std::string& name) const;
+
+  /// All children with the given name.
+  [[nodiscard]] std::vector<const XmlElement*> children_named(const std::string& name) const;
+
+  /// Attribute value; throws XmlError if absent.
+  [[nodiscard]] const std::string& attr(const std::string& key) const;
+
+  /// Attribute value or fallback.
+  [[nodiscard]] std::string attr_or(const std::string& key, const std::string& fallback) const;
+};
+
+/// Serializes the element tree with 2-space indentation.
+[[nodiscard]] std::string to_xml(const XmlElement& root);
+
+/// Parses a document containing a single root element.
+[[nodiscard]] XmlElement parse_xml(const std::string& text);
+
+/// Escapes &<>"' for use in text or attribute values.
+[[nodiscard]] std::string xml_escape(const std::string& raw);
+
+}  // namespace lon::exnode

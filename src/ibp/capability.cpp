@@ -1,0 +1,65 @@
+#include "ibp/capability.hpp"
+
+#include <charconv>
+
+namespace lon::ibp {
+
+const char* to_string(CapKind kind) {
+  switch (kind) {
+    case CapKind::kRead:
+      return "read";
+    case CapKind::kWrite:
+      return "write";
+    case CapKind::kManage:
+      return "manage";
+  }
+  return "?";
+}
+
+std::string Capability::to_uri() const {
+  char keyhex[17];
+  auto [end, ec] = std::to_chars(keyhex, keyhex + 16, key, 16);
+  *end = '\0';
+  return "ibp://" + depot + "/" + std::to_string(allocation) + "#" + keyhex + "/" +
+         to_string(kind);
+}
+
+std::optional<Capability> Capability::parse(const std::string& uri) {
+  constexpr std::string_view scheme = "ibp://";
+  if (uri.rfind(scheme.data(), 0) != 0) return std::nullopt;
+  const std::size_t host_start = scheme.size();
+  const std::size_t slash = uri.find('/', host_start);
+  if (slash == std::string::npos) return std::nullopt;
+  const std::size_t hash = uri.find('#', slash + 1);
+  if (hash == std::string::npos) return std::nullopt;
+  const std::size_t kind_slash = uri.find('/', hash + 1);
+  if (kind_slash == std::string::npos) return std::nullopt;
+
+  Capability cap;
+  cap.depot = uri.substr(host_start, slash - host_start);
+  if (cap.depot.empty()) return std::nullopt;
+
+  const char* alloc_begin = uri.data() + slash + 1;
+  const char* alloc_end = uri.data() + hash;
+  auto [p1, e1] = std::from_chars(alloc_begin, alloc_end, cap.allocation);
+  if (e1 != std::errc{} || p1 != alloc_end) return std::nullopt;
+
+  const char* key_begin = uri.data() + hash + 1;
+  const char* key_end = uri.data() + kind_slash;
+  auto [p2, e2] = std::from_chars(key_begin, key_end, cap.key, 16);
+  if (e2 != std::errc{} || p2 != key_end) return std::nullopt;
+
+  const std::string kind = uri.substr(kind_slash + 1);
+  if (kind == "read") {
+    cap.kind = CapKind::kRead;
+  } else if (kind == "write") {
+    cap.kind = CapKind::kWrite;
+  } else if (kind == "manage") {
+    cap.kind = CapKind::kManage;
+  } else {
+    return std::nullopt;
+  }
+  return cap;
+}
+
+}  // namespace lon::ibp

@@ -1,0 +1,42 @@
+// IBP capabilities.
+//
+// An IBP allocation is addressed by three capability strings — read, write
+// and manage — each an unguessable token naming (depot, allocation, key,
+// rights). Capabilities are the only handle a client ever holds; exNodes
+// aggregate them (paper section 2.2). We keep both a structured form and the
+// canonical "ibp://" string encoding.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace lon::ibp {
+
+enum class CapKind : std::uint8_t { kRead = 0, kWrite = 1, kManage = 2 };
+
+[[nodiscard]] const char* to_string(CapKind kind);
+
+struct Capability {
+  std::string depot;             ///< depot name (unique within the fabric)
+  std::uint64_t allocation = 0;  ///< allocation id on that depot
+  std::uint64_t key = 0;         ///< per-kind secret
+  CapKind kind = CapKind::kRead;
+
+  /// Canonical form: ibp://<depot>/<allocation>#<key-hex>/<kind>
+  [[nodiscard]] std::string to_uri() const;
+
+  /// Parses the canonical form; nullopt on malformed input.
+  static std::optional<Capability> parse(const std::string& uri);
+
+  bool operator==(const Capability&) const = default;
+};
+
+/// The full capability triple returned by a successful allocate.
+struct CapabilitySet {
+  Capability read;
+  Capability write;
+  Capability manage;
+};
+
+}  // namespace lon::ibp

@@ -1,0 +1,259 @@
+#include "ibp/protocol.hpp"
+
+#include <stdexcept>
+
+namespace lon::ibp::protocol {
+
+namespace {
+
+void put_capability(ByteWriter& out, const Capability& cap) {
+  out.str(cap.depot);
+  out.u64(cap.allocation);
+  out.u64(cap.key);
+  out.u8(static_cast<std::uint8_t>(cap.kind));
+}
+
+Capability get_capability(ByteReader& in) {
+  Capability cap;
+  cap.depot = in.str();
+  cap.allocation = in.u64();
+  cap.key = in.u64();
+  const auto kind = in.u8();
+  if (kind > 2) throw DecodeError("protocol: bad capability kind");
+  cap.kind = static_cast<CapKind>(kind);
+  return cap;
+}
+
+void put_caps_set(ByteWriter& out, const CapabilitySet& caps) {
+  put_capability(out, caps.read);
+  put_capability(out, caps.write);
+  put_capability(out, caps.manage);
+}
+
+CapabilitySet get_caps_set(ByteReader& in) {
+  CapabilitySet caps;
+  caps.read = get_capability(in);
+  caps.write = get_capability(in);
+  caps.manage = get_capability(in);
+  return caps;
+}
+
+struct RequestEncoder {
+  ByteWriter body;
+
+  Op operator()(const AllocateRequest& r) {
+    body.u64(r.alloc.size);
+    body.i64(r.alloc.lease);
+    body.u8(static_cast<std::uint8_t>(r.alloc.type));
+    return Op::kAllocate;
+  }
+  Op operator()(const StoreRequest& r) {
+    put_capability(body, r.write_cap);
+    body.u64(r.offset);
+    body.blob(r.data);
+    return Op::kStore;
+  }
+  Op operator()(const LoadRequest& r) {
+    put_capability(body, r.read_cap);
+    body.u64(r.offset);
+    body.u64(r.length);
+    return Op::kLoad;
+  }
+  Op operator()(const ProbeRequest& r) {
+    put_capability(body, r.manage_cap);
+    return Op::kProbe;
+  }
+  Op operator()(const ExtendRequest& r) {
+    put_capability(body, r.manage_cap);
+    body.i64(r.extra);
+    return Op::kExtend;
+  }
+  Op operator()(const ReleaseRequest& r) {
+    put_capability(body, r.manage_cap);
+    return Op::kRelease;
+  }
+};
+
+}  // namespace
+
+Bytes encode_request(const Request& request) {
+  RequestEncoder encoder;
+  const Op op = std::visit(encoder, request);
+  ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(op));
+  out.blob(encoder.body.bytes());
+  return out.take();
+}
+
+Op peek_op(std::span<const std::uint8_t> wire) {
+  ByteReader in(wire);
+  const auto op = in.u8();
+  if (op < 1 || op > 6) throw DecodeError("protocol: bad opcode");
+  return static_cast<Op>(op);
+}
+
+Request decode_request(std::span<const std::uint8_t> wire) {
+  ByteReader in(wire);
+  const auto op_byte = in.u8();
+  const Bytes body_bytes = in.blob();
+  if (!in.done()) throw DecodeError("protocol: trailing bytes in request");
+  ByteReader body(body_bytes);
+
+  switch (op_byte) {
+    case static_cast<std::uint8_t>(Op::kAllocate): {
+      AllocateRequest r;
+      r.alloc.size = body.u64();
+      r.alloc.lease = body.i64();
+      const auto type = body.u8();
+      if (type > 1) throw DecodeError("protocol: bad alloc type");
+      r.alloc.type = static_cast<AllocType>(type);
+      if (!body.done()) throw DecodeError("protocol: trailing bytes");
+      return r;
+    }
+    case static_cast<std::uint8_t>(Op::kStore): {
+      StoreRequest r;
+      r.write_cap = get_capability(body);
+      r.offset = body.u64();
+      r.data = body.blob();
+      if (!body.done()) throw DecodeError("protocol: trailing bytes");
+      return r;
+    }
+    case static_cast<std::uint8_t>(Op::kLoad): {
+      LoadRequest r;
+      r.read_cap = get_capability(body);
+      r.offset = body.u64();
+      r.length = body.u64();
+      if (!body.done()) throw DecodeError("protocol: trailing bytes");
+      return r;
+    }
+    case static_cast<std::uint8_t>(Op::kProbe): {
+      ProbeRequest r;
+      r.manage_cap = get_capability(body);
+      if (!body.done()) throw DecodeError("protocol: trailing bytes");
+      return r;
+    }
+    case static_cast<std::uint8_t>(Op::kExtend): {
+      ExtendRequest r;
+      r.manage_cap = get_capability(body);
+      r.extra = body.i64();
+      if (!body.done()) throw DecodeError("protocol: trailing bytes");
+      return r;
+    }
+    case static_cast<std::uint8_t>(Op::kRelease): {
+      ReleaseRequest r;
+      r.manage_cap = get_capability(body);
+      if (!body.done()) throw DecodeError("protocol: trailing bytes");
+      return r;
+    }
+    default:
+      throw DecodeError("protocol: unknown opcode");
+  }
+}
+
+Bytes encode_response(const Response& response, Op op) {
+  ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(response.status));
+  ByteWriter body;
+  if (response.status == IbpStatus::kOk) {
+    switch (op) {
+      case Op::kAllocate:
+        put_caps_set(body, response.caps.value());
+        break;
+      case Op::kLoad:
+        body.blob(response.data.value());
+        break;
+      case Op::kProbe: {
+        const AllocInfo& info = response.info.value();
+        body.u64(info.size);
+        body.u64(info.bytes_written);
+        body.i64(info.expires);
+        body.u8(static_cast<std::uint8_t>(info.type));
+        break;
+      }
+      case Op::kStore:
+      case Op::kExtend:
+      case Op::kRelease:
+        break;  // status only
+    }
+  }
+  out.blob(body.bytes());
+  return out.take();
+}
+
+Response decode_response(std::span<const std::uint8_t> wire, Op op) {
+  ByteReader in(wire);
+  Response response;
+  const auto status = in.u8();
+  if (status > static_cast<std::uint8_t>(IbpStatus::kBadRange)) {
+    throw DecodeError("protocol: bad status");
+  }
+  response.status = static_cast<IbpStatus>(status);
+  const Bytes body_bytes = in.blob();
+  if (!in.done()) throw DecodeError("protocol: trailing bytes in response");
+  if (response.status != IbpStatus::kOk) return response;
+
+  ByteReader body(body_bytes);
+  switch (op) {
+    case Op::kAllocate:
+      response.caps = get_caps_set(body);
+      break;
+    case Op::kLoad:
+      response.data = body.blob();
+      break;
+    case Op::kProbe: {
+      AllocInfo info;
+      info.size = body.u64();
+      info.bytes_written = body.u64();
+      info.expires = body.i64();
+      const auto type = body.u8();
+      if (type > 1) throw DecodeError("protocol: bad alloc type");
+      info.type = static_cast<AllocType>(type);
+      response.info = info;
+      break;
+    }
+    case Op::kStore:
+    case Op::kExtend:
+    case Op::kRelease:
+      break;
+  }
+  if (!body.done()) throw DecodeError("protocol: trailing bytes");
+  return response;
+}
+
+Bytes dispatch(Depot& depot, std::span<const std::uint8_t> wire) {
+  Request request;
+  Op op;
+  try {
+    op = peek_op(wire);
+    request = decode_request(wire);
+  } catch (const DecodeError&) {
+    // A depot answers noise with a refusal, never a crash.
+    Response bad;
+    bad.status = IbpStatus::kBadCapability;
+    return encode_response(bad, Op::kRelease);  // status-only shape
+  }
+
+  Response response;
+  if (const auto* r = std::get_if<AllocateRequest>(&request)) {
+    const auto result = depot.allocate(r->alloc);
+    response.status = result.status;
+    if (result.status == IbpStatus::kOk) response.caps = result.caps;
+  } else if (const auto* r = std::get_if<StoreRequest>(&request)) {
+    response.status = depot.store(r->write_cap, r->offset, r->data);
+  } else if (const auto* r = std::get_if<LoadRequest>(&request)) {
+    Bytes data;
+    response.status = depot.load(r->read_cap, r->offset, r->length, data);
+    if (response.status == IbpStatus::kOk) response.data = std::move(data);
+  } else if (const auto* r = std::get_if<ProbeRequest>(&request)) {
+    AllocInfo info;
+    response.status = depot.probe(r->manage_cap, info);
+    if (response.status == IbpStatus::kOk) response.info = info;
+  } else if (const auto* r = std::get_if<ExtendRequest>(&request)) {
+    response.status = depot.extend(r->manage_cap, r->extra);
+  } else if (const auto* r = std::get_if<ReleaseRequest>(&request)) {
+    response.status = depot.release(r->manage_cap);
+  }
+  return encode_response(response, op);
+}
+
+}  // namespace lon::ibp::protocol

@@ -1,0 +1,94 @@
+// The IBP wire protocol.
+//
+// Depot operations as byte messages: what actually crosses the network
+// between a client and a depot. Each request is a tagged, length-checked
+// structure; dispatch() runs a request against a depot and produces the
+// response bytes. The Fabric uses this codec for its control operations, so
+// a depot's network surface is exercised exactly as a real deployment's
+// would be (including rejection of malformed or truncated messages).
+//
+// Framing (little-endian, via ByteWriter/ByteReader):
+//   request:  u8 opcode | u32 body-length | body
+//   response: u8 status | u32 body-length | body
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+
+#include "ibp/depot.hpp"
+#include "util/bytes.hpp"
+
+namespace lon::ibp::protocol {
+
+enum class Op : std::uint8_t {
+  kAllocate = 1,
+  kStore = 2,
+  kLoad = 3,
+  kProbe = 4,
+  kExtend = 5,
+  kRelease = 6,
+};
+
+struct AllocateRequest {
+  AllocRequest alloc;
+};
+
+struct StoreRequest {
+  Capability write_cap;
+  std::uint64_t offset = 0;
+  Bytes data;
+};
+
+struct LoadRequest {
+  Capability read_cap;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+};
+
+struct ProbeRequest {
+  Capability manage_cap;
+};
+
+struct ExtendRequest {
+  Capability manage_cap;
+  SimDuration extra = 0;
+};
+
+struct ReleaseRequest {
+  Capability manage_cap;
+};
+
+using Request = std::variant<AllocateRequest, StoreRequest, LoadRequest, ProbeRequest,
+                             ExtendRequest, ReleaseRequest>;
+
+/// A decoded response: the status plus whichever payload the op returns.
+struct Response {
+  IbpStatus status = IbpStatus::kOk;
+  std::optional<CapabilitySet> caps;  ///< allocate
+  std::optional<Bytes> data;          ///< load
+  std::optional<AllocInfo> info;      ///< probe
+};
+
+/// Encodes a request for the wire.
+[[nodiscard]] Bytes encode_request(const Request& request);
+
+/// Decodes a request; throws DecodeError on malformed/truncated input.
+[[nodiscard]] Request decode_request(std::span<const std::uint8_t> wire);
+
+/// Encodes a response.
+[[nodiscard]] Bytes encode_response(const Response& response, Op op);
+
+/// Decodes a response for the given op.
+[[nodiscard]] Response decode_response(std::span<const std::uint8_t> wire, Op op);
+
+/// The server side: decodes `wire`, executes against `depot`, returns the
+/// encoded response. Malformed requests produce a kBadCapability-status
+/// response rather than an exception (a depot must not crash on noise).
+[[nodiscard]] Bytes dispatch(Depot& depot, std::span<const std::uint8_t> wire);
+
+/// The opcode of an encoded request (for response decoding); throws on
+/// empty input.
+[[nodiscard]] Op peek_op(std::span<const std::uint8_t> wire);
+
+}  // namespace lon::ibp::protocol

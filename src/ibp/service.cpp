@@ -1,0 +1,314 @@
+#include "ibp/service.hpp"
+
+#include "ibp/protocol.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace lon::ibp {
+
+namespace {
+const CapabilitySet kNoCaps{};
+}
+
+Depot& Fabric::add_depot(sim::NodeId node, const std::string& name,
+                         const DepotConfig& config) {
+  if (depots_.contains(name)) throw std::invalid_argument("Fabric: duplicate depot " + name);
+  auto [it, inserted] =
+      depots_.emplace(name, Hosted{Depot(sim_, name, config), node});
+  return it->second.depot;
+}
+
+Depot* Fabric::find_depot(const std::string& name) {
+  auto it = depots_.find(name);
+  return it == depots_.end() ? nullptr : &it->second.depot;
+}
+
+const Depot* Fabric::find_depot(const std::string& name) const {
+  auto it = depots_.find(name);
+  return it == depots_.end() ? nullptr : &it->second.depot;
+}
+
+sim::NodeId Fabric::depot_node(const std::string& name) const {
+  auto it = depots_.find(name);
+  if (it == depots_.end()) throw std::out_of_range("Fabric: unknown depot " + name);
+  return it->second.node;
+}
+
+void Fabric::at_depot(sim::NodeId from, sim::NodeId depot_node, std::function<void()> fn) {
+  const SimDuration delay = net_.path_latency(from, depot_node) + kDepotOpOverhead;
+  sim_.after(delay, std::move(fn));
+}
+
+SimDuration Fabric::book_disk(Hosted& hosted, std::uint64_t bytes) {
+  const double rate = hosted.depot.config().disk_bytes_per_sec;
+  const auto service =
+      static_cast<SimDuration>(static_cast<double>(bytes) / rate * 1e9);
+  const SimTime start = std::max(sim_.now(), hosted.disk_busy_until);
+  hosted.disk_busy_until = start + service;
+  return hosted.disk_busy_until - sim_.now();
+}
+
+void Fabric::set_offline(const std::string& name, bool offline) {
+  auto it = depots_.find(name);
+  if (it == depots_.end()) throw std::out_of_range("Fabric: unknown depot " + name);
+  it->second.offline = offline;
+}
+
+bool Fabric::is_offline(const std::string& name) const {
+  auto it = depots_.find(name);
+  if (it == depots_.end()) throw std::out_of_range("Fabric: unknown depot " + name);
+  return it->second.offline;
+}
+
+SimTime Fabric::disk_busy_until(const std::string& depot) const {
+  auto it = depots_.find(depot);
+  if (it == depots_.end()) throw std::out_of_range("Fabric: unknown depot " + depot);
+  return it->second.disk_busy_until;
+}
+
+void Fabric::allocate_async(sim::NodeId client, const std::string& depot,
+                            const AllocRequest& request, AllocCallback on_done) {
+  auto it = depots_.find(depot);
+  if (it == depots_.end()) {
+    sim_.after(0, [cb = std::move(on_done)] { cb(IbpStatus::kNotFound, kNoCaps); });
+    return;
+  }
+  Hosted& hosted = it->second;
+  at_depot(client, hosted.node, [this, client, &hosted, request, cb = std::move(on_done)] {
+    if (hosted.offline) {
+      const SimDuration back = net_.path_latency(hosted.node, client);
+      sim_.after(back, [cb] { cb(IbpStatus::kRefused, kNoCaps); });
+      return;
+    }
+    const auto result = hosted.depot.allocate(request);
+    // Reply travels back to the client.
+    const SimDuration back = net_.path_latency(hosted.node, client);
+    sim_.after(back, [result, cb] { cb(result.status, result.caps); });
+  });
+}
+
+void Fabric::store_async(sim::NodeId client, const Capability& write_cap,
+                         std::uint64_t offset, Bytes data,
+                         const sim::TransferOptions& net_options, StoreCallback on_done) {
+  auto it = depots_.find(write_cap.depot);
+  if (it == depots_.end()) {
+    sim_.after(0, [cb = std::move(on_done)] { cb(IbpStatus::kNotFound); });
+    return;
+  }
+  Hosted& hosted = it->second;
+  // The payload is a bulk flow from the client to the depot; the store
+  // executes when the final byte lands.
+  auto payload = std::make_shared<Bytes>(std::move(data));
+  net_.start_transfer(
+      client, hosted.node, payload->size(), net_options,
+      [this, client, &hosted, write_cap, offset, payload,
+       cb = std::move(on_done)](const sim::TransferResult& r) {
+        if (r.cancelled || hosted.offline) {
+          cb(IbpStatus::kRefused);
+          return;
+        }
+        // The write queues behind whatever the depot disk is already doing.
+        const SimDuration disk = book_disk(hosted, payload->size());
+        sim_.after(disk, [this, client, &hosted, write_cap, offset, payload, cb] {
+          const IbpStatus status = hosted.depot.store(write_cap, offset, *payload);
+          const SimDuration back = net_.path_latency(hosted.node, client);
+          sim_.after(back + kDepotOpOverhead, [status, cb] { cb(status); });
+        });
+      });
+}
+
+void Fabric::load_async(sim::NodeId client, const Capability& read_cap,
+                        std::uint64_t offset, std::uint64_t length,
+                        const sim::TransferOptions& net_options, LoadCallback on_done) {
+  auto it = depots_.find(read_cap.depot);
+  if (it == depots_.end()) {
+    sim_.after(0, [cb = std::move(on_done)] { cb(IbpStatus::kNotFound, Bytes{}); });
+    return;
+  }
+  Hosted& hosted = it->second;
+  // Request travels to the depot; the depot reads and streams the bytes back.
+  at_depot(client, hosted.node,
+           [this, client, &hosted, read_cap, offset, length, opts = net_options,
+            cb = std::move(on_done)] {
+             if (hosted.offline) {
+               const SimDuration back = net_.path_latency(hosted.node, client);
+               sim_.after(back, [cb] { cb(IbpStatus::kRefused, Bytes{}); });
+               return;
+             }
+             Bytes data;
+             const IbpStatus status = hosted.depot.load(read_cap, offset, length, data);
+             if (status != IbpStatus::kOk) {
+               const SimDuration back = net_.path_latency(hosted.node, client);
+               sim_.after(back, [status, cb] { cb(status, Bytes{}); });
+               return;
+             }
+             auto payload = std::make_shared<Bytes>(std::move(data));
+             // The read waits its turn on the depot disk before streaming.
+             const SimDuration disk = book_disk(hosted, payload->size());
+             sim_.after(disk, [this, client, &hosted, payload, opts, cb] {
+               // The request leg above already served as connection setup.
+               sim::TransferOptions flow = opts;
+               flow.handshake = false;
+               net_.start_transfer(hosted.node, client, payload->size(), flow,
+                                   [payload, cb](const sim::TransferResult& r) {
+                                     if (r.cancelled) {
+                                       cb(IbpStatus::kRefused, Bytes{});
+                                       return;
+                                     }
+                                     cb(IbpStatus::kOk, std::move(*payload));
+                                   });
+             });
+           });
+}
+
+void Fabric::probe_async(sim::NodeId client, const Capability& manage_cap,
+                         ProbeCallback on_done) {
+  auto it = depots_.find(manage_cap.depot);
+  if (it == depots_.end()) {
+    sim_.after(0, [cb = std::move(on_done)] { cb(IbpStatus::kNotFound, AllocInfo{}); });
+    return;
+  }
+  Hosted& hosted = it->second;
+  const Bytes wire = protocol::encode_request(protocol::ProbeRequest{manage_cap});
+  at_depot(client, hosted.node, [this, client, &hosted, wire, cb = std::move(on_done)] {
+    if (hosted.offline) {
+      const SimDuration back = net_.path_latency(hosted.node, client);
+      sim_.after(back, [cb] { cb(IbpStatus::kRefused, AllocInfo{}); });
+      return;
+    }
+    const Bytes reply = protocol::dispatch(hosted.depot, wire);
+    const SimDuration back = net_.path_latency(hosted.node, client);
+    sim_.after(back, [reply, cb] {
+      const auto response = protocol::decode_response(reply, protocol::Op::kProbe);
+      cb(response.status, response.info.value_or(AllocInfo{}));
+    });
+  });
+}
+
+void Fabric::extend_async(sim::NodeId client, const Capability& manage_cap,
+                          SimDuration extra, ManageCallback on_done) {
+  auto it = depots_.find(manage_cap.depot);
+  if (it == depots_.end()) {
+    sim_.after(0, [cb = std::move(on_done)] { cb(IbpStatus::kNotFound); });
+    return;
+  }
+  Hosted& hosted = it->second;
+  const Bytes wire = protocol::encode_request(protocol::ExtendRequest{manage_cap, extra});
+  at_depot(client, hosted.node, [this, client, &hosted, wire, cb = std::move(on_done)] {
+    if (hosted.offline) {
+      const SimDuration back = net_.path_latency(hosted.node, client);
+      sim_.after(back, [cb] { cb(IbpStatus::kRefused); });
+      return;
+    }
+    const Bytes reply = protocol::dispatch(hosted.depot, wire);
+    const SimDuration back = net_.path_latency(hosted.node, client);
+    sim_.after(back, [reply, cb] {
+      cb(protocol::decode_response(reply, protocol::Op::kExtend).status);
+    });
+  });
+}
+
+void Fabric::release_async(sim::NodeId client, const Capability& manage_cap,
+                           ManageCallback on_done) {
+  auto it = depots_.find(manage_cap.depot);
+  if (it == depots_.end()) {
+    sim_.after(0, [cb = std::move(on_done)] { cb(IbpStatus::kNotFound); });
+    return;
+  }
+  Hosted& hosted = it->second;
+  const Bytes wire = protocol::encode_request(protocol::ReleaseRequest{manage_cap});
+  at_depot(client, hosted.node, [this, client, &hosted, wire, cb = std::move(on_done)] {
+    if (hosted.offline) {
+      const SimDuration back = net_.path_latency(hosted.node, client);
+      sim_.after(back, [cb] { cb(IbpStatus::kRefused); });
+      return;
+    }
+    const Bytes reply = protocol::dispatch(hosted.depot, wire);
+    const SimDuration back = net_.path_latency(hosted.node, client);
+    sim_.after(back, [reply, cb] {
+      cb(protocol::decode_response(reply, protocol::Op::kRelease).status);
+    });
+  });
+}
+
+void Fabric::copy_async(sim::NodeId client, const CopyRequest& request,
+                        CopyCallback on_done) {
+  auto src_it = depots_.find(request.src_read.depot);
+  auto dst_it = depots_.find(request.dst_depot);
+  if (src_it == depots_.end() || dst_it == depots_.end()) {
+    sim_.after(0, [cb = std::move(on_done)] { cb(IbpStatus::kNotFound, kNoCaps); });
+    return;
+  }
+  Hosted& src = src_it->second;
+  Hosted& dst = dst_it->second;
+
+  // Step 1: allocate space on the destination depot.
+  at_depot(client, dst.node, [this, client, &src, &dst, request,
+                              cb = std::move(on_done)]() mutable {
+    if (dst.offline) {
+      const SimDuration back = net_.path_latency(dst.node, client);
+      sim_.after(back, [cb] { cb(IbpStatus::kRefused, kNoCaps); });
+      return;
+    }
+    const auto alloc = dst.depot.allocate(request.dst_alloc);
+    if (alloc.status != IbpStatus::kOk) {
+      const SimDuration back = net_.path_latency(dst.node, client);
+      sim_.after(back, [status = alloc.status, cb] { cb(status, kNoCaps); });
+      return;
+    }
+    // Step 2: command the source depot to push (control hop client -> src;
+    // issued immediately after the allocate reply would have arrived —
+    // modelled as the dst->client + client->src legs in sequence).
+    const SimDuration to_client = net_.path_latency(dst.node, client);
+    sim_.after(to_client, [this, client, &src, &dst, request, caps = alloc.caps,
+                           cb = std::move(cb)]() mutable {
+      at_depot(client, src.node, [this, client, &src, &dst, request, caps,
+                                  cb = std::move(cb)]() mutable {
+        if (src.offline) {
+          const SimDuration back = net_.path_latency(src.node, client);
+          sim_.after(back, [cb] { cb(IbpStatus::kRefused, kNoCaps); });
+          return;
+        }
+        Bytes data;
+        const IbpStatus status =
+            src.depot.load(request.src_read, request.src_offset, request.length, data);
+        if (status != IbpStatus::kOk) {
+          const SimDuration back = net_.path_latency(src.node, client);
+          sim_.after(back, [status, cb] { cb(status, kNoCaps); });
+          return;
+        }
+        // Step 3: the bulk flow runs depot-to-depot; the client is not on
+        // the data path ("third party communication without consuming
+        // resources on either the client or the client agent"). The source
+        // disk must read the bytes first; the destination disk writes them
+        // after arrival — both queue FIFO on their depot's disk.
+        auto payload = std::make_shared<Bytes>(std::move(data));
+        const SimDuration src_disk = book_disk(src, payload->size());
+        sim_.after(src_disk, [this, client, &src, &dst, request, caps, payload,
+                              cb = std::move(cb)]() mutable {
+          net_.start_transfer(
+              src.node, dst.node, payload->size(), request.net,
+              [this, client, &dst, caps, payload,
+               cb = std::move(cb)](const sim::TransferResult& r) {
+                if (r.cancelled) {
+                  cb(IbpStatus::kRefused, kNoCaps);
+                  return;
+                }
+                const SimDuration dst_disk = book_disk(dst, payload->size());
+                sim_.after(dst_disk, [this, client, &dst, caps, payload, cb] {
+                  const IbpStatus status = dst.depot.store(caps.write, 0, *payload);
+                  // Step 4: completion ack to the orchestrating client.
+                  const SimDuration back = net_.path_latency(dst.node, client);
+                  sim_.after(back + kDepotOpOverhead,
+                             [status, caps, cb] { cb(status, caps); });
+                });
+              });
+        });
+      });
+    });
+  });
+}
+
+}  // namespace lon::ibp

@@ -1,0 +1,124 @@
+// The depot fabric: IBP operations as they appear over the network.
+//
+// Depots are hosted at simulator network nodes. A client at node C operating
+// on a depot at node D pays, in virtual time, the request's propagation to D,
+// a small depot processing overhead, and — for data-bearing operations — a
+// bulk flow through the shared network model. Third-party copy moves data
+// directly depot-to-depot, with only control traffic touching the client;
+// this is the primitive behind LoRS staging and the aggressive prestaging of
+// view sets (paper sections 3.5, 4.3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "ibp/depot.hpp"
+#include "simnet/network.hpp"
+
+namespace lon::ibp {
+
+/// Fixed CPU cost charged by a depot per operation (request parsing,
+/// allocation table work). Small relative to any transfer.
+inline constexpr SimDuration kDepotOpOverhead = 300 * kMicrosecond;
+
+class Fabric {
+ public:
+  Fabric(sim::Simulator& sim, sim::Network& net) : sim_(sim), net_(net) {}
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // --- Hosting ------------------------------------------------------------
+
+  /// Creates a depot hosted at `node`. The name must be unique.
+  Depot& add_depot(sim::NodeId node, const std::string& name, const DepotConfig& config);
+
+  [[nodiscard]] Depot* find_depot(const std::string& name);
+  [[nodiscard]] const Depot* find_depot(const std::string& name) const;
+  [[nodiscard]] sim::NodeId depot_node(const std::string& name) const;
+  [[nodiscard]] std::size_t depot_count() const { return depots_.size(); }
+
+  /// Takes a depot off the network (transient failure — IBP's service model
+  /// explicitly allows depots to vanish; "it may be necessary to assume that
+  /// storage can be permanently lost"). Remote operations against an offline
+  /// depot fail with kRefused after the request's one-way latency. Stored
+  /// data survives and is served again once the depot returns.
+  void set_offline(const std::string& name, bool offline);
+  [[nodiscard]] bool is_offline(const std::string& name) const;
+
+  // --- Remote operations (virtual-time async) ------------------------------
+
+  using AllocCallback = std::function<void(IbpStatus, const CapabilitySet&)>;
+  /// allocate() at `depot`, requested from node `client`.
+  void allocate_async(sim::NodeId client, const std::string& depot,
+                      const AllocRequest& request, AllocCallback on_done);
+
+  using StoreCallback = std::function<void(IbpStatus)>;
+  /// Uploads `data` into an existing allocation: bulk flow client -> depot.
+  void store_async(sim::NodeId client, const Capability& write_cap, std::uint64_t offset,
+                   Bytes data, const sim::TransferOptions& net_options,
+                   StoreCallback on_done);
+
+  using LoadCallback = std::function<void(IbpStatus, Bytes)>;
+  /// Downloads bytes from an allocation: request to depot, bulk flow
+  /// depot -> client.
+  void load_async(sim::NodeId client, const Capability& read_cap, std::uint64_t offset,
+                  std::uint64_t length, const sim::TransferOptions& net_options,
+                  LoadCallback on_done);
+
+  using ProbeCallback = std::function<void(IbpStatus, const AllocInfo&)>;
+  /// Remote probe (manage capability). The request and reply travel as
+  /// protocol-encoded messages (see ibp/protocol.hpp).
+  void probe_async(sim::NodeId client, const Capability& manage_cap,
+                   ProbeCallback on_done);
+
+  using ManageCallback = std::function<void(IbpStatus)>;
+  /// Remote lease extension to now + extra.
+  void extend_async(sim::NodeId client, const Capability& manage_cap, SimDuration extra,
+                    ManageCallback on_done);
+
+  /// Remote release of an allocation.
+  void release_async(sim::NodeId client, const Capability& manage_cap,
+                     ManageCallback on_done);
+
+  struct CopyRequest {
+    Capability src_read;        ///< where the bytes come from
+    std::string dst_depot;      ///< depot that receives the copy
+    std::uint64_t src_offset = 0;
+    std::uint64_t length = 0;
+    AllocRequest dst_alloc;     ///< allocation to create on the destination
+    sim::TransferOptions net;   ///< options for the depot-to-depot flow
+  };
+  /// Third-party copy, orchestrated from `client`: allocate on dst, command
+  /// src to push, bulk flow src-depot -> dst-depot, ack to client. The
+  /// callback receives the capability set of the new destination allocation.
+  using CopyCallback = std::function<void(IbpStatus, const CapabilitySet&)>;
+  void copy_async(sim::NodeId client, const CopyRequest& request, CopyCallback on_done);
+
+  /// Time the named depot's disk is busy through (for tests/metrics).
+  [[nodiscard]] SimTime disk_busy_until(const std::string& depot) const;
+
+ private:
+  struct Hosted {
+    Depot depot;
+    sim::NodeId node;
+    SimTime disk_busy_until = 0;  ///< FIFO disk queue tail
+    bool offline = false;
+  };
+
+  /// Runs fn after the one-way control-message latency from `from` to the
+  /// depot's node plus the depot op overhead.
+  void at_depot(sim::NodeId from, sim::NodeId depot_node, std::function<void()> fn);
+
+  /// Books `bytes` of disk service on the depot, returning the delay from
+  /// now until that service completes (FIFO behind earlier bookings).
+  SimDuration book_disk(Hosted& hosted, std::uint64_t bytes);
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  std::unordered_map<std::string, Hosted> depots_;
+};
+
+}  // namespace lon::ibp

@@ -1,0 +1,257 @@
+#include "lfs/lfs.hpp"
+
+#include <cctype>
+
+namespace lon::lfs {
+
+const char* to_string(LfsStatus status) {
+  switch (status) {
+    case LfsStatus::kOk:
+      return "ok";
+    case LfsStatus::kNotFound:
+      return "not-found";
+    case LfsStatus::kExists:
+      return "exists";
+    case LfsStatus::kNotDirectory:
+      return "not-directory";
+    case LfsStatus::kIsDirectory:
+      return "is-directory";
+    case LfsStatus::kNotEmpty:
+      return "not-empty";
+    case LfsStatus::kInvalidPath:
+      return "invalid-path";
+    case LfsStatus::kTransferFailed:
+      return "transfer-failed";
+  }
+  return "?";
+}
+
+std::optional<std::vector<std::string>> parse_path(const std::string& path) {
+  if (path.empty() || path.front() != '/') return std::nullopt;
+  std::vector<std::string> segments;
+  std::string current;
+  for (std::size_t i = 1; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      if (current.empty()) {
+        if (i != path.size()) return std::nullopt;  // "//" inside a path
+      } else {
+        segments.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      const char c = path[i];
+      if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '.' || c == '-' ||
+            c == '_')) {
+        return std::nullopt;
+      }
+      if (current.size() > 255) return std::nullopt;
+      current += c;
+    }
+  }
+  for (const auto& segment : segments) {
+    if (segment == "." || segment == "..") return std::nullopt;
+  }
+  return segments;
+}
+
+LfsServer::LfsServer(sim::Simulator& sim, sim::Network& net, sim::NodeId node)
+    : sim_(sim), net_(net), node_(node) {}
+
+const LfsServer::Node* LfsServer::resolve(const std::vector<std::string>& segments,
+                                          LfsStatus* status) const {
+  const Node* node = &root_;
+  for (const auto& segment : segments) {
+    if (!node->is_directory) {
+      *status = LfsStatus::kNotDirectory;
+      return nullptr;
+    }
+    const auto it = node->children.find(segment);
+    if (it == node->children.end()) {
+      *status = LfsStatus::kNotFound;
+      return nullptr;
+    }
+    node = it->second.get();
+  }
+  *status = LfsStatus::kOk;
+  return node;
+}
+
+LfsServer::Node* LfsServer::resolve_parent(const std::vector<std::string>& segments,
+                                           LfsStatus* status) {
+  if (segments.empty()) {
+    *status = LfsStatus::kInvalidPath;  // operations need a named entry
+    return nullptr;
+  }
+  const std::vector<std::string> parent(segments.begin(), segments.end() - 1);
+  const Node* found = resolve(parent, status);
+  if (found == nullptr) return nullptr;
+  if (!found->is_directory) {
+    *status = LfsStatus::kNotDirectory;
+    return nullptr;
+  }
+  return const_cast<Node*>(found);
+}
+
+LfsStatus LfsServer::mkdir(const std::string& path) {
+  const auto segments = parse_path(path);
+  if (!segments.has_value()) return LfsStatus::kInvalidPath;
+  LfsStatus status;
+  Node* parent = resolve_parent(*segments, &status);
+  if (parent == nullptr) return status;
+  const std::string& name = segments->back();
+  if (parent->children.contains(name)) return LfsStatus::kExists;
+  auto node = std::make_unique<Node>();
+  node->is_directory = true;
+  parent->children.emplace(name, std::move(node));
+  ++entries_;
+  return LfsStatus::kOk;
+}
+
+LfsStatus LfsServer::put(const std::string& path, exnode::ExNode file) {
+  const auto segments = parse_path(path);
+  if (!segments.has_value()) return LfsStatus::kInvalidPath;
+  LfsStatus status;
+  Node* parent = resolve_parent(*segments, &status);
+  if (parent == nullptr) return status;
+  const std::string& name = segments->back();
+  auto it = parent->children.find(name);
+  if (it != parent->children.end()) {
+    if (it->second->is_directory) return LfsStatus::kIsDirectory;
+    it->second->file = std::move(file);  // overwrite
+    return LfsStatus::kOk;
+  }
+  auto node = std::make_unique<Node>();
+  node->is_directory = false;
+  node->file = std::move(file);
+  parent->children.emplace(name, std::move(node));
+  ++entries_;
+  return LfsStatus::kOk;
+}
+
+LfsStatus LfsServer::get(const std::string& path, exnode::ExNode& out) const {
+  const auto segments = parse_path(path);
+  if (!segments.has_value()) return LfsStatus::kInvalidPath;
+  LfsStatus status;
+  const Node* node = resolve(*segments, &status);
+  if (node == nullptr) return status;
+  if (node->is_directory) return LfsStatus::kIsDirectory;
+  out = node->file;
+  return LfsStatus::kOk;
+}
+
+LfsStatus LfsServer::list(const std::string& path, std::vector<DirEntry>& out) const {
+  const auto segments = parse_path(path);
+  if (!segments.has_value()) return LfsStatus::kInvalidPath;
+  LfsStatus status;
+  const Node* node = resolve(*segments, &status);
+  if (node == nullptr) return status;
+  if (!node->is_directory) return LfsStatus::kNotDirectory;
+  out.clear();
+  for (const auto& [name, child] : node->children) {
+    DirEntry entry;
+    entry.name = name;
+    entry.is_directory = child->is_directory;
+    entry.length = child->is_directory ? 0 : child->file.length();
+    out.push_back(std::move(entry));
+  }
+  return LfsStatus::kOk;
+}
+
+LfsStatus LfsServer::remove(const std::string& path) {
+  const auto segments = parse_path(path);
+  if (!segments.has_value()) return LfsStatus::kInvalidPath;
+  LfsStatus status;
+  Node* parent = resolve_parent(*segments, &status);
+  if (parent == nullptr) return status;
+  auto it = parent->children.find(segments->back());
+  if (it == parent->children.end()) return LfsStatus::kNotFound;
+  if (it->second->is_directory && !it->second->children.empty()) {
+    return LfsStatus::kNotEmpty;
+  }
+  parent->children.erase(it);
+  --entries_;
+  return LfsStatus::kOk;
+}
+
+template <typename Fn>
+void LfsServer::rpc(sim::NodeId from, const std::string& path, Fn&& fn) {
+  const auto segments = parse_path(path);
+  const auto components = segments.has_value() ? segments->size() : 0;
+  const SimDuration cost = net_.rtt(from, node_) +
+                           static_cast<SimDuration>(components + 1) * kLookupPerComponent;
+  sim_.after(cost, std::forward<Fn>(fn));
+}
+
+void LfsServer::mkdir_async(sim::NodeId from, const std::string& path,
+                            StatusCallback on_done) {
+  rpc(from, path, [this, path, cb = std::move(on_done)] { cb(mkdir(path)); });
+}
+
+void LfsServer::put_async(sim::NodeId from, const std::string& path, exnode::ExNode node,
+                          StatusCallback on_done) {
+  rpc(from, path, [this, path, node = std::move(node), cb = std::move(on_done)]() mutable {
+    cb(put(path, std::move(node)));
+  });
+}
+
+void LfsServer::get_async(sim::NodeId from, const std::string& path, GetCallback on_done) {
+  rpc(from, path, [this, path, cb = std::move(on_done)] {
+    exnode::ExNode out;
+    const LfsStatus status = get(path, out);
+    cb(status, out);
+  });
+}
+
+void LfsServer::list_async(sim::NodeId from, const std::string& path,
+                           ListCallback on_done) {
+  rpc(from, path, [this, path, cb = std::move(on_done)] {
+    std::vector<DirEntry> out;
+    const LfsStatus status = list(path, out);
+    cb(status, out);
+  });
+}
+
+void LfsServer::remove_async(sim::NodeId from, const std::string& path,
+                             StatusCallback on_done) {
+  rpc(from, path, [this, path, cb = std::move(on_done)] { cb(remove(path)); });
+}
+
+void LfsClient::write_async(const std::string& path, Bytes data,
+                            const lors::UploadOptions& options, WriteCallback on_done) {
+  if (!parse_path(path).has_value()) {
+    sim_.after(0, [cb = std::move(on_done)] { cb(LfsStatus::kInvalidPath); });
+    return;
+  }
+  lors_.upload_async(
+      node_, std::move(data), options,
+      [this, path, cb = std::move(on_done)](const lors::UploadResult& result) {
+        if (result.status != lors::LorsStatus::kOk) {
+          cb(LfsStatus::kTransferFailed);
+          return;
+        }
+        server_.put_async(node_, path, result.exnode,
+                          [cb](LfsStatus status) { cb(status); });
+      });
+}
+
+void LfsClient::read_async(const std::string& path, const lors::DownloadOptions& options,
+                           ReadCallback on_done) {
+  server_.get_async(node_, path,
+                    [this, options, cb = std::move(on_done)](LfsStatus status,
+                                                             const exnode::ExNode& node) {
+                      if (status != LfsStatus::kOk) {
+                        cb(status, Bytes{});
+                        return;
+                      }
+                      lors_.download_async(node_, node, options,
+                                           [cb](lors::DownloadResult result) {
+                                             if (result.status != lors::LorsStatus::kOk) {
+                                               cb(LfsStatus::kTransferFailed, Bytes{});
+                                               return;
+                                             }
+                                             cb(LfsStatus::kOk, std::move(result.data));
+                                           });
+                    });
+}
+
+}  // namespace lon::lfs

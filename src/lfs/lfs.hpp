@@ -1,0 +1,127 @@
+// The Logistical File System layer of the network storage stack.
+//
+// The paper's Figure 1 stacks "Logistical File System" above the Logistical
+// Runtime System: a hierarchical namespace whose files are exNodes — data
+// that lives on IBP depots while only the name-to-exNode mapping is held by
+// the file system service. mkdir/put/get/list/remove operate on the
+// namespace; LfsClient composes them with LoRS so whole files can be written
+// to and read from the network by path.
+//
+// (The DVS of the streaming system is a special-purpose sibling of this
+// layer: a flat, hierarchy-routed dictionary tuned for view-set lookups.)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exnode/exnode.hpp"
+#include "lors/lors.hpp"
+#include "simnet/network.hpp"
+
+namespace lon::lfs {
+
+enum class LfsStatus {
+  kOk,
+  kNotFound,
+  kExists,         ///< create over an existing entry of the wrong kind
+  kNotDirectory,   ///< a path component is a file
+  kIsDirectory,    ///< file operation on a directory
+  kNotEmpty,       ///< remove on a non-empty directory
+  kInvalidPath,
+  kTransferFailed, ///< the LoRS upload/download underneath failed
+};
+
+[[nodiscard]] const char* to_string(LfsStatus status);
+
+/// Splits "/a/b/c" into {"a","b","c"}; empty result = the root. Returns
+/// nullopt for malformed paths (empty segments, bad characters).
+[[nodiscard]] std::optional<std::vector<std::string>> parse_path(const std::string& path);
+
+struct DirEntry {
+  std::string name;
+  bool is_directory = false;
+  std::uint64_t length = 0;  ///< file length (0 for directories)
+};
+
+/// The namespace service, hosted at a network node. Per-operation cost is
+/// one control round trip plus a lookup overhead per path component.
+class LfsServer {
+ public:
+  LfsServer(sim::Simulator& sim, sim::Network& net, sim::NodeId node);
+
+  [[nodiscard]] sim::NodeId node() const { return node_; }
+
+  using StatusCallback = std::function<void(LfsStatus)>;
+  using GetCallback = std::function<void(LfsStatus, const exnode::ExNode&)>;
+  using ListCallback = std::function<void(LfsStatus, const std::vector<DirEntry>&)>;
+
+  void mkdir_async(sim::NodeId from, const std::string& path, StatusCallback on_done);
+  /// Creates or overwrites the file at `path` with the given exNode.
+  void put_async(sim::NodeId from, const std::string& path, exnode::ExNode node,
+                 StatusCallback on_done);
+  void get_async(sim::NodeId from, const std::string& path, GetCallback on_done);
+  void list_async(sim::NodeId from, const std::string& path, ListCallback on_done);
+  /// Removes a file or an *empty* directory.
+  void remove_async(sim::NodeId from, const std::string& path, StatusCallback on_done);
+
+  // Synchronous local variants (bootstrap / tests).
+  LfsStatus mkdir(const std::string& path);
+  LfsStatus put(const std::string& path, exnode::ExNode node);
+  LfsStatus get(const std::string& path, exnode::ExNode& out) const;
+  LfsStatus list(const std::string& path, std::vector<DirEntry>& out) const;
+  LfsStatus remove(const std::string& path);
+
+  [[nodiscard]] std::size_t entry_count() const { return entries_; }
+
+ private:
+  struct Node {
+    bool is_directory = true;
+    exnode::ExNode file;  // valid when !is_directory
+    std::map<std::string, std::unique_ptr<Node>> children;
+  };
+
+  /// Resolves the parent directory of `segments`; nullptr + status on error.
+  Node* resolve_parent(const std::vector<std::string>& segments, LfsStatus* status);
+  const Node* resolve(const std::vector<std::string>& segments, LfsStatus* status) const;
+
+  /// Wraps a synchronous result with the control round trip + lookup cost.
+  template <typename Fn>
+  void rpc(sim::NodeId from, const std::string& path, Fn&& fn);
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  sim::NodeId node_;
+  Node root_;
+  std::size_t entries_ = 0;
+
+  static constexpr SimDuration kLookupPerComponent = 50 * kMicrosecond;
+};
+
+/// Whole-file I/O by path: namespace + LoRS data movement.
+class LfsClient {
+ public:
+  LfsClient(sim::Simulator& sim, lors::Lors& lors, LfsServer& server, sim::NodeId node)
+      : sim_(sim), lors_(lors), server_(server), node_(node) {}
+
+  using WriteCallback = std::function<void(LfsStatus)>;
+  /// Uploads `data` via LoRS and binds the resulting exNode to `path`.
+  void write_async(const std::string& path, Bytes data,
+                   const lors::UploadOptions& options, WriteCallback on_done);
+
+  using ReadCallback = std::function<void(LfsStatus, Bytes)>;
+  /// Resolves `path` and downloads the file's bytes.
+  void read_async(const std::string& path, const lors::DownloadOptions& options,
+                  ReadCallback on_done);
+
+ private:
+  sim::Simulator& sim_;
+  lors::Lors& lors_;
+  LfsServer& server_;
+  sim::NodeId node_;
+};
+
+}  // namespace lon::lfs

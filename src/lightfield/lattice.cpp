@@ -1,0 +1,142 @@
+#include "lightfield/lattice.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lon::lightfield {
+
+LatticeConfig LatticeConfig::paper(std::size_t resolution) {
+  LatticeConfig cfg;
+  cfg.angular_step_deg = 2.5;
+  cfg.view_set_span = 6;
+  cfg.view_resolution = resolution;
+  return cfg;
+}
+
+SphericalLattice::SphericalLattice(const LatticeConfig& config) : config_(config) {
+  if (config.angular_step_deg <= 0.0 || config.view_set_span < 1 ||
+      config.view_resolution < 1) {
+    throw std::invalid_argument("SphericalLattice: bad config");
+  }
+  if (config.outer_radius <= config.inner_radius) {
+    throw std::invalid_argument("SphericalLattice: outer sphere must enclose inner");
+  }
+  // sqrt(3) is the circumradius of the [-1,1]^3 volume cube.
+  if (config.inner_radius < std::sqrt(3.0)) {
+    throw std::invalid_argument("SphericalLattice: inner sphere must enclose the volume");
+  }
+  step_rad_ = deg2rad(config.angular_step_deg);
+  rows_ = static_cast<std::size_t>(std::lround(180.0 / config.angular_step_deg));
+  cols_ = static_cast<std::size_t>(std::lround(360.0 / config.angular_step_deg));
+  const auto span = static_cast<std::size_t>(config.view_set_span);
+  if (rows_ % span != 0 || cols_ % span != 0) {
+    throw std::invalid_argument("SphericalLattice: span must divide lattice dims");
+  }
+  vs_rows_ = rows_ / span;
+  vs_cols_ = cols_ / span;
+}
+
+Spherical SphericalLattice::sample_direction(std::size_t row, std::size_t col) const {
+  return {(static_cast<double>(row) + 0.5) * step_rad_,
+          static_cast<double>(col) * step_rad_};
+}
+
+Vec3 SphericalLattice::camera_position(std::size_t row, std::size_t col) const {
+  return spherical_to_unit(sample_direction(row, col)) * config_.outer_radius;
+}
+
+std::pair<double, double> SphericalLattice::lattice_coords(const Spherical& dir) const {
+  const double fr = dir.theta / step_rad_ - 0.5;
+  double fc = dir.phi / step_rad_;
+  const auto n = static_cast<double>(cols_);
+  fc = std::fmod(fc, n);
+  if (fc < 0.0) fc += n;
+  return {fr, fc};
+}
+
+std::pair<std::size_t, std::size_t> SphericalLattice::nearest_sample(
+    const Spherical& dir) const {
+  const auto [fr, fc] = lattice_coords(dir);
+  const long row = std::clamp<long>(std::lround(fr), 0, static_cast<long>(rows_) - 1);
+  long col = std::lround(fc);
+  if (col >= static_cast<long>(cols_)) col = 0;  // phi wrap
+  return {static_cast<std::size_t>(row), static_cast<std::size_t>(col)};
+}
+
+ViewSetId SphericalLattice::view_set_of(std::size_t row, std::size_t col) const {
+  const auto span = static_cast<std::size_t>(config_.view_set_span);
+  return {static_cast<int>(row / span), static_cast<int>(col / span)};
+}
+
+ViewSetId SphericalLattice::view_set_of(const Spherical& dir) const {
+  const auto [row, col] = nearest_sample(dir);
+  return view_set_of(row, col);
+}
+
+int SphericalLattice::quadrant_of(const Spherical& dir) const {
+  const auto [fr, fc] = lattice_coords(dir);
+  const double span = config_.view_set_span;
+  const double local_r = std::clamp(fr, 0.0, static_cast<double>(rows_) - 1.0);
+  const double rq = std::fmod(local_r, span) / span;       // [0,1) within the set
+  const double cq = std::fmod(fc, span) / span;
+  return (rq >= 0.5 ? 1 : 0) | (cq >= 0.5 ? 2 : 0);
+}
+
+std::vector<ViewSetId> SphericalLattice::neighbors(const ViewSetId& id) const {
+  std::vector<ViewSetId> out;
+  for (int dr = -1; dr <= 1; ++dr) {
+    for (int dc = -1; dc <= 1; ++dc) {
+      if (dr == 0 && dc == 0) continue;
+      const int row = id.row + dr;
+      if (row < 0 || row >= static_cast<int>(vs_rows_)) continue;  // theta clamps
+      int col = (id.col + dc) % static_cast<int>(vs_cols_);
+      if (col < 0) col += static_cast<int>(vs_cols_);               // phi wraps
+      out.push_back({row, col});
+    }
+  }
+  return out;
+}
+
+std::vector<ViewSetId> SphericalLattice::prefetch_targets(const ViewSetId& id,
+                                                          int quadrant) const {
+  // Quadrant bit 0: lower half in theta (towards larger row); bit 1: right
+  // half in phi (towards larger col). The three neighbours sharing that
+  // corner are the ones the user can step into next (paper figure 4).
+  const int dr = (quadrant & 1) ? 1 : -1;
+  const int dc = (quadrant & 2) ? 1 : -1;
+  std::vector<ViewSetId> out;
+  const auto push_if_valid = [&](int row, int col) {
+    if (row < 0 || row >= static_cast<int>(vs_rows_)) return;
+    col %= static_cast<int>(vs_cols_);
+    if (col < 0) col += static_cast<int>(vs_cols_);
+    out.push_back({row, col});
+  };
+  push_if_valid(id.row + dr, id.col);
+  push_if_valid(id.row, id.col + dc);
+  push_if_valid(id.row + dr, id.col + dc);
+  return out;
+}
+
+Spherical SphericalLattice::view_set_center(const ViewSetId& id) const {
+  const double span = config_.view_set_span;
+  return {(static_cast<double>(id.row) + 0.5) * span * step_rad_,
+          (static_cast<double>(id.col) + 0.5) * span * step_rad_};
+}
+
+double SphericalLattice::view_set_distance(const ViewSetId& a, const ViewSetId& b) const {
+  return angular_distance(view_set_center(a), view_set_center(b));
+}
+
+std::vector<ViewSetId> SphericalLattice::all_view_sets() const {
+  std::vector<ViewSetId> out;
+  out.reserve(view_set_count());
+  for (std::size_t r = 0; r < vs_rows_; ++r) {
+    for (std::size_t c = 0; c < vs_cols_; ++c) {
+      out.push_back({static_cast<int>(r), static_cast<int>(c)});
+    }
+  }
+  return out;
+}
+
+}  // namespace lon::lightfield

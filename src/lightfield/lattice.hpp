@@ -1,0 +1,130 @@
+// The spherical light-field parameterization (paper section 3.2).
+//
+// Two concentric spheres surround the volume; any viewing ray through the
+// volume pierces both, giving the 4-D (s,t,u,v) ray index. Sample views are
+// rendered from a lattice of camera positions on the outer sphere — every
+// `angular_step_deg` (2.5 degrees in the paper) in both angular components,
+// i.e. a 72 x 144 lattice. The lattice is partitioned into view sets of
+// span x span cameras (6 x 6 = 15 degrees in the paper), giving a 12 x 24
+// view-set grid; the view set is the unit of storage, transmission, caching
+// and prefetch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace lon::lightfield {
+
+struct LatticeConfig {
+  double angular_step_deg = 2.5;   ///< lattice spacing in both angles
+  int view_set_span = 6;           ///< l: lattice cells per view set per axis
+  std::size_t view_resolution = 200;  ///< r: pixels per sample-view axis
+  double outer_radius = 3.0;       ///< camera sphere (must enclose the inner)
+  double inner_radius = 1.8;       ///< focal sphere (must enclose the volume cube)
+  double fov_deg = 40.0;           ///< sample-view field of view
+
+  /// Paper configuration: 2.5-degree lattice, l = 6, at a given resolution.
+  static LatticeConfig paper(std::size_t resolution = 200);
+};
+
+/// Coordinates of one view set in the view-set grid.
+struct ViewSetId {
+  int row = 0;
+  int col = 0;
+
+  bool operator==(const ViewSetId&) const = default;
+
+  /// Canonical string form "vs<row>_<col>" (DVS lookup key).
+  [[nodiscard]] std::string key() const {
+    return "vs" + std::to_string(row) + "_" + std::to_string(col);
+  }
+};
+
+struct ViewSetIdHash {
+  std::size_t operator()(const ViewSetId& id) const {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id.row)) << 32) |
+        static_cast<std::uint32_t>(id.col));
+  }
+};
+
+class SphericalLattice {
+ public:
+  explicit SphericalLattice(const LatticeConfig& config);
+
+  [[nodiscard]] const LatticeConfig& config() const { return config_; }
+
+  /// Lattice dimensions: rows span theta in (0, pi), cols span phi in [0, 2*pi).
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t sample_count() const { return rows_ * cols_; }
+
+  /// View-set grid dimensions.
+  [[nodiscard]] std::size_t view_set_rows() const { return vs_rows_; }
+  [[nodiscard]] std::size_t view_set_cols() const { return vs_cols_; }
+  [[nodiscard]] std::size_t view_set_count() const { return vs_rows_ * vs_cols_; }
+
+  /// Direction of lattice sample (row, col). Theta is offset half a step
+  /// from the poles so no camera sits exactly on them.
+  [[nodiscard]] Spherical sample_direction(std::size_t row, std::size_t col) const;
+
+  /// Camera position of a lattice sample (on the outer sphere).
+  [[nodiscard]] Vec3 camera_position(std::size_t row, std::size_t col) const;
+
+  /// Continuous lattice coordinates of a view direction (for interpolation);
+  /// row in [-0.5, rows-0.5], col wraps modulo cols.
+  [[nodiscard]] std::pair<double, double> lattice_coords(const Spherical& dir) const;
+
+  /// Nearest lattice sample to a view direction.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> nearest_sample(
+      const Spherical& dir) const;
+
+  /// The view set containing a lattice sample.
+  [[nodiscard]] ViewSetId view_set_of(std::size_t row, std::size_t col) const;
+
+  /// The view set whose angular window contains a view direction.
+  [[nodiscard]] ViewSetId view_set_of(const Spherical& dir) const;
+
+  /// Which quadrant of its view set a direction falls in: bit 0 = lower
+  /// half in theta, bit 1 = right half in phi (0..3). Drives the prefetch
+  /// policy of paper figure 4.
+  [[nodiscard]] int quadrant_of(const Spherical& dir) const;
+
+  /// The 8 neighbouring view sets of `id` (phi wraps; theta clamps, so polar
+  /// view sets have fewer neighbours).
+  [[nodiscard]] std::vector<ViewSetId> neighbors(const ViewSetId& id) const;
+
+  /// Neighbours to prefetch when the cursor sits in `quadrant` of `id`
+  /// (the 3 view sets adjacent to that corner — paper figure 4).
+  [[nodiscard]] std::vector<ViewSetId> prefetch_targets(const ViewSetId& id,
+                                                        int quadrant) const;
+
+  /// Angular distance (radians) between the centers of two view sets,
+  /// used to order aggressive prestaging by proximity to the cursor.
+  [[nodiscard]] double view_set_distance(const ViewSetId& a, const ViewSetId& b) const;
+
+  /// Center direction of a view set's angular window.
+  [[nodiscard]] Spherical view_set_center(const ViewSetId& id) const;
+
+  [[nodiscard]] bool valid(const ViewSetId& id) const {
+    return id.row >= 0 && id.col >= 0 &&
+           static_cast<std::size_t>(id.row) < vs_rows_ &&
+           static_cast<std::size_t>(id.col) < vs_cols_;
+  }
+
+  /// All view-set ids in row-major order.
+  [[nodiscard]] std::vector<ViewSetId> all_view_sets() const;
+
+ private:
+  LatticeConfig config_;
+  std::size_t rows_ = 0, cols_ = 0;
+  std::size_t vs_rows_ = 0, vs_cols_ = 0;
+  double step_rad_ = 0.0;
+};
+
+}  // namespace lon::lightfield

@@ -1,0 +1,145 @@
+#include "lightfield/multidb.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "exnode/xml.hpp"
+
+namespace lon::lightfield {
+
+MultiDatabase::MultiDatabase(double hysteresis_margin) : margin_(hysteresis_margin) {
+  if (margin_ < 0.0 || margin_ >= 1.0) {
+    throw std::invalid_argument("MultiDatabase: margin must be in [0, 1)");
+  }
+}
+
+DatabaseId MultiDatabase::add(const std::string& name, const Vec3& center,
+                              const LatticeConfig& lattice, double scale) {
+  if (name.empty()) throw std::invalid_argument("MultiDatabase: empty name");
+  if (scale <= 0.0) throw std::invalid_argument("MultiDatabase: non-positive scale");
+  if (find(name) != nullptr) {
+    throw std::invalid_argument("MultiDatabase: duplicate name " + name);
+  }
+  // Validate the lattice config eagerly (throws on a bad one).
+  (void)SphericalLattice(lattice);
+  DatabaseEntry entry;
+  entry.id = static_cast<DatabaseId>(entries_.size());
+  entry.name = name;
+  entry.center = center;
+  entry.scale = scale;
+  entry.lattice = lattice;
+  entries_.push_back(std::move(entry));
+  return entries_.back().id;
+}
+
+const DatabaseEntry& MultiDatabase::entry(DatabaseId id) const {
+  if (id >= entries_.size()) throw std::out_of_range("MultiDatabase: bad id");
+  return entries_[id];
+}
+
+const DatabaseEntry* MultiDatabase::find(const std::string& name) const {
+  for (const auto& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+bool MultiDatabase::usable(DatabaseId id, const Vec3& viewer) const {
+  const DatabaseEntry& e = entry(id);
+  return (viewer - e.center).norm() >= e.world_outer_radius();
+}
+
+std::optional<DatabaseId> MultiDatabase::select(const Vec3& viewer,
+                                                std::optional<DatabaseId> current) const {
+  // Hysteresis: stick with the current database while the viewer is still
+  // comfortably outside its sphere.
+  if (current.has_value() && *current < entries_.size()) {
+    const DatabaseEntry& e = entries_[*current];
+    const double distance = (viewer - e.center).norm();
+    if (distance >= e.world_outer_radius() * (1.0 + margin_)) {
+      // Only abandon it if some other database is *substantially* closer.
+      double best_other = std::numeric_limits<double>::infinity();
+      for (const auto& o : entries_) {
+        if (o.id == *current) continue;
+        const double d = (viewer - o.center).norm();
+        if (d >= o.world_outer_radius() && d < best_other) best_other = d;
+      }
+      if (best_other >= distance * (1.0 - margin_)) return current;
+    } else if (distance >= e.world_outer_radius()) {
+      return current;  // inside the hysteresis band: never switch here
+    }
+  }
+  // Nearest usable database.
+  std::optional<DatabaseId> best;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (const auto& e : entries_) {
+    const double distance = (viewer - e.center).norm();
+    if (distance < e.world_outer_radius()) continue;  // viewer inside: unusable
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = e.id;
+    }
+  }
+  return best;
+}
+
+Spherical MultiDatabase::direction_in(DatabaseId id, const Vec3& viewer) const {
+  const DatabaseEntry& e = entry(id);
+  return unit_to_spherical(viewer - e.center);
+}
+
+double MultiDatabase::range_in(DatabaseId id, const Vec3& viewer) const {
+  const DatabaseEntry& e = entry(id);
+  return (viewer - e.center).norm() / e.scale;
+}
+
+std::string MultiDatabase::scoped_key(DatabaseId id, const ViewSetId& vs) const {
+  return entry(id).name + "/" + vs.key();
+}
+
+std::string MultiDatabase::to_xml() const {
+  exnode::XmlElement root;
+  root.name = "multidb";
+  root.attributes["margin"] = std::to_string(margin_);
+  for (const auto& e : entries_) {
+    exnode::XmlElement db;
+    db.name = "database";
+    db.attributes["name"] = e.name;
+    db.attributes["cx"] = std::to_string(e.center.x);
+    db.attributes["cy"] = std::to_string(e.center.y);
+    db.attributes["cz"] = std::to_string(e.center.z);
+    db.attributes["scale"] = std::to_string(e.scale);
+    db.attributes["step"] = std::to_string(e.lattice.angular_step_deg);
+    db.attributes["span"] = std::to_string(e.lattice.view_set_span);
+    db.attributes["resolution"] = std::to_string(e.lattice.view_resolution);
+    db.attributes["outer"] = std::to_string(e.lattice.outer_radius);
+    db.attributes["inner"] = std::to_string(e.lattice.inner_radius);
+    db.attributes["fov"] = std::to_string(e.lattice.fov_deg);
+    root.children.push_back(std::move(db));
+  }
+  return exnode::to_xml(root);
+}
+
+MultiDatabase MultiDatabase::from_xml(const std::string& xml) {
+  const exnode::XmlElement root = exnode::parse_xml(xml);
+  if (root.name != "multidb") {
+    throw exnode::XmlError("expected <multidb> root, got <" + root.name + ">");
+  }
+  MultiDatabase out(std::stod(root.attr("margin")));
+  for (const exnode::XmlElement* db : root.children_named("database")) {
+    LatticeConfig lattice;
+    lattice.angular_step_deg = std::stod(db->attr("step"));
+    lattice.view_set_span = std::stoi(db->attr("span"));
+    lattice.view_resolution = static_cast<std::size_t>(std::stoul(db->attr("resolution")));
+    lattice.outer_radius = std::stod(db->attr("outer"));
+    lattice.inner_radius = std::stod(db->attr("inner"));
+    lattice.fov_deg = std::stod(db->attr("fov"));
+    const Vec3 center{std::stod(db->attr("cx")), std::stod(db->attr("cy")),
+                      std::stod(db->attr("cz"))};
+    out.add(db->attr("name"), center, lattice, std::stod(db->attr("scale")));
+  }
+  return out;
+}
+
+}  // namespace lon::lightfield

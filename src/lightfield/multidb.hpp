@@ -1,0 +1,93 @@
+// Multiple light-field databases for interior navigation.
+//
+// A single spherical light field only supports viewpoints *outside* its
+// outer sphere: "a light field database so constructed can only support
+// 'replaying' the external views of a volume. To allow user navigation
+// through the interior of a volume, multiple light field databases are
+// needed [Yang & Crawfis, rail-track viewer], but the same framework for
+// remote visualization can be reused." (paper section 3.2)
+//
+// MultiDatabase manages a set of databases placed in a common world frame —
+// nested shells around one object, or a track of centers through a large
+// scene. Given a viewer position it selects which database can serve the
+// view (viewer outside that database's outer sphere, nearest center first)
+// with hysteresis so a viewer drifting along a boundary does not flip-flop
+// between databases; it also converts the viewer position into that
+// database's (theta, phi) view direction. Each database keeps its own
+// view-set grid, so the whole streaming framework (DVS, agents, staging) is
+// reused per database, exactly as the paper suggests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lightfield/lattice.hpp"
+
+namespace lon::lightfield {
+
+using DatabaseId = std::uint32_t;
+
+struct DatabaseEntry {
+  DatabaseId id = 0;
+  std::string name;       ///< stable name, used to scope DVS keys etc.
+  Vec3 center;            ///< world position of the database's spheres
+  double scale = 1.0;     ///< world units per database unit (radii scale by this)
+  LatticeConfig lattice;
+
+  /// World-space outer radius (camera sphere).
+  [[nodiscard]] double world_outer_radius() const {
+    return lattice.outer_radius * scale;
+  }
+};
+
+class MultiDatabase {
+ public:
+  /// Hysteresis margin: a currently-selected database is kept while the
+  /// viewer stays outside (1 - margin) of its switch radius, even if another
+  /// center became nearer.
+  explicit MultiDatabase(double hysteresis_margin = 0.05);
+
+  /// Registers a database; names must be unique. Returns its id.
+  DatabaseId add(const std::string& name, const Vec3& center,
+                 const LatticeConfig& lattice, double scale = 1.0);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const DatabaseEntry& entry(DatabaseId id) const;
+  [[nodiscard]] const DatabaseEntry* find(const std::string& name) const;
+
+  /// The database that should serve a viewer at world position `viewer`,
+  /// preferring `current` (hysteresis) when it is still usable. Returns
+  /// nullopt when the viewer is inside every database's outer sphere (no
+  /// external view exists — the scene needs another database there).
+  [[nodiscard]] std::optional<DatabaseId> select(
+      const Vec3& viewer, std::optional<DatabaseId> current = std::nullopt) const;
+
+  /// The (theta, phi) view direction of `viewer` in database `id`'s frame —
+  /// the direction from the database center toward the viewer, which indexes
+  /// the camera lattice.
+  [[nodiscard]] Spherical direction_in(DatabaseId id, const Vec3& viewer) const;
+
+  /// Distance from the viewer to the database center, in database units
+  /// (drives the digital zoom factor when replaying from the lattice).
+  [[nodiscard]] double range_in(DatabaseId id, const Vec3& viewer) const;
+
+  /// Fully-qualified view-set key ("<db-name>/vs<r>_<c>") for scoping a
+  /// shared dictionary across databases.
+  [[nodiscard]] std::string scoped_key(DatabaseId id, const ViewSetId& vs) const;
+
+  /// True if the viewer can be served by database `id` (outside its sphere).
+  [[nodiscard]] bool usable(DatabaseId id, const Vec3& viewer) const;
+
+  /// Manifest round trip (XML, like the exNode) so a scene layout can be
+  /// published alongside its databases.
+  [[nodiscard]] std::string to_xml() const;
+  static MultiDatabase from_xml(const std::string& xml);
+
+ private:
+  double margin_;
+  std::vector<DatabaseEntry> entries_;
+};
+
+}  // namespace lon::lightfield

@@ -1,0 +1,110 @@
+#include "lightfield/store.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "exnode/xml.hpp"
+
+namespace lon::lightfield {
+
+namespace fs = std::filesystem;
+
+DatabaseStore::DatabaseStore(std::string directory) : directory_(std::move(directory)) {
+  if (directory_.empty()) throw std::invalid_argument("DatabaseStore: empty directory");
+}
+
+void DatabaseStore::create(const LatticeConfig& config, const std::string& dataset_name) {
+  lattice_.emplace(config);  // validates
+  dataset_ = dataset_name;
+  fs::create_directories(directory_);
+
+  exnode::XmlElement root;
+  root.name = "lfd";
+  root.attributes["dataset"] = dataset_name;
+  root.attributes["step"] = std::to_string(config.angular_step_deg);
+  root.attributes["span"] = std::to_string(config.view_set_span);
+  root.attributes["resolution"] = std::to_string(config.view_resolution);
+  root.attributes["outer"] = std::to_string(config.outer_radius);
+  root.attributes["inner"] = std::to_string(config.inner_radius);
+  root.attributes["fov"] = std::to_string(config.fov_deg);
+
+  std::ofstream out(directory_ + "/manifest.xml", std::ios::trunc);
+  if (!out) throw std::runtime_error("DatabaseStore: cannot write manifest");
+  out << exnode::to_xml(root);
+}
+
+void DatabaseStore::open() {
+  std::ifstream in(directory_ + "/manifest.xml");
+  if (!in) throw std::runtime_error("DatabaseStore: no manifest in " + directory_);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const exnode::XmlElement root = exnode::parse_xml(text);
+  if (root.name != "lfd") throw std::runtime_error("DatabaseStore: bad manifest root");
+  LatticeConfig config;
+  config.angular_step_deg = std::stod(root.attr("step"));
+  config.view_set_span = std::stoi(root.attr("span"));
+  config.view_resolution = static_cast<std::size_t>(std::stoul(root.attr("resolution")));
+  config.outer_radius = std::stod(root.attr("outer"));
+  config.inner_radius = std::stod(root.attr("inner"));
+  config.fov_deg = std::stod(root.attr("fov"));
+  lattice_.emplace(config);
+  dataset_ = root.attr("dataset");
+}
+
+const LatticeConfig& DatabaseStore::config() const { return lattice().config(); }
+
+const SphericalLattice& DatabaseStore::lattice() const {
+  if (!lattice_.has_value()) throw std::runtime_error("DatabaseStore: not open");
+  return *lattice_;
+}
+
+std::string DatabaseStore::path_of(const ViewSetId& id) const {
+  return directory_ + "/" + id.key() + ".lfz";
+}
+
+void DatabaseStore::put(const ViewSetId& id, const Bytes& compressed) {
+  if (!lattice().valid(id)) throw std::out_of_range("DatabaseStore: bad view-set id");
+  std::ofstream out(path_of(id), std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("DatabaseStore: cannot write " + path_of(id));
+  out.write(reinterpret_cast<const char*>(compressed.data()),
+            static_cast<std::streamsize>(compressed.size()));
+}
+
+std::optional<Bytes> DatabaseStore::get(const ViewSetId& id) const {
+  std::ifstream in(path_of(id), std::ios::binary);
+  if (!in) return std::nullopt;
+  Bytes data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return data;
+}
+
+std::optional<ViewSet> DatabaseStore::get_view_set(const ViewSetId& id) const {
+  const auto data = get(id);
+  if (!data.has_value()) return std::nullopt;
+  return ViewSet::decompress(*data);
+}
+
+std::vector<ViewSetId> DatabaseStore::stored_ids() const {
+  std::vector<ViewSetId> out;
+  for (const auto& id : lattice().all_view_sets()) {
+    if (fs::exists(path_of(id))) out.push_back(id);
+  }
+  return out;
+}
+
+bool DatabaseStore::complete() const {
+  return stored_ids().size() == lattice().view_set_count();
+}
+
+std::size_t DatabaseStore::build_all(ViewSetSource& source) {
+  std::size_t built = 0;
+  for (const auto& id : lattice().all_view_sets()) {
+    if (fs::exists(path_of(id))) continue;
+    put(id, source.build_compressed(id));
+    ++built;
+  }
+  return built;
+}
+
+}  // namespace lon::lightfield

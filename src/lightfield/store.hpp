@@ -1,0 +1,67 @@
+// On-disk light-field database store.
+//
+// The offline generator's artifact (paper section 3.4: "the rendering of all
+// view sets can be completely pre-computed off-line"): a directory holding
+// one lfz-compressed file per view set plus an XML manifest describing the
+// lattice, so a database can be built once, shipped to depots later, and
+// browsed locally. Layout:
+//
+//   <dir>/manifest.xml
+//   <dir>/vs<row>_<col>.lfz
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lightfield/builder.hpp"
+
+namespace lon::lightfield {
+
+class DatabaseStore {
+ public:
+  /// Opens (or prepares to create) a store rooted at `directory`.
+  explicit DatabaseStore(std::string directory);
+
+  /// Writes the manifest for a database with this configuration and name.
+  /// Creates the directory if needed.
+  void create(const LatticeConfig& config, const std::string& dataset_name);
+
+  /// Loads an existing manifest. Throws std::runtime_error if absent/bad.
+  void open();
+
+  [[nodiscard]] bool is_open() const { return lattice_.has_value(); }
+  [[nodiscard]] const LatticeConfig& config() const;
+  [[nodiscard]] const SphericalLattice& lattice() const;
+  [[nodiscard]] const std::string& dataset_name() const { return dataset_; }
+
+  /// Writes one compressed view set.
+  void put(const ViewSetId& id, const Bytes& compressed);
+
+  /// Reads one compressed view set; nullopt if not present.
+  [[nodiscard]] std::optional<Bytes> get(const ViewSetId& id) const;
+
+  /// Convenience: decompressed form.
+  [[nodiscard]] std::optional<ViewSet> get_view_set(const ViewSetId& id) const;
+
+  /// Ids present on disk.
+  [[nodiscard]] std::vector<ViewSetId> stored_ids() const;
+
+  /// True when every view set of the lattice is present.
+  [[nodiscard]] bool complete() const;
+
+  /// Builds and stores every missing view set from `source` (the offline
+  /// generation loop). Returns how many were built.
+  std::size_t build_all(ViewSetSource& source);
+
+  [[nodiscard]] const std::string& directory() const { return directory_; }
+
+ private:
+  [[nodiscard]] std::string path_of(const ViewSetId& id) const;
+
+  std::string directory_;
+  std::string dataset_;
+  std::optional<SphericalLattice> lattice_;
+};
+
+}  // namespace lon::lightfield

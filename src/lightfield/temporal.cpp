@@ -1,0 +1,54 @@
+#include "lightfield/temporal.hpp"
+
+#include <stdexcept>
+
+namespace lon::lightfield {
+
+TemporalSource::TemporalSource(const LatticeConfig& config, std::size_t frames,
+                               ProceduralOptions options, double motion)
+    : frames_(frames) {
+  if (frames == 0) throw std::invalid_argument("TemporalSource: zero frames");
+  per_frame_.reserve(frames);
+  for (std::size_t t = 0; t < frames; ++t) {
+    ProceduralOptions frame_options = options;
+    // The blob layout is a deterministic function of (seed, time): the
+    // ProceduralSource derives its blobs from the seed, and we advance a
+    // phase that shifts them smoothly — consecutive frames stay coherent.
+    frame_options.time_phase = motion * static_cast<double>(t);
+    per_frame_.emplace_back(config, frame_options);
+  }
+}
+
+const SphericalLattice& TemporalSource::lattice() const {
+  return per_frame_.front().lattice();
+}
+
+ViewSet TemporalSource::build(const TemporalKey& key) {
+  if (key.frame >= frames_) throw std::out_of_range("TemporalSource: bad frame");
+  return per_frame_[key.frame].build(key.vs);
+}
+
+Bytes TemporalSource::build_compressed(const TemporalKey& key) {
+  return build(key).compress();
+}
+
+std::vector<TemporalKey> playback_prefetch_targets(const SphericalLattice& lattice,
+                                                   const TemporalKey& current,
+                                                   int quadrant,
+                                                   std::size_t total_frames,
+                                                   int lookahead) {
+  std::vector<TemporalKey> out;
+  // Angular anticipation within the current frame (figure 4).
+  for (const auto& target : lattice.prefetch_targets(current.vs, quadrant)) {
+    out.push_back(TemporalKey{current.frame, target});
+  }
+  // Temporal anticipation: the same window in upcoming frames.
+  for (int dt = 1; dt <= lookahead; ++dt) {
+    const std::size_t frame = current.frame + static_cast<std::size_t>(dt);
+    if (frame >= total_frames) break;
+    out.push_back(TemporalKey{frame, current.vs});
+  }
+  return out;
+}
+
+}  // namespace lon::lightfield

@@ -1,0 +1,64 @@
+// Time-varying light fields.
+//
+// The paper closes with: "We will continue to develop remote visualization
+// systems for flow fields and time-varying simulations as well." A
+// time-varying simulation yields one light-field database per timestep; the
+// unit of transfer becomes a (frame, view-set) pair and anticipation gains a
+// time axis: while the user watches frame t, the sets worth prefetching are
+// the angular neighbours at t *and* the same angular window at t+1, t+2, ...
+// (playback almost always advances monotonically).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lightfield/procedural.hpp"
+
+namespace lon::lightfield {
+
+/// Addresses one view set of one timestep.
+struct TemporalKey {
+  std::size_t frame = 0;
+  ViewSetId vs;
+
+  bool operator==(const TemporalKey&) const = default;
+
+  [[nodiscard]] std::string key() const {
+    return "t" + std::to_string(frame) + "/" + vs.key();
+  }
+};
+
+struct TemporalKeyHash {
+  std::size_t operator()(const TemporalKey& k) const {
+    return ViewSetIdHash{}(k.vs) ^ (k.frame * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+/// A procedurally animated dataset: the blob features drift along seeded
+/// velocities, so consecutive frames are strongly coherent (as consecutive
+/// timesteps of a simulation are) while distant frames differ.
+class TemporalSource {
+ public:
+  TemporalSource(const LatticeConfig& config, std::size_t frames,
+                 ProceduralOptions options = {}, double motion = 0.06);
+
+  [[nodiscard]] const SphericalLattice& lattice() const;
+  [[nodiscard]] std::size_t frames() const { return frames_; }
+
+  /// Builds the view set for one timestep (deterministic).
+  [[nodiscard]] ViewSet build(const TemporalKey& key);
+  [[nodiscard]] Bytes build_compressed(const TemporalKey& key);
+
+ private:
+  std::vector<ProceduralSource> per_frame_;
+  std::size_t frames_;
+};
+
+/// The playback prefetch policy: the angular quadrant targets of the current
+/// frame (paper figure 4) plus the current view set carried `lookahead`
+/// frames forward in time. Frames beyond the last are dropped (no wrap).
+[[nodiscard]] std::vector<TemporalKey> playback_prefetch_targets(
+    const SphericalLattice& lattice, const TemporalKey& current, int quadrant,
+    std::size_t total_frames, int lookahead = 2);
+
+}  // namespace lon::lightfield

@@ -1,0 +1,423 @@
+#include "lors/lors.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/log.hpp"
+
+namespace lon::lors {
+
+const char* to_string(LorsStatus status) {
+  switch (status) {
+    case LorsStatus::kOk:
+      return "ok";
+    case LorsStatus::kPartial:
+      return "partial";
+    case LorsStatus::kNoDepots:
+      return "no-depots";
+    case LorsStatus::kAllocFailed:
+      return "alloc-failed";
+    case LorsStatus::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+// --- upload ------------------------------------------------------------------
+
+namespace {
+
+struct UploadState {
+  sim::NodeId client = 0;
+  Bytes data;
+  UploadOptions options;
+  Lors::UploadCallback on_done;
+
+  std::size_t block_count = 0;
+  std::size_t next_block = 0;   // next block not yet launched
+  std::size_t outstanding = 0;  // launched but unfinished (block, replica) jobs
+  std::size_t failures = 0;
+  exnode::ExNode exnode;
+  ibp::Fabric* fabric = nullptr;
+  sim::Simulator* sim = nullptr;
+};
+
+void upload_launch(const std::shared_ptr<UploadState>& st);
+
+void upload_block_replica(const std::shared_ptr<UploadState>& st, std::size_t block,
+                          int replica) {
+  const auto& opts = st->options;
+  const std::uint64_t offset = block * opts.block_bytes;
+  const std::uint64_t length =
+      std::min<std::uint64_t>(opts.block_bytes, st->data.size() - offset);
+  // Replicas of one block land on distinct depots by rotating the stripe.
+  const std::size_t depot_index = (block + static_cast<std::size_t>(replica)) %
+                                  opts.depots.size();
+  const std::string& depot = opts.depots[depot_index];
+
+  ibp::AllocRequest alloc;
+  alloc.size = length;
+  alloc.lease = opts.lease;
+  alloc.type = opts.alloc_type;
+
+  st->fabric->allocate_async(
+      st->client, depot, alloc,
+      [st, block, offset, length](ibp::IbpStatus status, const ibp::CapabilitySet& caps) {
+        if (status != ibp::IbpStatus::kOk) {
+          LON_LOG(kDebug, "lors") << "upload allocate failed: " << ibp::to_string(status);
+          ++st->failures;
+          --st->outstanding;
+          upload_launch(st);
+          return;
+        }
+        Bytes chunk(st->data.begin() + static_cast<long>(offset),
+                    st->data.begin() + static_cast<long>(offset + length));
+        st->fabric->store_async(
+            st->client, caps.write, 0, std::move(chunk), st->options.net,
+            [st, block, offset, caps](ibp::IbpStatus store_status) {
+              if (store_status != ibp::IbpStatus::kOk) {
+                ++st->failures;
+              } else {
+                exnode::Replica rep;
+                rep.read = caps.read;
+                rep.manage = caps.manage;
+                rep.alloc_offset = 0;
+                st->exnode.add_replica(offset, std::move(rep));
+              }
+              --st->outstanding;
+              upload_launch(st);
+            });
+      });
+}
+
+void upload_launch(const std::shared_ptr<UploadState>& st) {
+  const auto& opts = st->options;
+  const std::size_t total_jobs = st->block_count * static_cast<std::size_t>(opts.replicas);
+  while (st->next_block < total_jobs &&
+         st->outstanding < static_cast<std::size_t>(opts.max_concurrent)) {
+    const std::size_t job = st->next_block++;
+    ++st->outstanding;
+    upload_block_replica(st, job / opts.replicas, static_cast<int>(job % opts.replicas));
+  }
+  if (st->outstanding == 0 && st->next_block >= total_jobs && st->on_done) {
+    UploadResult result;
+    result.exnode = std::move(st->exnode);
+    if (st->failures == 0 && result.exnode.complete()) {
+      result.status = LorsStatus::kOk;
+    } else if (result.exnode.complete()) {
+      // Every block has at least one replica even though some copies failed.
+      result.status = LorsStatus::kOk;
+    } else {
+      result.status = LorsStatus::kAllocFailed;
+    }
+    auto cb = std::move(st->on_done);
+    st->on_done = nullptr;
+    cb(result);
+  }
+}
+
+}  // namespace
+
+void Lors::upload_async(sim::NodeId client, Bytes data, const UploadOptions& options,
+                        UploadCallback on_done) {
+  if (options.depots.empty() ||
+      static_cast<std::size_t>(options.replicas) > options.depots.size() ||
+      options.replicas < 1 || options.block_bytes == 0 || data.empty()) {
+    sim_.after(0, [cb = std::move(on_done)] {
+      UploadResult r;
+      r.status = LorsStatus::kNoDepots;
+      cb(r);
+    });
+    return;
+  }
+  auto st = std::make_shared<UploadState>();
+  st->client = client;
+  st->data = std::move(data);
+  st->options = options;
+  st->on_done = std::move(on_done);
+  st->block_count = (st->data.size() + options.block_bytes - 1) / options.block_bytes;
+  st->exnode.set_length(st->data.size());
+  for (std::size_t b = 0; b < st->block_count; ++b) {
+    exnode::Extent extent;
+    extent.offset = b * options.block_bytes;
+    extent.length = std::min<std::uint64_t>(options.block_bytes,
+                                            st->data.size() - extent.offset);
+    st->exnode.add_extent(std::move(extent));
+  }
+  st->fabric = &fabric_;
+  st->sim = &sim_;
+  upload_launch(st);
+}
+
+// --- download ----------------------------------------------------------------
+
+namespace {
+
+struct DownloadState {
+  sim::NodeId client = 0;
+  exnode::ExNode node;
+  DownloadOptions options;
+  Lors::DownloadCallback on_done;
+
+  Bytes data;
+  std::size_t next_extent = 0;
+  std::size_t outstanding = 0;
+  std::size_t failed = 0;
+  std::size_t failovers = 0;
+  ibp::Fabric* fabric = nullptr;
+  sim::Network* net = nullptr;
+  sim::Simulator* sim = nullptr;
+};
+
+void download_launch(const std::shared_ptr<DownloadState>& st);
+
+/// Replica preference: exNode order is meaningful (staged replicas are
+/// placed first), but among equals the closest depot wins.
+std::vector<std::size_t> replica_order(const DownloadState& st, const exnode::Extent& extent) {
+  std::vector<std::size_t> order(extent.replicas.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto node_of = [&](std::size_t i) {
+      return st.fabric->depot_node(extent.replicas[i].read.depot);
+    };
+    SimDuration la = std::numeric_limits<SimDuration>::max();
+    SimDuration lb = la;
+    if (st.net->reachable(st.client, node_of(a))) la = st.net->path_latency(st.client, node_of(a));
+    if (st.net->reachable(st.client, node_of(b))) lb = st.net->path_latency(st.client, node_of(b));
+    return la < lb;
+  });
+  return order;
+}
+
+void download_extent_try(const std::shared_ptr<DownloadState>& st, std::size_t extent_index,
+                         std::shared_ptr<std::vector<std::size_t>> order, std::size_t attempt) {
+  const exnode::Extent& extent = st->node.extents()[extent_index];
+  if (attempt >= order->size()) {
+    ++st->failed;
+    --st->outstanding;
+    download_launch(st);
+    return;
+  }
+  if (attempt > 0) ++st->failovers;
+  const exnode::Replica& replica = extent.replicas[(*order)[attempt]];
+  st->fabric->load_async(
+      st->client, replica.read, replica.alloc_offset, extent.length, st->options.net,
+      [st, extent_index, order, attempt](ibp::IbpStatus status, Bytes bytes) {
+        const exnode::Extent& ext = st->node.extents()[extent_index];
+        if (status != ibp::IbpStatus::kOk) {
+          LON_LOG(kDebug, "lors") << "download replica failed (" << ibp::to_string(status)
+                                  << "), failing over";
+          download_extent_try(st, extent_index, order, attempt + 1);
+          return;
+        }
+        std::copy(bytes.begin(), bytes.end(),
+                  st->data.begin() + static_cast<long>(ext.offset));
+        --st->outstanding;
+        download_launch(st);
+      });
+}
+
+void download_launch(const std::shared_ptr<DownloadState>& st) {
+  const auto& extents = st->node.extents();
+  while (st->next_extent < extents.size() &&
+         st->outstanding < static_cast<std::size_t>(st->options.max_concurrent)) {
+    const std::size_t index = st->next_extent++;
+    ++st->outstanding;
+    auto order = std::make_shared<std::vector<std::size_t>>(
+        replica_order(*st, extents[index]));
+    download_extent_try(st, index, order, 0);
+  }
+  if (st->outstanding == 0 && st->next_extent >= extents.size() && st->on_done) {
+    DownloadResult result;
+    result.blocks_total = extents.size();
+    result.blocks_failed = st->failed;
+    result.replica_failovers = st->failovers;
+    result.status = st->failed == 0 ? LorsStatus::kOk : LorsStatus::kPartial;
+    result.data = std::move(st->data);
+    auto cb = std::move(st->on_done);
+    st->on_done = nullptr;
+    cb(std::move(result));
+  }
+}
+
+}  // namespace
+
+void Lors::download_async(sim::NodeId client, const exnode::ExNode& node,
+                          const DownloadOptions& options, DownloadCallback on_done) {
+  auto st = std::make_shared<DownloadState>();
+  st->client = client;
+  st->node = node;
+  st->options = options;
+  st->on_done = std::move(on_done);
+  st->data.assign(node.length(), 0);
+  st->fabric = &fabric_;
+  st->net = &net_;
+  st->sim = &sim_;
+  if (node.extents().empty()) {
+    sim_.after(0, [st] { download_launch(st); });
+    return;
+  }
+  download_launch(st);
+}
+
+// --- augment -----------------------------------------------------------------
+
+namespace {
+
+struct AugmentState {
+  sim::NodeId client = 0;
+  AugmentOptions options;
+  Lors::AugmentCallback on_done;
+
+  exnode::ExNode exnode;
+  std::size_t next_extent = 0;
+  std::size_t outstanding = 0;
+  std::size_t copied = 0;
+  std::size_t failed = 0;
+  ibp::Fabric* fabric = nullptr;
+  sim::Simulator* sim = nullptr;
+};
+
+void augment_launch(const std::shared_ptr<AugmentState>& st);
+
+void augment_extent(const std::shared_ptr<AugmentState>& st, std::size_t extent_index) {
+  const exnode::Extent& extent = st->exnode.extents()[extent_index];
+  if (extent.replicas.empty()) {
+    ++st->failed;
+    --st->outstanding;
+    augment_launch(st);
+    return;
+  }
+  const exnode::Replica& source = extent.replicas.front();
+
+  ibp::Fabric::CopyRequest req;
+  req.src_read = source.read;
+  req.dst_depot = st->options.target_depot;
+  req.src_offset = source.alloc_offset;
+  req.length = extent.length;
+  req.dst_alloc.size = extent.length;
+  req.dst_alloc.lease = st->options.lease;
+  req.dst_alloc.type = st->options.alloc_type;
+  req.net = st->options.net;
+
+  st->fabric->copy_async(
+      st->client, req,
+      [st, extent_index](ibp::IbpStatus status, const ibp::CapabilitySet& caps) {
+        if (status != ibp::IbpStatus::kOk) {
+          ++st->failed;
+        } else {
+          ++st->copied;
+          exnode::Replica rep;
+          rep.read = caps.read;
+          rep.manage = caps.manage;
+          rep.alloc_offset = 0;
+          st->exnode.add_replica(st->exnode.extents()[extent_index].offset, std::move(rep),
+                                 st->options.preferred);
+        }
+        --st->outstanding;
+        augment_launch(st);
+      });
+}
+
+void augment_launch(const std::shared_ptr<AugmentState>& st) {
+  const std::size_t total = st->exnode.extents().size();
+  while (st->next_extent < total &&
+         st->outstanding < static_cast<std::size_t>(st->options.max_concurrent)) {
+    const std::size_t index = st->next_extent++;
+    ++st->outstanding;
+    augment_extent(st, index);
+  }
+  if (st->outstanding == 0 && st->next_extent >= total && st->on_done) {
+    AugmentResult result;
+    result.extents_copied = st->copied;
+    result.extents_failed = st->failed;
+    result.status = st->failed == 0 ? LorsStatus::kOk : LorsStatus::kPartial;
+    result.exnode = std::move(st->exnode);
+    auto cb = std::move(st->on_done);
+    st->on_done = nullptr;
+    cb(result);
+  }
+}
+
+}  // namespace
+
+void Lors::augment_async(sim::NodeId client, const exnode::ExNode& node,
+                         const AugmentOptions& options, AugmentCallback on_done) {
+  if (options.target_depot.empty() || fabric_.find_depot(options.target_depot) == nullptr) {
+    sim_.after(0, [cb = std::move(on_done), node] {
+      AugmentResult r;
+      r.status = LorsStatus::kNoDepots;
+      r.exnode = node;
+      cb(r);
+    });
+    return;
+  }
+  auto st = std::make_shared<AugmentState>();
+  st->client = client;
+  st->options = options;
+  st->on_done = std::move(on_done);
+  st->exnode = node;
+  st->fabric = &fabric_;
+  st->sim = &sim_;
+  if (node.extents().empty()) {
+    sim_.after(0, [st] { augment_launch(st); });
+    return;
+  }
+  augment_launch(st);
+}
+
+// --- refresh -----------------------------------------------------------------
+
+namespace {
+
+struct RefreshState {
+  Lors::RefreshResult result;
+  std::size_t outstanding = 0;
+  bool launched_all = false;
+  Lors::RefreshCallback on_done;
+
+  void finish_one() {
+    --outstanding;
+    maybe_done();
+  }
+  void maybe_done() {
+    if (launched_all && outstanding == 0 && on_done) {
+      result.status =
+          result.failed == 0 ? LorsStatus::kOk : LorsStatus::kPartial;
+      auto cb = std::move(on_done);
+      on_done = nullptr;
+      cb(result);
+    }
+  }
+};
+
+}  // namespace
+
+void Lors::refresh_async(sim::NodeId client, const exnode::ExNode& node,
+                         SimDuration extra, RefreshCallback on_done) {
+  auto st = std::make_shared<RefreshState>();
+  st->on_done = std::move(on_done);
+  for (const auto& extent : node.extents()) {
+    for (const auto& replica : extent.replicas) {
+      if (!replica.manage.has_value()) {
+        ++st->result.failed;
+        continue;
+      }
+      ++st->outstanding;
+      fabric_.extend_async(client, *replica.manage, extra, [st](ibp::IbpStatus status) {
+        if (status == ibp::IbpStatus::kOk) {
+          ++st->result.extended;
+        } else {
+          ++st->result.failed;
+        }
+        st->finish_one();
+      });
+    }
+  }
+  st->launched_all = true;
+  if (st->outstanding == 0) {
+    sim_.after(0, [st] { st->maybe_done(); });
+  }
+}
+
+}  // namespace lon::lors

@@ -1,0 +1,131 @@
+// The Logistical Runtime System (LoRS).
+//
+// Higher-level data movement composed from primitive IBP operations — the
+// "higher-level tools and protocols with more abstract semantics running on
+// clients" of the exposed LoN architecture (paper section 2.2):
+//
+//  * upload: stripe an object across depots in fixed-size blocks, with a
+//    configurable replica count per block, producing an exNode;
+//  * download: reassemble an object from its exNode using a bounded pool of
+//    concurrent block fetches over parallel TCP streams (the multi-threaded
+//    wide-area download algorithms of Plank et al., CS-02-485), preferring
+//    the lowest-latency replica and failing over to others on error;
+//  * augment/stage: add a replica of every extent on a target depot via
+//    third-party copies, optionally making it the preferred replica — this
+//    is the mechanism behind aggressive prestaging to a LAN depot.
+//
+// All calls are asynchronous in virtual time: they return immediately and
+// invoke the callback when the composed operation completes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exnode/exnode.hpp"
+#include "ibp/service.hpp"
+#include "simnet/network.hpp"
+
+namespace lon::lors {
+
+/// Outcome of a composed LoRS operation.
+enum class LorsStatus {
+  kOk,
+  kPartial,      ///< some blocks failed on every replica
+  kNoDepots,     ///< no depot available for upload/augment
+  kAllocFailed,  ///< allocation refused and no alternative worked
+  kCancelled,
+};
+
+[[nodiscard]] const char* to_string(LorsStatus status);
+
+struct UploadOptions {
+  std::vector<std::string> depots;   ///< round-robin stripe targets (required)
+  std::uint64_t block_bytes = 512 * 1024;  ///< stripe unit
+  int replicas = 1;                  ///< copies of each block on distinct depots
+  SimDuration lease = 3600 * kSecond;
+  ibp::AllocType alloc_type = ibp::AllocType::kHard;
+  sim::TransferOptions net;          ///< per-block transfer options
+  int max_concurrent = 8;            ///< in-flight block uploads
+};
+
+struct DownloadOptions {
+  sim::TransferOptions net;          ///< per-block transfer options
+  int max_concurrent = 8;            ///< in-flight block downloads
+};
+
+struct AugmentOptions {
+  std::string target_depot;          ///< depot that receives the new replicas
+  bool preferred = false;            ///< place the new replica first
+  SimDuration lease = 3600 * kSecond;
+  ibp::AllocType alloc_type = ibp::AllocType::kSoft;  ///< staging is soft by default
+  sim::TransferOptions net;          ///< options for depot-to-depot flows
+  int max_concurrent = 4;
+};
+
+struct UploadResult {
+  LorsStatus status = LorsStatus::kOk;
+  exnode::ExNode exnode;
+};
+
+struct DownloadResult {
+  LorsStatus status = LorsStatus::kOk;
+  Bytes data;
+  std::size_t blocks_total = 0;
+  std::size_t blocks_failed = 0;
+  std::size_t replica_failovers = 0;  ///< fetches that had to try another replica
+};
+
+struct AugmentResult {
+  LorsStatus status = LorsStatus::kOk;
+  exnode::ExNode exnode;             ///< input exNode plus the new replicas
+  std::size_t extents_copied = 0;
+  std::size_t extents_failed = 0;
+};
+
+class Lors {
+ public:
+  Lors(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fabric)
+      : sim_(sim), net_(net), fabric_(fabric) {}
+
+  Lors(const Lors&) = delete;
+  Lors& operator=(const Lors&) = delete;
+
+  using UploadCallback = std::function<void(const UploadResult&)>;
+  /// Stripes `data` across options.depots from node `client`.
+  void upload_async(sim::NodeId client, Bytes data, const UploadOptions& options,
+                    UploadCallback on_done);
+
+  using DownloadCallback = std::function<void(DownloadResult)>;
+  /// Reassembles the exNode's object at node `client`.
+  void download_async(sim::NodeId client, const exnode::ExNode& node,
+                      const DownloadOptions& options, DownloadCallback on_done);
+
+  using AugmentCallback = std::function<void(const AugmentResult&)>;
+  /// Adds a replica of every extent onto options.target_depot via
+  /// third-party copies orchestrated from `client`.
+  void augment_async(sim::NodeId client, const exnode::ExNode& node,
+                     const AugmentOptions& options, AugmentCallback on_done);
+
+  struct RefreshResult {
+    LorsStatus status = LorsStatus::kOk;
+    std::size_t extended = 0;  ///< replicas whose lease was renewed
+    std::size_t failed = 0;    ///< replicas already gone or refused
+  };
+  using RefreshCallback = std::function<void(const RefreshResult&)>;
+  /// Renews the lease of every replica in the exNode to now + extra — the
+  /// maintenance an owner must perform because IBP leases are deliberately
+  /// time-limited. Uses each replica's manage capability (populated by
+  /// upload/augment); replicas without one count as failed.
+  void refresh_async(sim::NodeId client, const exnode::ExNode& node, SimDuration extra,
+                     RefreshCallback on_done);
+
+ private:
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  ibp::Fabric& fabric_;
+};
+
+}  // namespace lon::lors

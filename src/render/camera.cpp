@@ -1,0 +1,41 @@
+#include "render/camera.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lon::render {
+
+Camera Camera::look_at(const Vec3& eye, const Vec3& target, const Vec3& up,
+                       double fov_deg) {
+  Camera cam;
+  cam.eye_ = eye;
+  cam.forward_ = (target - eye).normalized();
+  if (cam.forward_.norm() == 0.0) {
+    throw std::invalid_argument("Camera::look_at: eye == target");
+  }
+  Vec3 right = cam.forward_.cross(up);
+  if (right.norm() < 1e-12) {
+    // Degenerate up: pick any perpendicular axis.
+    const Vec3 fallback =
+        std::abs(cam.forward_.z) < 0.9 ? Vec3{0, 0, 1} : Vec3{1, 0, 0};
+    right = cam.forward_.cross(fallback);
+  }
+  cam.right_ = right.normalized();
+  cam.up_ = cam.right_.cross(cam.forward_).normalized();
+  cam.tan_half_fov_ = std::tan(deg2rad(fov_deg) * 0.5);
+  return cam;
+}
+
+Ray Camera::pixel_ray(std::size_t x, std::size_t y, std::size_t width,
+                      std::size_t height) const {
+  const double aspect = static_cast<double>(width) / static_cast<double>(height);
+  const double u =
+      (2.0 * (static_cast<double>(x) + 0.5) / static_cast<double>(width) - 1.0) * aspect *
+      tan_half_fov_;
+  const double v =
+      (1.0 - 2.0 * (static_cast<double>(y) + 0.5) / static_cast<double>(height)) *
+      tan_half_fov_;
+  return Ray{eye_, (forward_ + right_ * u + up_ * v).normalized()};
+}
+
+}  // namespace lon::render

@@ -1,0 +1,42 @@
+// Pinhole camera with look-at construction.
+#pragma once
+
+#include <cstddef>
+
+#include "util/vec3.hpp"
+
+namespace lon::render {
+
+struct Ray {
+  Vec3 origin;
+  Vec3 direction;  ///< unit length
+
+  [[nodiscard]] Vec3 at(double t) const { return origin + direction * t; }
+};
+
+class Camera {
+ public:
+  Camera() = default;
+
+  /// Builds a camera at `eye` looking at `target`, with vertical field of
+  /// view `fov_deg` and pixel aspect from width/height at ray time.
+  static Camera look_at(const Vec3& eye, const Vec3& target, const Vec3& up,
+                        double fov_deg);
+
+  /// Primary ray through pixel (x, y) of a width x height image (pixel
+  /// centers; y grows downward).
+  [[nodiscard]] Ray pixel_ray(std::size_t x, std::size_t y, std::size_t width,
+                              std::size_t height) const;
+
+  [[nodiscard]] const Vec3& eye() const { return eye_; }
+  [[nodiscard]] const Vec3& forward() const { return forward_; }
+
+ private:
+  Vec3 eye_{0, 0, 5};
+  Vec3 forward_{0, 0, -1};
+  Vec3 right_{1, 0, 0};
+  Vec3 up_{0, 1, 0};
+  double tan_half_fov_ = 0.41421356;  // fov 45 deg
+};
+
+}  // namespace lon::render

@@ -1,0 +1,29 @@
+#include "render/image.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace lon::render {
+
+double ImageRGB8::mean_abs_diff(const ImageRGB8& other) const {
+  if (width_ != other.width_ || height_ != other.height_) {
+    throw std::invalid_argument("mean_abs_diff: size mismatch");
+  }
+  if (pixels_.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pixels_.size(); ++i) {
+    sum += std::abs(static_cast<int>(pixels_[i]) - static_cast<int>(other.pixels_[i]));
+  }
+  return sum / static_cast<double>(pixels_.size());
+}
+
+void ImageRGB8::write_ppm(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) throw std::runtime_error("write_ppm: cannot open " + path);
+  std::fprintf(file, "P6\n%zu %zu\n255\n", width_, height_);
+  std::fwrite(pixels_.data(), 1, pixels_.size(), file);
+  std::fclose(file);
+}
+
+}  // namespace lon::render

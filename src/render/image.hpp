@@ -1,0 +1,62 @@
+// 8-bit RGB images — the pixel format of sample views and of the client
+// display.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace lon::render {
+
+struct Rgb8 {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+
+  bool operator==(const Rgb8&) const = default;
+};
+
+class ImageRGB8 {
+ public:
+  ImageRGB8() = default;
+  ImageRGB8(std::size_t width, std::size_t height)
+      : width_(width), height_(height), pixels_(width * height * 3, 0) {}
+
+  [[nodiscard]] std::size_t width() const { return width_; }
+  [[nodiscard]] std::size_t height() const { return height_; }
+  [[nodiscard]] std::size_t byte_size() const { return pixels_.size(); }
+
+  [[nodiscard]] Rgb8 at(std::size_t x, std::size_t y) const {
+    const std::size_t base = (y * width_ + x) * 3;
+    return {pixels_[base], pixels_[base + 1], pixels_[base + 2]};
+  }
+
+  void set(std::size_t x, std::size_t y, Rgb8 color) {
+    const std::size_t base = (y * width_ + x) * 3;
+    pixels_[base] = color.r;
+    pixels_[base + 1] = color.g;
+    pixels_[base + 2] = color.b;
+  }
+
+  [[nodiscard]] const Bytes& bytes() const { return pixels_; }
+  [[nodiscard]] Bytes& bytes() { return pixels_; }
+
+  /// Mean absolute per-channel difference against another image of the same
+  /// size (a simple image-space error metric).
+  [[nodiscard]] double mean_abs_diff(const ImageRGB8& other) const;
+
+  /// Writes a binary PPM (P6) file — handy for eyeballing example output.
+  void write_ppm(const std::string& path) const;
+
+  bool operator==(const ImageRGB8&) const = default;
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  Bytes pixels_;
+};
+
+}  // namespace lon::render

@@ -1,0 +1,71 @@
+#include "session/cursor.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace lon::session {
+
+std::size_t CursorScript::expected_accesses(
+    const lightfield::SphericalLattice& lattice) const {
+  if (steps_.empty()) return 0;
+  std::size_t accesses = 1;
+  lightfield::ViewSetId current = lattice.view_set_of(steps_.front().direction);
+  for (const CursorStep& step : steps_) {
+    const lightfield::ViewSetId id = lattice.view_set_of(step.direction);
+    if (!(id == current)) {
+      ++accesses;
+      current = id;
+    }
+  }
+  return accesses;
+}
+
+CursorScript CursorScript::standard(const lightfield::SphericalLattice& lattice,
+                                    SimDuration dwell, std::size_t accesses,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CursorStep> steps;
+
+  // Start in the middle latitude band, column 0 — mirrors a user who begins
+  // looking at the dataset's "front".
+  lightfield::ViewSetId current{static_cast<int>(lattice.view_set_rows() / 2), 0};
+  std::size_t generated = 1;
+
+  // Sweep inside the current view set for a couple of steps (local browsing
+  // that costs nothing), then hop to a neighbour; occasionally step back to
+  // the previous set, producing the revisits that make agent-cache hits.
+  lightfield::ViewSetId previous = current;
+  auto emit_inside = [&](const lightfield::ViewSetId& id, int count) {
+    const Spherical center = lattice.view_set_center(id);
+    const double half_window =
+        lattice.config().view_set_span * deg2rad(lattice.config().angular_step_deg) * 0.35;
+    for (int i = 0; i < count; ++i) {
+      Spherical dir{
+          std::clamp(center.theta + rng.uniform(-half_window, half_window), 0.05,
+                     kPi - 0.05),
+          center.phi + rng.uniform(-half_window, half_window),
+      };
+      if (dir.phi < 0) dir.phi += 2 * kPi;
+      steps.push_back(CursorStep{dir, dwell});
+    }
+  };
+
+  emit_inside(current, 2);
+  while (generated < accesses) {
+    lightfield::ViewSetId next;
+    if (generated >= 2 && rng.below(5) == 0 && !(previous == current)) {
+      next = previous;  // backtrack: ~20% of transitions revisit
+    } else {
+      const auto neighbors = lattice.neighbors(current);
+      next = neighbors[rng.below(neighbors.size())];
+    }
+    previous = current;
+    current = next;
+    ++generated;
+    emit_inside(current, 1 + static_cast<int>(rng.below(3)));
+  }
+  return CursorScript(std::move(steps));
+}
+
+}  // namespace lon::session

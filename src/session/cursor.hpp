@@ -1,0 +1,54 @@
+// Orchestrated cursor movement.
+//
+// "Our tests in all three cases ... are run with the same sequence of user
+// input, i.e. movement of cursor. We enforce this by using a standard list
+// of cursor movements to orchestrate each test. ... cursor movements by the
+// user generate a sequence of 58 view set requests."
+//
+// A CursorScript is an explicit, reproducible version of that standard list:
+// a sequence of view directions with dwell times. The standard script is a
+// seeded walk across neighbouring view sets (with occasional revisits, which
+// exercise the agent cache) tuned to produce exactly 58 view-set requests
+// from a client that keeps only its current view set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lightfield/lattice.hpp"
+#include "util/time.hpp"
+
+namespace lon::session {
+
+struct CursorStep {
+  Spherical direction;   ///< where the user looks
+  SimDuration dwell = 0; ///< time spent at this view before the next step
+};
+
+class CursorScript {
+ public:
+  CursorScript() = default;
+  explicit CursorScript(std::vector<CursorStep> steps) : steps_(std::move(steps)) {}
+
+  [[nodiscard]] const std::vector<CursorStep>& steps() const { return steps_; }
+  [[nodiscard]] std::size_t size() const { return steps_.size(); }
+
+  /// Number of view-set requests this script generates for a client that
+  /// holds only its current view set (transitions between view sets + 1).
+  [[nodiscard]] std::size_t expected_accesses(
+      const lightfield::SphericalLattice& lattice) const;
+
+  /// The standard orchestrated walk: starts near the equator and wanders
+  /// across neighbouring view sets, revisiting some, until it has generated
+  /// exactly `accesses` view-set requests (58 in the paper). `dwell` is the
+  /// time between steps — the user's movement rate, i.e. the knob behind the
+  /// Quality Guaranteed Rate discussion. Deterministic per seed.
+  static CursorScript standard(const lightfield::SphericalLattice& lattice,
+                               SimDuration dwell, std::size_t accesses = 58,
+                               std::uint64_t seed = 2003);
+
+ private:
+  std::vector<CursorStep> steps_;
+};
+
+}  // namespace lon::session

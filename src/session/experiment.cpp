@@ -1,0 +1,179 @@
+#include "session/experiment.hpp"
+
+#include <memory>
+#include <set>
+#include <stdexcept>
+
+#include "ibp/service.hpp"
+#include "lbone/lbone.hpp"
+#include "lightfield/procedural.hpp"
+#include "lors/lors.hpp"
+#include "session/publisher.hpp"
+#include "streaming/dvs.hpp"
+#include "util/log.hpp"
+
+namespace lon::session {
+
+const char* to_string(Case c) {
+  switch (c) {
+    case Case::kLanData:
+      return "case1-data-in-lan";
+    case Case::kWanStreaming:
+      return "case2-data-in-wan";
+    case Case::kWanWithLanDepot:
+      return "case3-with-lan-depot";
+  }
+  return "?";
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  // --- System assembly -------------------------------------------------------
+  sim::Simulator sim;
+  sim::Network net(sim, config.net_seed);
+  ibp::Fabric fabric(sim, net);
+  lors::Lors lors(sim, net, fabric);
+
+  // LAN: client, client agent and the LAN depots hang off one switch.
+  const sim::NodeId lan_switch = net.add_node("lan-switch");
+  const sim::NodeId client_node = net.add_node("client");
+  const sim::NodeId agent_node = net.add_node("client-agent");
+  const sim::LinkConfig lan_link{config.lan_bandwidth_bps, config.lan_latency, 0.0};
+  net.add_link(client_node, lan_switch, lan_link);
+  net.add_link(agent_node, lan_switch, lan_link);
+
+  std::vector<std::string> lan_depots;
+  for (int i = 0; i < config.lan_depot_count; ++i) {
+    const std::string name = "lan-" + std::to_string(i);
+    const sim::NodeId node = net.add_node(name + "-node");
+    net.add_link(node, lan_switch, lan_link);
+    ibp::DepotConfig depot;
+    depot.capacity_bytes = 16ull << 30;
+    depot.max_alloc_bytes = 1ull << 30;
+    depot.disk_bytes_per_sec = config.depot_disk_bps;
+    depot.rng_seed = 0x1a00 + static_cast<std::uint64_t>(i);
+    fabric.add_depot(node, name, depot);
+    lan_depots.push_back(name);
+  }
+
+  // WAN: a shared trunk to the "California" side; server depots, the DVS
+  // server and the (publishing) server node live behind it.
+  const sim::NodeId wan_router = net.add_node("wan-router");
+  net.add_link(lan_switch, wan_router,
+               {config.wan_bandwidth_bps, config.wan_latency, config.wan_jitter});
+  const sim::LinkConfig far_lan{1e9, kMillisecond, 0.0};
+
+  std::vector<std::string> wan_depots;
+  for (int i = 0; i < config.wan_depot_count; ++i) {
+    const std::string name = "ca-" + std::to_string(i);
+    const sim::NodeId node = net.add_node(name + "-node");
+    net.add_link(node, wan_router, far_lan);
+    ibp::DepotConfig depot;
+    depot.capacity_bytes = 64ull << 30;
+    depot.max_alloc_bytes = 1ull << 30;
+    depot.disk_bytes_per_sec = config.depot_disk_bps;
+    depot.rng_seed = 0xca00 + static_cast<std::uint64_t>(i);
+    fabric.add_depot(node, name, depot);
+    wan_depots.push_back(name);
+  }
+  const sim::NodeId dvs_node = net.add_node("dvs-server");
+  net.add_link(dvs_node, wan_router, far_lan);
+  const sim::NodeId server_node = net.add_node("server");
+  net.add_link(server_node, wan_router, far_lan);
+
+  lbone::Directory lbone(net, fabric);
+  for (const auto& name : lan_depots) lbone.register_depot(name);
+  for (const auto& name : wan_depots) lbone.register_depot(name);
+
+  // --- Light field database ---------------------------------------------------
+  lightfield::ProceduralSource source(config.lattice);
+  const lightfield::SphericalLattice& lattice = source.lattice();
+  streaming::DvsServer dvs(sim, net, dvs_node, lattice);
+
+  const CursorScript script =
+      CursorScript::standard(lattice, config.dwell, config.accesses, config.seed);
+
+  PublishOptions publish;
+  publish.depots =
+      (config.which == Case::kLanData) ? lan_depots : wan_depots;
+  publish.net.streams = 8;
+  publish.all_filler = config.all_filler;
+  if (!config.full_content && !config.all_filler) {
+    // Real pixels only where the client will decompress them: every view set
+    // the script visits.
+    std::set<std::pair<int, int>> visited;
+    for (const CursorStep& step : script.steps()) {
+      const auto id = lattice.view_set_of(step.direction);
+      visited.insert({id.row, id.col});
+    }
+    for (const auto& [row, col] : visited) {
+      publish.real_ids.push_back({row, col});
+    }
+  }
+  const PublishResult published =
+      publish_database(sim, lors, dvs, source, server_node, publish);
+  if (published.failed > 0) {
+    throw std::runtime_error("run_experiment: database publication failed");
+  }
+
+  // --- Client agent and client -------------------------------------------------
+  streaming::ClientAgentConfig agent_config;
+  agent_config.cache_bytes = config.agent_cache_bytes;
+  agent_config.prefetch = config.prefetch;
+  agent_config.staging = (config.which == Case::kWanWithLanDepot);
+  agent_config.lan_depots = lan_depots;
+  agent_config.staging_concurrency = config.staging_concurrency;
+  agent_config.staging_order = config.staging_order;
+  agent_config.pause_staging_on_miss = config.pause_staging_on_miss;
+  agent_config.wan_net.streams = config.wan_streams;
+  streaming::ClientAgent agent(sim, net, fabric, lors, dvs, lattice, agent_node,
+                               agent_config);
+
+  streaming::Client client(sim, net, config.lattice, client_node, agent, config.client);
+
+  // --- Orchestrated run ----------------------------------------------------------
+  // "As soon as visualization of a dataset begins, aggressive prestaging to
+  // the LAN depot is initiated."
+  const SimTime script_start = sim.now();
+  agent.start_staging();
+
+  bool done = false;
+  std::size_t step_index = 0;
+  // Each step waits until its view is renderable, then dwells before moving:
+  // the orchestrated operator moves at a controlled rate but never abandons
+  // a pending view (which keeps the access count at exactly `accesses`).
+  std::function<void()> advance = [&] {
+    if (step_index >= script.size()) {
+      done = true;
+      return;
+    }
+    const CursorStep step = script.steps()[step_index++];
+    client.set_view(step.direction, [&, step](bool ok) {
+      if (!ok) {
+        LON_LOG(kWarn, "experiment") << "view request failed; continuing";
+      }
+      sim.after(step.dwell, advance);
+    });
+  };
+  advance();
+  while (!done && sim.step()) {
+  }
+  const SimTime script_end = sim.now();
+
+  // --- Results ---------------------------------------------------------------------
+  ExperimentResult result;
+  result.accesses = client.accesses();
+  result.summary = summarize(result.accesses);
+  result.agent_stats = agent.stats();
+  result.staged_at_end = agent.stats().staged;
+  result.staging_complete = agent.staging_complete();
+  result.script_duration = script_end - script_start;
+  result.db_compressed_bytes = static_cast<double>(published.compressed_bytes);
+  result.db_uncompressed_bytes = static_cast<double>(published.uncompressed_bytes);
+  result.compression_ratio =
+      result.db_compressed_bytes > 0
+          ? result.db_uncompressed_bytes / result.db_compressed_bytes
+          : 0.0;
+  return result;
+}
+
+}  // namespace lon::session

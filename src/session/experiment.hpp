@@ -1,0 +1,98 @@
+// End-to-end remote-visualization experiments — paper section 4.2/4.3.
+//
+// "We ran tests for three cases as follows:
+//   1. LFD stored in LAN, driven by client agent pre-fetch.
+//   2. LFD stored remotely in California and streamed by pre-fetching
+//      initiated by client agent.
+//   3. LFD stored remotely in California, aggressively pre-staged on a local
+//      depot in LAN and pre-fetched by client agent from the LAN depot."
+//
+// Topology (the paper's actual configuration, section 4.3): the view sets
+// are striped across three depots in "California" behind a shared 100 Mb/s
+// WAN trunk (~35 ms one way), and — in case 3 — prestaged across four depots
+// attached to the client agent by a 1 Gb/s LAN. Client and client agent are
+// distinct machines on that LAN. In all three cases the same quadrant
+// prefetch policy runs on the client agent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lightfield/lattice.hpp"
+#include "session/cursor.hpp"
+#include "session/metrics.hpp"
+#include "streaming/client.hpp"
+#include "streaming/client_agent.hpp"
+#include "streaming/types.hpp"
+
+namespace lon::session {
+
+enum class Case {
+  kLanData = 1,         ///< case 1: database already on the LAN depots
+  kWanStreaming = 2,    ///< case 2: WAN + prefetch only
+  kWanWithLanDepot = 3, ///< case 3: WAN + aggressive LAN-depot prestaging
+};
+
+[[nodiscard]] const char* to_string(Case c);
+
+struct ExperimentConfig {
+  lightfield::LatticeConfig lattice = lightfield::LatticeConfig::paper(200);
+  Case which = Case::kWanWithLanDepot;
+
+  // Workload.
+  SimDuration dwell = 2 * kSecond;   ///< user pause between movements
+  std::size_t accesses = 58;         ///< view-set requests the script generates
+  std::uint64_t seed = 2003;
+
+  // Content policy: true renders every view set (slow); false renders only
+  // the view sets the script touches and publishes size-matched filler for
+  // the rest.
+  bool full_content = false;
+  // Publish filler for everything and skip client-side decoding entirely —
+  // for communication-latency-only studies (set client.decode = false too).
+  bool all_filler = false;
+
+  // Client behaviour.
+  streaming::ClientConfig client;
+
+  // Agent behaviour (case-independent knobs; staging/prefetch are set by the
+  // case but can be overridden for ablations).
+  std::uint64_t agent_cache_bytes = 512ull << 20;
+  bool prefetch = true;
+  int staging_concurrency = 4;
+  streaming::ClientAgentConfig::StagingOrder staging_order =
+      streaming::ClientAgentConfig::StagingOrder::kProximity;
+  bool pause_staging_on_miss = false;
+  int wan_streams = 4;
+
+  // Topology.
+  double wan_bandwidth_bps = 100e6;
+  SimDuration wan_latency = 35 * kMillisecond;
+  double wan_jitter = 0.05;
+  double lan_bandwidth_bps = 1e9;
+  SimDuration lan_latency = 50 * kMicrosecond;
+  int wan_depot_count = 3;   ///< "striped across three depots in California"
+  int lan_depot_count = 4;   ///< "striped across four depots ... by a 1Gb/s LAN"
+  double depot_disk_bps = 80e6;
+  std::uint64_t net_seed = 7;  ///< 0 disables jitter entirely
+};
+
+struct ExperimentResult {
+  std::vector<streaming::AccessRecord> accesses;
+  AccessSummary summary;
+  streaming::ClientAgent::Stats agent_stats;
+  std::size_t staged_at_end = 0;       ///< view sets prestaged when the run ended
+  bool staging_complete = false;
+  SimTime script_duration = 0;         ///< virtual time from first to last access
+  double db_compressed_bytes = 0;      ///< published database size
+  double db_uncompressed_bytes = 0;
+  double compression_ratio = 0;
+};
+
+/// Builds the full system for one case, publishes the database, replays the
+/// orchestrated cursor script (each movement waits for the view it needs,
+/// then dwells), and returns the access trace.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace lon::session

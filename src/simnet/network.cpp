@@ -1,0 +1,363 @@
+#include "simnet/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace lon::sim {
+
+namespace {
+
+constexpr LinkId kNoLink = std::numeric_limits<LinkId>::max();
+constexpr SimDuration kUnreachable = std::numeric_limits<SimDuration>::max();
+constexpr double kRateEps = 1e-9;
+constexpr double kBytesEps = 1e-6;
+
+// Node-local transfers (src == dst) model a memory/loopback copy.
+constexpr double kLocalBytesPerSec = 12.5e9;           // ~100 Gb/s
+constexpr SimDuration kLocalOverhead = 20 * kMicrosecond;
+
+}  // namespace
+
+Network::Network(Simulator& sim, std::uint64_t jitter_seed)
+    : sim_(sim), jitter_rng_(jitter_seed ? jitter_seed : 1), jitter_enabled_(jitter_seed != 0) {}
+
+NodeId Network::add_node(std::string name) {
+  nodes_.push_back(std::move(name));
+  adjacency_.emplace_back();
+  routes_dirty_ = true;
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+const std::string& Network::node_name(NodeId id) const { return nodes_.at(id); }
+
+LinkId Network::add_link(NodeId a, NodeId b, const LinkConfig& config) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    throw std::out_of_range("Network::add_link: unknown node");
+  }
+  if (a == b) throw std::invalid_argument("Network::add_link: self-loop");
+  if (config.bandwidth_bps <= 0.0) {
+    throw std::invalid_argument("Network::add_link: non-positive bandwidth");
+  }
+  if (config.latency < 0) {
+    throw std::invalid_argument("Network::add_link: negative latency");
+  }
+  Link link;
+  link.a = a;
+  link.b = b;
+  link.config = config;
+  links_.push_back(link);
+  const auto id = static_cast<LinkId>(links_.size() - 1);
+  adjacency_[a].emplace_back(b, id);
+  adjacency_[b].emplace_back(a, id);
+  routes_dirty_ = true;
+  return id;
+}
+
+void Network::recompute_routes() {
+  const std::size_t n = nodes_.size();
+  next_hop_.assign(n, std::vector<LinkId>(n, kNoLink));
+  latency_table_.assign(n, std::vector<SimDuration>(n, kUnreachable));
+
+  // Dijkstra from every source over propagation latency.
+  for (NodeId src = 0; src < n; ++src) {
+    std::vector<SimDuration> dist(n, kUnreachable);
+    std::vector<LinkId> first_link(n, kNoLink);
+    using Item = std::pair<SimDuration, NodeId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    dist[src] = 0;
+    pq.emplace(0, src);
+    while (!pq.empty()) {
+      auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[u]) continue;
+      for (auto [v, link] : adjacency_[u]) {
+        const SimDuration nd = d + links_[link].config.latency;
+        if (nd < dist[v]) {
+          dist[v] = nd;
+          first_link[v] = (u == src) ? link : first_link[u];
+          pq.emplace(nd, v);
+        }
+      }
+    }
+    for (NodeId dst = 0; dst < n; ++dst) {
+      latency_table_[src][dst] = dist[dst];
+      next_hop_[src][dst] = first_link[dst];
+    }
+    // next_hop_[src][dst] holds the first link out of src toward dst; rebuild
+    // hop-by-hop next hops by walking predecessors is unnecessary because we
+    // recompute the full path from each intermediate node's own table.
+  }
+  routes_dirty_ = false;
+}
+
+SimDuration Network::path_latency(NodeId a, NodeId b) const {
+  if (routes_dirty_) const_cast<Network*>(this)->recompute_routes();
+  if (a == b) return 0;
+  const SimDuration d = latency_table_.at(a).at(b);
+  if (d == kUnreachable) throw std::runtime_error("Network: nodes not connected");
+  return d;
+}
+
+SimDuration Network::rtt(NodeId a, NodeId b) const { return 2 * path_latency(a, b); }
+
+bool Network::reachable(NodeId a, NodeId b) const {
+  if (routes_dirty_) const_cast<Network*>(this)->recompute_routes();
+  if (a >= nodes_.size() || b >= nodes_.size()) return false;
+  return a == b || latency_table_[a][b] != kUnreachable;
+}
+
+std::vector<Network::DirLink> Network::route(NodeId src, NodeId dst) const {
+  std::vector<DirLink> path;
+  NodeId cur = src;
+  while (cur != dst) {
+    const LinkId link = next_hop_[cur][dst];
+    if (link == kNoLink) throw std::runtime_error("Network: nodes not connected");
+    const bool forward = links_[link].a == cur;
+    path.push_back(dir_link(link, forward));
+    cur = forward ? links_[link].b : links_[link].a;
+  }
+  return path;
+}
+
+FlowId Network::start_transfer(NodeId src, NodeId dst, std::uint64_t bytes,
+                               const TransferOptions& options, TransferCallback on_done) {
+  if (src >= nodes_.size() || dst >= nodes_.size()) {
+    throw std::out_of_range("Network::start_transfer: unknown node");
+  }
+  if (options.weight <= 0.0 || options.streams < 1 || options.window_bytes == 0) {
+    throw std::invalid_argument("Network::start_transfer: bad options");
+  }
+  if (routes_dirty_) recompute_routes();
+
+  const FlowId id = next_flow_id_++;
+  const SimTime started = sim_.now();
+
+  // Node-local copies bypass the flow machinery entirely.
+  if (src == dst) {
+    const auto copy_time =
+        static_cast<SimDuration>(static_cast<double>(bytes) / kLocalBytesPerSec * 1e9);
+    sim_.after(kLocalOverhead + copy_time, [id, started, bytes, cb = std::move(on_done),
+                                            this] {
+      cb(TransferResult{id, started, sim_.now(), bytes, false});
+    });
+    return id;
+  }
+
+  const SimDuration nominal_latency = path_latency(src, dst);
+  const SimDuration round_trip = 2 * nominal_latency;
+
+  // Per-flow TCP throughput ceiling: streams * window / RTT.
+  double cap = std::numeric_limits<double>::infinity();
+  if (round_trip > 0) {
+    cap = static_cast<double>(options.streams) *
+          static_cast<double>(options.window_bytes) / to_seconds(round_trip);
+  }
+
+  // Latency jitter is sampled once per flow (per-path) from the seeded RNG.
+  SimDuration delivery = nominal_latency;
+  if (jitter_enabled_) {
+    double factor = 1.0;
+    for (const DirLink dl : route(src, dst)) {
+      const Link& link = links_[dl / 2];
+      if (link.config.jitter_frac > 0.0) {
+        factor += link.config.jitter_frac * std::abs(jitter_rng_.normal());
+      }
+    }
+    delivery = static_cast<SimDuration>(static_cast<double>(nominal_latency) * factor);
+  }
+
+  Flow flow;
+  flow.id = id;
+  flow.path = route(src, dst);
+  flow.remaining = static_cast<double>(bytes);
+  flow.bytes = bytes;
+  flow.weight = options.weight;
+  flow.rate_cap = cap;
+  flow.started = started;
+  flow.delivery_latency = delivery;
+  flow.on_done = std::move(on_done);
+
+  for (const DirLink dl : flow.path) {
+    Link& link = links_[dl / 2];
+    LinkStats& stats = (dl % 2 == 0) ? link.stats_fwd : link.stats_rev;
+    stats.bytes_carried += bytes;
+    stats.flows_carried += 1;
+  }
+
+  const SimDuration setup = options.handshake ? round_trip : 0;
+  if (bytes == 0) {
+    sim_.after(setup + delivery, [id, started, cb = std::move(flow.on_done), this] {
+      cb(TransferResult{id, started, sim_.now(), 0, false});
+    });
+    return id;
+  }
+
+  // Admit the flow into the fair-share machinery after connection setup.
+  sim_.after(setup, [this, id, flow = std::move(flow)]() mutable {
+    flow.last_update = sim_.now();
+    flows_.emplace(id, std::move(flow));
+    reallocate();
+  });
+  return id;
+}
+
+bool Network::cancel(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  TransferResult result{id, it->second.started, sim_.now(), it->second.bytes, true};
+  auto cb = std::move(it->second.on_done);
+  flows_.erase(it);
+  reallocate();
+  if (cb) cb(result);
+  return true;
+}
+
+double Network::flow_rate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+const LinkStats& Network::link_stats(LinkId link, bool forward) const {
+  const Link& l = links_.at(link);
+  return forward ? l.stats_fwd : l.stats_rev;
+}
+
+void Network::reallocate() {
+  const SimTime now = sim_.now();
+
+  // 1. Integrate progress since the last rate change.
+  for (auto& [id, flow] : flows_) {
+    const double dt = to_seconds(now - flow.last_update);
+    flow.remaining = std::max(0.0, flow.remaining - flow.rate * dt);
+    flow.last_update = now;
+  }
+
+  // 2. Weighted max-min fair allocation with per-flow caps: repeatedly fix
+  //    either cap-limited flows or the flows crossing the tightest link.
+  std::unordered_map<DirLink, double> residual;  // bytes/second
+  std::unordered_map<DirLink, std::vector<Flow*>> link_flows;
+  std::vector<Flow*> unassigned;
+  for (auto& [id, flow] : flows_) {
+    unassigned.push_back(&flow);
+    for (const DirLink dl : flow.path) {
+      if (!residual.contains(dl)) {
+        residual[dl] = links_[dl / 2].config.bandwidth_bps / 8.0;
+      }
+      link_flows[dl].push_back(&flow);
+    }
+  }
+  std::unordered_map<FlowId, bool> assigned;
+
+  while (!unassigned.empty()) {
+    // Tightest link share.
+    double best_share = std::numeric_limits<double>::infinity();
+    DirLink best_link = 0;
+    bool have_link = false;
+    for (const auto& [dl, flows_on_link] : link_flows) {
+      double weight_sum = 0.0;
+      for (const Flow* f : flows_on_link) {
+        if (!assigned[f->id]) weight_sum += f->weight;
+      }
+      if (weight_sum <= 0.0) continue;
+      const double share = residual[dl] / weight_sum;
+      if (share < best_share) {
+        best_share = share;
+        best_link = dl;
+        have_link = true;
+      }
+    }
+    // Tightest cap among unassigned flows (normalized by weight).
+    double best_cap = std::numeric_limits<double>::infinity();
+    for (const Flow* f : unassigned) {
+      best_cap = std::min(best_cap, f->rate_cap / f->weight);
+    }
+
+    if (!have_link && !std::isfinite(best_cap)) {
+      // No constraining links and no caps (cannot happen for inter-node
+      // flows, which always traverse a link); give everything a huge rate.
+      for (Flow* f : unassigned) f->rate = kLocalBytesPerSec;
+      break;
+    }
+
+    if (best_cap <= best_share + kRateEps) {
+      // Fix every flow whose cap binds at this level.
+      std::vector<Flow*> still;
+      for (Flow* f : unassigned) {
+        if (f->rate_cap / f->weight <= best_cap + kRateEps) {
+          f->rate = f->rate_cap;
+          assigned[f->id] = true;
+          for (const DirLink dl : f->path) {
+            residual[dl] = std::max(0.0, residual[dl] - f->rate);
+          }
+        } else {
+          still.push_back(f);
+        }
+      }
+      unassigned = std::move(still);
+    } else {
+      // Fix flows crossing the bottleneck link at their fair share.
+      std::vector<Flow*> still;
+      const auto& bottleneck_flows = link_flows[best_link];
+      for (Flow* f : unassigned) {
+        const bool on_link =
+            std::find(bottleneck_flows.begin(), bottleneck_flows.end(), f) !=
+            bottleneck_flows.end();
+        if (on_link) {
+          f->rate = f->weight * best_share;
+          assigned[f->id] = true;
+          for (const DirLink dl : f->path) {
+            residual[dl] = std::max(0.0, residual[dl] - f->rate);
+          }
+        } else {
+          still.push_back(f);
+        }
+      }
+      unassigned = std::move(still);
+    }
+  }
+
+  // 3. Schedule fresh completion events under the new rates.
+  for (auto& [id, flow] : flows_) {
+    flow.epoch += 1;
+    if (flow.remaining <= kBytesEps) {
+      // Finished exactly at a reallocation boundary.
+      const FlowId fid = id;
+      sim_.after(0, [this, fid, epoch = flow.epoch] {
+        auto it = flows_.find(fid);
+        if (it != flows_.end() && it->second.epoch == epoch) complete_flow(fid);
+      });
+      continue;
+    }
+    if (flow.rate <= kRateEps) continue;  // starved; will be rescheduled later
+    const double secs = flow.remaining / flow.rate;
+    const auto delay = static_cast<SimDuration>(secs * 1e9) + 1;
+    const FlowId fid = id;
+    sim_.after(delay, [this, fid, epoch = flow.epoch] {
+      auto it = flows_.find(fid);
+      if (it != flows_.end() && it->second.epoch == epoch) complete_flow(fid);
+    });
+  }
+}
+
+void Network::complete_flow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  Flow flow = std::move(it->second);
+  flows_.erase(it);
+
+  TransferResult result;
+  result.id = id;
+  result.started = flow.started;
+  result.bytes = flow.bytes;
+  result.cancelled = false;
+  // The final byte still has to propagate to the receiver.
+  result.finished = sim_.now() + flow.delivery_latency;
+  sim_.after(flow.delivery_latency, [cb = std::move(flow.on_done), result] {
+    if (cb) cb(result);
+  });
+  reallocate();
+}
+
+}  // namespace lon::sim

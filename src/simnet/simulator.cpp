@@ -1,0 +1,47 @@
+#include "simnet/simulator.hpp"
+
+#include <stdexcept>
+
+namespace lon::sim {
+
+void Simulator::at(SimTime when, EventFn fn) {
+  if (when < now_) {
+    throw std::invalid_argument("Simulator::at: scheduling into the past");
+  }
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void Simulator::after(SimDuration delay, EventFn fn) {
+  if (delay < 0) throw std::invalid_argument("Simulator::after: negative delay");
+  at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // Moving out of a priority_queue requires const_cast; the element is
+  // popped immediately afterwards so this never observes the moved-from fn.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    step();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace lon::sim

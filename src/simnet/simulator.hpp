@@ -1,0 +1,68 @@
+// Deterministic discrete-event simulator core.
+//
+// A single virtual clock and a time-ordered event queue. Events scheduled
+// for the same instant execute in scheduling order (a monotonically
+// increasing sequence number breaks ties), which makes every run exactly
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace lon::sim {
+
+using EventFn = std::function<void()>;
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules fn at absolute virtual time `when` (must be >= now()).
+  void at(SimTime when, EventFn fn);
+
+  /// Schedules fn `delay` after now().
+  void after(SimDuration delay, EventFn fn);
+
+  /// Executes the next event, advancing the clock. Returns false if the
+  /// queue was empty.
+  bool step();
+
+  /// Runs until the event queue drains. Returns the number of events run.
+  std::size_t run();
+
+  /// Runs events with time <= deadline, then advances the clock to deadline
+  /// (even if idle). Returns the number of events run.
+  std::size_t run_until(SimTime deadline);
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    EventFn fn;
+
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace lon::sim

@@ -1,0 +1,88 @@
+// Byte-budgeted LRU cache keyed by view-set id.
+//
+// The client agent "maintains a cache of both view sets and the exNodes of
+// view sets recently downloaded or pre-fetched" (paper section 3.5). The
+// budget applies to payload bytes; exNodes are tiny and tracked separately
+// without a budget.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "lightfield/lattice.hpp"
+#include "util/bytes.hpp"
+
+namespace lon::streaming {
+
+class ViewSetCache {
+ public:
+  explicit ViewSetCache(std::uint64_t budget_bytes) : budget_(budget_bytes) {}
+
+  /// Inserts (or refreshes) an entry, evicting LRU entries to stay within
+  /// budget. Items larger than the whole budget are not cached.
+  void put(const lightfield::ViewSetId& id, Bytes data);
+
+  /// Returns the bytes and marks the entry most recently used.
+  [[nodiscard]] const Bytes* get(const lightfield::ViewSetId& id);
+
+  /// Lookup without touching recency (for inspection).
+  [[nodiscard]] bool contains(const lightfield::ViewSetId& id) const {
+    return map_.contains(id);
+  }
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::uint64_t bytes_used() const { return used_; }
+  [[nodiscard]] std::uint64_t budget() const { return budget_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    lightfield::ViewSetId id;
+    Bytes data;
+  };
+  using List = std::list<Entry>;
+
+  void evict_to_fit(std::uint64_t incoming);
+
+  std::uint64_t budget_;
+  std::uint64_t used_ = 0;
+  std::uint64_t evictions_ = 0;
+  List lru_;  // front = most recent
+  std::unordered_map<lightfield::ViewSetId, List::iterator, lightfield::ViewSetIdHash>
+      map_;
+};
+
+inline void ViewSetCache::evict_to_fit(std::uint64_t incoming) {
+  while (used_ + incoming > budget_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    used_ -= victim.data.size();
+    map_.erase(victim.id);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+inline void ViewSetCache::put(const lightfield::ViewSetId& id, Bytes data) {
+  if (data.size() > budget_) return;  // would evict everything for nothing
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    used_ -= it->second->data.size();
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+  evict_to_fit(data.size());
+  used_ += data.size();
+  lru_.push_front(Entry{id, std::move(data)});
+  map_[id] = lru_.begin();
+}
+
+inline const Bytes* ViewSetCache::get(const lightfield::ViewSetId& id) {
+  auto it = map_.find(id);
+  if (it == map_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+  return &it->second->data;
+}
+
+}  // namespace lon::streaming

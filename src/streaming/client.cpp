@@ -1,0 +1,170 @@
+#include "streaming/client.hpp"
+
+#include <chrono>
+
+#include "util/log.hpp"
+
+namespace lon::streaming {
+
+Client::Client(sim::Simulator& sim, sim::Network& net,
+               const lightfield::LatticeConfig& lattice, sim::NodeId node,
+               ClientAgent& agent, ClientConfig config)
+    : sim_(sim),
+      net_(net),
+      node_(node),
+      agent_(agent),
+      config_(std::move(config)),
+      renderer_(lattice) {}
+
+void Client::set_view(const Spherical& dir, std::function<void(bool)> on_ready) {
+  direction_ = dir;
+  const auto& lattice = renderer_.lattice();
+  const lightfield::ViewSetId id = lattice.view_set_of(dir);
+
+  // Cursor updates flow to the agent (control traffic) to drive prefetch and
+  // staging order.
+  const SimDuration to_agent = net_.path_latency(node_, agent_.node());
+  sim_.after(to_agent, [this, dir] { agent_.notify_cursor(dir); });
+
+  if (renderer_.has_view_set(id)) {
+    if (on_ready) on_ready(true);
+    return;
+  }
+  if (pending_.has_value()) {
+    if (pending_->id == id) {
+      // Already waiting on exactly this set.
+      if (on_ready) pending_->callbacks.push_back(std::move(on_ready));
+    } else {
+      // The user moved on: the newest target supersedes any queued one.
+      if (queued_.has_value() && queued_->second) queued_->second(false);
+      queued_ = {dir, std::move(on_ready)};
+    }
+    return;
+  }
+  begin_request(id, std::move(on_ready));
+}
+
+void Client::begin_request(const lightfield::ViewSetId& id, std::function<void(bool)> cb) {
+  pending_ = PendingRequest{id, sim_.now(), {}};
+  if (cb) pending_->callbacks.push_back(std::move(cb));
+
+  // Request message travels to the agent; the agent answers with the
+  // compressed view set, which then travels back over the LAN.
+  const SimDuration to_agent = net_.path_latency(node_, agent_.node());
+  sim_.after(to_agent, [this, id] {
+    agent_.request_view_set(
+        id, [this](const Bytes& compressed, AccessClass cls, SimDuration comm) {
+          // Payload transfer agent -> client.
+          auto payload = std::make_shared<Bytes>(compressed);
+          sim::TransferOptions opts = config_.lan_net;
+          net_.start_transfer(agent_.node(), node_, payload->size(), opts,
+                              [this, payload, cls, comm](const sim::TransferResult&) {
+                                on_delivery(*payload, cls, comm);
+                              });
+        });
+  });
+}
+
+SimDuration Client::charge_decompress(const Bytes& compressed,
+                                      const lightfield::ViewSetId& id,
+                                      lightfield::ViewSet& out) const {
+  if (!config_.decode) {
+    // Install a blank set of the right shape; charge the modeled cost for
+    // the bytes that *would* be produced.
+    const auto& cfg = renderer_.lattice().config();
+    out = lightfield::ViewSet(id, cfg.view_set_span, cfg.view_resolution);
+    return static_cast<SimDuration>(static_cast<double>(out.pixel_bytes()) /
+                                    config_.decompress_bytes_per_sec * 1e9);
+  }
+  if (config_.timing == ClientConfig::Timing::kMeasured) {
+    const auto start = std::chrono::steady_clock::now();
+    out = lightfield::ViewSet::decompress(compressed);
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start).count();
+  }
+  out = lightfield::ViewSet::decompress(compressed);
+  return static_cast<SimDuration>(static_cast<double>(out.pixel_bytes()) /
+                                  config_.decompress_bytes_per_sec * 1e9);
+}
+
+void Client::on_delivery(const Bytes& compressed, AccessClass cls,
+                         SimDuration comm_latency) {
+  if (!pending_.has_value()) return;  // stale delivery (should not happen)
+  PendingRequest request = std::move(*pending_);
+
+  AccessRecord record;
+  record.id = request.id;
+  record.cls = cls;
+  record.requested = request.requested;
+  record.comm_latency = comm_latency;
+  record.compressed_bytes = compressed.size();
+
+  if (compressed.empty()) {
+    // The view set could not be obtained anywhere.
+    record.delivered = sim_.now();
+    accesses_.push_back(record);
+    pending_.reset();
+    for (auto& cb : request.callbacks) cb(false);
+    if (queued_.has_value()) {
+      auto [dir, cb] = std::move(*queued_);
+      queued_.reset();
+      set_view(dir, std::move(cb));
+    }
+    return;
+  }
+
+  lightfield::ViewSet vs;
+  SimDuration decompress_time = 0;
+  bool ok = true;
+  try {
+    decompress_time = charge_decompress(compressed, request.id, vs);
+  } catch (const DecodeError& e) {
+    LON_LOG(kError, "client") << "view set decode failed: " << e.what();
+    ok = false;
+  }
+  record.decompress_time = decompress_time;
+
+  sim_.after(decompress_time,
+             [this, record, vs = std::move(vs), ok,
+              request = std::move(request)]() mutable {
+               AccessRecord final = record;
+               final.delivered = sim_.now();
+               accesses_.push_back(final);
+               if (ok) install_view_set(std::move(vs));
+               pending_.reset();
+               for (auto& cb : request.callbacks) cb(ok);
+               if (queued_.has_value()) {
+                 auto [dir, cb] = std::move(*queued_);
+                 queued_.reset();
+                 set_view(dir, std::move(cb));
+               }
+             });
+}
+
+void Client::install_view_set(lightfield::ViewSet vs) {
+  const lightfield::ViewSetId id = vs.id();
+  renderer_.add_view_set(std::move(vs));
+  resident_.push_back(id);
+  while (resident_.size() > static_cast<std::size_t>(std::max(1, config_.keep_view_sets))) {
+    renderer_.remove_view_set(resident_.front());
+    resident_.pop_front();
+  }
+}
+
+render::ImageRGB8 Client::render_frame() const {
+  const auto& lattice = renderer_.lattice();
+  if (renderer_.can_render(direction_)) {
+    return renderer_.render(direction_, config_.display_resolution);
+  }
+  // Snap to the nearest sample inside the resident view set (views at the
+  // window edge clamp rather than fail — the paper's client shows the
+  // nearest available sample view).
+  const auto [row, col] = lattice.nearest_sample(direction_);
+  const Spherical snapped = lattice.sample_direction(row, col);
+  if (renderer_.can_render(snapped)) {
+    return renderer_.render(snapped, config_.display_resolution);
+  }
+  return render::ImageRGB8(config_.display_resolution, config_.display_resolution);
+}
+
+}  // namespace lon::streaming

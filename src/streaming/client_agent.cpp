@@ -1,0 +1,289 @@
+#include "streaming/client_agent.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace lon::streaming {
+
+const char* to_string(AccessClass cls) {
+  switch (cls) {
+    case AccessClass::kAgentHit:
+      return "hit";
+    case AccessClass::kLanDepot:
+      return "lan-depot";
+    case AccessClass::kWan:
+      return "wan";
+    case AccessClass::kGenerated:
+      return "generated";
+  }
+  return "?";
+}
+
+ClientAgent::ClientAgent(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fabric,
+                         lors::Lors& lors, DvsServer& dvs,
+                         const lightfield::SphericalLattice& lattice, sim::NodeId node,
+                         ClientAgentConfig config)
+    : sim_(sim),
+      net_(net),
+      fabric_(fabric),
+      lors_(lors),
+      dvs_(dvs),
+      lattice_(lattice),
+      node_(node),
+      config_(std::move(config)),
+      cache_(config_.cache_bytes) {
+  if (config_.staging && config_.lan_depots.empty()) {
+    throw std::invalid_argument("ClientAgent: staging enabled without LAN depots");
+  }
+}
+
+void ClientAgent::request_view_set(const lightfield::ViewSetId& id,
+                                   DeliverCallback on_done) {
+  ++stats_.requests;
+  fetch(id, std::move(on_done), /*demand=*/true);
+}
+
+void ClientAgent::fetch(const lightfield::ViewSetId& id, DeliverCallback cb, bool demand) {
+  // 1. Agent cache.
+  if (const Bytes* data = cache_.get(id); data != nullptr) {
+    if (demand) ++stats_.hits;
+    if (cb) {
+      // Serving from memory: the figure-12 "hit" latency.
+      sim_.after(kAgentHitLatency, [data = *data, cb = std::move(cb)] {
+        cb(data, AccessClass::kAgentHit, kAgentHitLatency);
+      });
+    }
+    return;
+  }
+
+  // 2. Join an in-flight fetch of the same view set (e.g. the user caught up
+  //    with an ongoing prefetch — part of the latency is already hidden).
+  auto it = inflight_.find(id);
+  if (it != inflight_.end()) {
+    it->second.waiters.push_back(Waiter{std::move(cb), sim_.now(), demand});
+    return;
+  }
+
+  // 3. Start a fresh fetch.
+  Inflight flight;
+  flight.waiters.push_back(Waiter{std::move(cb), sim_.now(), demand});
+  inflight_.emplace(id, std::move(flight));
+  resolve_and_download(id);
+}
+
+AccessClass ClientAgent::classify(const exnode::ExNode& exnode) const {
+  const auto& extents = exnode.extents();
+  if (extents.empty() || extents.front().replicas.empty()) return AccessClass::kWan;
+  // LoRS prefers the front replica (staged copies are inserted there) unless
+  // a closer one exists; mirror that choice here.
+  SimDuration best = std::numeric_limits<SimDuration>::max();
+  for (const auto& replica : extents.front().replicas) {
+    const sim::NodeId depot = fabric_.depot_node(replica.read.depot);
+    if (!net_.reachable(node_, depot)) continue;
+    best = std::min(best, net_.path_latency(node_, depot));
+  }
+  return best <= config_.lan_threshold ? AccessClass::kLanDepot : AccessClass::kWan;
+}
+
+void ClientAgent::resolve_and_download(const lightfield::ViewSetId& id) {
+  // Prestaged? Prefer the LAN copy.
+  if (auto staged = staged_.find(id); staged != staged_.end()) {
+    download(id, staged->second, AccessClass::kLanDepot);
+    return;
+  }
+  // Known exNode?
+  if (auto cached = exnode_cache_.find(id); cached != exnode_cache_.end()) {
+    download(id, cached->second, classify(cached->second));
+    return;
+  }
+  // Ask the DVS (runtime generation allowed: the miss path of section 3.6).
+  dvs_.query_async(node_, id, /*generate_if_missing=*/true,
+                   [this, id](const DvsServer::QueryResult& result) {
+                     if (!result.found) {
+                       LON_LOG(kWarn, "client-agent")
+                           << "view set " << id.key() << " unavailable";
+                       finish_fetch(id, Bytes{});
+                       return;
+                     }
+                     exnode_cache_[id] = result.exnode;
+                     download(id, result.exnode, classify(result.exnode));
+                   });
+}
+
+void ClientAgent::download(const lightfield::ViewSetId& id, const exnode::ExNode& exnode,
+                           AccessClass cls) {
+  auto it = inflight_.find(id);
+  if (it != inflight_.end()) it->second.cls = cls;
+  if (cls == AccessClass::kWan) ++demand_wan_active_;
+
+  lors::DownloadOptions options;
+  options.net = (cls == AccessClass::kLanDepot) ? config_.lan_net : config_.wan_net;
+  lors_.download_async(node_, exnode, options,
+                       [this, id, cls](lors::DownloadResult result) {
+                         if (cls == AccessClass::kWan) {
+                           --demand_wan_active_;
+                           staging_pump();  // resume if paused on miss
+                         }
+                         if (result.status != lors::LorsStatus::kOk) {
+                           LON_LOG(kWarn, "client-agent")
+                               << "download of " << id.key() << " failed: "
+                               << lors::to_string(result.status);
+                           finish_fetch(id, Bytes{});
+                           return;
+                         }
+                         finish_fetch(id, std::move(result.data));
+                       });
+}
+
+void ClientAgent::finish_fetch(const lightfield::ViewSetId& id, Bytes data) {
+  auto it = inflight_.find(id);
+  if (it == inflight_.end()) return;
+  Inflight flight = std::move(it->second);
+  inflight_.erase(it);
+
+  const bool ok = !data.empty();
+  if (ok) cache_.put(id, data);
+
+  for (const Waiter& waiter : flight.waiters) {
+    if (waiter.demand) {
+      switch (flight.cls) {
+        case AccessClass::kLanDepot:
+          ++stats_.lan_accesses;
+          break;
+        case AccessClass::kWan:
+        case AccessClass::kGenerated:
+          ++stats_.wan_accesses;
+          break;
+        case AccessClass::kAgentHit:
+          ++stats_.hits;
+          break;
+      }
+    }
+    if (waiter.cb) {
+      waiter.cb(data, flight.cls, sim_.now() - waiter.arrived);
+    }
+  }
+}
+
+void ClientAgent::notify_cursor(const Spherical& dir) {
+  cursor_vs_ = lattice_.view_set_of(dir);
+
+  if (config_.prefetch) {
+    const int quadrant = lattice_.quadrant_of(dir);
+    for (const auto& target : lattice_.prefetch_targets(cursor_vs_, quadrant)) {
+      if (cache_.contains(target) || inflight_.contains(target)) continue;
+      ++stats_.prefetches;
+      fetch(target, nullptr, /*demand=*/false);
+    }
+  }
+  // A cursor move reorders the staging queue (proximity order re-evaluates
+  // lazily in pick_next_stage), and may open staging slots.
+  staging_pump();
+}
+
+void ClientAgent::start_staging() {
+  if (!config_.staging || staging_active_) return;
+  staging_active_ = true;
+  unstaged_ = lattice_.all_view_sets();
+  staging_pump();
+}
+
+std::size_t ClientAgent::start_staging(const lbone::Directory& directory,
+                                       std::size_t count, std::uint64_t database_bytes,
+                                       SimDuration lease) {
+  if (staging_active_ || count == 0) return 0;
+  lbone::Requirements req;
+  req.count = count;
+  req.free_bytes = database_bytes / count + 1;
+  req.lease = lease;
+  const auto candidates = directory.find(node_, req);
+  if (candidates.empty()) return 0;
+  config_.lan_depots.clear();
+  for (const auto& c : candidates) config_.lan_depots.push_back(c.name);
+  config_.staging = true;
+  config_.staging_lease = lease;
+  start_staging();
+  return candidates.size();
+}
+
+std::optional<std::size_t> ClientAgent::pick_next_stage() const {
+  if (unstaged_.empty()) return std::nullopt;
+  if (config_.staging_order == ClientAgentConfig::StagingOrder::kFifo) return 0;
+  // Proximity: the view set closest to the cursor, dynamically reordered —
+  // "prestaging of individual view sets is ordered by distance from the
+  // current position of the cursor, and this order is updated dynamically as
+  // the cursor moves."
+  std::size_t best = 0;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < unstaged_.size(); ++i) {
+    const double d = lattice_.view_set_distance(unstaged_[i], cursor_vs_);
+    if (d < best_distance) {
+      best_distance = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void ClientAgent::staging_pump() {
+  if (!staging_active_) return;
+  if (config_.pause_staging_on_miss && demand_wan_active_ > 0) return;
+  while (staging_inflight_ < config_.staging_concurrency) {
+    const auto pick = pick_next_stage();
+    if (!pick.has_value()) break;
+    const lightfield::ViewSetId id = unstaged_[*pick];
+    unstaged_.erase(unstaged_.begin() + static_cast<long>(*pick));
+    if (staged_.contains(id)) continue;
+    ++staging_inflight_;
+    stage_one(id);
+  }
+}
+
+void ClientAgent::stage_one(const lightfield::ViewSetId& id) {
+  // Resolve the exNode first (cheap control traffic), then issue third-party
+  // copies toward a LAN depot. The data path is depot-to-depot.
+  auto do_stage = [this, id](const exnode::ExNode& exnode) {
+    lors::AugmentOptions options;
+    options.target_depot = config_.lan_depots[staging_rr_++ % config_.lan_depots.size()];
+    options.preferred = true;  // downloads should find the LAN replica first
+    options.lease = config_.staging_lease;
+    options.alloc_type = ibp::AllocType::kSoft;  // revocable: polite sharing
+    options.net = config_.staging_net;
+    lors_.augment_async(node_, exnode, options,
+                        [this, id](const lors::AugmentResult& result) {
+                          --staging_inflight_;
+                          if (result.status == lors::LorsStatus::kOk) {
+                            ++stats_.staged;
+                            staged_[id] = result.exnode;
+                            exnode_cache_[id] = result.exnode;
+                          } else {
+                            ++stats_.staging_failures;
+                            LON_LOG(kDebug, "client-agent")
+                                << "staging of " << id.key() << " failed: "
+                                << lors::to_string(result.status);
+                          }
+                          staging_pump();
+                        });
+  };
+
+  if (auto cached = exnode_cache_.find(id); cached != exnode_cache_.end()) {
+    do_stage(cached->second);
+    return;
+  }
+  dvs_.query_async(node_, id, /*generate_if_missing=*/false,
+                   [this, id, do_stage](const DvsServer::QueryResult& result) {
+                     if (!result.found) {
+                       ++stats_.staging_failures;
+                       --staging_inflight_;
+                       staging_pump();
+                       return;
+                     }
+                     exnode_cache_[id] = result.exnode;
+                     do_stage(result.exnode);
+                   });
+}
+
+}  // namespace lon::streaming

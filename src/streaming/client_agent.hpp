@@ -1,0 +1,184 @@
+// The client agent — paper section 3.5.
+//
+// "Since the client agent handles communication and caching on behalf of the
+// client, the client only requires a low amount of computing and storage
+// capability. ... the client agent maintains a cache of both view sets and
+// the exNodes of view sets recently downloaded or pre-fetched."
+//
+// Request path for a view set, in order:
+//   1. the agent's own memory cache (a *hit*);
+//   2. a depot on the client's LAN, if the view set has been prestaged there;
+//   3. the wide area network (LoRS multi-stream download from the server
+//      depots named by the exNode, obtained from the DVS).
+//
+// Two anticipation mechanisms run on top:
+//   * quadrant prefetch (figure 4): the cursor's quadrant within the current
+//     view set selects the three neighbouring view sets to pull into the
+//     agent cache;
+//   * aggressive two-stage prestaging (figure 5): while the WAN is
+//     otherwise idle, third-party copies stage *every* view set onto LAN
+//     depots, ordered by angular proximity to the cursor and reordered as it
+//     moves, without the data ever passing through the agent.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lbone/lbone.hpp"
+#include "lightfield/lattice.hpp"
+#include "lors/lors.hpp"
+#include "streaming/cache.hpp"
+#include "streaming/dvs.hpp"
+#include "streaming/types.hpp"
+
+namespace lon::streaming {
+
+/// Modeled cost of serving a view set out of the agent's memory cache —
+/// the ~1e-4 s "hit" line of figure 12.
+inline constexpr SimDuration kAgentHitLatency = 100 * kMicrosecond;
+
+struct ClientAgentConfig {
+  std::uint64_t cache_bytes = 512ull << 20;  ///< agent view-set cache budget
+
+  bool prefetch = true;                      ///< quadrant prefetch (figure 4)
+
+  bool staging = false;                      ///< aggressive prestaging (figure 5)
+  std::vector<std::string> lan_depots;       ///< staging targets (round-robin)
+  int staging_concurrency = 4;               ///< third-party copies in flight
+  enum class StagingOrder { kProximity, kFifo };
+  StagingOrder staging_order = StagingOrder::kProximity;
+  /// Ablation of the paper's suggested improvement: "suppressing prefetching
+  /// while processing a miss may reduce this effect."
+  bool pause_staging_on_miss = false;
+  SimDuration staging_lease = 24 * 3600 * kSecond;
+
+  sim::TransferOptions wan_net{.weight = 1.0, .streams = 4};
+  sim::TransferOptions lan_net{.weight = 1.0, .streams = 2};
+  sim::TransferOptions staging_net{.weight = 1.0, .streams = 4};
+
+  /// Replicas closer than this count as "on the client's LAN" when
+  /// classifying where an access was served from.
+  SimDuration lan_threshold = 5 * kMillisecond;
+};
+
+class ClientAgent {
+ public:
+  struct Stats {
+    std::uint64_t requests = 0;        ///< demand requests from clients
+    std::uint64_t hits = 0;            ///< served from the agent cache
+    std::uint64_t lan_accesses = 0;    ///< served from a LAN depot
+    std::uint64_t wan_accesses = 0;    ///< served across the WAN
+    std::uint64_t prefetches = 0;      ///< prefetch fetches issued
+    std::uint64_t staged = 0;          ///< view sets fully prestaged
+    std::uint64_t staging_failures = 0;
+  };
+
+  ClientAgent(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fabric,
+              lors::Lors& lors, DvsServer& dvs,
+              const lightfield::SphericalLattice& lattice, sim::NodeId node,
+              ClientAgentConfig config);
+
+  [[nodiscard]] sim::NodeId node() const { return node_; }
+  [[nodiscard]] const ClientAgentConfig& config() const { return config_; }
+
+  /// Delivery of a view set to a requesting client. `comm_latency` is the
+  /// data-access time as measured at the agent (figure 12); `cls` says where
+  /// the bytes came from. Empty bytes = the view set could not be obtained.
+  using DeliverCallback =
+      std::function<void(const Bytes& compressed, AccessClass cls, SimDuration comm_latency)>;
+
+  /// Demand request from a client (invoked at agent time — the client models
+  /// its own network legs). Triggers the access path above.
+  void request_view_set(const lightfield::ViewSetId& id, DeliverCallback on_done);
+
+  /// Cursor update from the client: drives quadrant prefetch and reorders
+  /// the prestaging queue by proximity.
+  void notify_cursor(const Spherical& dir);
+
+  /// Begins aggressive prestaging of the entire database (no-op unless
+  /// config.staging). "As soon as visualization of a dataset begins,
+  /// aggressive prestaging to the LAN depot is initiated, and continues
+  /// uninterrupted until the entire dataset has been localized."
+  void start_staging();
+
+  /// Variant that first discovers staging depots through the L-Bone — "we
+  /// use the L-Bone tools to dynamically identify appropriate depots to
+  /// serve as the network caches" (paper section 2.2). Picks up to `count`
+  /// nearby depots that can each hold roughly 1/count of the database for
+  /// `lease`, replacing config.lan_depots. Enables staging if disabled.
+  /// Returns how many depots were selected (0 = staging cannot start).
+  std::size_t start_staging(const lbone::Directory& directory, std::size_t count,
+                            std::uint64_t database_bytes, SimDuration lease);
+
+  [[nodiscard]] bool staging_complete() const {
+    return unstaged_.empty() && staging_inflight_ == 0;
+  }
+  [[nodiscard]] bool is_staged(const lightfield::ViewSetId& id) const {
+    return staged_.contains(id);
+  }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const ViewSetCache& cache() const { return cache_; }
+
+ private:
+  struct Waiter {
+    DeliverCallback cb;
+    SimTime arrived = 0;
+    bool demand = false;  ///< prefetches pass a null callback
+  };
+  struct Inflight {
+    std::vector<Waiter> waiters;
+    AccessClass cls = AccessClass::kWan;
+  };
+
+  /// Starts (or joins) a fetch of `id`; cb may be null for prefetch.
+  void fetch(const lightfield::ViewSetId& id, DeliverCallback cb, bool demand);
+
+  /// Resolves the exNode (staged > cached > DVS) then downloads.
+  void resolve_and_download(const lightfield::ViewSetId& id);
+
+  /// Where a download of this exNode will be served from: LAN if the
+  /// preferred replica of its first extent is within lan_threshold.
+  [[nodiscard]] AccessClass classify(const exnode::ExNode& exnode) const;
+
+  void download(const lightfield::ViewSetId& id, const exnode::ExNode& exnode,
+                AccessClass cls);
+
+  void finish_fetch(const lightfield::ViewSetId& id, Bytes data);
+
+  // Staging machinery.
+  void staging_pump();
+  void stage_one(const lightfield::ViewSetId& id);
+  [[nodiscard]] std::optional<std::size_t> pick_next_stage() const;
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  ibp::Fabric& fabric_;
+  lors::Lors& lors_;
+  DvsServer& dvs_;
+  const lightfield::SphericalLattice& lattice_;
+  sim::NodeId node_;
+  ClientAgentConfig config_;
+
+  ViewSetCache cache_;
+  std::unordered_map<lightfield::ViewSetId, exnode::ExNode, lightfield::ViewSetIdHash>
+      exnode_cache_;
+  std::unordered_map<lightfield::ViewSetId, Inflight, lightfield::ViewSetIdHash> inflight_;
+
+  // Staging state.
+  bool staging_active_ = false;
+  std::vector<lightfield::ViewSetId> unstaged_;
+  std::unordered_map<lightfield::ViewSetId, exnode::ExNode, lightfield::ViewSetIdHash>
+      staged_;
+  int staging_inflight_ = 0;
+  std::size_t staging_rr_ = 0;  ///< round-robin over LAN depots
+  int demand_wan_active_ = 0;
+
+  lightfield::ViewSetId cursor_vs_{0, 0};
+  Stats stats_;
+};
+
+}  // namespace lon::streaming

@@ -1,0 +1,145 @@
+#include "streaming/dvs.hpp"
+
+#include <stdexcept>
+
+namespace lon::streaming {
+
+DvsServer::DvsServer(sim::Simulator& sim, sim::Network& net, sim::NodeId node,
+                     const lightfield::SphericalLattice& lattice, DvsConfig config)
+    : sim_(sim), net_(net), node_(node), config_(config) {
+  if (config_.leaf_capacity == 0) throw std::invalid_argument("DvsServer: leaf capacity 0");
+  Region whole{0, static_cast<int>(lattice.view_set_rows()), 0,
+               static_cast<int>(lattice.view_set_cols())};
+  depth_ = 1;
+  root_ = build_tree(whole, config_.leaf_capacity, &depth_, 1);
+}
+
+std::unique_ptr<DvsServer::Node> DvsServer::build_tree(const Region& region,
+                                                       std::size_t leaf_capacity,
+                                                       int* depth_out, int depth) {
+  auto node = std::make_unique<Node>();
+  node->region = region;
+  *depth_out = std::max(*depth_out, depth);
+  if (region.count() <= leaf_capacity) return node;
+
+  // Split the longer axis in half.
+  const int rows = region.row1 - region.row0;
+  const int cols = region.col1 - region.col0;
+  Region a = region;
+  Region b = region;
+  if (rows >= cols) {
+    const int mid = region.row0 + rows / 2;
+    a.row1 = mid;
+    b.row0 = mid;
+  } else {
+    const int mid = region.col0 + cols / 2;
+    a.col1 = mid;
+    b.col0 = mid;
+  }
+  node->children.push_back(build_tree(a, leaf_capacity, depth_out, depth + 1));
+  node->children.push_back(build_tree(b, leaf_capacity, depth_out, depth + 1));
+  return node;
+}
+
+DvsServer::Node* DvsServer::descend(const lightfield::ViewSetId& id, int* levels) {
+  Node* node = root_.get();
+  *levels = 1;
+  if (!node->region.contains(id)) return nullptr;
+  while (!node->children.empty()) {
+    Node* next = nullptr;
+    for (const auto& child : node->children) {
+      if (child->region.contains(id)) {
+        next = child.get();
+        break;
+      }
+    }
+    if (next == nullptr) return nullptr;  // cannot happen with a well-formed tree
+    node = next;
+    ++*levels;
+  }
+  return node;
+}
+
+void DvsServer::install(const lightfield::ViewSetId& id, exnode::ExNode exnode) {
+  int levels = 0;
+  Node* leaf = descend(id, &levels);
+  if (leaf == nullptr) throw std::out_of_range("DvsServer: id outside view-set grid");
+  leaf->entries.insert_or_assign(id, std::move(exnode));
+}
+
+bool DvsServer::knows(const lightfield::ViewSetId& id) const {
+  int levels = 0;
+  Node* leaf = const_cast<DvsServer*>(this)->descend(id, &levels);
+  return leaf != nullptr && leaf->entries.contains(id);
+}
+
+void DvsServer::query_async(sim::NodeId from, const lightfield::ViewSetId& id,
+                            bool generate_if_missing, QueryCallback on_done) {
+  const SimDuration to_server = net_.path_latency(from, node_);
+  sim_.after(to_server, [this, from, id, generate_if_missing,
+                         cb = std::move(on_done)]() mutable {
+    ++stats_.queries;
+    int levels = 0;
+    Node* leaf = descend(id, &levels);
+    stats_.levels_visited += static_cast<std::uint64_t>(levels);
+    const SimDuration lookup = static_cast<SimDuration>(levels) * config_.level_overhead;
+    const SimDuration back = net_.path_latency(node_, from);
+
+    if (leaf != nullptr) {
+      auto it = leaf->entries.find(id);
+      if (it != leaf->entries.end()) {
+        ++stats_.hits;
+        QueryResult result;
+        result.found = true;
+        result.exnode = it->second;
+        result.levels = levels;
+        sim_.after(lookup + back, [result, cb] { cb(result); });
+        return;
+      }
+    }
+
+    if (!generate_if_missing || agent_ == nullptr || leaf == nullptr) {
+      ++stats_.misses;
+      QueryResult result;
+      result.levels = levels;
+      sim_.after(lookup + back, [result, cb] { cb(result); });
+      return;
+    }
+
+    // Server-agent table: forward for runtime generation. "The DVS then
+    // forwards the request to the right server agent for generation and
+    // uploading of the view set at runtime. It updates the exNode table with
+    // the exNode returned by the server agent."
+    ++stats_.forwarded;
+    sim_.after(lookup, [this, id, levels, back, cb = std::move(cb)]() mutable {
+      agent_->generate_async(
+          id, [this, id, levels, back, cb = std::move(cb)](bool ok,
+                                                           const exnode::ExNode& exnode) {
+            QueryResult result;
+            result.levels = levels;
+            if (ok) {
+              install(id, exnode);
+              ++stats_.updates;
+              result.found = true;
+              result.exnode = exnode;
+            } else {
+              ++stats_.misses;
+            }
+            sim_.after(back, [result, cb] { cb(result); });
+          });
+    });
+  });
+}
+
+void DvsServer::update_async(sim::NodeId from, const lightfield::ViewSetId& id,
+                             exnode::ExNode exnode, std::function<void()> on_done) {
+  const SimDuration rtt = net_.rtt(from, node_);
+  sim_.after(rtt, [this, id, exnode = std::move(exnode),
+                   cb = std::move(on_done)]() mutable {
+    install(id, std::move(exnode));
+    ++stats_.updates;
+    if (cb) cb();
+  });
+}
+
+}  // namespace lon::streaming

@@ -1,0 +1,130 @@
+// The Dictionary of View Sets (DVS) — paper section 3.6.
+//
+// "The DVS server maintains two types of look-up tables: the (i) exNode
+// table and the (ii) server agent table. ... In view of the large size of
+// exNode tables, the DVS server is implemented in a hierarchical fashion for
+// efficient queries. Any query will go through all levels recursively until
+// the request is fulfilled. ... In some respects, the DVS service in our
+// system is quite similar to the Domain Name Service (DNS)."
+//
+// We implement the hierarchy as a spatial tree over the view-set grid: each
+// internal node routes a query to the child whose region contains the id,
+// each hop charging a lookup overhead; leaves hold the exNode entries. On a
+// miss the query falls through to the server-agent table: the registered
+// generator renders the view set at runtime, uploads it, and the exNode
+// table is updated before the reply returns.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "exnode/exnode.hpp"
+#include "lightfield/lattice.hpp"
+#include "simnet/network.hpp"
+
+namespace lon::streaming {
+
+/// The server-agent side of the DVS miss path (implemented by ServerAgent).
+class GeneratorService {
+ public:
+  virtual ~GeneratorService() = default;
+
+  using GenerateCallback =
+      std::function<void(bool ok, const exnode::ExNode& exnode)>;
+
+  /// Renders + uploads the view set, returning its new exNode.
+  virtual void generate_async(const lightfield::ViewSetId& id,
+                              GenerateCallback on_done) = 0;
+};
+
+/// DVS tuning knobs.
+struct DvsConfig {
+  std::size_t leaf_capacity = 16;                   ///< view-set entries per leaf
+  SimDuration level_overhead = 200 * kMicrosecond;  ///< per-hop lookup cost
+};
+
+class DvsServer {
+ public:
+  struct Stats {
+    std::uint64_t queries = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;          ///< not found and no generation requested
+    std::uint64_t forwarded = 0;       ///< sent to the server-agent table
+    std::uint64_t updates = 0;
+    std::uint64_t levels_visited = 0;  ///< cumulative hops over all queries
+  };
+
+  DvsServer(sim::Simulator& sim, sim::Network& net, sim::NodeId node,
+            const lightfield::SphericalLattice& lattice, DvsConfig config = {});
+
+  [[nodiscard]] sim::NodeId node() const { return node_; }
+  [[nodiscard]] int tree_depth() const { return depth_; }
+
+  /// Registers the generator behind the server-agent table.
+  void register_server_agent(GeneratorService* agent) { agent_ = agent; }
+
+  /// Installs an exNode directly (offline database publication).
+  void install(const lightfield::ViewSetId& id, exnode::ExNode exnode);
+
+  [[nodiscard]] bool knows(const lightfield::ViewSetId& id) const;
+
+  struct QueryResult {
+    bool found = false;
+    exnode::ExNode exnode;
+    int levels = 0;  ///< tree hops this query made
+  };
+  using QueryCallback = std::function<void(const QueryResult&)>;
+
+  /// Looks up the exNode for `id` on behalf of a client at `from`.
+  /// Charges the control round trip plus per-level lookup overhead. When the
+  /// id is unknown and `generate_if_missing` is set and a server agent is
+  /// registered, the request is forwarded for runtime generation.
+  void query_async(sim::NodeId from, const lightfield::ViewSetId& id,
+                   bool generate_if_missing, QueryCallback on_done);
+
+  /// Remote update (e.g. from a server agent after generation).
+  void update_async(sim::NodeId from, const lightfield::ViewSetId& id,
+                    exnode::ExNode exnode, std::function<void()> on_done);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Region {
+    int row0 = 0, row1 = 0, col0 = 0, col1 = 0;  // half-open view-set ranges
+
+    [[nodiscard]] bool contains(const lightfield::ViewSetId& id) const {
+      return id.row >= row0 && id.row < row1 && id.col >= col0 && id.col < col1;
+    }
+    [[nodiscard]] std::size_t count() const {
+      return static_cast<std::size_t>(row1 - row0) * static_cast<std::size_t>(col1 - col0);
+    }
+  };
+
+  struct Node {
+    Region region;
+    std::vector<std::unique_ptr<Node>> children;  // empty = leaf
+    std::unordered_map<lightfield::ViewSetId, exnode::ExNode, lightfield::ViewSetIdHash>
+        entries;  // leaves only
+  };
+
+  static std::unique_ptr<Node> build_tree(const Region& region, std::size_t leaf_capacity,
+                                          int* depth_out, int depth);
+
+  /// Walks root -> leaf; returns the leaf and the number of hops.
+  Node* descend(const lightfield::ViewSetId& id, int* levels);
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  sim::NodeId node_;
+  DvsConfig config_;
+  std::unique_ptr<Node> root_;
+  int depth_ = 1;
+  GeneratorService* agent_ = nullptr;
+  Stats stats_;
+};
+
+}  // namespace lon::streaming

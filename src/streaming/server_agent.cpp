@@ -1,0 +1,96 @@
+#include "streaming/server_agent.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace lon::streaming {
+
+ServerAgent::ServerAgent(sim::Simulator& sim, sim::Network& net, lors::Lors& lors,
+                         DvsServer& dvs, sim::NodeId node,
+                         std::shared_ptr<lightfield::ViewSetSource> source,
+                         ServerAgentConfig config)
+    : sim_(sim),
+      net_(net),
+      lors_(lors),
+      dvs_(dvs),
+      node_(node),
+      source_(std::move(source)),
+      config_(std::move(config)) {
+  if (source_ == nullptr) throw std::invalid_argument("ServerAgent: null source");
+  if (config_.depots.empty()) throw std::invalid_argument("ServerAgent: no depots");
+  if (config_.processors < 1) throw std::invalid_argument("ServerAgent: processors < 1");
+}
+
+SimDuration ServerAgent::generation_cost() const {
+  const auto& cfg = source_->lattice().config();
+  const double pixels = static_cast<double>(cfg.view_set_span) * cfg.view_set_span *
+                        static_cast<double>(cfg.view_resolution) * cfg.view_resolution;
+  const double render_s =
+      pixels / (config_.pixels_per_sec_per_proc * config_.processors);
+  // Raw pixels are written once and the compressed output once more.
+  const double io_s = pixels * 3.0 * 1.2 / config_.io_bytes_per_sec;
+  return from_seconds(render_s + io_s);
+}
+
+void ServerAgent::generate_async(const lightfield::ViewSetId& id,
+                                 GenerateCallback on_done) {
+  if (!source_->lattice().valid(id)) {
+    sim_.after(0, [cb = std::move(on_done)] { cb(false, exnode::ExNode{}); });
+    return;
+  }
+  pending_.push_back(Request{id, std::move(on_done)});
+  maybe_start();
+}
+
+void ServerAgent::maybe_start() {
+  if (busy_ || pending_.empty()) return;
+  busy_ = true;
+  // LIFO: the scheduler "chooses the latest request to assign to the
+  // generator" — the newest request is what the interactive user wants now.
+  Request request = std::move(pending_.back());
+  pending_.pop_back();
+  run_one(std::move(request));
+}
+
+void ServerAgent::run_one(Request request) {
+  // The generator occupies the cluster for the modeled generation time;
+  // the actual pixel content is produced by the source.
+  sim_.after(generation_cost(), [this, request = std::move(request)]() mutable {
+    Bytes compressed = source_->build_compressed(request.id);
+    ++generated_;
+
+    lors::UploadOptions upload;
+    upload.depots = config_.depots;
+    upload.replicas = config_.replicas;
+    upload.block_bytes = config_.block_bytes;
+    upload.lease = config_.lease;
+    upload.net = config_.net;
+    lors_.upload_async(
+        node_, std::move(compressed), upload,
+        [this, request = std::move(request)](const lors::UploadResult& result) mutable {
+          if (result.status != lors::LorsStatus::kOk) {
+            LON_LOG(kWarn, "server-agent")
+                << "upload of " << request.id.key() << " failed: "
+                << lors::to_string(result.status);
+            request.on_done(false, exnode::ExNode{});
+            busy_ = false;
+            maybe_start();
+            return;
+          }
+          exnode::ExNode exnode = result.exnode;
+          exnode.metadata()["viewset"] = request.id.key();
+          // "a copy is sent to the client agent and the pool of server
+          // depots, and the DVS is updated" — the DVS update happens here;
+          // the requester receives the exNode through the callback chain.
+          dvs_.update_async(node_, request.id, exnode,
+                            [this, request = std::move(request), exnode]() mutable {
+                              request.on_done(true, exnode);
+                              busy_ = false;
+                              maybe_start();
+                            });
+        });
+  });
+}
+
+}  // namespace lon::streaming

@@ -1,0 +1,81 @@
+// The server and server agent — paper section 3.4.
+//
+// "The generator in the server renders the volume datasets into view sets
+// ... also compresses each view set ... Working from the entire collection
+// of requests that have been received but not yet rendered, the scheduler
+// chooses the latest request to assign to the generator. After the generator
+// renders a view set, per request of the scheduler, a copy is sent to the
+// client agent and the pool of server depots, and the DVS is updated."
+//
+// The generator's *content* is produced by the attached ViewSetSource (real
+// ray casting or procedural); the *time* it takes is charged on the virtual
+// clock from a calibrated cost model (rendering scales with pixels per
+// processor; I/O dominates, as the paper notes). Requests are scheduled LIFO
+// — the most recent request is the one the interactive user is waiting on.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "lightfield/builder.hpp"
+#include "lors/lors.hpp"
+#include "streaming/dvs.hpp"
+
+namespace lon::streaming {
+
+struct ServerAgentConfig {
+  std::vector<std::string> depots;        ///< server depots for uploads
+  int replicas = 1;
+  std::uint64_t block_bytes = 512 * 1024;
+  SimDuration lease = 24 * 3600 * kSecond;
+  sim::TransferOptions net;
+
+  // Generation cost model (virtual time).
+  int processors = 32;                    ///< the paper's cluster size
+  double pixels_per_sec_per_proc = 1.5e6; ///< ray-cast throughput per CPU
+  double io_bytes_per_sec = 25e6;         ///< "most of the time ... disk I/O"
+};
+
+class ServerAgent final : public GeneratorService {
+ public:
+  ServerAgent(sim::Simulator& sim, sim::Network& net, lors::Lors& lors, DvsServer& dvs,
+              sim::NodeId node, std::shared_ptr<lightfield::ViewSetSource> source,
+              ServerAgentConfig config);
+
+  [[nodiscard]] sim::NodeId node() const { return node_; }
+
+  /// Virtual-time cost of rendering + compressing + writing one view set.
+  [[nodiscard]] SimDuration generation_cost() const;
+
+  /// DVS miss path: render at runtime, upload, update the DVS, reply.
+  void generate_async(const lightfield::ViewSetId& id, GenerateCallback on_done) override;
+
+  [[nodiscard]] std::size_t queue_depth() const { return pending_.size(); }
+  [[nodiscard]] std::uint64_t generated_count() const { return generated_; }
+
+ private:
+  struct Request {
+    lightfield::ViewSetId id;
+    GenerateCallback on_done;
+  };
+
+  void maybe_start();
+  void run_one(Request request);
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  lors::Lors& lors_;
+  DvsServer& dvs_;
+  sim::NodeId node_;
+  std::shared_ptr<lightfield::ViewSetSource> source_;
+  ServerAgentConfig config_;
+
+  std::deque<Request> pending_;  // back = latest; scheduler pops the back (LIFO)
+  bool busy_ = false;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace lon::streaming

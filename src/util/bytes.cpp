@@ -1,0 +1,111 @@
+#include "util/bytes.hpp"
+
+#include <cstring>
+
+namespace lon {
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::f32(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  u32(bits);
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void ByteWriter::raw(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::blob(std::span<const std::uint8_t> data) {
+  u32(static_cast<std::uint32_t>(data.size()));
+  raw(data);
+}
+
+void ByteWriter::str(std::string_view s) { blob(as_bytes(s)); }
+
+void ByteReader::need(std::size_t n) const {
+  if (remaining() < n) {
+    throw DecodeError("ByteReader: truncated input (need " + std::to_string(n) +
+                      " bytes, have " + std::to_string(remaining()) + ")");
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+float ByteReader::f32() {
+  const std::uint32_t bits = u32();
+  float v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::span<const std::uint8_t> ByteReader::raw(std::size_t n) {
+  need(n);
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+Bytes ByteReader::blob() {
+  const std::uint32_t n = u32();
+  auto view = raw(n);
+  return Bytes(view.begin(), view.end());
+}
+
+std::string ByteReader::str() {
+  const std::uint32_t n = u32();
+  auto view = raw(n);
+  return std::string(reinterpret_cast<const char*>(view.data()), view.size());
+}
+
+}  // namespace lon

@@ -1,0 +1,97 @@
+// Little-endian byte-buffer serialization.
+//
+// Every on-the-wire structure in the system (view sets, exNodes, IBP
+// messages) is serialized through ByteWriter/ByteReader so the encoding is
+// explicit, portable and testable, independent of host struct layout.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lon {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Thrown by ByteReader when a read runs past the end of the buffer or a
+/// length prefix is implausible.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends fixed-width little-endian integers, floats and length-prefixed
+/// blobs to a growable byte vector.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f32(float v);
+  void f64(double v);
+
+  /// Raw bytes, no length prefix.
+  void raw(std::span<const std::uint8_t> data);
+
+  /// u32 length prefix followed by the bytes.
+  void blob(std::span<const std::uint8_t> data);
+
+  /// u32 length prefix followed by UTF-8 bytes.
+  void str(std::string_view s);
+
+  [[nodiscard]] const Bytes& bytes() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads the encodings produced by ByteWriter; bounds-checked throughout.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  float f32();
+  double f64();
+
+  /// Reads n raw bytes.
+  std::span<const std::uint8_t> raw(std::size_t n);
+
+  /// Reads a u32-length-prefixed blob.
+  Bytes blob();
+
+  /// Reads a u32-length-prefixed string.
+  std::string str();
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Convenience: views a string's bytes as a span for ByteWriter::raw/blob.
+inline std::span<const std::uint8_t> as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+}  // namespace lon

@@ -1,0 +1,57 @@
+#include "util/checksum.hpp"
+
+#include <array>
+
+namespace lon {
+namespace {
+
+constexpr std::uint32_t kAdlerMod = 65521;  // largest prime below 2^16
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const auto table = make_crc_table();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t adler32(std::span<const std::uint8_t> data, std::uint32_t adler) {
+  std::uint32_t a = adler & 0xffff;
+  std::uint32_t b = (adler >> 16) & 0xffff;
+  std::size_t i = 0;
+  while (i < data.size()) {
+    // 5552 is the largest n such that 255*n*(n+1)/2 + (n+1)*(kAdlerMod-1)
+    // fits in 32 bits; defer the modulo until then (zlib's trick).
+    std::size_t chunk = std::min<std::size_t>(5552, data.size() - i);
+    for (std::size_t j = 0; j < chunk; ++j) {
+      a += data[i + j];
+      b += a;
+    }
+    a %= kAdlerMod;
+    b %= kAdlerMod;
+    i += chunk;
+  }
+  return (b << 16) | a;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t crc) {
+  const auto& table = crc_table();
+  std::uint32_t c = crc ^ 0xffffffffu;
+  for (std::uint8_t byte : data) {
+    c = table[(c ^ byte) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace lon

@@ -1,0 +1,18 @@
+// Checksums used by the lfz compressed container (Adler-32, as in zlib) and
+// by IBP depot storage integrity checks (CRC-32, IEEE polynomial).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace lon {
+
+/// Adler-32 over the given bytes, continuing from a previous value.
+/// Start with adler = 1 (the zlib convention).
+std::uint32_t adler32(std::span<const std::uint8_t> data, std::uint32_t adler = 1);
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), continuing from a previous
+/// value. Start with crc = 0.
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t crc = 0);
+
+}  // namespace lon

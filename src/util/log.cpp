@@ -1,0 +1,30 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace lon {
+
+std::mutex Log::mutex_;
+LogLevel Log::level_ = LogLevel::kWarn;
+
+void Log::set_level(LogLevel level) {
+  std::lock_guard lock(mutex_);
+  level_ = level;
+}
+
+LogLevel Log::level() {
+  // Benign race-free read: level_ changes rarely and torn reads are
+  // impossible for a small enum; still guard for strictness.
+  std::lock_guard lock(mutex_);
+  return level_;
+}
+
+void Log::write(LogLevel level, const std::string& module, const std::string& message) {
+  static const char* names[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR", "OFF"};
+  std::lock_guard lock(mutex_);
+  if (level < level_) return;
+  std::cerr << '[' << names[static_cast<int>(level)] << "] " << module << ": " << message
+            << '\n';
+}
+
+}  // namespace lon

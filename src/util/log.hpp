@@ -1,0 +1,60 @@
+// Minimal leveled logger.
+//
+// Library code logs through this sink so tests can silence output and
+// examples can raise verbosity. Not thread-registered per-line fancy; one
+// global level and a mutex-guarded stream is enough for this system.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace lon {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Process-wide log configuration.
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  /// Emits one formatted line if `level` passes the global threshold.
+  static void write(LogLevel level, const std::string& module, const std::string& message);
+
+ private:
+  static std::mutex mutex_;
+  static LogLevel level_;
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string module) : level_(level), module_(std::move(module)) {}
+  ~LogLine() { Log::write(level_, module_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string module_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+/// Usage: LON_LOG(kInfo, "ibp") << "depot " << id << " full";
+#define LON_LOG(severity, module)                                 \
+  if (::lon::Log::level() > ::lon::LogLevel::severity) {          \
+  } else                                                          \
+    ::lon::detail::LogLine(::lon::LogLevel::severity, (module))
+
+}  // namespace lon

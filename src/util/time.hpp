@@ -1,0 +1,36 @@
+// Simulated-time primitives shared by every Logistical Networking module.
+//
+// All network behaviour in this reproduction runs on a virtual clock so that
+// wide-area latencies cost no wall time and every experiment is
+// deterministic.  SimTime is a signed 64-bit nanosecond count; helpers below
+// convert to and from seconds for reporting (the paper's figures are in
+// seconds).
+#pragma once
+
+#include <cstdint>
+
+namespace lon {
+
+/// Virtual time in nanoseconds since the start of a simulation.
+using SimTime = std::int64_t;
+
+/// Virtual duration in nanoseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1'000;
+inline constexpr SimDuration kMillisecond = 1'000'000;
+inline constexpr SimDuration kSecond = 1'000'000'000;
+
+/// Converts a floating-point second count to SimDuration (round to nearest).
+constexpr SimDuration from_seconds(double s) {
+  return static_cast<SimDuration>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Converts SimTime/SimDuration to floating-point seconds for reporting.
+constexpr double to_seconds(SimDuration t) { return static_cast<double>(t) * 1e-9; }
+
+/// Converts milliseconds to SimDuration.
+constexpr SimDuration from_millis(double ms) { return from_seconds(ms * 1e-3); }
+
+}  // namespace lon

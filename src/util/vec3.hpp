@@ -1,0 +1,102 @@
+// Small 3-D vector math and spherical-coordinate helpers used by the ray
+// caster and the spherical light-field parameterization.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace lon {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const { return std::sqrt(dot(*this)); }
+  constexpr double norm2() const { return dot(*this); }
+
+  Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? *this / n : Vec3{0, 0, 0};
+  }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Degrees to radians.
+constexpr double deg2rad(double deg) { return deg * kPi / 180.0; }
+/// Radians to degrees.
+constexpr double rad2deg(double rad) { return rad * 180.0 / kPi; }
+
+/// Spherical direction (theta = polar angle from +z in [0, pi],
+/// phi = azimuth from +x in [0, 2*pi)).
+struct Spherical {
+  double theta = 0.0;
+  double phi = 0.0;
+};
+
+/// Unit direction for spherical angles.
+inline Vec3 spherical_to_unit(const Spherical& s) {
+  const double st = std::sin(s.theta);
+  return {st * std::cos(s.phi), st * std::sin(s.phi), std::cos(s.theta)};
+}
+
+/// Spherical angles of a (not necessarily unit) direction. phi is
+/// normalized into [0, 2*pi).
+inline Spherical unit_to_spherical(const Vec3& v) {
+  const double r = v.norm();
+  Spherical s;
+  if (r <= 0.0) return s;
+  s.theta = std::acos(std::clamp(v.z / r, -1.0, 1.0));
+  s.phi = std::atan2(v.y, v.x);
+  if (s.phi < 0.0) s.phi += 2.0 * kPi;
+  return s;
+}
+
+/// Great-circle (angular) distance in radians between two directions.
+inline double angular_distance(const Spherical& a, const Spherical& b) {
+  const Vec3 va = spherical_to_unit(a);
+  const Vec3 vb = spherical_to_unit(b);
+  return std::acos(std::clamp(va.dot(vb), -1.0, 1.0));
+}
+
+}  // namespace lon

@@ -1,0 +1,59 @@
+#include "volume/histogram.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lon::volume {
+
+double Histogram::percentile(double fraction) const {
+  if (total == 0) return 0.0;
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(fraction * static_cast<double>(total));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    seen += bins[b];
+    if (seen >= target) return bin_center(b);
+  }
+  return 1.0;
+}
+
+std::size_t Histogram::mode_bin() const {
+  return static_cast<std::size_t>(
+      std::max_element(bins.begin(), bins.end()) - bins.begin());
+}
+
+Histogram compute_histogram(const ScalarVolume& volume, std::size_t bins) {
+  if (bins == 0) throw std::invalid_argument("compute_histogram: zero bins");
+  Histogram h;
+  h.bins.assign(bins, 0);
+  for (const float v : volume.data()) {
+    const double clamped = std::clamp(static_cast<double>(v), 0.0, 1.0);
+    auto bin = static_cast<std::size_t>(clamped * static_cast<double>(bins));
+    if (bin == bins) bin = bins - 1;
+    ++h.bins[bin];
+    ++h.total;
+  }
+  return h;
+}
+
+TransferFunction suggest_transfer_function(const ScalarVolume& volume) {
+  const Histogram h = compute_histogram(volume, 64);
+  const double background = h.bin_center(h.mode_bin());
+  const double lo = h.percentile(0.02);
+  const double hi = h.percentile(0.98);
+
+  // A transparent notch at the background value; opacity ramps toward the
+  // 2nd/98th percentile tails; cool hue below the background, warm above.
+  const double notch = 0.06;
+  TransferFunction tf;
+  tf.add(std::max(0.0, lo - 0.05), {0.25, 0.4, 1.0, 0.85});
+  tf.add(lo, {0.3, 0.5, 1.0, 0.5});
+  tf.add(std::max(0.0, background - notch), {0.6, 0.8, 1.0, 0.0});
+  tf.add(background, {0.0, 0.0, 0.0, 0.0});
+  tf.add(std::min(1.0, background + notch), {1.0, 0.8, 0.5, 0.0});
+  tf.add(hi, {1.0, 0.5, 0.2, 0.5});
+  tf.add(std::min(1.0, hi + 0.05), {1.0, 0.9, 0.5, 0.85});
+  return tf;
+}
+
+}  // namespace lon::volume

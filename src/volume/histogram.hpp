@@ -1,0 +1,41 @@
+// Scalar-field statistics for transfer-function design.
+//
+// Before browsing a dataset remotely, someone has to pick transfer-function
+// control points. The histogram and its percentiles are the standard tools;
+// suggest_transfer_function() turns them into a usable semi-transparent
+// preset automatically (background suppressed, structures highlighted).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "volume/transfer.hpp"
+#include "volume/volume.hpp"
+
+namespace lon::volume {
+
+struct Histogram {
+  std::vector<std::uint64_t> bins;  ///< counts over [0,1] split evenly
+  std::uint64_t total = 0;
+
+  /// Value below which `fraction` of all voxels fall (0 <= fraction <= 1).
+  [[nodiscard]] double percentile(double fraction) const;
+
+  /// Index of the fullest bin (the dataset's "background" mode, usually).
+  [[nodiscard]] std::size_t mode_bin() const;
+
+  [[nodiscard]] double bin_center(std::size_t bin) const {
+    return (static_cast<double>(bin) + 0.5) / static_cast<double>(bins.size());
+  }
+};
+
+/// Computes a histogram over values clamped to [0, 1].
+[[nodiscard]] Histogram compute_histogram(const ScalarVolume& volume,
+                                          std::size_t bins = 64);
+
+/// Derives a semi-transparent transfer function: the histogram mode (the
+/// dominant background value) is made fully transparent; values toward the
+/// tails gain opacity and distinct warm/cool hues.
+[[nodiscard]] TransferFunction suggest_transfer_function(const ScalarVolume& volume);
+
+}  // namespace lon::volume

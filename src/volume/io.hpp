@@ -1,0 +1,29 @@
+// Volume file I/O.
+//
+// The classic datasets of this era (negHip among them) circulate as
+// headerless .raw files of 8-bit voxels with the dimensions documented out
+// of band; load_raw_u8/save_raw_u8 handle that convention so a user who
+// does have negHip.raw (64x64x64, uint8) can drop it straight in. The
+// self-describing .lvol format (small header + float32 voxels) is this
+// library's native round-trip format.
+#pragma once
+
+#include <string>
+
+#include "volume/volume.hpp"
+
+namespace lon::volume {
+
+/// Writes voxels quantized to bytes (v * 255, clamped), headerless raw.
+void save_raw_u8(const ScalarVolume& volume, const std::string& path);
+
+/// Reads a headerless 8-bit raw volume of the given dimensions, scaling
+/// voxels to [0, 1]. Throws std::runtime_error on size mismatch.
+ScalarVolume load_raw_u8(const std::string& path, std::size_t nx, std::size_t ny,
+                         std::size_t nz);
+
+/// Native format: "LVOL" magic, dimensions, float32 voxels (little-endian).
+void save_lvol(const ScalarVolume& volume, const std::string& path);
+ScalarVolume load_lvol(const std::string& path);
+
+}  // namespace lon::volume

@@ -1,0 +1,67 @@
+#include "volume/transfer.hpp"
+
+#include <algorithm>
+
+namespace lon::volume {
+
+TransferFunction::TransferFunction(std::vector<ControlPoint> points)
+    : points_(std::move(points)) {
+  std::sort(points_.begin(), points_.end(),
+            [](const ControlPoint& a, const ControlPoint& b) { return a.value < b.value; });
+}
+
+void TransferFunction::add(double value, const Rgba& color) {
+  ControlPoint cp{value, color};
+  const auto pos = std::lower_bound(
+      points_.begin(), points_.end(), cp,
+      [](const ControlPoint& a, const ControlPoint& b) { return a.value < b.value; });
+  points_.insert(pos, cp);
+}
+
+Rgba TransferFunction::evaluate(double value) const {
+  if (points_.empty()) return {};
+  if (value <= points_.front().value) return points_.front().color;
+  if (value >= points_.back().value) return points_.back().color;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (value <= points_[i].value) {
+      const ControlPoint& lo = points_[i - 1];
+      const ControlPoint& hi = points_[i];
+      const double span = hi.value - lo.value;
+      const double t = span > 0.0 ? (value - lo.value) / span : 0.0;
+      return {
+          lo.color.r + t * (hi.color.r - lo.color.r),
+          lo.color.g + t * (hi.color.g - lo.color.g),
+          lo.color.b + t * (hi.color.b - lo.color.b),
+          lo.color.a + t * (hi.color.a - lo.color.a),
+      };
+    }
+  }
+  return points_.back().color;
+}
+
+TransferFunction TransferFunction::neghip_preset() {
+  // The neutral band (potential far from any charge) is fully transparent so
+  // the positive/negative lobes stand out as distinct structures.
+  TransferFunction tf;
+  tf.add(0.00, {0.2, 0.3, 1.0, 0.85});   // deepest negative lobe: saturated blue
+  tf.add(0.18, {0.3, 0.5, 1.0, 0.45});
+  tf.add(0.32, {0.6, 0.8, 1.0, 0.10});   // fading into transparency
+  tf.add(0.42, {0.0, 0.0, 0.0, 0.00});   // neutral region: invisible
+  tf.add(0.58, {0.0, 0.0, 0.0, 0.00});
+  tf.add(0.68, {1.0, 0.7, 0.3, 0.10});   // positive lobe: orange glow
+  tf.add(0.84, {1.0, 0.35, 0.1, 0.45});
+  tf.add(1.00, {1.0, 0.9, 0.5, 0.85});   // hottest core: yellow-white
+  return tf;
+}
+
+TransferFunction TransferFunction::opaque_preset(double iso, double width) {
+  TransferFunction tf;
+  tf.add(0.0, {0.0, 0.0, 0.0, 0.0});
+  tf.add(iso - width, {0.8, 0.8, 0.7, 0.0});
+  tf.add(iso, {0.9, 0.85, 0.7, 0.95});
+  tf.add(iso + width, {0.8, 0.8, 0.7, 0.0});
+  tf.add(1.0, {0.0, 0.0, 0.0, 0.0});
+  return tf;
+}
+
+}  // namespace lon::volume

@@ -1,0 +1,49 @@
+// Transfer functions: scalar value -> RGBA.
+//
+// Piecewise-linear over [0, 1], the standard volume rendering building
+// block. Presets cover the two viewing situations the paper calls out:
+// semi-transparent volumetric rendering and near-opaque surfaces.
+#pragma once
+
+#include <array>
+#include <vector>
+
+namespace lon::volume {
+
+struct Rgba {
+  double r = 0.0;
+  double g = 0.0;
+  double b = 0.0;
+  double a = 0.0;
+};
+
+class TransferFunction {
+ public:
+  struct ControlPoint {
+    double value = 0.0;  ///< scalar in [0, 1]
+    Rgba color;
+  };
+
+  TransferFunction() = default;
+  explicit TransferFunction(std::vector<ControlPoint> points);
+
+  /// Adds a control point (kept sorted by value).
+  void add(double value, const Rgba& color);
+
+  /// Piecewise-linear lookup; clamps outside the control range.
+  [[nodiscard]] Rgba evaluate(double value) const;
+
+  [[nodiscard]] const std::vector<ControlPoint>& points() const { return points_; }
+
+  /// Semi-transparent preset with distinct hues for the negative and
+  /// positive potential lobes (negHip-style).
+  static TransferFunction neghip_preset();
+
+  /// Near-opaque shell around one iso-value (iso-surface-like viewing).
+  static TransferFunction opaque_preset(double iso = 0.5, double width = 0.05);
+
+ private:
+  std::vector<ControlPoint> points_;
+};
+
+}  // namespace lon::volume

@@ -1,0 +1,74 @@
+#include "volume/volume.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lon::volume {
+
+ScalarVolume::ScalarVolume(std::size_t nx, std::size_t ny, std::size_t nz)
+    : nx_(nx), ny_(ny), nz_(nz), data_(nx * ny * nz, 0.0f) {
+  if (nx < 2 || ny < 2 || nz < 2) {
+    throw std::invalid_argument("ScalarVolume: each dimension must be >= 2");
+  }
+}
+
+float ScalarVolume::sample(const Vec3& world) const {
+  // Map [-1, 1] to continuous voxel coordinates [0, n-1].
+  const double fx = (std::clamp(world.x, -1.0, 1.0) + 1.0) * 0.5 * (static_cast<double>(nx_) - 1.0);
+  const double fy = (std::clamp(world.y, -1.0, 1.0) + 1.0) * 0.5 * (static_cast<double>(ny_) - 1.0);
+  const double fz = (std::clamp(world.z, -1.0, 1.0) + 1.0) * 0.5 * (static_cast<double>(nz_) - 1.0);
+
+  const auto x0 = static_cast<std::size_t>(fx);
+  const auto y0 = static_cast<std::size_t>(fy);
+  const auto z0 = static_cast<std::size_t>(fz);
+  const std::size_t x1 = std::min(x0 + 1, nx_ - 1);
+  const std::size_t y1 = std::min(y0 + 1, ny_ - 1);
+  const std::size_t z1 = std::min(z0 + 1, nz_ - 1);
+  const double tx = fx - static_cast<double>(x0);
+  const double ty = fy - static_cast<double>(y0);
+  const double tz = fz - static_cast<double>(z0);
+
+  const double c000 = at(x0, y0, z0), c100 = at(x1, y0, z0);
+  const double c010 = at(x0, y1, z0), c110 = at(x1, y1, z0);
+  const double c001 = at(x0, y0, z1), c101 = at(x1, y0, z1);
+  const double c011 = at(x0, y1, z1), c111 = at(x1, y1, z1);
+
+  const double c00 = c000 + tx * (c100 - c000);
+  const double c10 = c010 + tx * (c110 - c010);
+  const double c01 = c001 + tx * (c101 - c001);
+  const double c11 = c011 + tx * (c111 - c011);
+  const double c0 = c00 + ty * (c10 - c00);
+  const double c1 = c01 + ty * (c11 - c01);
+  return static_cast<float>(c0 + tz * (c1 - c0));
+}
+
+Vec3 ScalarVolume::gradient(const Vec3& world) const {
+  const double h = 2.0 / static_cast<double>(std::max({nx_, ny_, nz_}));
+  return {
+      (sample({world.x + h, world.y, world.z}) - sample({world.x - h, world.y, world.z})) /
+          (2.0 * h),
+      (sample({world.x, world.y + h, world.z}) - sample({world.x, world.y - h, world.z})) /
+          (2.0 * h),
+      (sample({world.x, world.y, world.z + h}) - sample({world.x, world.y, world.z - h})) /
+          (2.0 * h),
+  };
+}
+
+float ScalarVolume::min_value() const {
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float ScalarVolume::max_value() const {
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+void ScalarVolume::normalize() {
+  const float lo = min_value();
+  const float hi = max_value();
+  if (hi <= lo) return;
+  const float scale = 1.0f / (hi - lo);
+  for (float& v : data_) v = (v - lo) * scale;
+}
+
+}  // namespace lon::volume

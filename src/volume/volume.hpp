@@ -1,0 +1,56 @@
+// Regular-grid scalar volumes with trilinear sampling.
+//
+// Volumes live in the unit cube [-1, 1]^3 in world space (the light-field
+// spheres are concentric with this cube). Values are stored as float and
+// conventionally normalized to [0, 1] so transfer functions can be defined
+// over a fixed domain.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace lon::volume {
+
+class ScalarVolume {
+ public:
+  ScalarVolume() = default;
+  ScalarVolume(std::size_t nx, std::size_t ny, std::size_t nz);
+
+  [[nodiscard]] std::size_t nx() const { return nx_; }
+  [[nodiscard]] std::size_t ny() const { return ny_; }
+  [[nodiscard]] std::size_t nz() const { return nz_; }
+  [[nodiscard]] std::size_t voxel_count() const { return data_.size(); }
+
+  [[nodiscard]] float& at(std::size_t i, std::size_t j, std::size_t k) {
+    return data_[(k * ny_ + j) * nx_ + i];
+  }
+  [[nodiscard]] float at(std::size_t i, std::size_t j, std::size_t k) const {
+    return data_[(k * ny_ + j) * nx_ + i];
+  }
+
+  [[nodiscard]] const std::vector<float>& data() const { return data_; }
+  [[nodiscard]] std::vector<float>& data() { return data_; }
+
+  /// Trilinear sample at a world position in [-1, 1]^3; clamps to the
+  /// boundary outside.
+  [[nodiscard]] float sample(const Vec3& world) const;
+
+  /// Central-difference gradient of the field at a world position (used for
+  /// shading). Scaled to world units.
+  [[nodiscard]] Vec3 gradient(const Vec3& world) const;
+
+  [[nodiscard]] float min_value() const;
+  [[nodiscard]] float max_value() const;
+
+  /// Affinely rescales values into [0, 1] (no-op on a constant volume).
+  void normalize();
+
+ private:
+  std::size_t nx_ = 0, ny_ = 0, nz_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace lon::volume

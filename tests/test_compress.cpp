@@ -1,0 +1,351 @@
+// Unit and property tests for the lfz codec: bit I/O, Huffman, LZ77,
+// container round-trips, corruption detection and image predictor filters.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "compress/bitio.hpp"
+#include "compress/filters.hpp"
+#include "compress/huffman.hpp"
+#include "compress/lfz.hpp"
+#include "compress/lz77.hpp"
+#include "util/rng.hpp"
+
+namespace lon::lfz {
+namespace {
+
+// --- bit I/O --------------------------------------------------------------------
+
+TEST(BitIo, RoundTripMixedWidths) {
+  BitWriter w;
+  w.put(0b1, 1);
+  w.put(0b1010, 4);
+  w.put(0xdead, 16);
+  w.put(0x7fffffff, 31);
+  const Bytes data = w.take();
+
+  BitReader r(data);
+  EXPECT_EQ(r.get(1), 0b1u);
+  EXPECT_EQ(r.get(4), 0b1010u);
+  EXPECT_EQ(r.get(16), 0xdeadu);
+  EXPECT_EQ(r.get(31), 0x7fffffffu);
+}
+
+TEST(BitIo, AlignSkipsToByteBoundary) {
+  BitWriter w;
+  w.put(0b101, 3);
+  w.align();
+  w.put(0xff, 8);
+  const Bytes data = w.take();
+  ASSERT_EQ(data.size(), 2u);
+
+  BitReader r(data);
+  EXPECT_EQ(r.get(3), 0b101u);
+  r.align();
+  EXPECT_EQ(r.get(8), 0xffu);
+}
+
+TEST(BitIo, TruncatedStreamThrows) {
+  BitWriter w;
+  w.put(0x3, 2);
+  const Bytes data = w.take();
+  BitReader r(data);
+  r.get(8);
+  EXPECT_THROW(r.get(8), DecodeError);
+}
+
+TEST(BitIo, HuffCodeMsbFirstOrder) {
+  BitWriter w;
+  w.put_code(0b110, 3);  // written as bits 1,1,0
+  const Bytes data = w.take();
+  BitReader r(data);
+  EXPECT_EQ(r.bit(), 1u);
+  EXPECT_EQ(r.bit(), 1u);
+  EXPECT_EQ(r.bit(), 0u);
+}
+
+// --- huffman --------------------------------------------------------------------
+
+TEST(Huffman, CodeLengthsFollowFrequencies) {
+  // Symbol 0 dominates: it must get the (a) shortest code.
+  const std::uint64_t freqs[] = {1000, 10, 10, 10, 1};
+  const auto lengths = build_code_lengths(freqs);
+  EXPECT_LE(lengths[0], lengths[1]);
+  EXPECT_LE(lengths[1], lengths[4]);
+  for (const auto l : lengths) EXPECT_LE(l, kMaxCodeLength);
+}
+
+TEST(Huffman, UnusedSymbolsGetZeroLength) {
+  const std::uint64_t freqs[] = {5, 0, 3, 0};
+  const auto lengths = build_code_lengths(freqs);
+  EXPECT_GT(lengths[0], 0);
+  EXPECT_EQ(lengths[1], 0);
+  EXPECT_GT(lengths[2], 0);
+  EXPECT_EQ(lengths[3], 0);
+}
+
+TEST(Huffman, SingleSymbolGetsLengthOne) {
+  const std::uint64_t freqs[] = {0, 7, 0};
+  const auto lengths = build_code_lengths(freqs);
+  EXPECT_EQ(lengths[1], 1);
+}
+
+TEST(Huffman, KraftInequalityHolds) {
+  Rng rng(11);
+  std::vector<std::uint64_t> freqs(200);
+  for (auto& f : freqs) f = rng.below(10'000);
+  const auto lengths = build_code_lengths(freqs);
+  double kraft = 0.0;
+  for (const auto l : lengths) {
+    if (l > 0) kraft += std::pow(2.0, -static_cast<double>(l));
+  }
+  EXPECT_LE(kraft, 1.0 + 1e-12);
+}
+
+TEST(Huffman, LengthLimitingKicksInOnSkewedDistributions) {
+  // Fibonacci-like frequencies force very deep optimal trees.
+  std::vector<std::uint64_t> freqs(40);
+  std::uint64_t a = 1, b = 1;
+  for (auto& f : freqs) {
+    f = a;
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  const auto lengths = build_code_lengths(freqs);
+  for (const auto l : lengths) {
+    EXPECT_GT(l, 0);
+    EXPECT_LE(l, kMaxCodeLength);
+  }
+}
+
+TEST(Huffman, EncodeDecodeRoundTrip) {
+  Rng rng(17);
+  std::vector<std::uint64_t> freqs(64);
+  for (auto& f : freqs) f = 1 + rng.below(500);
+  const auto lengths = build_code_lengths(freqs);
+  const HuffmanEncoder enc(lengths);
+  const HuffmanDecoder dec(lengths);
+
+  std::vector<std::uint32_t> symbols;
+  for (int i = 0; i < 5000; ++i) symbols.push_back(static_cast<std::uint32_t>(rng.below(64)));
+
+  BitWriter w;
+  for (const auto s : symbols) enc.encode(w, s);
+  const Bytes data = w.take();
+  BitReader r(data);
+  for (const auto s : symbols) EXPECT_EQ(dec.decode(r), s);
+}
+
+// --- lz77 -----------------------------------------------------------------------
+
+Bytes expand_via_tokens(const Bytes& input, const Lz77Options& opts = {}) {
+  const auto tokens = lz77_tokenize(input, opts);
+  return lz77_expand(tokens, input.size());
+}
+
+TEST(Lz77, RoundTripText) {
+  const std::string text =
+      "the quick brown fox jumps over the lazy dog; "
+      "the quick brown fox jumps over the lazy dog again and again and again";
+  const Bytes input(text.begin(), text.end());
+  EXPECT_EQ(expand_via_tokens(input), input);
+  // Repetitive text must actually produce matches.
+  const auto tokens = lz77_tokenize(input);
+  EXPECT_LT(tokens.size(), input.size());
+}
+
+TEST(Lz77, RoundTripEmptyAndTiny) {
+  EXPECT_TRUE(expand_via_tokens({}).empty());
+  EXPECT_EQ(expand_via_tokens({42}), (Bytes{42}));
+  EXPECT_EQ(expand_via_tokens({1, 2}), (Bytes{1, 2}));
+}
+
+TEST(Lz77, HighlyRepetitiveInputCompressesToFewTokens) {
+  const Bytes input(100'000, 0xaa);
+  const auto tokens = lz77_tokenize(input);
+  EXPECT_LT(tokens.size(), 500u);  // ~100k/258 matches plus the seed literal
+  EXPECT_EQ(lz77_expand(tokens, input.size()), input);
+}
+
+TEST(Lz77, OverlappingMatchesExpandCorrectly) {
+  // "abcabcabc..." exercises distance < length copies.
+  Bytes input;
+  for (int i = 0; i < 1000; ++i) input.push_back(static_cast<std::uint8_t>('a' + i % 3));
+  EXPECT_EQ(expand_via_tokens(input), input);
+}
+
+TEST(Lz77, RandomDataRoundTrips) {
+  Rng rng(23);
+  Bytes input(50'000);
+  for (auto& b : input) b = static_cast<std::uint8_t>(rng.below(256));
+  EXPECT_EQ(expand_via_tokens(input), input);
+}
+
+TEST(Lz77, LazyOffAlsoRoundTrips) {
+  Rng rng(29);
+  Bytes input(20'000);
+  for (auto& b : input) b = static_cast<std::uint8_t>(rng.below(8));  // matchy data
+  Lz77Options opts;
+  opts.lazy = false;
+  EXPECT_EQ(expand_via_tokens(input, opts), input);
+}
+
+TEST(Lz77, ExpandRejectsBadReferences) {
+  std::vector<Token> tokens = {Token::make_literal('x'),
+                               Token::make_match(5, 10)};  // distance 10 > output size 1
+  EXPECT_THROW(lz77_expand(tokens), DecodeError);
+  tokens = {Token::make_literal('x'), Token::make_match(300, 1)};  // length > 258
+  EXPECT_THROW(lz77_expand(tokens), DecodeError);
+}
+
+// --- lfz container ----------------------------------------------------------------
+
+class LfzRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LfzRoundTrip, RandomBytes) {
+  Rng rng(GetParam() + 1);
+  Bytes input(GetParam());
+  for (auto& b : input) b = static_cast<std::uint8_t>(rng.below(256));
+  const Bytes packed = compress(input);
+  EXPECT_EQ(decompress(packed), input);
+  EXPECT_EQ(decompressed_size(packed), input.size());
+}
+
+TEST_P(LfzRoundTrip, CompressibleBytes) {
+  Rng rng(GetParam() + 99);
+  Bytes input(GetParam());
+  std::uint8_t value = 0;
+  for (auto& b : input) {
+    if (rng.below(16) == 0) value = static_cast<std::uint8_t>(rng.below(256));
+    b = value;  // long runs
+  }
+  const Bytes packed = compress(input);
+  EXPECT_EQ(decompress(packed), input);
+  if (input.size() > 4096) {
+    EXPECT_LT(packed.size(), input.size() / 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LfzRoundTrip,
+                         ::testing::Values(0, 1, 2, 3, 255, 4096, 65'537, 1'000'000));
+
+TEST(Lfz, EmptyInput) {
+  const Bytes packed = compress({});
+  EXPECT_TRUE(decompress(packed).empty());
+}
+
+TEST(Lfz, IncompressibleFallsBackToStored) {
+  Rng rng(3);
+  Bytes input(10'000);
+  for (auto& b : input) b = static_cast<std::uint8_t>(rng.below(256));
+  const Bytes packed = compress(input);
+  // Stored overhead is just the header.
+  EXPECT_LE(packed.size(), input.size() + 32);
+  EXPECT_EQ(decompress(packed), input);
+}
+
+TEST(Lfz, SmoothDataReachesPaperRatios) {
+  // A smooth 2-D field similar in character to a ray-cast sample view:
+  // the paper reports 5-7x with zlib on such content.
+  const std::size_t w = 256, h = 256;
+  Bytes image(w * h * 3);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      const double v =
+          0.5 + 0.5 * std::sin(static_cast<double>(x) * 0.05) *
+                    std::cos(static_cast<double>(y) * 0.04);
+      const auto byte = static_cast<std::uint8_t>(v * 255.0);
+      image[(y * w + x) * 3 + 0] = byte;
+      image[(y * w + x) * 3 + 1] = byte / 2;
+      image[(y * w + x) * 3 + 2] = static_cast<std::uint8_t>(255 - byte);
+    }
+  }
+  const Bytes filtered = filter_image(image, w, h, 3);
+  const Bytes packed = compress(filtered);
+  EXPECT_GT(static_cast<double>(image.size()) / static_cast<double>(packed.size()), 5.0);
+  EXPECT_EQ(unfilter_image(decompress(packed), w, h, 3), image);
+}
+
+TEST(Lfz, DetectsCorruptMagic) {
+  Bytes packed = compress(Bytes{1, 2, 3, 4, 5});
+  packed[0] = 'X';
+  EXPECT_THROW(decompress(packed), DecodeError);
+}
+
+TEST(Lfz, DetectsBodyCorruption) {
+  Bytes base(20'000);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    base[i] = static_cast<std::uint8_t>(i % 64);
+  }
+  const Bytes packed = compress(base);
+  int detected = 0;
+  // Flip a byte at several positions; every corruption must be caught.
+  for (std::size_t pos = 20; pos < packed.size(); pos += packed.size() / 7 + 1) {
+    Bytes evil = packed;
+    evil[pos] ^= 0x55;
+    try {
+      const Bytes out = decompress(evil);
+      if (out != base) ++detected;  // wrong data should have thrown, count anyway
+    } catch (const DecodeError&) {
+      ++detected;
+    }
+  }
+  EXPECT_GE(detected, 1);
+}
+
+TEST(Lfz, DetectsTruncation) {
+  const Bytes packed = compress(Bytes(5000, 7));
+  const Bytes cut(packed.begin(), packed.begin() + static_cast<long>(packed.size() / 2));
+  EXPECT_THROW(decompress(cut), DecodeError);
+}
+
+// --- filters --------------------------------------------------------------------
+
+TEST(Filters, PaethMatchesPngSpec) {
+  // From the PNG spec: choose the neighbour closest to p = left + up - upleft.
+  EXPECT_EQ(paeth_predict(10, 20, 30), 10);   // p = 0 -> closest is left
+  EXPECT_EQ(paeth_predict(100, 100, 100), 100);
+  EXPECT_EQ(paeth_predict(0, 50, 10), 0 + 40 == 40 ? 50 : 50);  // p = 40, up closest
+}
+
+TEST(Filters, RoundTripAllContentTypes) {
+  Rng rng(41);
+  for (const std::size_t w : {1u, 7u, 64u}) {
+    for (const std::size_t h : {1u, 5u, 32u}) {
+      Bytes image(w * h * 3);
+      for (auto& b : image) b = static_cast<std::uint8_t>(rng.below(256));
+      const Bytes filtered = filter_image(image, w, h, 3);
+      EXPECT_EQ(filtered.size(), h * (w * 3 + 1));
+      EXPECT_EQ(unfilter_image(filtered, w, h, 3), image);
+    }
+  }
+}
+
+TEST(Filters, SmoothGradientFiltersToNearZero) {
+  const std::size_t w = 128, h = 1;
+  Bytes image(w * 3);
+  for (std::size_t x = 0; x < w; ++x) {
+    image[x * 3] = image[x * 3 + 1] = image[x * 3 + 2] = static_cast<std::uint8_t>(x);
+  }
+  const Bytes filtered = filter_image(image, w, h, 3);
+  // A ramp is perfectly predicted by Sub: almost all residuals are constant.
+  int nonzero = 0;
+  for (std::size_t i = 1; i < filtered.size(); ++i) nonzero += filtered[i] != 1 ? 1 : 0;
+  EXPECT_LT(nonzero, 8);
+}
+
+TEST(Filters, SizeMismatchThrows) {
+  EXPECT_THROW(filter_image(Bytes(10), 4, 4, 3), std::invalid_argument);
+  EXPECT_THROW(unfilter_image(Bytes(10), 4, 4, 3), DecodeError);
+}
+
+TEST(Filters, BadFilterTypeThrows) {
+  Bytes filtered(1 + 4 * 3, 0);
+  filtered[0] = 9;  // invalid type
+  EXPECT_THROW(unfilter_image(filtered, 4, 1, 3), DecodeError);
+}
+
+}  // namespace
+}  // namespace lon::lfz

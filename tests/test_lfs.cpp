@@ -1,0 +1,193 @@
+// Tests for the Logistical File System: path semantics, namespace
+// operations, and whole-file I/O through LoRS to IBP depots.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "lfs/lfs.hpp"
+
+namespace lon::lfs {
+namespace {
+
+// --- path parsing -----------------------------------------------------------------
+
+TEST(LfsPath, ParsesWellFormedPaths) {
+  EXPECT_EQ(parse_path("/"), (std::vector<std::string>{}));
+  EXPECT_EQ(parse_path("/a"), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(parse_path("/a/b.dat/c-2_x"), (std::vector<std::string>{"a", "b.dat", "c-2_x"}));
+  EXPECT_EQ(parse_path("/a/"), (std::vector<std::string>{"a"}));  // trailing slash ok
+}
+
+TEST(LfsPath, RejectsMalformedPaths) {
+  EXPECT_FALSE(parse_path("").has_value());
+  EXPECT_FALSE(parse_path("relative").has_value());
+  EXPECT_FALSE(parse_path("/a//b").has_value());
+  EXPECT_FALSE(parse_path("/a b").has_value());
+  EXPECT_FALSE(parse_path("/..").has_value());
+  EXPECT_FALSE(parse_path("/a/./b").has_value());
+}
+
+// --- namespace semantics -------------------------------------------------------------
+
+class LfsTest : public ::testing::Test {
+ protected:
+  LfsTest() : net_(sim_) {
+    client_ = net_.add_node("client");
+    const sim::NodeId node = net_.add_node("lfs");
+    net_.add_link(client_, node, {1e9, 2 * kMillisecond, 0.0});
+    server_ = std::make_unique<LfsServer>(sim_, net_, node);
+  }
+
+  static exnode::ExNode file_of_length(std::uint64_t length) {
+    exnode::ExNode node(length);
+    exnode::Extent extent;
+    extent.offset = 0;
+    extent.length = length;
+    exnode::Replica rep;
+    rep.read.depot = "d";
+    rep.read.allocation = 1;
+    rep.read.key = 1;
+    extent.replicas.push_back(rep);
+    node.add_extent(extent);
+    return node;
+  }
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  sim::NodeId client_ = 0;
+  std::unique_ptr<LfsServer> server_;
+};
+
+TEST_F(LfsTest, MkdirPutGetListRemove) {
+  EXPECT_EQ(server_->mkdir("/data"), LfsStatus::kOk);
+  EXPECT_EQ(server_->mkdir("/data/runs"), LfsStatus::kOk);
+  EXPECT_EQ(server_->put("/data/runs/a.lfd", file_of_length(100)), LfsStatus::kOk);
+  EXPECT_EQ(server_->put("/data/runs/b.lfd", file_of_length(200)), LfsStatus::kOk);
+
+  exnode::ExNode out;
+  EXPECT_EQ(server_->get("/data/runs/a.lfd", out), LfsStatus::kOk);
+  EXPECT_EQ(out.length(), 100u);
+
+  std::vector<DirEntry> entries;
+  EXPECT_EQ(server_->list("/data/runs", entries), LfsStatus::kOk);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].name, "a.lfd");
+  EXPECT_FALSE(entries[0].is_directory);
+  EXPECT_EQ(entries[0].length, 100u);
+
+  EXPECT_EQ(server_->remove("/data/runs/a.lfd"), LfsStatus::kOk);
+  EXPECT_EQ(server_->get("/data/runs/a.lfd", out), LfsStatus::kNotFound);
+  EXPECT_EQ(server_->entry_count(), 3u);  // data, runs, b.lfd
+}
+
+TEST_F(LfsTest, ErrorSemantics) {
+  ASSERT_EQ(server_->mkdir("/dir"), LfsStatus::kOk);
+  ASSERT_EQ(server_->put("/file", file_of_length(10)), LfsStatus::kOk);
+
+  EXPECT_EQ(server_->mkdir("/dir"), LfsStatus::kExists);
+  EXPECT_EQ(server_->mkdir("/missing/sub"), LfsStatus::kNotFound);
+  EXPECT_EQ(server_->mkdir("/file/sub"), LfsStatus::kNotDirectory);
+  EXPECT_EQ(server_->put("/dir", file_of_length(1)), LfsStatus::kIsDirectory);
+  exnode::ExNode out;
+  EXPECT_EQ(server_->get("/dir", out), LfsStatus::kIsDirectory);
+  std::vector<DirEntry> entries;
+  EXPECT_EQ(server_->list("/file", entries), LfsStatus::kNotDirectory);
+  EXPECT_EQ(server_->remove("/missing"), LfsStatus::kNotFound);
+  EXPECT_EQ(server_->mkdir("bad path"), LfsStatus::kInvalidPath);
+  EXPECT_EQ(server_->remove("/"), LfsStatus::kInvalidPath);  // root is not removable
+}
+
+TEST_F(LfsTest, RemoveRefusesNonEmptyDirectories) {
+  ASSERT_EQ(server_->mkdir("/dir"), LfsStatus::kOk);
+  ASSERT_EQ(server_->put("/dir/f", file_of_length(5)), LfsStatus::kOk);
+  EXPECT_EQ(server_->remove("/dir"), LfsStatus::kNotEmpty);
+  ASSERT_EQ(server_->remove("/dir/f"), LfsStatus::kOk);
+  EXPECT_EQ(server_->remove("/dir"), LfsStatus::kOk);
+}
+
+TEST_F(LfsTest, PutOverwritesFiles) {
+  ASSERT_EQ(server_->put("/f", file_of_length(10)), LfsStatus::kOk);
+  ASSERT_EQ(server_->put("/f", file_of_length(20)), LfsStatus::kOk);
+  exnode::ExNode out;
+  ASSERT_EQ(server_->get("/f", out), LfsStatus::kOk);
+  EXPECT_EQ(out.length(), 20u);
+  EXPECT_EQ(server_->entry_count(), 1u);
+}
+
+TEST_F(LfsTest, AsyncOpsChargeNetworkTime) {
+  std::optional<LfsStatus> status;
+  SimTime done = 0;
+  server_->mkdir_async(client_, "/remote", [&](LfsStatus s) {
+    status = s;
+    done = sim_.now();
+  });
+  sim_.run();
+  ASSERT_EQ(status, LfsStatus::kOk);
+  EXPECT_GE(done, 4 * kMillisecond);  // the control RTT
+  EXPECT_EQ(server_->entry_count(), 1u);
+}
+
+// --- whole-file I/O over depots --------------------------------------------------------
+
+TEST(LfsClientTest, WriteThenReadThroughTheNetwork) {
+  sim::Simulator sim;
+  sim::Network net(sim);
+  ibp::Fabric fabric(sim, net);
+  lors::Lors lors(sim, net, fabric);
+
+  const sim::NodeId client = net.add_node("client");
+  const sim::NodeId lfs_node = net.add_node("lfs");
+  net.add_link(client, lfs_node, {1e9, kMillisecond, 0.0});
+  std::vector<std::string> depots;
+  for (int i = 0; i < 2; ++i) {
+    const std::string name = "d" + std::to_string(i);
+    const sim::NodeId node = net.add_node(name);
+    net.add_link(client, node, {1e9, kMillisecond, 0.0});
+    ibp::DepotConfig cfg;
+    cfg.capacity_bytes = 1 << 26;
+    fabric.add_depot(node, name, cfg);
+    depots.push_back(name);
+  }
+
+  LfsServer server(sim, net, lfs_node);
+  ASSERT_EQ(server.mkdir("/datasets"), LfsStatus::kOk);
+  LfsClient lfs(sim, lors, server, client);
+
+  Bytes payload(300'000);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  lors::UploadOptions up;
+  up.depots = depots;
+  up.block_bytes = 64 * 1024;
+
+  std::optional<LfsStatus> wrote;
+  lfs.write_async("/datasets/negHip.lfd", payload, up,
+                  [&](LfsStatus s) { wrote = s; });
+  sim.run();
+  ASSERT_EQ(wrote, LfsStatus::kOk);
+
+  // The namespace holds an exNode striped over both depots.
+  exnode::ExNode node;
+  ASSERT_EQ(server.get("/datasets/negHip.lfd", node), LfsStatus::kOk);
+  EXPECT_EQ(node.length(), payload.size());
+  EXPECT_EQ(node.depots().size(), 2u);
+
+  std::optional<Bytes> read;
+  lfs.read_async("/datasets/negHip.lfd", {}, [&](LfsStatus s, Bytes data) {
+    ASSERT_EQ(s, LfsStatus::kOk);
+    read = std::move(data);
+  });
+  sim.run();
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(*read, payload);
+
+  // Reading a missing path fails cleanly.
+  std::optional<LfsStatus> missing;
+  lfs.read_async("/datasets/nothing", {}, [&](LfsStatus s, Bytes) { missing = s; });
+  sim.run();
+  EXPECT_EQ(missing, LfsStatus::kNotFound);
+}
+
+}  // namespace
+}  // namespace lon::lfs

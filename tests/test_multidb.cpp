@@ -1,0 +1,125 @@
+// Tests for MultiDatabase: database selection geometry, hysteresis,
+// direction mapping and the XML manifest.
+#include <gtest/gtest.h>
+
+#include "exnode/xml.hpp"
+#include "lightfield/multidb.hpp"
+
+namespace lon::lightfield {
+namespace {
+
+LatticeConfig small_lattice() {
+  LatticeConfig cfg;
+  cfg.angular_step_deg = 15.0;
+  cfg.view_set_span = 3;
+  cfg.view_resolution = 16;
+  return cfg;
+}
+
+class MultiDbTest : public ::testing::Test {
+ protected:
+  MultiDbTest() {
+    // Two databases along the x axis, outer radius 3 (lattice default).
+    left_ = db_.add("left", {0, 0, 0}, small_lattice());
+    right_ = db_.add("right", {10, 0, 0}, small_lattice());
+  }
+
+  MultiDatabase db_{0.05};
+  DatabaseId left_ = 0, right_ = 0;
+};
+
+TEST_F(MultiDbTest, AddValidatesInputs) {
+  EXPECT_THROW(db_.add("", {0, 0, 0}, small_lattice()), std::invalid_argument);
+  EXPECT_THROW(db_.add("left", {1, 1, 1}, small_lattice()), std::invalid_argument);
+  EXPECT_THROW(db_.add("x", {0, 0, 0}, small_lattice(), -1.0), std::invalid_argument);
+  LatticeConfig bad = small_lattice();
+  bad.inner_radius = 0.5;  // does not contain the volume
+  EXPECT_THROW(db_.add("y", {0, 0, 0}, bad), std::invalid_argument);
+  EXPECT_THROW(MultiDatabase(1.5), std::invalid_argument);
+  EXPECT_THROW((void)db_.entry(99), std::out_of_range);
+}
+
+TEST_F(MultiDbTest, SelectsNearestUsableDatabase) {
+  EXPECT_EQ(db_.select({-5, 0, 0}), left_);
+  EXPECT_EQ(db_.select({15, 0, 0}), right_);
+  // Halfway between them: both usable; "left" is (just) nearer.
+  EXPECT_EQ(db_.select({4.9, 0, 0}), left_);
+  EXPECT_EQ(db_.select({5.1, 0, 0}), right_);
+}
+
+TEST_F(MultiDbTest, ViewerInsideEverySphereHasNoDatabase) {
+  // On top of the left center (inside its radius-3 sphere) and > 3 away is
+  // false for left, but right is 10 away: right serves it.
+  EXPECT_EQ(db_.select({0, 0, 0}), right_);
+  // A database region with no coverage at all:
+  MultiDatabase lone;
+  lone.add("only", {0, 0, 0}, small_lattice());
+  EXPECT_FALSE(lone.select({0.5, 0, 0}).has_value());
+  EXPECT_TRUE(lone.select({4, 0, 0}).has_value());
+}
+
+TEST_F(MultiDbTest, HysteresisPreventsBoundaryFlipFlop) {
+  // Start on the left side, drift just past the midpoint: with a current
+  // selection the midpoint crossing does not switch immediately...
+  const auto first = db_.select({4.8, 0, 0});
+  ASSERT_EQ(first, left_);
+  EXPECT_EQ(db_.select({5.05, 0, 0}, first), left_);
+  // At (8,0,0) the viewer has entered the right database's sphere, so the
+  // left one (still usable) keeps serving.
+  EXPECT_EQ(db_.select({8.0, 0, 0}, first), left_);
+  // ...but a decisive move past the right station does switch.
+  EXPECT_EQ(db_.select({14.0, 0, 0}, first), right_);
+  // Without a current selection the plain nearest rule applies.
+  EXPECT_EQ(db_.select({5.05, 0, 0}), right_);
+}
+
+TEST_F(MultiDbTest, CurrentBecomesUnusableWhenEntered) {
+  // The viewer walks inside the left sphere: the selection must leave it
+  // even with hysteresis.
+  const auto inside = db_.select({2.0, 0, 0}, left_);
+  ASSERT_TRUE(inside.has_value());
+  EXPECT_EQ(*inside, right_);
+}
+
+TEST_F(MultiDbTest, DirectionPointsFromCenterToViewer) {
+  const Spherical dir = db_.direction_in(left_, {5, 0, 0});
+  EXPECT_NEAR(dir.theta, kPi / 2, 1e-9);  // in the equatorial plane
+  EXPECT_NEAR(dir.phi, 0.0, 1e-9);        // along +x
+  const Spherical up = db_.direction_in(left_, {0, 0, 7});
+  EXPECT_NEAR(up.theta, 0.0, 1e-9);
+}
+
+TEST_F(MultiDbTest, RangeUsesScale) {
+  MultiDatabase scaled;
+  const auto id = scaled.add("s", {0, 0, 0}, small_lattice(), 2.0);
+  EXPECT_NEAR(scaled.range_in(id, {8, 0, 0}), 4.0, 1e-12);
+  // Scale also grows the world footprint: a viewer at 5 is inside 2*3=6.
+  EXPECT_FALSE(scaled.usable(id, {5, 0, 0}));
+  EXPECT_TRUE(scaled.usable(id, {7, 0, 0}));
+}
+
+TEST_F(MultiDbTest, ScopedKeysAreNamespaced) {
+  EXPECT_EQ(db_.scoped_key(left_, {1, 2}), "left/vs1_2");
+  EXPECT_EQ(db_.scoped_key(right_, {0, 0}), "right/vs0_0");
+}
+
+TEST_F(MultiDbTest, ManifestXmlRoundTrip) {
+  const MultiDatabase back = MultiDatabase::from_xml(db_.to_xml());
+  ASSERT_EQ(back.size(), 2u);
+  const DatabaseEntry* left = back.find("left");
+  const DatabaseEntry* right = back.find("right");
+  ASSERT_NE(left, nullptr);
+  ASSERT_NE(right, nullptr);
+  EXPECT_NEAR(right->center.x, 10.0, 1e-9);
+  EXPECT_EQ(left->lattice.view_set_span, 3);
+  EXPECT_NEAR(left->lattice.angular_step_deg, 15.0, 1e-9);
+  // Same selection behaviour after the round trip.
+  EXPECT_EQ(back.select({-5, 0, 0}), back.find("left")->id);
+}
+
+TEST_F(MultiDbTest, FromXmlRejectsWrongRoot) {
+  EXPECT_THROW(MultiDatabase::from_xml("<nope/>"), lon::exnode::XmlError);
+}
+
+}  // namespace
+}  // namespace lon::lightfield

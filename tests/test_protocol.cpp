@@ -1,0 +1,329 @@
+// Tests for the IBP wire protocol: request/response codecs, server dispatch
+// against a live depot, malformed-input robustness, and the remote manage
+// operations (probe / extend / release) plus LoRS lease refresh built on it.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "ibp/protocol.hpp"
+#include "ibp/service.hpp"
+#include "lors/lors.hpp"
+#include "util/rng.hpp"
+
+namespace lon::ibp {
+namespace {
+
+using protocol::Op;
+
+Capability make_cap(CapKind kind) {
+  Capability cap;
+  cap.depot = "d1";
+  cap.allocation = 42;
+  cap.key = 0xfeedface;
+  cap.kind = kind;
+  return cap;
+}
+
+// --- codec round trips ------------------------------------------------------------
+
+TEST(Protocol, AllocateRequestRoundTrip) {
+  protocol::AllocateRequest req;
+  req.alloc = {4096, 30 * kSecond, AllocType::kSoft};
+  const Bytes wire = protocol::encode_request(req);
+  EXPECT_EQ(protocol::peek_op(wire), Op::kAllocate);
+  const auto decoded = protocol::decode_request(wire);
+  const auto* out = std::get_if<protocol::AllocateRequest>(&decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->alloc.size, 4096u);
+  EXPECT_EQ(out->alloc.lease, 30 * kSecond);
+  EXPECT_EQ(out->alloc.type, AllocType::kSoft);
+}
+
+TEST(Protocol, StoreRequestRoundTrip) {
+  protocol::StoreRequest req;
+  req.write_cap = make_cap(CapKind::kWrite);
+  req.offset = 128;
+  req.data = {9, 8, 7};
+  const auto decoded = protocol::decode_request(protocol::encode_request(req));
+  const auto* out = std::get_if<protocol::StoreRequest>(&decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->write_cap, req.write_cap);
+  EXPECT_EQ(out->offset, 128u);
+  EXPECT_EQ(out->data, (Bytes{9, 8, 7}));
+}
+
+TEST(Protocol, LoadProbeExtendReleaseRoundTrip) {
+  {
+    protocol::LoadRequest req{make_cap(CapKind::kRead), 7, 99};
+    const auto decoded = protocol::decode_request(protocol::encode_request(req));
+    const auto* out = std::get_if<protocol::LoadRequest>(&decoded);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->length, 99u);
+  }
+  {
+    protocol::ExtendRequest req{make_cap(CapKind::kManage), 55 * kSecond};
+    const auto decoded = protocol::decode_request(protocol::encode_request(req));
+    const auto* out = std::get_if<protocol::ExtendRequest>(&decoded);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->extra, 55 * kSecond);
+  }
+  {
+    protocol::ProbeRequest req{make_cap(CapKind::kManage)};
+    const auto decoded = protocol::decode_request(protocol::encode_request(req));
+    EXPECT_NE(std::get_if<protocol::ProbeRequest>(&decoded), nullptr);
+  }
+  {
+    protocol::ReleaseRequest req{make_cap(CapKind::kManage)};
+    const auto decoded = protocol::decode_request(protocol::encode_request(req));
+    EXPECT_NE(std::get_if<protocol::ReleaseRequest>(&decoded), nullptr);
+  }
+}
+
+TEST(Protocol, ResponseRoundTrips) {
+  {
+    protocol::Response r;
+    r.status = IbpStatus::kOk;
+    CapabilitySet caps;
+    caps.read = make_cap(CapKind::kRead);
+    caps.write = make_cap(CapKind::kWrite);
+    caps.manage = make_cap(CapKind::kManage);
+    r.caps = caps;
+    const auto back =
+        protocol::decode_response(protocol::encode_response(r, Op::kAllocate), Op::kAllocate);
+    ASSERT_TRUE(back.caps.has_value());
+    EXPECT_EQ(back.caps->manage, caps.manage);
+  }
+  {
+    protocol::Response r;
+    r.status = IbpStatus::kOk;
+    r.data = Bytes{1, 2, 3, 4};
+    const auto back =
+        protocol::decode_response(protocol::encode_response(r, Op::kLoad), Op::kLoad);
+    ASSERT_TRUE(back.data.has_value());
+    EXPECT_EQ(*back.data, (Bytes{1, 2, 3, 4}));
+  }
+  {
+    protocol::Response r;
+    r.status = IbpStatus::kExpired;  // error responses carry no payload
+    const auto back =
+        protocol::decode_response(protocol::encode_response(r, Op::kLoad), Op::kLoad);
+    EXPECT_EQ(back.status, IbpStatus::kExpired);
+    EXPECT_FALSE(back.data.has_value());
+  }
+}
+
+TEST(Protocol, MalformedInputThrowsOrRefusesSafely) {
+  EXPECT_THROW(protocol::decode_request(Bytes{}), DecodeError);
+  EXPECT_THROW(protocol::decode_request(Bytes{99, 0, 0, 0, 0}), DecodeError);
+  EXPECT_THROW((void)protocol::peek_op(Bytes{}), DecodeError);
+  // Truncated body.
+  protocol::StoreRequest req;
+  req.write_cap = make_cap(CapKind::kWrite);
+  req.data = Bytes(100, 1);
+  Bytes wire = protocol::encode_request(req);
+  wire.resize(wire.size() / 2);
+  EXPECT_THROW(protocol::decode_request(wire), DecodeError);
+}
+
+TEST(Protocol, FuzzedBytesNeverCrashDispatch) {
+  sim::Simulator sim;
+  Depot depot(sim, "d1", {});
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    Bytes noise(rng.below(200));
+    for (auto& b : noise) b = static_cast<std::uint8_t>(rng.next());
+    const Bytes reply = protocol::dispatch(depot, noise);  // must not throw
+    EXPECT_FALSE(reply.empty());
+  }
+  EXPECT_EQ(depot.allocation_count(), 0u);  // noise never allocates
+}
+
+// --- dispatch against a live depot ---------------------------------------------------
+
+TEST(Protocol, FullSessionThroughTheWire) {
+  sim::Simulator sim;
+  DepotConfig config;
+  config.capacity_bytes = 1 << 20;
+  Depot depot(sim, "d1", config);
+
+  // allocate
+  protocol::AllocateRequest alloc;
+  alloc.alloc = {256, 60 * kSecond, AllocType::kHard};
+  auto reply = protocol::dispatch(depot, protocol::encode_request(alloc));
+  auto response = protocol::decode_response(reply, Op::kAllocate);
+  ASSERT_EQ(response.status, IbpStatus::kOk);
+  const CapabilitySet caps = response.caps.value();
+
+  // store
+  protocol::StoreRequest store;
+  store.write_cap = caps.write;
+  store.offset = 10;
+  store.data = {5, 6, 7};
+  reply = protocol::dispatch(depot, protocol::encode_request(store));
+  EXPECT_EQ(protocol::decode_response(reply, Op::kStore).status, IbpStatus::kOk);
+
+  // load
+  protocol::LoadRequest load;
+  load.read_cap = caps.read;
+  load.offset = 10;
+  load.length = 3;
+  reply = protocol::dispatch(depot, protocol::encode_request(load));
+  response = protocol::decode_response(reply, Op::kLoad);
+  ASSERT_EQ(response.status, IbpStatus::kOk);
+  EXPECT_EQ(response.data.value(), (Bytes{5, 6, 7}));
+
+  // probe
+  protocol::ProbeRequest probe;
+  probe.manage_cap = caps.manage;
+  reply = protocol::dispatch(depot, protocol::encode_request(probe));
+  response = protocol::decode_response(reply, Op::kProbe);
+  ASSERT_EQ(response.status, IbpStatus::kOk);
+  EXPECT_EQ(response.info->size, 256u);
+  EXPECT_EQ(response.info->bytes_written, 13u);
+
+  // extend + release
+  protocol::ExtendRequest extend;
+  extend.manage_cap = caps.manage;
+  extend.extra = 120 * kSecond;
+  reply = protocol::dispatch(depot, protocol::encode_request(extend));
+  EXPECT_EQ(protocol::decode_response(reply, Op::kExtend).status, IbpStatus::kOk);
+
+  protocol::ReleaseRequest release;
+  release.manage_cap = caps.manage;
+  reply = protocol::dispatch(depot, protocol::encode_request(release));
+  EXPECT_EQ(protocol::decode_response(reply, Op::kRelease).status, IbpStatus::kOk);
+  EXPECT_EQ(depot.allocation_count(), 0u);
+}
+
+// --- remote manage operations over the fabric -----------------------------------------
+
+class ManageOpsTest : public ::testing::Test {
+ protected:
+  ManageOpsTest() : net_(sim_), fabric_(sim_, net_), lors_(sim_, net_, fabric_) {
+    client_ = net_.add_node("client");
+    const sim::NodeId node = net_.add_node("depot");
+    net_.add_link(client_, node, {1e9, 5 * kMillisecond, 0.0});
+    DepotConfig cfg;
+    cfg.capacity_bytes = 1 << 20;
+    cfg.max_lease = 3600 * kSecond;
+    fabric_.add_depot(node, "d1", cfg);
+  }
+
+  CapabilitySet allocate(std::uint64_t size, SimDuration lease) {
+    std::optional<CapabilitySet> caps;
+    fabric_.allocate_async(client_, "d1", {size, lease, AllocType::kHard},
+                           [&](IbpStatus s, const CapabilitySet& c) {
+                             ASSERT_EQ(s, IbpStatus::kOk);
+                             caps = c;
+                           });
+    sim_.run();
+    return *caps;
+  }
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  Fabric fabric_;
+  lors::Lors lors_;
+  sim::NodeId client_ = 0;
+};
+
+TEST_F(ManageOpsTest, RemoteProbeReportsState) {
+  const auto caps = allocate(512, 100 * kSecond);
+  std::optional<AllocInfo> info;
+  fabric_.probe_async(client_, caps.manage, [&](IbpStatus s, const AllocInfo& i) {
+    ASSERT_EQ(s, IbpStatus::kOk);
+    info = i;
+  });
+  sim_.run();
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->size, 512u);
+}
+
+TEST_F(ManageOpsTest, RemoteExtendKeepsAllocationAlive) {
+  const auto caps = allocate(512, 10 * kSecond);
+  sim_.run_until(8 * kSecond);
+  std::optional<IbpStatus> status;
+  fabric_.extend_async(client_, caps.manage, 100 * kSecond,
+                       [&](IbpStatus s) { status = s; });
+  sim_.run();
+  ASSERT_EQ(status, IbpStatus::kOk);
+  sim_.run_until(50 * kSecond);
+  Bytes out;
+  EXPECT_EQ(fabric_.find_depot("d1")->load(caps.read, 0, 1, out), IbpStatus::kOk);
+}
+
+TEST_F(ManageOpsTest, RemoteReleaseFrees) {
+  const auto caps = allocate(512, 100 * kSecond);
+  std::optional<IbpStatus> status;
+  fabric_.release_async(client_, caps.manage, [&](IbpStatus s) { status = s; });
+  sim_.run();
+  EXPECT_EQ(status, IbpStatus::kOk);
+  EXPECT_EQ(fabric_.find_depot("d1")->allocation_count(), 0u);
+}
+
+TEST_F(ManageOpsTest, WrongKindCapabilityIsRejectedRemotely) {
+  const auto caps = allocate(512, 100 * kSecond);
+  std::optional<IbpStatus> status;
+  fabric_.release_async(client_, caps.read, [&](IbpStatus s) { status = s; });
+  sim_.run();
+  EXPECT_EQ(status, IbpStatus::kBadCapability);
+}
+
+TEST_F(ManageOpsTest, LorsRefreshExtendsEveryReplica) {
+  // Upload with a short lease, refresh through LoRS, verify survival.
+  Bytes data(10'000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  lors::UploadOptions up;
+  up.depots = {"d1"};
+  up.block_bytes = 4'000;
+  up.lease = 20 * kSecond;
+  std::optional<exnode::ExNode> node;
+  lors_.upload_async(client_, data, up, [&](const lors::UploadResult& r) {
+    ASSERT_EQ(r.status, lors::LorsStatus::kOk);
+    node = r.exnode;
+  });
+  sim_.run();
+  ASSERT_TRUE(node.has_value());
+
+  sim_.run_until(15 * kSecond);
+  std::optional<lors::Lors::RefreshResult> refresh;
+  lors_.refresh_async(client_, *node, 300 * kSecond,
+                      [&](const lors::Lors::RefreshResult& r) { refresh = r; });
+  sim_.run();
+  ASSERT_TRUE(refresh.has_value());
+  EXPECT_EQ(refresh->status, lors::LorsStatus::kOk);
+  EXPECT_EQ(refresh->extended, 3u);  // three blocks, one replica each
+
+  // Well past the original lease: the data still downloads.
+  sim_.run_until(120 * kSecond);
+  std::optional<lors::DownloadResult> down;
+  lors_.download_async(client_, *node, {}, [&](lors::DownloadResult r) { down = std::move(r); });
+  sim_.run();
+  ASSERT_TRUE(down.has_value());
+  EXPECT_EQ(down->status, lors::LorsStatus::kOk);
+  EXPECT_EQ(down->data, data);
+}
+
+TEST_F(ManageOpsTest, RefreshWithoutManageCapsReportsPartial) {
+  exnode::ExNode node(10);
+  exnode::Extent extent;
+  extent.offset = 0;
+  extent.length = 10;
+  exnode::Replica rep;
+  rep.read = make_cap(CapKind::kRead);  // no manage capability
+  extent.replicas.push_back(rep);
+  node.add_extent(extent);
+
+  std::optional<lors::Lors::RefreshResult> refresh;
+  lors_.refresh_async(client_, node, kSecond,
+                      [&](const lors::Lors::RefreshResult& r) { refresh = r; });
+  sim_.run();
+  ASSERT_TRUE(refresh.has_value());
+  EXPECT_EQ(refresh->status, lors::LorsStatus::kPartial);
+  EXPECT_EQ(refresh->failed, 1u);
+}
+
+}  // namespace
+}  // namespace lon::ibp

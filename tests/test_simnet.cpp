@@ -1,0 +1,361 @@
+// Unit tests for the discrete-event simulator and the flow-level network
+// model: event ordering, transfer timing, weighted max-min fair sharing, the
+// TCP window cap, multi-stream downloads, cancellation and jitter.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "simnet/network.hpp"
+#include "simnet/simulator.hpp"
+
+namespace lon::sim {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(30, [&] { order.push_back(3); });
+  sim.at(10, [&] { order.push_back(1); });
+  sim.at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, TiesBreakInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) sim.at(100, [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) sim.after(5, chain);
+  };
+  sim.after(5, chain);
+  sim.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(10, [&] { ++fired; });
+  sim.at(20, [&] { ++fired; });
+  sim.at(30, [&] { ++fired; });
+  sim.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, RunUntilAdvancesIdleClock) {
+  Simulator sim;
+  sim.run_until(1'000'000);
+  EXPECT_EQ(sim.now(), 1'000'000);
+}
+
+TEST(Simulator, SchedulingIntoThePastThrows) {
+  Simulator sim;
+  sim.at(100, [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(50, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.after(-1, [] {}), std::invalid_argument);
+}
+
+// -----------------------------------------------------------------------------
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  // Two nodes joined by a 100 Mb/s, 10 ms link (a small WAN hop).
+  void make_pair_topology(double bw_bps = 100e6, SimDuration latency = 10 * kMillisecond) {
+    a_ = net_.add_node("a");
+    b_ = net_.add_node("b");
+    net_.add_link(a_, b_, {bw_bps, latency, 0.0});
+  }
+
+  /// Runs a transfer to completion and returns its result.
+  TransferResult transfer(NodeId src, NodeId dst, std::uint64_t bytes,
+                          TransferOptions opts = {}) {
+    std::optional<TransferResult> out;
+    net_.start_transfer(src, dst, bytes, opts, [&](const TransferResult& r) { out = r; });
+    sim_.run();
+    EXPECT_TRUE(out.has_value());
+    return *out;
+  }
+
+  Simulator sim_;
+  Network net_{sim_};
+  NodeId a_ = 0, b_ = 0;
+};
+
+TEST_F(NetworkTest, PathLatencyAndRtt) {
+  make_pair_topology();
+  EXPECT_EQ(net_.path_latency(a_, b_), 10 * kMillisecond);
+  EXPECT_EQ(net_.rtt(a_, b_), 20 * kMillisecond);
+  EXPECT_EQ(net_.path_latency(a_, a_), 0);
+}
+
+TEST_F(NetworkTest, MultiHopRouteUsesLowestLatency) {
+  const NodeId a = net_.add_node("a");
+  const NodeId b = net_.add_node("b");
+  const NodeId c = net_.add_node("c");
+  // Direct a-c is slow; a-b-c is faster in total latency.
+  net_.add_link(a, c, {1e9, 50 * kMillisecond, 0.0});
+  net_.add_link(a, b, {1e9, 10 * kMillisecond, 0.0});
+  net_.add_link(b, c, {1e9, 10 * kMillisecond, 0.0});
+  EXPECT_EQ(net_.path_latency(a, c), 20 * kMillisecond);
+}
+
+TEST_F(NetworkTest, UnreachableNodesThrow) {
+  const NodeId a = net_.add_node("a");
+  const NodeId b = net_.add_node("b");
+  EXPECT_FALSE(net_.reachable(a, b));
+  EXPECT_THROW((void)net_.path_latency(a, b), std::runtime_error);
+}
+
+TEST_F(NetworkTest, SingleFlowTransferTime) {
+  make_pair_topology(/*bw_bps=*/80e6, /*latency=*/10 * kMillisecond);
+  // 10 MB at 10 MB/s link; window must not cap: make it huge.
+  TransferOptions opts;
+  opts.window_bytes = 1 << 30;
+  opts.handshake = true;
+  const auto r = transfer(a_, b_, 10'000'000, opts);
+  // handshake RTT (20ms) + 1.0s transmission + one-way latency (10ms).
+  EXPECT_NEAR(to_seconds(r.elapsed()), 0.02 + 1.0 + 0.01, 1e-3);
+}
+
+TEST_F(NetworkTest, NoHandshakeSkipsSetupRtt) {
+  make_pair_topology(80e6, 10 * kMillisecond);
+  TransferOptions opts;
+  opts.window_bytes = 1 << 30;
+  opts.handshake = false;
+  const auto r = transfer(a_, b_, 10'000'000, opts);
+  EXPECT_NEAR(to_seconds(r.elapsed()), 1.0 + 0.01, 1e-3);
+}
+
+TEST_F(NetworkTest, WindowCapLimitsLongFatPipe) {
+  // 1 Gb/s but 50 ms one-way: a single 64 KiB-window stream is capped at
+  // window/RTT = 64 KiB / 0.1 s = 655,360 B/s, far below the link rate.
+  make_pair_topology(1e9, 50 * kMillisecond);
+  TransferOptions opts;
+  opts.window_bytes = 64 * 1024;
+  opts.streams = 1;
+  opts.handshake = false;
+  const auto r = transfer(a_, b_, 655'360, opts);
+  EXPECT_NEAR(to_seconds(r.elapsed()), 1.0 + 0.05, 0.01);
+}
+
+TEST_F(NetworkTest, MultipleStreamsRaiseTheCap) {
+  make_pair_topology(1e9, 50 * kMillisecond);
+  TransferOptions opts;
+  opts.window_bytes = 64 * 1024;
+  opts.streams = 8;  // the LoRS multi-threaded download effect
+  opts.handshake = false;
+  const auto r = transfer(a_, b_, 8 * 655'360, opts);
+  // Eight times the data in the same time as one stream moved one share.
+  EXPECT_NEAR(to_seconds(r.elapsed()), 1.0 + 0.05, 0.01);
+}
+
+TEST_F(NetworkTest, TwoFlowsShareFairly) {
+  make_pair_topology(80e6, kMillisecond);  // 10 MB/s
+  TransferOptions opts;
+  opts.window_bytes = 1 << 30;
+  opts.handshake = false;
+  std::optional<TransferResult> r1, r2;
+  net_.start_transfer(a_, b_, 10'000'000, opts, [&](const TransferResult& r) { r1 = r; });
+  net_.start_transfer(a_, b_, 10'000'000, opts, [&](const TransferResult& r) { r2 = r; });
+  sim_.run();
+  ASSERT_TRUE(r1 && r2);
+  // Both flows split 10 MB/s, so each 10 MB transfer takes ~2 s.
+  EXPECT_NEAR(to_seconds(r1->elapsed()), 2.0, 0.02);
+  EXPECT_NEAR(to_seconds(r2->elapsed()), 2.0, 0.02);
+}
+
+TEST_F(NetworkTest, ShortFlowFinishesAndLongFlowSpeedsUp) {
+  make_pair_topology(80e6, kMillisecond);  // 10 MB/s
+  TransferOptions opts;
+  opts.window_bytes = 1 << 30;
+  opts.handshake = false;
+  std::optional<TransferResult> small, large;
+  net_.start_transfer(a_, b_, 5'000'000, opts, [&](const TransferResult& r) { small = r; });
+  net_.start_transfer(a_, b_, 15'000'000, opts, [&](const TransferResult& r) { large = r; });
+  sim_.run();
+  ASSERT_TRUE(small && large);
+  // Shared 5 MB/s until the small flow's 5 MB finish at t=1s; the large flow
+  // then has 10 MB left at full 10 MB/s: total 2 s.
+  EXPECT_NEAR(to_seconds(small->elapsed()), 1.0, 0.02);
+  EXPECT_NEAR(to_seconds(large->elapsed()), 2.0, 0.02);
+}
+
+TEST_F(NetworkTest, WeightsBiasTheShare) {
+  make_pair_topology(80e6, kMillisecond);  // 10 MB/s
+  TransferOptions heavy, light;
+  heavy.window_bytes = light.window_bytes = 1 << 30;
+  heavy.handshake = light.handshake = false;
+  heavy.weight = 3.0;
+  light.weight = 1.0;
+  std::optional<TransferResult> rh, rl;
+  net_.start_transfer(a_, b_, 7'500'000, heavy, [&](const TransferResult& r) { rh = r; });
+  net_.start_transfer(a_, b_, 7'500'000, light, [&](const TransferResult& r) { rl = r; });
+  sim_.run();
+  ASSERT_TRUE(rh && rl);
+  // Heavy gets 7.5 MB/s and finishes at 1 s; light then finishes its
+  // remaining 5 MB at 10 MB/s by t = 1.5 s.
+  EXPECT_NEAR(to_seconds(rh->elapsed()), 1.0, 0.02);
+  EXPECT_NEAR(to_seconds(rl->elapsed()), 1.5, 0.02);
+}
+
+TEST_F(NetworkTest, DisjointPathsDoNotInterfere) {
+  const NodeId hub = net_.add_node("hub");
+  const NodeId x = net_.add_node("x");
+  const NodeId y = net_.add_node("y");
+  net_.add_link(hub, x, {80e6, kMillisecond, 0.0});
+  net_.add_link(hub, y, {80e6, kMillisecond, 0.0});
+  TransferOptions opts;
+  opts.window_bytes = 1 << 30;
+  opts.handshake = false;
+  std::optional<TransferResult> rx, ry;
+  net_.start_transfer(hub, x, 10'000'000, opts, [&](const TransferResult& r) { rx = r; });
+  net_.start_transfer(hub, y, 10'000'000, opts, [&](const TransferResult& r) { ry = r; });
+  sim_.run();
+  ASSERT_TRUE(rx && ry);
+  EXPECT_NEAR(to_seconds(rx->elapsed()), 1.0, 0.02);
+  EXPECT_NEAR(to_seconds(ry->elapsed()), 1.0, 0.02);
+}
+
+TEST_F(NetworkTest, SharedBottleneckConstrainsBothPaths) {
+  // src --(10 MB/s)-- mid, mid --fast-- x and mid --fast-- y.
+  const NodeId src = net_.add_node("src");
+  const NodeId mid = net_.add_node("mid");
+  const NodeId x = net_.add_node("x");
+  const NodeId y = net_.add_node("y");
+  net_.add_link(src, mid, {80e6, kMillisecond, 0.0});
+  net_.add_link(mid, x, {1e10, kMillisecond, 0.0});
+  net_.add_link(mid, y, {1e10, kMillisecond, 0.0});
+  TransferOptions opts;
+  opts.window_bytes = 1 << 30;
+  opts.handshake = false;
+  std::optional<TransferResult> rx, ry;
+  net_.start_transfer(src, x, 10'000'000, opts, [&](const TransferResult& r) { rx = r; });
+  net_.start_transfer(src, y, 10'000'000, opts, [&](const TransferResult& r) { ry = r; });
+  sim_.run();
+  ASSERT_TRUE(rx && ry);
+  EXPECT_NEAR(to_seconds(rx->elapsed()), 2.0, 0.02);
+  EXPECT_NEAR(to_seconds(ry->elapsed()), 2.0, 0.02);
+}
+
+TEST_F(NetworkTest, LocalTransferIsNearInstant) {
+  make_pair_topology();
+  const auto r = transfer(a_, a_, 1'000'000);
+  EXPECT_LT(to_seconds(r.elapsed()), 0.001);
+  EXPECT_GT(to_seconds(r.elapsed()), 0.0);
+}
+
+TEST_F(NetworkTest, ZeroByteTransferCostsLatencyOnly) {
+  make_pair_topology(100e6, 10 * kMillisecond);
+  TransferOptions opts;
+  opts.handshake = true;
+  const auto r = transfer(a_, b_, 0, opts);
+  EXPECT_NEAR(to_seconds(r.elapsed()), 0.02 + 0.01, 1e-6);
+}
+
+TEST_F(NetworkTest, CancelFiresCallbackWithFlag) {
+  make_pair_topology(80e6, kMillisecond);
+  TransferOptions opts;
+  opts.window_bytes = 1 << 30;
+  opts.handshake = false;
+  std::optional<TransferResult> result;
+  const FlowId id =
+      net_.start_transfer(a_, b_, 100'000'000, opts, [&](const TransferResult& r) { result = r; });
+  sim_.run_until(kSecond);
+  EXPECT_TRUE(net_.cancel(id));
+  EXPECT_TRUE(result.has_value());
+  EXPECT_TRUE(result->cancelled);
+  EXPECT_FALSE(net_.cancel(id));  // already gone
+  EXPECT_EQ(net_.active_flows(), 0u);
+}
+
+TEST_F(NetworkTest, CancelFreesBandwidthForOthers) {
+  make_pair_topology(80e6, kMillisecond);  // 10 MB/s
+  TransferOptions opts;
+  opts.window_bytes = 1 << 30;
+  opts.handshake = false;
+  std::optional<TransferResult> kept;
+  const FlowId doomed = net_.start_transfer(a_, b_, 100'000'000, opts, [](auto&) {});
+  net_.start_transfer(a_, b_, 10'000'000, opts, [&](const TransferResult& r) { kept = r; });
+  // Let both run half a second at 5 MB/s each, then cancel the big one.
+  sim_.run_until(kSecond / 2);
+  net_.cancel(doomed);
+  sim_.run();
+  ASSERT_TRUE(kept.has_value());
+  // 2.5 MB moved in the first 0.5 s, remaining 7.5 MB at 10 MB/s = 0.75 s.
+  EXPECT_NEAR(to_seconds(kept->elapsed()), 0.5 + 0.75, 0.02);
+}
+
+TEST_F(NetworkTest, JitterIsDeterministicPerSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    Simulator sim;
+    Network net(sim, seed);
+    const NodeId a = net.add_node("a");
+    const NodeId b = net.add_node("b");
+    net.add_link(a, b, {100e6, 10 * kMillisecond, 0.3});
+    std::optional<TransferResult> out;
+    TransferOptions opts;
+    opts.window_bytes = 1 << 30;
+    net.start_transfer(a, b, 1'000'000, opts, [&](const TransferResult& r) { out = r; });
+    sim.run();
+    return out->elapsed();
+  };
+  EXPECT_EQ(run_once(123), run_once(123));
+  EXPECT_NE(run_once(123), run_once(456));
+}
+
+TEST_F(NetworkTest, JitterNeverReducesLatencyBelowNominal) {
+  Simulator sim;
+  Network net(sim, 77);
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  net.add_link(a, b, {100e6, 10 * kMillisecond, 0.5});
+  for (int i = 0; i < 20; ++i) {
+    std::optional<TransferResult> out;
+    TransferOptions opts;
+    opts.handshake = false;
+    net.start_transfer(a, b, 0, opts, [&](const TransferResult& r) { out = r; });
+    sim.run();
+    ASSERT_TRUE(out.has_value());
+    EXPECT_GE(out->elapsed(), 10 * kMillisecond);
+  }
+}
+
+TEST_F(NetworkTest, LinkStatsAccumulate) {
+  make_pair_topology();
+  TransferOptions opts;
+  opts.window_bytes = 1 << 30;
+  transfer(a_, b_, 1000, opts);
+  transfer(a_, b_, 500, opts);
+  const auto& stats = net_.link_stats(0, /*forward=*/true);
+  EXPECT_EQ(stats.bytes_carried, 1500u);
+  EXPECT_EQ(stats.flows_carried, 2u);
+}
+
+TEST_F(NetworkTest, InvalidArgumentsThrow) {
+  make_pair_topology();
+  EXPECT_THROW(net_.add_link(a_, a_, {}), std::invalid_argument);
+  EXPECT_THROW(net_.add_link(a_, 999, {}), std::out_of_range);
+  LinkConfig bad;
+  bad.bandwidth_bps = 0.0;
+  EXPECT_THROW(net_.add_link(a_, b_, bad), std::invalid_argument);
+  TransferOptions opts;
+  opts.streams = 0;
+  EXPECT_THROW(net_.start_transfer(a_, b_, 1, opts, [](auto&) {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lon::sim

@@ -1,0 +1,248 @@
+// Tests for persistence layers: the on-disk light-field database store,
+// volume file I/O, histogram tooling and the chunked lfz container.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "compress/lfz.hpp"
+#include "lightfield/procedural.hpp"
+#include "lightfield/store.hpp"
+#include "util/rng.hpp"
+#include "volume/histogram.hpp"
+#include "volume/io.hpp"
+#include "volume/synthetic.hpp"
+
+namespace lon {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Unique scratch directory per test, removed on teardown.
+class ScratchDir {
+ public:
+  ScratchDir() {
+    static int counter = 0;
+    path_ = fs::temp_directory_path() / ("lonlf_test_" + std::to_string(::getpid()) +
+                                         "_" + std::to_string(counter++));
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+  [[nodiscard]] fs::path path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+lightfield::LatticeConfig small_config(std::size_t resolution = 24) {
+  lightfield::LatticeConfig cfg;
+  cfg.angular_step_deg = 22.5;  // 8 x 16 lattice, 4 x 8 view sets with span 2
+  cfg.view_set_span = 2;
+  cfg.view_resolution = resolution;
+  return cfg;
+}
+
+// --- database store ------------------------------------------------------------------
+
+TEST(DatabaseStore, CreatePutGetRoundTrip) {
+  ScratchDir dir;
+  lightfield::DatabaseStore store(dir.str() + "/lfd");
+  store.create(small_config(), "negHip-like");
+  EXPECT_TRUE(store.is_open());
+  EXPECT_EQ(store.dataset_name(), "negHip-like");
+
+  lightfield::ProceduralSource source(small_config());
+  const lightfield::ViewSet vs = source.build({1, 2});
+  store.put({1, 2}, vs.compress());
+
+  const auto loaded = store.get_view_set({1, 2});
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, vs);
+  EXPECT_FALSE(store.get({3, 3}).has_value());
+  EXPECT_EQ(store.stored_ids().size(), 1u);
+  EXPECT_FALSE(store.complete());
+}
+
+TEST(DatabaseStore, ReopenReadsManifestBack) {
+  ScratchDir dir;
+  {
+    lightfield::DatabaseStore store(dir.str() + "/lfd");
+    store.create(small_config(48), "d1");
+    lightfield::ProceduralSource source(small_config(48));
+    store.put({0, 0}, source.build_compressed({0, 0}));
+  }
+  lightfield::DatabaseStore reopened(dir.str() + "/lfd");
+  reopened.open();
+  EXPECT_EQ(reopened.dataset_name(), "d1");
+  EXPECT_EQ(reopened.config().view_resolution, 48u);
+  EXPECT_EQ(reopened.lattice().view_set_count(), 32u);
+  EXPECT_TRUE(reopened.get({0, 0}).has_value());
+}
+
+TEST(DatabaseStore, BuildAllFillsEveryGap) {
+  ScratchDir dir;
+  lightfield::DatabaseStore store(dir.str() + "/lfd");
+  store.create(small_config(16), "full");
+  lightfield::ProceduralSource source(small_config(16));
+  // Pre-store two, then build the rest.
+  store.put({0, 0}, source.build_compressed({0, 0}));
+  store.put({2, 5}, source.build_compressed({2, 5}));
+  const std::size_t built = store.build_all(source);
+  EXPECT_EQ(built, store.lattice().view_set_count() - 2);
+  EXPECT_TRUE(store.complete());
+  // Idempotent: nothing left to build.
+  EXPECT_EQ(store.build_all(source), 0u);
+}
+
+TEST(DatabaseStore, ErrorsAreLoud) {
+  ScratchDir dir;
+  lightfield::DatabaseStore unopened(dir.str() + "/missing");
+  EXPECT_THROW(unopened.open(), std::runtime_error);
+  EXPECT_THROW((void)unopened.lattice(), std::runtime_error);
+  EXPECT_THROW(lightfield::DatabaseStore(""), std::invalid_argument);
+
+  lightfield::DatabaseStore store(dir.str() + "/lfd");
+  store.create(small_config(), "x");
+  EXPECT_THROW(store.put({99, 99}, Bytes{1}), std::out_of_range);
+}
+
+// --- volume I/O -----------------------------------------------------------------------
+
+TEST(VolumeIo, RawU8RoundTripQuantizes) {
+  ScratchDir dir;
+  const auto vol = volume::make_neghip_like(16, 3);
+  const std::string path = dir.str() + "/vol.raw";
+  volume::save_raw_u8(vol, path);
+  EXPECT_EQ(fs::file_size(path), 16u * 16 * 16);
+
+  const auto back = volume::load_raw_u8(path, 16, 16, 16);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < vol.data().size(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<double>(vol.data()[i]) -
+                                     back.data()[i]));
+  }
+  EXPECT_LT(worst, 1.0 / 255.0 + 1e-6);  // 8-bit quantization error only
+}
+
+TEST(VolumeIo, RawU8SizeMismatchThrows) {
+  ScratchDir dir;
+  const std::string path = dir.str() + "/short.raw";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("abc", f);
+  std::fclose(f);
+  EXPECT_THROW(volume::load_raw_u8(path, 16, 16, 16), std::runtime_error);
+  EXPECT_THROW(volume::load_raw_u8(dir.str() + "/none.raw", 2, 2, 2),
+               std::runtime_error);
+}
+
+TEST(VolumeIo, LvolRoundTripIsExact) {
+  ScratchDir dir;
+  const auto vol = volume::make_fuel_like(12, 9);
+  const std::string path = dir.str() + "/vol.lvol";
+  volume::save_lvol(vol, path);
+  const auto back = volume::load_lvol(path);
+  EXPECT_EQ(back.nx(), 12u);
+  EXPECT_EQ(back.data(), vol.data());
+}
+
+TEST(VolumeIo, LvolRejectsCorruptFiles) {
+  ScratchDir dir;
+  const std::string path = dir.str() + "/bad.lvol";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not a volume", f);
+  std::fclose(f);
+  EXPECT_THROW(volume::load_lvol(path), std::runtime_error);
+}
+
+// --- histogram ---------------------------------------------------------------------------
+
+TEST(Histogram, CountsAndPercentiles) {
+  volume::ScalarVolume vol(4, 4, 4);
+  // Half the voxels at 0.25, half at 0.75.
+  for (std::size_t i = 0; i < vol.data().size(); ++i) {
+    vol.data()[i] = i % 2 == 0 ? 0.25f : 0.75f;
+  }
+  const auto h = volume::compute_histogram(vol, 4);
+  EXPECT_EQ(h.total, 64u);
+  EXPECT_EQ(h.bins[1], 32u);  // [0.25, 0.5)
+  EXPECT_EQ(h.bins[3], 32u);  // [0.75, 1)
+  EXPECT_NEAR(h.percentile(0.25), 0.375, 1e-9);  // within bin 1
+  EXPECT_NEAR(h.percentile(0.99), 0.875, 1e-9);  // within bin 3
+  EXPECT_THROW(volume::compute_histogram(vol, 0), std::invalid_argument);
+}
+
+TEST(Histogram, ModeFindsBackground) {
+  volume::ScalarVolume vol(8, 8, 8);
+  for (auto& v : vol.data()) v = 0.5f;  // uniform background...
+  vol.at(0, 0, 0) = 0.9f;               // ...with a lone feature
+  const auto h = volume::compute_histogram(vol, 10);
+  EXPECT_EQ(h.mode_bin(), 5u);
+  EXPECT_NEAR(h.bin_center(h.mode_bin()), 0.55, 1e-9);
+}
+
+TEST(Histogram, SuggestedTransferFunctionSuppressesBackground) {
+  const auto vol = volume::make_neghip_like(32);
+  const auto tf = volume::suggest_transfer_function(vol);
+  const auto h = volume::compute_histogram(vol, 64);
+  const double background = h.bin_center(h.mode_bin());
+  // Transparent at the background, visible toward the tails.
+  EXPECT_LT(tf.evaluate(background).a, 0.05);
+  EXPECT_GT(tf.evaluate(h.percentile(0.005)).a, 0.3);
+  EXPECT_GT(tf.evaluate(h.percentile(0.999)).a, 0.3);
+}
+
+// --- chunked lfz ---------------------------------------------------------------------------
+
+TEST(ChunkedLfz, RoundTripWithAndWithoutPool) {
+  Rng rng(5);
+  Bytes data(3'000'000);
+  std::uint8_t value = 0;
+  for (auto& b : data) {
+    if (rng.below(50) == 0) value = static_cast<std::uint8_t>(rng.next());
+    b = value;
+  }
+  const Bytes packed = lfz::compress_chunked(data, 512 * 1024);
+  EXPECT_TRUE(lfz::is_chunked(packed));
+  EXPECT_FALSE(lfz::is_chunked(lfz::compress(Bytes{1, 2, 3})));
+  EXPECT_EQ(lfz::decompress_chunked(packed), data);
+
+  ThreadPool pool(4);
+  const Bytes packed_par = lfz::compress_chunked(data, 512 * 1024, {}, &pool);
+  EXPECT_EQ(packed_par, packed);  // parallelism never changes the bytes
+  EXPECT_EQ(lfz::decompress_chunked(packed_par, &pool), data);
+}
+
+TEST(ChunkedLfz, EmptyAndSingleChunk) {
+  EXPECT_TRUE(lfz::decompress_chunked(lfz::compress_chunked({}, 1024)).empty());
+  const Bytes tiny = {1, 2, 3};
+  EXPECT_EQ(lfz::decompress_chunked(lfz::compress_chunked(tiny, 1024)), tiny);
+}
+
+TEST(ChunkedLfz, CorruptionIsDetectedAcrossChunkBoundaries) {
+  Bytes data(200'000, 0x42);
+  Bytes packed = lfz::compress_chunked(data, 64 * 1024);
+  packed[packed.size() / 2] ^= 0xff;  // damage some interior chunk
+  EXPECT_THROW(lfz::decompress_chunked(packed), DecodeError);
+  EXPECT_THROW(lfz::compress_chunked(data, 0), std::invalid_argument);
+  EXPECT_THROW(lfz::decompress_chunked(Bytes{1, 2, 3, 4, 5}), DecodeError);
+}
+
+TEST(ChunkedLfz, RatioCostOfChunkingIsModest) {
+  Rng rng(8);
+  Bytes data(2'000'000);
+  std::uint8_t value = 0;
+  for (auto& b : data) {
+    if (rng.below(30) == 0) value = static_cast<std::uint8_t>(rng.next());
+    b = value;
+  }
+  const std::size_t whole = lfz::compress(data).size();
+  const std::size_t chunked = lfz::compress_chunked(data, 256 * 1024).size();
+  EXPECT_LT(static_cast<double>(chunked), 1.15 * static_cast<double>(whole));
+}
+
+}  // namespace
+}  // namespace lon

@@ -1,0 +1,86 @@
+// Tests for time-varying light fields: frame coherence, determinism and the
+// playback prefetch policy.
+#include <gtest/gtest.h>
+
+#include "lightfield/temporal.hpp"
+
+namespace lon::lightfield {
+namespace {
+
+LatticeConfig small_config(std::size_t resolution = 24) {
+  LatticeConfig cfg;
+  cfg.angular_step_deg = 15.0;
+  cfg.view_set_span = 3;
+  cfg.view_resolution = resolution;
+  return cfg;
+}
+
+TEST(Temporal, RejectsZeroFrames) {
+  EXPECT_THROW(TemporalSource(small_config(), 0), std::invalid_argument);
+}
+
+TEST(Temporal, DeterministicPerConfiguration) {
+  TemporalSource a(small_config(), 4), b(small_config(), 4);
+  const TemporalKey key{2, {1, 3}};
+  EXPECT_EQ(a.build(key), b.build(key));
+  EXPECT_THROW((void)a.build({4, {0, 0}}), std::out_of_range);
+}
+
+TEST(Temporal, FrameZeroMatchesStaticSource) {
+  TemporalSource temporal(small_config(32), 3);
+  ProceduralSource still(small_config(32));
+  EXPECT_EQ(temporal.build({0, {1, 2}}), still.build({1, 2}));
+}
+
+TEST(Temporal, ConsecutiveFramesAreCoherentDistantFramesDiffer) {
+  TemporalSource source(small_config(48), 12);
+  const auto f0 = source.build({0, {1, 3}});
+  const auto f1 = source.build({1, {1, 3}});
+  const auto f11 = source.build({11, {1, 3}});
+  const double near_diff = f0.view(1, 1).mean_abs_diff(f1.view(1, 1));
+  const double far_diff = f0.view(1, 1).mean_abs_diff(f11.view(1, 1));
+  EXPECT_GT(near_diff, 0.0);       // something moves every frame
+  EXPECT_GT(far_diff, 2.0 * near_diff);  // and motion accumulates
+}
+
+TEST(Temporal, KeysAreDistinctPerFrame) {
+  const TemporalKey a{0, {1, 2}}, b{1, {1, 2}}, c{0, {1, 3}};
+  EXPECT_EQ(a.key(), "t0/vs1_2");
+  EXPECT_NE(TemporalKeyHash{}(a), TemporalKeyHash{}(b));
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Temporal, PlaybackPrefetchCombinesSpaceAndTime) {
+  const SphericalLattice lattice(small_config());
+  const TemporalKey current{3, {1, 3}};
+  const auto targets = playback_prefetch_targets(lattice, current, 0, 10, 2);
+  // 3 angular neighbours at frame 3 + the same window at frames 4 and 5.
+  ASSERT_EQ(targets.size(), 5u);
+  int same_frame = 0, future = 0;
+  for (const auto& t : targets) {
+    if (t.frame == 3) {
+      ++same_frame;
+      EXPECT_FALSE(t.vs == current.vs);  // angular targets are neighbours
+    } else {
+      ++future;
+      EXPECT_EQ(t.vs, current.vs);  // temporal targets keep the window
+      EXPECT_GT(t.frame, 3u);
+      EXPECT_LE(t.frame, 5u);
+    }
+  }
+  EXPECT_EQ(same_frame, 3);
+  EXPECT_EQ(future, 2);
+}
+
+TEST(Temporal, PlaybackPrefetchClampsAtLastFrame) {
+  const SphericalLattice lattice(small_config());
+  const TemporalKey current{9, {1, 3}};
+  const auto targets = playback_prefetch_targets(lattice, current, 0, 10, 3);
+  for (const auto& t : targets) EXPECT_LT(t.frame, 10u);
+  // Only the angular targets remain at the final frame.
+  EXPECT_EQ(targets.size(), 3u);
+}
+
+}  // namespace
+}  // namespace lon::lightfield
