@@ -94,6 +94,9 @@ std::string ExNode::to_xml() const {
     ext.name = "extent";
     ext.attributes["offset"] = std::to_string(extent.offset);
     ext.attributes["length"] = std::to_string(extent.length);
+    if (extent.checksum.has_value()) {
+      ext.attributes["crc32"] = std::to_string(*extent.checksum);
+    }
     for (const auto& replica : extent.replicas) {
       XmlElement rep;
       rep.name = "replica";
@@ -120,6 +123,10 @@ ExNode ExNode::from_xml(const std::string& xml) {
     Extent extent;
     extent.offset = std::stoull(ext->attr("offset"));
     extent.length = std::stoull(ext->attr("length"));
+    const std::string crc = ext->attr_or("crc32", "");
+    if (!crc.empty()) {
+      extent.checksum = static_cast<std::uint32_t>(std::stoul(crc));
+    }
     for (const XmlElement* rep : ext->children_named("replica")) {
       auto cap = ibp::Capability::parse(rep->attr("uri"));
       if (!cap) throw XmlError("bad capability uri: " + rep->attr("uri"));

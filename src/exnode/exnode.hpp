@@ -36,6 +36,10 @@ struct Extent {
   std::uint64_t offset = 0;
   std::uint64_t length = 0;
   std::vector<Replica> replicas;
+  /// CRC32 of the extent's bytes, recorded at upload. Every replica stores
+  /// the same logical bytes, so one checksum covers them all; downloaders
+  /// use it to detect silent corruption and fail over to another replica.
+  std::optional<std::uint32_t> checksum;
 
   [[nodiscard]] std::uint64_t end() const { return offset + length; }
 

@@ -1,0 +1,128 @@
+#include "fault/fault.hpp"
+
+#include <stdexcept>
+
+namespace lon::fault {
+
+namespace {
+
+/// Deadlines installed when a plan needs them and the fabric has none.
+/// Generous relative to any simulated WAN round trip, so they only ever
+/// fire for genuinely lost requests.
+constexpr SimDuration kDefaultControlTimeout = 2 * kSecond;
+constexpr SimDuration kDefaultDataTimeout = 20 * kSecond;
+
+}  // namespace
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  rng_ = Rng(plan.seed);
+  drops_ = plan.drops;
+  corruptions_ = plan.corruptions;
+
+  if (!plan.drops.empty() || !plan.partitions.empty()) {
+    ibp::FabricTimeouts timeouts = fabric_.timeouts();
+    if (timeouts.control <= 0) timeouts.control = kDefaultControlTimeout;
+    if (timeouts.data <= 0) timeouts.data = kDefaultDataTimeout;
+    fabric_.set_timeouts(timeouts);
+  }
+
+  for (const DepotCrash& crash : plan.crashes) {
+    if (fabric_.find_depot(crash.depot) == nullptr) {
+      throw std::invalid_argument("FaultInjector: unknown depot " + crash.depot);
+    }
+    if (crash.at < sim_.now()) {
+      throw std::invalid_argument("FaultInjector: crash scheduled in the past");
+    }
+    sim_.at(crash.at, [this, depot = crash.depot] {
+      fabric_.set_offline(depot, true);
+      ++stats_.crashes;
+    });
+    if (crash.restart_after > 0) {
+      sim_.at(crash.at + crash.restart_after, [this, depot = crash.depot] {
+        fabric_.set_offline(depot, false);
+        ++stats_.restarts;
+      });
+    }
+  }
+
+  for (const LinkDown& cut : plan.partitions) {
+    const auto link = net_.link_between(cut.a, cut.b);
+    if (!link.has_value()) {
+      throw std::invalid_argument("FaultInjector: no direct link between nodes");
+    }
+    if (cut.at < sim_.now()) {
+      throw std::invalid_argument("FaultInjector: partition scheduled in the past");
+    }
+    sim_.at(cut.at, [this, id = *link] {
+      net_.set_link_up(id, false);
+      ++stats_.links_cut;
+    });
+    if (cut.up_after > 0) {
+      sim_.at(cut.at + cut.up_after, [this, id = *link] {
+        net_.set_link_up(id, true);
+        ++stats_.links_restored;
+      });
+    }
+  }
+
+  for (const DiskDegrade& deg : plan.degradations) {
+    ibp::Depot* depot = fabric_.find_depot(deg.depot);
+    if (depot == nullptr) {
+      throw std::invalid_argument("FaultInjector: unknown depot " + deg.depot);
+    }
+    if (deg.at < sim_.now()) {
+      throw std::invalid_argument("FaultInjector: degradation scheduled in the past");
+    }
+    if (deg.factor <= 0.0) {
+      throw std::invalid_argument("FaultInjector: non-positive disk factor");
+    }
+    sim_.at(deg.at, [this, depot, deg] {
+      // Capture the rate at fire time so stacked degradations compose.
+      const double original = depot->config().disk_bytes_per_sec;
+      depot->set_disk_rate(original * deg.factor);
+      ++stats_.disks_degraded;
+      if (deg.duration > 0) {
+        sim_.after(deg.duration, [depot, original] { depot->set_disk_rate(original); });
+      }
+    });
+  }
+
+  if (!drops_.empty()) {
+    fabric_.set_drop_hook(
+        [this](const std::string& depot) { return in_drop_window(depot); });
+  }
+  if (!corruptions_.empty()) {
+    fabric_.set_corrupt_hook(
+        [this](const std::string& depot, Bytes& data) { maybe_corrupt(depot, data); });
+  }
+}
+
+bool FaultInjector::in_drop_window(const std::string& depot) {
+  const SimTime now = sim_.now();
+  for (const DropWindow& w : drops_) {
+    if (now < w.at || now >= w.at + w.duration) continue;
+    if (!w.depot.empty() && w.depot != depot) continue;
+    if (rng_.uniform() < w.prob) {
+      ++stats_.requests_dropped;
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::maybe_corrupt(const std::string& depot, Bytes& data) {
+  if (data.empty()) return;
+  const SimTime now = sim_.now();
+  for (const CorruptWindow& w : corruptions_) {
+    if (now < w.at || now >= w.at + w.duration) continue;
+    if (!w.depot.empty() && w.depot != depot) continue;
+    if (rng_.uniform() < w.prob) {
+      const std::uint64_t bit = rng_.below(data.size() * 8);
+      data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      ++stats_.bits_flipped;
+      return;  // one flip per load is plenty to prove the point
+    }
+  }
+}
+
+}  // namespace lon::fault

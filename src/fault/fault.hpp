@@ -1,0 +1,123 @@
+// Deterministic fault injection for the simulated Logistical Network.
+//
+// IBP's service model is explicit that storage is best-effort: "it may be
+// necessary to assume that storage can be permanently lost". This module
+// turns that assumption into schedulable, replayable events on the virtual
+// clock — depot crashes and restarts, link partitions, degraded disks,
+// silently dropped requests and silently corrupted reads — so the
+// self-healing machinery above (fabric timeouts, LoRS retry/checksum/repair,
+// client-agent re-resolution, L-Bone health probes) can be exercised and
+// measured without a single nondeterministic input. Every probabilistic
+// fault draws from one seeded generator: same plan + same seed = same run,
+// bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ibp/service.hpp"
+#include "simnet/network.hpp"
+#include "util/rng.hpp"
+
+namespace lon::fault {
+
+/// Take a depot offline at `at`; bring it back `restart_after` later
+/// (0 = never restarts). Going offline cancels the depot's in-flight flows.
+struct DepotCrash {
+  std::string depot;
+  SimTime at = 0;
+  SimDuration restart_after = 0;
+};
+
+/// Cut the link between two nodes at `at`; restore it `up_after` later
+/// (0 = stays down). While down, flows across the link stall at rate zero
+/// and new requests over it are lost — only timeouts observe the partition.
+struct LinkDown {
+  sim::NodeId a = sim::kInvalidNode;
+  sim::NodeId b = sim::kInvalidNode;
+  SimTime at = 0;
+  SimDuration up_after = 0;
+};
+
+/// Multiply a depot's disk service rate by `factor` (< 1 = slower) for
+/// `duration`, then restore the original rate.
+struct DiskDegrade {
+  std::string depot;
+  SimTime at = 0;
+  SimDuration duration = 0;
+  double factor = 0.1;
+};
+
+/// During [at, at+duration), each fabric request addressed to `depot` (empty
+/// = any depot) is eaten with probability `prob`; the caller sees nothing
+/// until its deadline fires.
+struct DropWindow {
+  SimTime at = 0;
+  SimDuration duration = 0;
+  double prob = 0.0;
+  std::string depot;  ///< empty = all depots
+};
+
+/// During [at, at+duration), each load served by `depot` (empty = any) has
+/// probability `prob` of one flipped bit — silent corruption only block
+/// checksums can catch.
+struct CorruptWindow {
+  SimTime at = 0;
+  SimDuration duration = 0;
+  double prob = 0.0;
+  std::string depot;  ///< empty = all depots
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0xfa117;  ///< drives every probabilistic draw
+  std::vector<DepotCrash> crashes;
+  std::vector<LinkDown> partitions;
+  std::vector<DiskDegrade> degradations;
+  std::vector<DropWindow> drops;
+  std::vector<CorruptWindow> corruptions;
+};
+
+struct FaultStats {
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t links_cut = 0;
+  std::uint64_t links_restored = 0;
+  std::uint64_t disks_degraded = 0;
+  std::uint64_t requests_dropped = 0;
+  std::uint64_t bits_flipped = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fabric)
+      : sim_(sim), net_(net), fabric_(fabric) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules every event in the plan and installs the drop/corrupt hooks
+  /// on the fabric. Call once, before (or at) the plan's earliest event
+  /// time; events already in the past throw. If the plan contains drops or
+  /// partitions and the fabric has no deadlines configured, default
+  /// timeouts are installed (a lost request with no deadline hangs its
+  /// caller forever, which no test should ever want).
+  void arm(const FaultPlan& plan);
+
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] bool in_drop_window(const std::string& depot);
+  void maybe_corrupt(const std::string& depot, Bytes& data);
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  ibp::Fabric& fabric_;
+  Rng rng_{0xfa117};
+  std::vector<DropWindow> drops_;
+  std::vector<CorruptWindow> corruptions_;
+  FaultStats stats_;
+};
+
+}  // namespace lon::fault

@@ -23,6 +23,8 @@ const char* to_string(IbpStatus status) {
       return "bad-capability";
     case IbpStatus::kBadRange:
       return "bad-range";
+    case IbpStatus::kTimeout:
+      return "timeout";
   }
   return "?";
 }
@@ -31,6 +33,11 @@ Depot::Depot(sim::Simulator& sim, std::string name, const DepotConfig& config)
     : sim_(sim), name_(std::move(name)), config_(config), rng_(config.rng_seed) {
   if (name_.empty()) throw std::invalid_argument("Depot: empty name");
   if (config_.capacity_bytes == 0) throw std::invalid_argument("Depot: zero capacity");
+}
+
+void Depot::set_disk_rate(double bytes_per_sec) {
+  if (bytes_per_sec <= 0.0) throw std::invalid_argument("Depot: non-positive disk rate");
+  config_.disk_bytes_per_sec = bytes_per_sec;
 }
 
 Depot::AllocResult Depot::allocate(const AllocRequest& request) {

@@ -43,6 +43,7 @@ enum class IbpStatus {
   kRevoked,         ///< soft allocation was reclaimed under pressure
   kBadCapability,   ///< wrong key or wrong rights for the operation
   kBadRange,        ///< offset/length outside the allocated byte array
+  kTimeout,         ///< no reply within the fabric's per-operation deadline
 };
 
 [[nodiscard]] const char* to_string(IbpStatus status);
@@ -88,6 +89,10 @@ class Depot {
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const DepotConfig& config() const { return config_; }
+
+  /// Changes the disk service rate at runtime (fault injection: a degraded
+  /// or overloaded disk). Rate must be positive.
+  void set_disk_rate(double bytes_per_sec);
 
   /// Attempts an allocation. On success returns the capability triple; on
   /// refusal/no-capacity returns the status instead. Soft allocations may be

@@ -37,8 +37,29 @@ sim::NodeId Fabric::depot_node(const std::string& name) const {
 }
 
 void Fabric::at_depot(sim::NodeId from, sim::NodeId depot_node, std::function<void()> fn) {
+  if (!net_.reachable(from, depot_node)) {
+    // Partition: the request vanishes. Only the caller's deadline reports it.
+    ++stats_.requests_lost;
+    return;
+  }
   const SimDuration delay = net_.path_latency(from, depot_node) + kDepotOpOverhead;
   sim_.after(delay, std::move(fn));
+}
+
+void Fabric::reply_to(sim::NodeId depot_node, sim::NodeId client, std::function<void()> fn) {
+  if (!net_.reachable(depot_node, client)) {
+    ++stats_.requests_lost;
+    return;
+  }
+  sim_.after(net_.path_latency(depot_node, client), std::move(fn));
+}
+
+bool Fabric::dropped(const std::string& depot) {
+  if (drop_ && drop_(depot)) {
+    ++stats_.requests_dropped;
+    return true;
+  }
+  return false;
 }
 
 SimDuration Fabric::book_disk(Hosted& hosted, std::uint64_t bytes) {
@@ -53,7 +74,13 @@ SimDuration Fabric::book_disk(Hosted& hosted, std::uint64_t bytes) {
 void Fabric::set_offline(const std::string& name, bool offline) {
   auto it = depots_.find(name);
   if (it == depots_.end()) throw std::out_of_range("Fabric: unknown depot " + name);
+  const bool was_offline = it->second.offline;
   it->second.offline = offline;
+  if (offline && !was_offline) {
+    // A crashed depot neither sends nor receives: bulk flows with the depot
+    // as an endpoint must not complete delivery as if nothing happened.
+    stats_.flows_killed_offline += net_.cancel_node_flows(it->second.node);
+  }
 }
 
 bool Fabric::is_offline(const std::string& name) const {
@@ -76,16 +103,17 @@ void Fabric::allocate_async(sim::NodeId client, const std::string& depot,
     return;
   }
   Hosted& hosted = it->second;
-  at_depot(client, hosted.node, [this, client, &hosted, request, cb = std::move(on_done)] {
+  auto cb = with_deadline<IbpStatus, const CapabilitySet&>(
+      timeouts_.control, std::move(on_done), {IbpStatus::kTimeout, kNoCaps});
+  if (dropped(depot)) return;
+  at_depot(client, hosted.node, [this, client, &hosted, request, cb = std::move(cb)] {
     if (hosted.offline) {
-      const SimDuration back = net_.path_latency(hosted.node, client);
-      sim_.after(back, [cb] { cb(IbpStatus::kRefused, kNoCaps); });
+      reply_to(hosted.node, client, [cb] { cb(IbpStatus::kRefused, kNoCaps); });
       return;
     }
     const auto result = hosted.depot.allocate(request);
     // Reply travels back to the client.
-    const SimDuration back = net_.path_latency(hosted.node, client);
-    sim_.after(back, [result, cb] { cb(result.status, result.caps); });
+    reply_to(hosted.node, client, [result, cb] { cb(result.status, result.caps); });
   });
 }
 
@@ -98,13 +126,20 @@ void Fabric::store_async(sim::NodeId client, const Capability& write_cap,
     return;
   }
   Hosted& hosted = it->second;
+  auto cb = with_deadline<IbpStatus>(timeouts_.data, std::move(on_done),
+                                     {IbpStatus::kTimeout});
+  if (dropped(write_cap.depot)) return;
+  if (!net_.reachable(client, hosted.node)) {
+    ++stats_.requests_lost;
+    return;
+  }
   // The payload is a bulk flow from the client to the depot; the store
   // executes when the final byte lands.
   auto payload = std::make_shared<Bytes>(std::move(data));
   net_.start_transfer(
       client, hosted.node, payload->size(), net_options,
       [this, client, &hosted, write_cap, offset, payload,
-       cb = std::move(on_done)](const sim::TransferResult& r) {
+       cb = std::move(cb)](const sim::TransferResult& r) {
         if (r.cancelled || hosted.offline) {
           cb(IbpStatus::kRefused);
           return;
@@ -113,8 +148,7 @@ void Fabric::store_async(sim::NodeId client, const Capability& write_cap,
         const SimDuration disk = book_disk(hosted, payload->size());
         sim_.after(disk, [this, client, &hosted, write_cap, offset, payload, cb] {
           const IbpStatus status = hosted.depot.store(write_cap, offset, *payload);
-          const SimDuration back = net_.path_latency(hosted.node, client);
-          sim_.after(back + kDepotOpOverhead, [status, cb] { cb(status); });
+          reply_to(hosted.node, client, [status, cb] { cb(status); });
         });
       });
 }
@@ -128,26 +162,34 @@ void Fabric::load_async(sim::NodeId client, const Capability& read_cap,
     return;
   }
   Hosted& hosted = it->second;
+  auto cb = with_deadline<IbpStatus, Bytes>(timeouts_.data, std::move(on_done),
+                                            {IbpStatus::kTimeout, Bytes{}});
+  if (dropped(read_cap.depot)) return;
   // Request travels to the depot; the depot reads and streams the bytes back.
   at_depot(client, hosted.node,
            [this, client, &hosted, read_cap, offset, length, opts = net_options,
-            cb = std::move(on_done)] {
+            cb = std::move(cb)] {
              if (hosted.offline) {
-               const SimDuration back = net_.path_latency(hosted.node, client);
-               sim_.after(back, [cb] { cb(IbpStatus::kRefused, Bytes{}); });
+               reply_to(hosted.node, client, [cb] { cb(IbpStatus::kRefused, Bytes{}); });
                return;
              }
              Bytes data;
              const IbpStatus status = hosted.depot.load(read_cap, offset, length, data);
              if (status != IbpStatus::kOk) {
-               const SimDuration back = net_.path_latency(hosted.node, client);
-               sim_.after(back, [status, cb] { cb(status, Bytes{}); });
+               reply_to(hosted.node, client, [status, cb] { cb(status, Bytes{}); });
                return;
              }
+             // Silent corruption happens here: the depot believes it served
+             // the bytes it stored.
+             if (corrupt_) corrupt_(read_cap.depot, data);
              auto payload = std::make_shared<Bytes>(std::move(data));
              // The read waits its turn on the depot disk before streaming.
              const SimDuration disk = book_disk(hosted, payload->size());
              sim_.after(disk, [this, client, &hosted, payload, opts, cb] {
+               if (!net_.reachable(hosted.node, client)) {
+                 ++stats_.requests_lost;
+                 return;
+               }
                // The request leg above already served as connection setup.
                sim::TransferOptions flow = opts;
                flow.handshake = false;
@@ -171,16 +213,17 @@ void Fabric::probe_async(sim::NodeId client, const Capability& manage_cap,
     return;
   }
   Hosted& hosted = it->second;
+  auto cb = with_deadline<IbpStatus, const AllocInfo&>(
+      timeouts_.control, std::move(on_done), {IbpStatus::kTimeout, AllocInfo{}});
+  if (dropped(manage_cap.depot)) return;
   const Bytes wire = protocol::encode_request(protocol::ProbeRequest{manage_cap});
-  at_depot(client, hosted.node, [this, client, &hosted, wire, cb = std::move(on_done)] {
+  at_depot(client, hosted.node, [this, client, &hosted, wire, cb = std::move(cb)] {
     if (hosted.offline) {
-      const SimDuration back = net_.path_latency(hosted.node, client);
-      sim_.after(back, [cb] { cb(IbpStatus::kRefused, AllocInfo{}); });
+      reply_to(hosted.node, client, [cb] { cb(IbpStatus::kRefused, AllocInfo{}); });
       return;
     }
     const Bytes reply = protocol::dispatch(hosted.depot, wire);
-    const SimDuration back = net_.path_latency(hosted.node, client);
-    sim_.after(back, [reply, cb] {
+    reply_to(hosted.node, client, [reply, cb] {
       const auto response = protocol::decode_response(reply, protocol::Op::kProbe);
       cb(response.status, response.info.value_or(AllocInfo{}));
     });
@@ -195,16 +238,17 @@ void Fabric::extend_async(sim::NodeId client, const Capability& manage_cap,
     return;
   }
   Hosted& hosted = it->second;
+  auto cb = with_deadline<IbpStatus>(timeouts_.control, std::move(on_done),
+                                     {IbpStatus::kTimeout});
+  if (dropped(manage_cap.depot)) return;
   const Bytes wire = protocol::encode_request(protocol::ExtendRequest{manage_cap, extra});
-  at_depot(client, hosted.node, [this, client, &hosted, wire, cb = std::move(on_done)] {
+  at_depot(client, hosted.node, [this, client, &hosted, wire, cb = std::move(cb)] {
     if (hosted.offline) {
-      const SimDuration back = net_.path_latency(hosted.node, client);
-      sim_.after(back, [cb] { cb(IbpStatus::kRefused); });
+      reply_to(hosted.node, client, [cb] { cb(IbpStatus::kRefused); });
       return;
     }
     const Bytes reply = protocol::dispatch(hosted.depot, wire);
-    const SimDuration back = net_.path_latency(hosted.node, client);
-    sim_.after(back, [reply, cb] {
+    reply_to(hosted.node, client, [reply, cb] {
       cb(protocol::decode_response(reply, protocol::Op::kExtend).status);
     });
   });
@@ -218,16 +262,17 @@ void Fabric::release_async(sim::NodeId client, const Capability& manage_cap,
     return;
   }
   Hosted& hosted = it->second;
+  auto cb = with_deadline<IbpStatus>(timeouts_.control, std::move(on_done),
+                                     {IbpStatus::kTimeout});
+  if (dropped(manage_cap.depot)) return;
   const Bytes wire = protocol::encode_request(protocol::ReleaseRequest{manage_cap});
-  at_depot(client, hosted.node, [this, client, &hosted, wire, cb = std::move(on_done)] {
+  at_depot(client, hosted.node, [this, client, &hosted, wire, cb = std::move(cb)] {
     if (hosted.offline) {
-      const SimDuration back = net_.path_latency(hosted.node, client);
-      sim_.after(back, [cb] { cb(IbpStatus::kRefused); });
+      reply_to(hosted.node, client, [cb] { cb(IbpStatus::kRefused); });
       return;
     }
     const Bytes reply = protocol::dispatch(hosted.depot, wire);
-    const SimDuration back = net_.path_latency(hosted.node, client);
-    sim_.after(back, [reply, cb] {
+    reply_to(hosted.node, client, [reply, cb] {
       cb(protocol::decode_response(reply, protocol::Op::kRelease).status);
     });
   });
@@ -243,40 +288,38 @@ void Fabric::copy_async(sim::NodeId client, const CopyRequest& request,
   }
   Hosted& src = src_it->second;
   Hosted& dst = dst_it->second;
+  auto cb0 = with_deadline<IbpStatus, const CapabilitySet&>(
+      timeouts_.data, std::move(on_done), {IbpStatus::kTimeout, kNoCaps});
+  if (dropped(request.dst_depot)) return;
 
   // Step 1: allocate space on the destination depot.
   at_depot(client, dst.node, [this, client, &src, &dst, request,
-                              cb = std::move(on_done)]() mutable {
+                              cb = std::move(cb0)]() mutable {
     if (dst.offline) {
-      const SimDuration back = net_.path_latency(dst.node, client);
-      sim_.after(back, [cb] { cb(IbpStatus::kRefused, kNoCaps); });
+      reply_to(dst.node, client, [cb] { cb(IbpStatus::kRefused, kNoCaps); });
       return;
     }
     const auto alloc = dst.depot.allocate(request.dst_alloc);
     if (alloc.status != IbpStatus::kOk) {
-      const SimDuration back = net_.path_latency(dst.node, client);
-      sim_.after(back, [status = alloc.status, cb] { cb(status, kNoCaps); });
+      reply_to(dst.node, client, [status = alloc.status, cb] { cb(status, kNoCaps); });
       return;
     }
     // Step 2: command the source depot to push (control hop client -> src;
     // issued immediately after the allocate reply would have arrived —
     // modelled as the dst->client + client->src legs in sequence).
-    const SimDuration to_client = net_.path_latency(dst.node, client);
-    sim_.after(to_client, [this, client, &src, &dst, request, caps = alloc.caps,
-                           cb = std::move(cb)]() mutable {
+    reply_to(dst.node, client, [this, client, &src, &dst, request, caps = alloc.caps,
+                                cb = std::move(cb)]() mutable {
       at_depot(client, src.node, [this, client, &src, &dst, request, caps,
                                   cb = std::move(cb)]() mutable {
         if (src.offline) {
-          const SimDuration back = net_.path_latency(src.node, client);
-          sim_.after(back, [cb] { cb(IbpStatus::kRefused, kNoCaps); });
+          reply_to(src.node, client, [cb] { cb(IbpStatus::kRefused, kNoCaps); });
           return;
         }
         Bytes data;
         const IbpStatus status =
             src.depot.load(request.src_read, request.src_offset, request.length, data);
         if (status != IbpStatus::kOk) {
-          const SimDuration back = net_.path_latency(src.node, client);
-          sim_.after(back, [status, cb] { cb(status, kNoCaps); });
+          reply_to(src.node, client, [status, cb] { cb(status, kNoCaps); });
           return;
         }
         // Step 3: the bulk flow runs depot-to-depot; the client is not on
@@ -288,6 +331,10 @@ void Fabric::copy_async(sim::NodeId client, const CopyRequest& request,
         const SimDuration src_disk = book_disk(src, payload->size());
         sim_.after(src_disk, [this, client, &src, &dst, request, caps, payload,
                               cb = std::move(cb)]() mutable {
+          if (!net_.reachable(src.node, dst.node)) {
+            ++stats_.requests_lost;
+            return;
+          }
           net_.start_transfer(
               src.node, dst.node, payload->size(), request.net,
               [this, client, &dst, caps, payload,
@@ -300,9 +347,7 @@ void Fabric::copy_async(sim::NodeId client, const CopyRequest& request,
                 sim_.after(dst_disk, [this, client, &dst, caps, payload, cb] {
                   const IbpStatus status = dst.depot.store(caps.write, 0, *payload);
                   // Step 4: completion ack to the orchestrating client.
-                  const SimDuration back = net_.path_latency(dst.node, client);
-                  sim_.after(back + kDepotOpOverhead,
-                             [status, caps, cb] { cb(status, caps); });
+                  reply_to(dst.node, client, [status, caps, cb] { cb(status, caps); });
                 });
               });
         });

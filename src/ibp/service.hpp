@@ -11,7 +11,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 
 #include "ibp/depot.hpp"
@@ -23,12 +25,45 @@ namespace lon::ibp {
 /// allocation table work). Small relative to any transfer.
 inline constexpr SimDuration kDepotOpOverhead = 300 * kMicrosecond;
 
+/// Per-operation deadlines. Zero disables the deadline (the seed behaviour):
+/// an operation against a partitioned depot then hangs forever, so any
+/// deployment that can lose links or drop requests must set these. kTimeout
+/// is reported when a deadline fires; the late reply (if any) is discarded.
+struct FabricTimeouts {
+  SimDuration control = 0;  ///< allocate/probe/extend/release
+  SimDuration data = 0;     ///< store/load/copy (bulk transfers)
+};
+
+struct FabricStats {
+  std::uint64_t timeouts = 0;            ///< operations that hit their deadline
+  std::uint64_t requests_lost = 0;       ///< sent while the depot was unreachable
+  std::uint64_t requests_dropped = 0;    ///< eaten by the fault-injection hook
+  std::uint64_t flows_killed_offline = 0;///< in-flight flows cancelled by set_offline
+};
+
 class Fabric {
  public:
   Fabric(sim::Simulator& sim, sim::Network& net) : sim_(sim), net_(net) {}
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
+
+  // --- Robustness knobs ----------------------------------------------------
+
+  void set_timeouts(const FabricTimeouts& timeouts) { timeouts_ = timeouts; }
+  [[nodiscard]] const FabricTimeouts& timeouts() const { return timeouts_; }
+  [[nodiscard]] const FabricStats& stats() const { return stats_; }
+
+  /// Fault-injection hook: return true to silently eat a request addressed
+  /// to `depot` (the caller sees nothing until its deadline fires).
+  using DropHook = std::function<bool(const std::string& depot)>;
+  void set_drop_hook(DropHook hook) { drop_ = std::move(hook); }
+
+  /// Fault-injection hook: mutate bytes as they leave `depot` on a load —
+  /// silent on-the-wire/at-rest corruption. Detection is the job of the
+  /// layers above (LoRS block checksums).
+  using CorruptHook = std::function<void(const std::string& depot, Bytes& data)>;
+  void set_corrupt_hook(CorruptHook hook) { corrupt_ = std::move(hook); }
 
   // --- Hosting ------------------------------------------------------------
 
@@ -43,8 +78,11 @@ class Fabric {
   /// Takes a depot off the network (transient failure — IBP's service model
   /// explicitly allows depots to vanish; "it may be necessary to assume that
   /// storage can be permanently lost"). Remote operations against an offline
-  /// depot fail with kRefused after the request's one-way latency. Stored
-  /// data survives and is served again once the depot returns.
+  /// depot fail with kRefused after the request's one-way latency, and every
+  /// in-flight bulk flow to or from the depot is cancelled (a crashed host
+  /// neither sends nor receives; bytes "in the network" must not complete
+  /// delivery as if the crash never happened). Stored data survives and is
+  /// served again once the depot returns.
   void set_offline(const std::string& name, bool offline);
   [[nodiscard]] bool is_offline(const std::string& name) const;
 
@@ -109,8 +147,45 @@ class Fabric {
   };
 
   /// Runs fn after the one-way control-message latency from `from` to the
-  /// depot's node plus the depot op overhead.
+  /// depot's node plus the depot op overhead. If the two nodes are
+  /// partitioned the request is lost: fn never runs and only the caller's
+  /// deadline (if any) reports the failure.
   void at_depot(sim::NodeId from, sim::NodeId depot_node, std::function<void()> fn);
+
+  /// Delivers a reply from the depot back to the client, or loses it if the
+  /// route vanished while the operation was in progress.
+  void reply_to(sim::NodeId depot_node, sim::NodeId client, std::function<void()> fn);
+
+  /// Rolls the fault-injection drop hook for one request.
+  [[nodiscard]] bool dropped(const std::string& depot);
+
+  /// Wraps `cb` so that whichever fires first wins: the real completion or a
+  /// timeout event reporting kTimeout via `on_timeout`. With timeout <= 0 the
+  /// callback is returned unwrapped (no deadline). The disarmed timer is
+  /// cancelled so it neither runs nor drags the virtual clock forward.
+  template <typename... Args>
+  std::function<void(Args...)> with_deadline(SimDuration timeout,
+                                             std::function<void(Args...)> cb,
+                                             std::tuple<std::decay_t<Args>...> on_timeout) {
+    if (timeout <= 0 || !cb) return cb;
+    struct Guard {
+      bool done = false;
+      sim::TimerId timer = 0;
+    };
+    auto guard = std::make_shared<Guard>();
+    guard->timer = sim_.after(timeout, [this, guard, cb, args = std::move(on_timeout)] {
+      if (guard->done) return;
+      guard->done = true;
+      ++stats_.timeouts;
+      std::apply(cb, args);
+    });
+    return [this, guard, cb = std::move(cb)](Args... args) {
+      if (guard->done) return;
+      guard->done = true;
+      sim_.cancel(guard->timer);
+      cb(std::forward<Args>(args)...);
+    };
+  }
 
   /// Books `bytes` of disk service on the depot, returning the delay from
   /// now until that service completes (FIFO behind earlier bookings).
@@ -119,6 +194,10 @@ class Fabric {
   sim::Simulator& sim_;
   sim::Network& net_;
   std::unordered_map<std::string, Hosted> depots_;
+  FabricTimeouts timeouts_;
+  FabricStats stats_;
+  DropHook drop_;
+  CorruptHook corrupt_;
 };
 
 }  // namespace lon::ibp

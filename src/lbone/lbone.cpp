@@ -34,6 +34,11 @@ std::vector<Candidate> Directory::find(sim::NodeId requester, const Requirements
     if (!record.alive) continue;
     const ibp::Depot* depot = fabric_.find_depot(record.name);
     if (depot == nullptr) continue;
+    // The directory's liveness flag lags reality (it only updates on
+    // set_alive or a probe sweep); the fabric's offline flag is the ground
+    // truth, so cross-check it rather than returning a depot every request
+    // to which will fail.
+    if (fabric_.is_offline(record.name)) continue;
     if (depot->bytes_free() < req.free_bytes) continue;
     if (depot->config().max_lease < req.lease) continue;
     const sim::NodeId node = fabric_.depot_node(record.name);
@@ -50,6 +55,32 @@ std::vector<Candidate> Directory::find(sim::NodeId requester, const Requirements
   });
   if (out.size() > req.count) out.resize(req.count);
   return out;
+}
+
+void Directory::start_health_probes(SimDuration interval) {
+  if (interval <= 0) throw std::invalid_argument("Directory: non-positive probe interval");
+  stop_health_probes();
+  probe_interval_ = interval;
+  probe_timer_ = net_.simulator().after(interval, [this] { probe_sweep(); });
+}
+
+void Directory::stop_health_probes() {
+  if (probe_timer_.has_value()) {
+    net_.simulator().cancel(*probe_timer_);
+    probe_timer_.reset();
+  }
+  probe_interval_ = 0;
+}
+
+void Directory::probe_sweep() {
+  ++probe_stats_.sweeps;
+  for (auto& record : records_) {
+    const bool up = !fabric_.is_offline(record.name);
+    if (record.alive && !up) ++probe_stats_.marked_dead;
+    if (!record.alive && up) ++probe_stats_.marked_alive;
+    record.alive = up;
+  }
+  probe_timer_ = net_.simulator().after(probe_interval_, [this] { probe_sweep(); });
 }
 
 }  // namespace lon::lbone

@@ -51,10 +51,29 @@ class Directory {
 
   /// Returns up to req.count live, reachable depots satisfying the
   /// requirements, sorted by increasing latency from `requester` (ties by
-  /// name for determinism). Fewer than req.count results means the fabric
-  /// cannot satisfy the query — callers must cope (best-effort semantics).
+  /// name for determinism). Depots the fabric currently reports offline are
+  /// skipped even when the directory still believes them alive — the
+  /// directory is a cache of liveness and must not hand out depots the
+  /// fabric already knows are down. Fewer than req.count results means the
+  /// fabric cannot satisfy the query — callers must cope (best-effort
+  /// semantics).
   [[nodiscard]] std::vector<Candidate> find(sim::NodeId requester,
                                             const Requirements& req) const;
+
+  /// Starts a periodic health sweep on the simulator clock: every
+  /// `interval`, each record's liveness is set from the fabric's
+  /// offline flag, so a crashed depot drops out of query results within
+  /// one sweep and re-enters automatically after its restart. Restarting
+  /// with a new interval replaces the previous schedule.
+  void start_health_probes(SimDuration interval);
+  void stop_health_probes();
+
+  struct ProbeStats {
+    std::uint64_t sweeps = 0;
+    std::uint64_t marked_dead = 0;   ///< alive -> dead flips
+    std::uint64_t marked_alive = 0;  ///< dead -> alive flips
+  };
+  [[nodiscard]] const ProbeStats& probe_stats() const { return probe_stats_; }
 
  private:
   struct Record {
@@ -62,9 +81,14 @@ class Directory {
     bool alive = true;
   };
 
+  void probe_sweep();
+
   sim::Network& net_;
   ibp::Fabric& fabric_;
   std::vector<Record> records_;
+  SimDuration probe_interval_ = 0;  ///< 0 = probes off
+  std::optional<sim::TimerId> probe_timer_;
+  ProbeStats probe_stats_;
 };
 
 }  // namespace lon::lbone

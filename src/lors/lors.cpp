@@ -2,10 +2,22 @@
 
 #include <algorithm>
 #include <memory>
+#include <set>
 
+#include "util/checksum.hpp"
 #include "util/log.hpp"
 
 namespace lon::lors {
+
+SimDuration RetryPolicy::backoff_for(int round, Rng& rng) const {
+  double backoff = static_cast<double>(base_backoff);
+  for (int i = 1; i < round; ++i) backoff *= multiplier;
+  backoff = std::min(backoff, static_cast<double>(max_backoff));
+  if (jitter_frac > 0.0) {
+    backoff *= rng.uniform(1.0 - jitter_frac, 1.0 + jitter_frac);
+  }
+  return std::max<SimDuration>(1, static_cast<SimDuration>(backoff));
+}
 
 const char* to_string(LorsStatus status) {
   switch (status) {
@@ -142,6 +154,9 @@ void Lors::upload_async(sim::NodeId client, Bytes data, const UploadOptions& opt
     extent.offset = b * options.block_bytes;
     extent.length = std::min<std::uint64_t>(options.block_bytes,
                                             st->data.size() - extent.offset);
+    // Checksum at the source, before any byte crosses the network: the only
+    // place the uploader provably holds the true bytes.
+    extent.checksum = crc32(std::span(st->data).subspan(extent.offset, extent.length));
     st->exnode.add_extent(std::move(extent));
   }
   st->fabric = &fabric_;
@@ -164,9 +179,13 @@ struct DownloadState {
   std::size_t outstanding = 0;
   std::size_t failed = 0;
   std::size_t failovers = 0;
+  std::size_t corrupt = 0;
+  std::size_t retries = 0;
   ibp::Fabric* fabric = nullptr;
   sim::Network* net = nullptr;
   sim::Simulator* sim = nullptr;
+  Rng* rng = nullptr;
+  LorsStats* stats = nullptr;
 };
 
 void download_launch(const std::shared_ptr<DownloadState>& st);
@@ -190,24 +209,55 @@ std::vector<std::size_t> replica_order(const DownloadState& st, const exnode::Ex
 }
 
 void download_extent_try(const std::shared_ptr<DownloadState>& st, std::size_t extent_index,
-                         std::shared_ptr<std::vector<std::size_t>> order, std::size_t attempt) {
+                         std::shared_ptr<std::vector<std::size_t>> order, std::size_t attempt,
+                         int round) {
   const exnode::Extent& extent = st->node.extents()[extent_index];
   if (attempt >= order->size()) {
+    // This round exhausted every replica. Back off and go again if the
+    // policy allows — a transient partition or depot restart may have
+    // cleared by then — otherwise the extent is lost for this download.
+    if (!order->empty() && round < st->options.retry.max_attempts) {
+      ++st->retries;
+      if (st->stats) ++st->stats->retries;
+      const SimDuration backoff = st->options.retry.backoff_for(round, *st->rng);
+      st->sim->after(backoff, [st, extent_index, round] {
+        // Reachability may have changed during the backoff: re-rank.
+        auto fresh = std::make_shared<std::vector<std::size_t>>(
+            replica_order(*st, st->node.extents()[extent_index]));
+        download_extent_try(st, extent_index, fresh, 0, round + 1);
+      });
+      return;
+    }
     ++st->failed;
     --st->outstanding;
     download_launch(st);
     return;
   }
-  if (attempt > 0) ++st->failovers;
+  if (attempt > 0) {
+    ++st->failovers;
+    if (st->stats) ++st->stats->failovers;
+  }
   const exnode::Replica& replica = extent.replicas[(*order)[attempt]];
   st->fabric->load_async(
       st->client, replica.read, replica.alloc_offset, extent.length, st->options.net,
-      [st, extent_index, order, attempt](ibp::IbpStatus status, Bytes bytes) {
+      [st, extent_index, order, attempt, round](ibp::IbpStatus status, Bytes bytes) {
         const exnode::Extent& ext = st->node.extents()[extent_index];
         if (status != ibp::IbpStatus::kOk) {
           LON_LOG(kDebug, "lors") << "download replica failed (" << ibp::to_string(status)
                                   << "), failing over";
-          download_extent_try(st, extent_index, order, attempt + 1);
+          download_extent_try(st, extent_index, order, attempt + 1, round);
+          return;
+        }
+        // Trust nothing that crossed the network: a depot can serve rotted
+        // bytes with a straight face. A mismatch is a failed fetch — the
+        // corrupt block is never copied into the result.
+        if (st->options.verify_checksums && ext.checksum.has_value() &&
+            (bytes.size() != ext.length || crc32(bytes) != *ext.checksum)) {
+          ++st->corrupt;
+          if (st->stats) ++st->stats->corruption_detected;
+          LON_LOG(kDebug, "lors") << "checksum mismatch on extent " << ext.offset
+                                  << ", failing over";
+          download_extent_try(st, extent_index, order, attempt + 1, round);
           return;
         }
         std::copy(bytes.begin(), bytes.end(),
@@ -225,13 +275,15 @@ void download_launch(const std::shared_ptr<DownloadState>& st) {
     ++st->outstanding;
     auto order = std::make_shared<std::vector<std::size_t>>(
         replica_order(*st, extents[index]));
-    download_extent_try(st, index, order, 0);
+    download_extent_try(st, index, order, 0, 1);
   }
   if (st->outstanding == 0 && st->next_extent >= extents.size() && st->on_done) {
     DownloadResult result;
     result.blocks_total = extents.size();
     result.blocks_failed = st->failed;
     result.replica_failovers = st->failovers;
+    result.corruption_detected = st->corrupt;
+    result.retries = st->retries;
     result.status = st->failed == 0 ? LorsStatus::kOk : LorsStatus::kPartial;
     result.data = std::move(st->data);
     auto cb = std::move(st->on_done);
@@ -253,6 +305,8 @@ void Lors::download_async(sim::NodeId client, const exnode::ExNode& node,
   st->fabric = &fabric_;
   st->net = &net_;
   st->sim = &sim_;
+  st->rng = &rng_;
+  st->stats = &stats_;
   if (node.extents().empty()) {
     sim_.after(0, [st] { download_launch(st); });
     return;
@@ -418,6 +472,203 @@ void Lors::refresh_async(sim::NodeId client, const exnode::ExNode& node,
   if (st->outstanding == 0) {
     sim_.after(0, [st] { st->maybe_done(); });
   }
+}
+
+// --- repair ------------------------------------------------------------------
+
+namespace {
+
+struct RepairState {
+  sim::NodeId client = 0;
+  RepairOptions options;
+  Lors::RepairCallback on_done;
+
+  exnode::ExNode original;
+  RepairResult result;
+  std::vector<std::vector<bool>> alive;  // [extent][replica] probe outcome
+  std::size_t probes_outstanding = 0;
+  bool probes_launched = false;
+
+  struct Job {
+    std::size_t extent = 0;
+    std::string depot;
+  };
+  std::vector<Job> jobs;
+  std::size_t next_job = 0;
+  std::size_t jobs_outstanding = 0;
+
+  ibp::Fabric* fabric = nullptr;
+  sim::Simulator* sim = nullptr;
+  LorsStats* stats = nullptr;
+};
+
+void repair_plan(const std::shared_ptr<RepairState>& st);
+void repair_pump(const std::shared_ptr<RepairState>& st);
+
+void repair_probe_done(const std::shared_ptr<RepairState>& st, std::size_t extent,
+                       std::size_t replica, bool ok) {
+  st->alive[extent][replica] = ok;
+  ++st->result.replicas_probed;
+  --st->probes_outstanding;
+  if (st->probes_launched && st->probes_outstanding == 0) repair_plan(st);
+}
+
+/// Phase 1: every replica answers for itself — a probe through the manage
+/// capability when we own one, a 1-byte read otherwise. Anything but kOk
+/// (offline, expired, revoked, timed out) counts the replica as gone.
+void repair_probe(const std::shared_ptr<RepairState>& st) {
+  const auto& extents = st->original.extents();
+  st->alive.assign(extents.size(), {});
+  for (std::size_t i = 0; i < extents.size(); ++i) {
+    st->alive[i].assign(extents[i].replicas.size(), false);
+    for (std::size_t j = 0; j < extents[i].replicas.size(); ++j) {
+      const exnode::Replica& rep = extents[i].replicas[j];
+      ++st->probes_outstanding;
+      if (rep.manage.has_value()) {
+        st->fabric->probe_async(st->client, *rep.manage,
+                                [st, i, j](ibp::IbpStatus status, const ibp::AllocInfo&) {
+                                  repair_probe_done(st, i, j, status == ibp::IbpStatus::kOk);
+                                });
+      } else {
+        st->fabric->load_async(st->client, rep.read, rep.alloc_offset, 1,
+                               st->options.net,
+                               [st, i, j](ibp::IbpStatus status, Bytes) {
+                                 repair_probe_done(st, i, j, status == ibp::IbpStatus::kOk);
+                               });
+      }
+    }
+  }
+  st->probes_launched = true;
+  if (st->probes_outstanding == 0) {
+    st->sim->after(0, [st] { repair_plan(st); });
+  }
+}
+
+/// Phase 2: rebuild the exNode with only the survivors, then plan one copy
+/// job per missing replica onto a candidate depot that neither already holds
+/// the extent nor is known-offline.
+void repair_plan(const std::shared_ptr<RepairState>& st) {
+  const auto& extents = st->original.extents();
+  exnode::ExNode healed(st->original.length());
+  healed.metadata() = st->original.metadata();
+  for (std::size_t i = 0; i < extents.size(); ++i) {
+    exnode::Extent ext;
+    ext.offset = extents[i].offset;
+    ext.length = extents[i].length;
+    ext.checksum = extents[i].checksum;
+    const auto& probes = st->alive[i];
+    const bool any_alive =
+        std::find(probes.begin(), probes.end(), true) != probes.end();
+    if (!any_alive && !extents[i].replicas.empty()) {
+      // Every replica went dark at once — almost always a transient
+      // multi-depot outage, not data loss. Keep the pointers: a dead
+      // capability is strictly better than none, and the next sweep can
+      // still tell survivors from corpses after the depots restart.
+      ext.replicas = extents[i].replicas;
+      ++st->result.extents_dark;
+    } else {
+      for (std::size_t j = 0; j < extents[i].replicas.size(); ++j) {
+        if (probes[j]) {
+          ext.replicas.push_back(extents[i].replicas[j]);
+        } else {
+          ++st->result.replicas_lost;
+          if (st->stats) ++st->stats->replicas_lost;
+        }
+      }
+    }
+    healed.add_extent(std::move(ext));
+  }
+  st->result.exnode = std::move(healed);
+
+  for (std::size_t i = 0; i < st->result.exnode.extents().size(); ++i) {
+    const exnode::Extent& ext = st->result.exnode.extents()[i];
+    const auto& probes = st->alive[i];
+    if (std::find(probes.begin(), probes.end(), true) == probes.end()) {
+      continue;  // no live replica to copy from
+    }
+    std::set<std::string> hosting;
+    for (const auto& rep : ext.replicas) hosting.insert(rep.read.depot);
+    auto needed = static_cast<std::size_t>(st->options.target_replicas);
+    std::size_t have = ext.replicas.size();
+    for (const std::string& depot : st->options.candidate_depots) {
+      if (have >= needed) break;
+      if (hosting.contains(depot)) continue;
+      if (st->fabric->find_depot(depot) == nullptr || st->fabric->is_offline(depot)) {
+        continue;
+      }
+      hosting.insert(depot);
+      ++have;
+      st->jobs.push_back({i, depot});
+    }
+  }
+  repair_pump(st);
+}
+
+/// Phase 3: run the copy jobs with bounded concurrency, then report.
+void repair_pump(const std::shared_ptr<RepairState>& st) {
+  while (st->next_job < st->jobs.size() &&
+         st->jobs_outstanding < static_cast<std::size_t>(st->options.max_concurrent)) {
+    const RepairState::Job job = st->jobs[st->next_job++];
+    ++st->jobs_outstanding;
+    const exnode::Extent& ext = st->result.exnode.extents()[job.extent];
+    const exnode::Replica& source = ext.replicas.front();
+
+    ibp::Fabric::CopyRequest req;
+    req.src_read = source.read;
+    req.dst_depot = job.depot;
+    req.src_offset = source.alloc_offset;
+    req.length = ext.length;
+    req.dst_alloc.size = ext.length;
+    req.dst_alloc.lease = st->options.lease;
+    req.dst_alloc.type = st->options.alloc_type;
+    req.net = st->options.net;
+
+    st->fabric->copy_async(
+        st->client, req,
+        [st, job](ibp::IbpStatus status, const ibp::CapabilitySet& caps) {
+          if (status == ibp::IbpStatus::kOk) {
+            ++st->result.replicas_added;
+            if (st->stats) ++st->stats->replicas_repaired;
+            exnode::Replica rep;
+            rep.read = caps.read;
+            rep.manage = caps.manage;
+            rep.alloc_offset = 0;
+            st->result.exnode.add_replica(
+                st->result.exnode.extents()[job.extent].offset, std::move(rep));
+          }
+          --st->jobs_outstanding;
+          repair_pump(st);
+        });
+  }
+  if (st->jobs_outstanding == 0 && st->next_job >= st->jobs.size() && st->on_done) {
+    for (const auto& ext : st->result.exnode.extents()) {
+      if (ext.replicas.size() < static_cast<std::size_t>(st->options.target_replicas)) {
+        ++st->result.extents_short;
+      }
+    }
+    st->result.status = st->result.extents_short == 0 && st->result.extents_dark == 0
+                            ? LorsStatus::kOk
+                            : LorsStatus::kPartial;
+    auto cb = std::move(st->on_done);
+    st->on_done = nullptr;
+    cb(st->result);
+  }
+}
+
+}  // namespace
+
+void Lors::repair_async(sim::NodeId client, const exnode::ExNode& node,
+                        const RepairOptions& options, RepairCallback on_done) {
+  ++stats_.repairs_run;
+  auto st = std::make_shared<RepairState>();
+  st->client = client;
+  st->options = options;
+  st->on_done = std::move(on_done);
+  st->original = node;
+  st->fabric = &fabric_;
+  st->sim = &sim_;
+  st->stats = &stats_;
+  repair_probe(st);
 }
 
 }  // namespace lon::lors

@@ -27,6 +27,7 @@
 #include "exnode/exnode.hpp"
 #include "ibp/service.hpp"
 #include "simnet/network.hpp"
+#include "util/rng.hpp"
 
 namespace lon::lors {
 
@@ -51,9 +52,30 @@ struct UploadOptions {
   int max_concurrent = 8;            ///< in-flight block uploads
 };
 
+/// Retry discipline for a composed operation. One "attempt" is a full round
+/// over every replica of an extent; between rounds the client backs off
+/// exponentially with seeded jitter so that many clients recovering from the
+/// same depot failure do not retry in lockstep.
+struct RetryPolicy {
+  int max_attempts = 1;              ///< rounds over the replica set (1 = no retry)
+  SimDuration base_backoff = 100 * kMillisecond;
+  double multiplier = 2.0;           ///< backoff growth per round
+  double jitter_frac = 0.25;         ///< +/- fraction applied to each backoff
+  SimDuration max_backoff = 10 * kSecond;
+
+  /// Backoff before retry round `round` (1-based: the wait after round
+  /// `round` failed). Jitter is drawn from `rng`.
+  [[nodiscard]] SimDuration backoff_for(int round, Rng& rng) const;
+};
+
 struct DownloadOptions {
   sim::TransferOptions net;          ///< per-block transfer options
   int max_concurrent = 8;            ///< in-flight block downloads
+  RetryPolicy retry;                 ///< rounds + backoff when every replica fails
+  /// Verify each extent against the CRC32 recorded at upload; a mismatching
+  /// block is treated as a failed fetch (failover to the next replica).
+  /// Extents without a recorded checksum are delivered unverified.
+  bool verify_checksums = true;
 };
 
 struct AugmentOptions {
@@ -76,6 +98,8 @@ struct DownloadResult {
   std::size_t blocks_total = 0;
   std::size_t blocks_failed = 0;
   std::size_t replica_failovers = 0;  ///< fetches that had to try another replica
+  std::size_t corruption_detected = 0;  ///< checksum mismatches (never delivered)
+  std::size_t retries = 0;            ///< extra retry rounds taken
 };
 
 struct AugmentResult {
@@ -85,10 +109,47 @@ struct AugmentResult {
   std::size_t extents_failed = 0;
 };
 
+struct RepairOptions {
+  int target_replicas = 2;           ///< desired live replicas per extent
+  std::vector<std::string> candidate_depots;  ///< where new replicas may land
+  SimDuration lease = 3600 * kSecond;
+  ibp::AllocType alloc_type = ibp::AllocType::kHard;
+  sim::TransferOptions net;          ///< options for the repair copies
+  int max_concurrent = 4;
+};
+
+struct RepairResult {
+  LorsStatus status = LorsStatus::kOk;  ///< kPartial if any extent stays short
+  exnode::ExNode exnode;             ///< input minus dead replicas plus new ones
+  std::size_t replicas_probed = 0;
+  std::size_t replicas_lost = 0;     ///< dead replicas dropped from the exNode
+  std::size_t replicas_added = 0;    ///< repair copies that landed
+  std::size_t extents_short = 0;     ///< extents still below target afterwards
+  /// Extents whose every replica probed dead in the same sweep. Their
+  /// original replicas are kept verbatim (dropping the last pointers would
+  /// turn a transient multi-depot outage into permanent loss); a later sweep
+  /// separates survivors from corpses once something answers again.
+  std::size_t extents_dark = 0;
+};
+
+/// Cumulative robustness counters across every operation run through one
+/// Lors instance (the session-level self-healing story).
+struct LorsStats {
+  std::uint64_t retries = 0;             ///< extra download rounds
+  std::uint64_t failovers = 0;           ///< replica failovers within a round
+  std::uint64_t corruption_detected = 0; ///< checksum mismatches caught
+  std::uint64_t repairs_run = 0;         ///< repair_async invocations
+  std::uint64_t replicas_repaired = 0;   ///< replicas re-created by repair
+  std::uint64_t replicas_lost = 0;       ///< dead replicas discovered by repair
+};
+
 class Lors {
  public:
-  Lors(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fabric)
-      : sim_(sim), net_(net), fabric_(fabric) {}
+  /// `seed` drives retry-backoff jitter (and nothing else), so runs are
+  /// replayable bit-for-bit.
+  Lors(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fabric,
+       std::uint64_t seed = 0x10f5)
+      : sim_(sim), net_(net), fabric_(fabric), rng_(seed) {}
 
   Lors(const Lors&) = delete;
   Lors& operator=(const Lors&) = delete;
@@ -122,10 +183,25 @@ class Lors {
   void refresh_async(sim::NodeId client, const exnode::ExNode& node, SimDuration extra,
                      RefreshCallback on_done);
 
+  using RepairCallback = std::function<void(const RepairResult&)>;
+  /// Self-healing: probes every replica of every extent, drops the dead ones
+  /// from the exNode, then re-augments any extent below target_replicas by
+  /// third-party-copying a surviving replica onto a candidate depot that does
+  /// not already hold the extent (and is not offline). The caller receives
+  /// the healed exNode; persisting it (e.g. back into the DVS) is the
+  /// caller's job. Replicas are probed through their manage capability when
+  /// present, otherwise with a 1-byte read.
+  void repair_async(sim::NodeId client, const exnode::ExNode& node,
+                    const RepairOptions& options, RepairCallback on_done);
+
+  [[nodiscard]] const LorsStats& stats() const { return stats_; }
+
  private:
   sim::Simulator& sim_;
   sim::Network& net_;
   ibp::Fabric& fabric_;
+  Rng rng_;
+  LorsStats stats_;
 };
 
 }  // namespace lon::lors

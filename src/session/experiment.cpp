@@ -4,6 +4,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "fault/fault.hpp"
 #include "ibp/service.hpp"
 #include "lbone/lbone.hpp"
 #include "lightfield/procedural.hpp"
@@ -31,6 +32,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   sim::Simulator sim;
   sim::Network net(sim, config.net_seed);
   ibp::Fabric fabric(sim, net);
+  fabric.set_timeouts(config.timeouts);
   lors::Lors lors(sim, net, fabric);
 
   // LAN: client, client agent and the LAN depots hang off one switch.
@@ -95,6 +97,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   PublishOptions publish;
   publish.depots =
       (config.which == Case::kLanData) ? lan_depots : wan_depots;
+  publish.replicas = config.publish_replicas;
   publish.net.streams = 8;
   publish.all_filler = config.all_filler;
   if (!config.full_content && !config.all_filler) {
@@ -109,7 +112,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       publish.real_ids.push_back({row, col});
     }
   }
-  const PublishResult published =
+  PublishResult published =
       publish_database(sim, lors, dvs, source, server_node, publish);
   if (published.failed > 0) {
     throw std::runtime_error("run_experiment: database publication failed");
@@ -125,6 +128,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   agent_config.staging_order = config.staging_order;
   agent_config.pause_staging_on_miss = config.pause_staging_on_miss;
   agent_config.wan_net.streams = config.wan_streams;
+  agent_config.retry = config.retry;
+  agent_config.max_refetch = config.max_refetch;
+  agent_config.staging_lease = config.staging_lease;
+  agent_config.lease_refresh = config.lease_refresh;
+  agent_config.lease_refresh_interval = config.lease_refresh_interval;
   streaming::ClientAgent agent(sim, net, fabric, lors, dvs, lattice, agent_node,
                                agent_config);
 
@@ -136,8 +144,60 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   const SimTime script_start = sim.now();
   agent.start_staging();
 
+  // Fault plan times are authored relative to the script; publication already
+  // consumed virtual time, so shift every event to the actual start.
+  fault::FaultInjector injector(sim, net, fabric);
+  {
+    fault::FaultPlan plan = config.faults;
+    for (auto& c : plan.crashes) c.at += script_start;
+    for (auto& p : plan.partitions) p.at += script_start;
+    for (auto& d : plan.degradations) d.at += script_start;
+    for (auto& d : plan.drops) d.at += script_start;
+    for (auto& c : plan.corruptions) c.at += script_start;
+    injector.arm(plan);
+  }
+
+  // The publisher's repair daemon: every repair_interval, probe the next
+  // repair_batch exNodes in the catalog, drop dead replicas, re-replicate
+  // short extents, and push the healed exNode back into the DVS so readers
+  // stop chasing capabilities on crashed depots.
+  std::size_t repair_cursor = 0;
+  std::function<void()> repair_sweep = [&] {
+    if (published.exnodes.empty()) return;
+    auto batch = std::make_shared<std::size_t>(
+        std::min(config.repair_batch, published.exnodes.size()));
+    for (std::size_t i = 0; i < *batch; ++i) {
+      auto& [id, owned] = published.exnodes[repair_cursor++ % published.exnodes.size()];
+      lors::RepairOptions options;
+      options.target_replicas = config.repair_target_replicas > 0
+                                    ? config.repair_target_replicas
+                                    : config.publish_replicas;
+      options.candidate_depots =
+          (config.which == Case::kLanData) ? lan_depots : wan_depots;
+      lors.repair_async(server_node, owned, options,
+                        [&, batch, id = id](const lors::RepairResult& r) {
+                          if (r.status != lors::LorsStatus::kCancelled) {
+                            for (auto& [pid, pnode] : published.exnodes) {
+                              if (pid == id) pnode = r.exnode;
+                            }
+                            if (r.replicas_lost > 0 || r.replicas_added > 0) {
+                              exnode::ExNode copy = r.exnode;
+                              dvs.install(id, std::move(copy));
+                            }
+                          }
+                          if (--*batch == 0) {
+                            sim.after(config.repair_interval, repair_sweep);
+                          }
+                        });
+    }
+  };
+  if (config.repair_interval > 0) {
+    sim.after(config.repair_interval, repair_sweep);
+  }
+
   bool done = false;
   std::size_t step_index = 0;
+  std::size_t failed_accesses = 0;
   // Each step waits until its view is renderable, then dwells before moving:
   // the orchestrated operator moves at a controlled rate but never abandons
   // a pending view (which keeps the access count at exactly `accesses`).
@@ -149,6 +209,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     const CursorStep step = script.steps()[step_index++];
     client.set_view(step.direction, [&, step](bool ok) {
       if (!ok) {
+        ++failed_accesses;
         LON_LOG(kWarn, "experiment") << "view request failed; continuing";
       }
       sim.after(step.dwell, advance);
@@ -173,6 +234,23 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       result.db_compressed_bytes > 0
           ? result.db_uncompressed_bytes / result.db_compressed_bytes
           : 0.0;
+  result.failed_accesses = failed_accesses;
+  result.fault_stats = injector.stats();
+  RobustnessSummary& rob = result.robustness;
+  rob.timeouts = fabric.stats().timeouts;
+  rob.requests_lost = fabric.stats().requests_lost;
+  rob.requests_dropped = fabric.stats().requests_dropped;
+  rob.flows_killed = fabric.stats().flows_killed_offline;
+  rob.retries = lors.stats().retries;
+  rob.failovers = lors.stats().failovers;
+  rob.corruption_detected = lors.stats().corruption_detected;
+  rob.repairs_run = lors.stats().repairs_run;
+  rob.replicas_repaired = lors.stats().replicas_repaired;
+  rob.replicas_lost = lors.stats().replicas_lost;
+  rob.refetches = agent.stats().refetches;
+  rob.invalidations = agent.stats().invalidations;
+  rob.restaged = agent.stats().restaged;
+  rob.lease_refreshes = agent.stats().lease_refreshes;
   return result;
 }
 

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "lightfield/lattice.hpp"
 #include "session/cursor.hpp"
 #include "session/metrics.hpp"
@@ -76,6 +77,23 @@ struct ExperimentConfig {
   int lan_depot_count = 4;   ///< "striped across four depots ... by a 1Gb/s LAN"
   double depot_disk_bps = 80e6;
   std::uint64_t net_seed = 7;  ///< 0 disables jitter entirely
+
+  // Robustness / fault injection. The defaults reproduce the fault-free
+  // runs exactly: no faults, no deadlines, no retries, no repair.
+  int publish_replicas = 1;          ///< copies of each block across the WAN depots
+  fault::FaultPlan faults;           ///< event times relative to script start
+  ibp::FabricTimeouts timeouts;      ///< 0 = no per-operation deadlines
+  lors::RetryPolicy retry;           ///< agent download retry discipline
+  int max_refetch = 2;               ///< agent end-to-end re-resolutions
+  SimDuration staging_lease = 24 * 3600 * kSecond;
+  bool lease_refresh = false;        ///< keep staged soft copies alive
+  SimDuration lease_refresh_interval = 0;  ///< 0 = staging_lease / 4
+  /// > 0: the publisher runs a repair sweep this often, probing a slice of
+  /// the database's exNodes and re-replicating extents that lost replicas
+  /// to crashed depots (healed exNodes are re-installed into the DVS).
+  SimDuration repair_interval = 0;
+  int repair_target_replicas = 0;    ///< 0 = publish_replicas
+  std::size_t repair_batch = 4;      ///< exNodes probed per sweep
 };
 
 struct ExperimentResult {
@@ -88,6 +106,9 @@ struct ExperimentResult {
   double db_compressed_bytes = 0;      ///< published database size
   double db_uncompressed_bytes = 0;
   double compression_ratio = 0;
+  std::size_t failed_accesses = 0;     ///< view requests that never delivered
+  RobustnessSummary robustness;        ///< self-healing counters for the run
+  fault::FaultStats fault_stats;       ///< what the injector actually did
 };
 
 /// Builds the full system for one case, publishes the database, replays the

@@ -111,4 +111,17 @@ void print_summary(std::ostream& os, const std::string& label, const AccessSumma
      << "  mean_decompress=" << s.mean_decompress_s << "s\n";
 }
 
+void print_robustness(std::ostream& os, const std::string& label,
+                      const RobustnessSummary& s) {
+  os << "== " << label << " (robustness) ==\n"
+     << "  fabric: timeouts=" << s.timeouts << " lost=" << s.requests_lost
+     << " dropped=" << s.requests_dropped << " flows_killed=" << s.flows_killed << '\n'
+     << "  lors: retries=" << s.retries << " failovers=" << s.failovers
+     << " corruption_detected=" << s.corruption_detected << '\n'
+     << "  repair: runs=" << s.repairs_run << " replicas_lost=" << s.replicas_lost
+     << " replicas_repaired=" << s.replicas_repaired << '\n'
+     << "  agent: refetches=" << s.refetches << " invalidations=" << s.invalidations
+     << " restaged=" << s.restaged << " lease_refreshes=" << s.lease_refreshes << '\n';
+}
+
 }  // namespace lon::session

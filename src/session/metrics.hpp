@@ -1,6 +1,7 @@
 // Access-trace analysis: the quantities reported in the paper's section 4.3.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -48,5 +49,28 @@ void print_comm_series(std::ostream& os, const std::string& label,
 
 /// One-paragraph summary block (used by the benches).
 void print_summary(std::ostream& os, const std::string& label, const AccessSummary& s);
+
+/// Robustness counters gathered from the self-healing layers after a run
+/// under fault injection: how often delivery had to fight for its bytes.
+struct RobustnessSummary {
+  std::uint64_t timeouts = 0;             ///< fabric deadlines that fired
+  std::uint64_t requests_lost = 0;        ///< requests eaten by partitions
+  std::uint64_t requests_dropped = 0;     ///< requests eaten by fault injection
+  std::uint64_t flows_killed = 0;         ///< flows cancelled by depot crashes
+  std::uint64_t retries = 0;              ///< extra LoRS download rounds
+  std::uint64_t failovers = 0;            ///< replica failovers
+  std::uint64_t corruption_detected = 0;  ///< checksum mismatches caught
+  std::uint64_t repairs_run = 0;          ///< repair_async invocations
+  std::uint64_t replicas_repaired = 0;    ///< replicas re-created
+  std::uint64_t replicas_lost = 0;        ///< dead replicas discovered
+  std::uint64_t refetches = 0;            ///< agent-level re-resolutions
+  std::uint64_t invalidations = 0;        ///< exNodes evicted as stale
+  std::uint64_t restaged = 0;             ///< view sets staged again
+  std::uint64_t lease_refreshes = 0;      ///< staged leases renewed
+};
+
+/// One-paragraph robustness block (used by the fault benches/tests).
+void print_robustness(std::ostream& os, const std::string& label,
+                      const RobustnessSummary& s);
 
 }  // namespace lon::session

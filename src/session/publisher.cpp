@@ -99,6 +99,7 @@ PublishResult publish_database(sim::Simulator& sim, lors::Lors& lors,
                           if (up.status == lors::LorsStatus::kOk) {
                             exnode::ExNode node = up.exnode;
                             node.metadata()["viewset"] = id.key();
+                            result.exnodes.emplace_back(id, node);
                             dvs.install(id, std::move(node));
                             ++result.published;
                           } else {

@@ -47,6 +47,10 @@ struct PublishResult {
   std::uint64_t compressed_bytes = 0;    ///< total uploaded
   std::uint64_t uncompressed_bytes = 0;  ///< pixel bytes represented
   double mean_compressed = 0.0;          ///< per view set
+  /// The owner's catalog: one exNode per published view set, with manage
+  /// capabilities. The DVS copies are for readers; lease maintenance and
+  /// repair sweeps work from these.
+  std::vector<std::pair<lightfield::ViewSetId, exnode::ExNode>> exnodes;
 };
 
 /// Publishes the whole database described by `source` (blocking: pumps the

@@ -55,6 +55,24 @@ LinkId Network::add_link(NodeId a, NodeId b, const LinkConfig& config) {
   return id;
 }
 
+void Network::set_link_up(LinkId id, bool up) {
+  Link& link = links_.at(id);
+  if (link.up == up) return;
+  link.up = up;
+  routes_dirty_ = true;
+  // Flows already routed across the link stall (or resume) immediately:
+  // reallocate() prices a down link at zero capacity.
+  reallocate();
+}
+
+std::optional<LinkId> Network::link_between(NodeId a, NodeId b) const {
+  if (a >= nodes_.size()) return std::nullopt;
+  for (const auto& [neighbor, link] : adjacency_[a]) {
+    if (neighbor == b) return link;
+  }
+  return std::nullopt;
+}
+
 void Network::recompute_routes() {
   const std::size_t n = nodes_.size();
   next_hop_.assign(n, std::vector<LinkId>(n, kNoLink));
@@ -73,6 +91,7 @@ void Network::recompute_routes() {
       pq.pop();
       if (d > dist[u]) continue;
       for (auto [v, link] : adjacency_[u]) {
+        if (!links_[link].up) continue;
         const SimDuration nd = d + links_[link].config.latency;
         if (nd < dist[v]) {
           dist[v] = nd;
@@ -170,6 +189,8 @@ FlowId Network::start_transfer(NodeId src, NodeId dst, std::uint64_t bytes,
 
   Flow flow;
   flow.id = id;
+  flow.src = src;
+  flow.dst = dst;
   flow.path = route(src, dst);
   flow.remaining = static_cast<double>(bytes);
   flow.bytes = bytes;
@@ -201,6 +222,15 @@ FlowId Network::start_transfer(NodeId src, NodeId dst, std::uint64_t bytes,
     reallocate();
   });
   return id;
+}
+
+std::size_t Network::cancel_node_flows(NodeId node) {
+  std::vector<FlowId> doomed;
+  for (const auto& [id, flow] : flows_) {
+    if (flow.src == node || flow.dst == node) doomed.push_back(id);
+  }
+  for (const FlowId id : doomed) cancel(id);
+  return doomed.size();
 }
 
 bool Network::cancel(FlowId id) {
@@ -243,7 +273,8 @@ void Network::reallocate() {
     unassigned.push_back(&flow);
     for (const DirLink dl : flow.path) {
       if (!residual.contains(dl)) {
-        residual[dl] = links_[dl / 2].config.bandwidth_bps / 8.0;
+        const Link& link = links_[dl / 2];
+        residual[dl] = link.up ? link.config.bandwidth_bps / 8.0 : 0.0;
       }
       link_flows[dl].push_back(&flow);
     }

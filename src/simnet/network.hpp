@@ -86,6 +86,17 @@ class Network {
   /// both directions; stats are tracked per direction).
   LinkId add_link(NodeId a, NodeId b, const LinkConfig& config);
 
+  /// Takes a link down (or brings it back). A down link carries no traffic:
+  /// routes are recomputed around it, and flows already crossing it stall at
+  /// rate zero — bytes "in the network" do NOT keep arriving, which is what
+  /// makes a network partition observable only through timeouts. Flows
+  /// resume from where they stalled when the link returns.
+  void set_link_up(LinkId id, bool up);
+  [[nodiscard]] bool link_up(LinkId id) const { return links_.at(id).up; }
+
+  /// The link connecting a and b directly, if any.
+  [[nodiscard]] std::optional<LinkId> link_between(NodeId a, NodeId b) const;
+
   /// Recomputes all-pairs routes. Called lazily on first transfer after a
   /// topology change; exposed for tests.
   void recompute_routes();
@@ -111,6 +122,11 @@ class Network {
   /// Returns false if the flow already completed.
   bool cancel(FlowId id);
 
+  /// Cancels every in-flight flow with `node` as an endpoint (a crashed host
+  /// neither sends nor receives). Each cancelled flow's callback fires with
+  /// cancelled=true. Returns the number of flows killed.
+  std::size_t cancel_node_flows(NodeId node);
+
   [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
 
   /// Instantaneous allocated rate of a flow in bytes/second (0 if finished).
@@ -125,6 +141,7 @@ class Network {
     NodeId a = kInvalidNode;
     NodeId b = kInvalidNode;
     LinkConfig config;
+    bool up = true;
     LinkStats stats_fwd;  // a -> b
     LinkStats stats_rev;  // b -> a
   };
@@ -135,6 +152,8 @@ class Network {
 
   struct Flow {
     FlowId id = 0;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
     std::vector<DirLink> path;
     double remaining = 0.0;      // bytes still to transmit
     std::uint64_t bytes = 0;

@@ -4,19 +4,34 @@
 
 namespace lon::sim {
 
-void Simulator::at(SimTime when, EventFn fn) {
+TimerId Simulator::at(SimTime when, EventFn fn) {
   if (when < now_) {
     throw std::invalid_argument("Simulator::at: scheduling into the past");
   }
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
+  const TimerId id = next_seq_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  return id;
 }
 
-void Simulator::after(SimDuration delay, EventFn fn) {
+TimerId Simulator::after(SimDuration delay, EventFn fn) {
   if (delay < 0) throw std::invalid_argument("Simulator::after: negative delay");
-  at(now_ + delay, std::move(fn));
+  return at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(TimerId id) {
+  if (id >= next_seq_) return false;
+  return cancelled_.insert(id).second;
+}
+
+void Simulator::drop_cancelled_head() {
+  while (!queue_.empty() && cancelled_.contains(queue_.top().seq)) {
+    cancelled_.erase(queue_.top().seq);
+    queue_.pop();
+  }
 }
 
 bool Simulator::step() {
+  drop_cancelled_head();
   if (queue_.empty()) return false;
   // Moving out of a priority_queue requires const_cast; the element is
   // popped immediately afterwards so this never observes the moved-from fn.
@@ -36,7 +51,9 @@ std::size_t Simulator::run() {
 
 std::size_t Simulator::run_until(SimTime deadline) {
   std::size_t n = 0;
-  while (!queue_.empty() && queue_.top().time <= deadline) {
+  for (;;) {
+    drop_cancelled_head();
+    if (queue_.empty() || queue_.top().time > deadline) break;
     step();
     ++n;
   }

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "util/time.hpp"
@@ -16,6 +17,9 @@
 namespace lon::sim {
 
 using EventFn = std::function<void()>;
+
+/// Handle returned by at()/after(); pass to cancel() to disarm the event.
+using TimerId = std::uint64_t;
 
 class Simulator {
  public:
@@ -28,10 +32,16 @@ class Simulator {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules fn at absolute virtual time `when` (must be >= now()).
-  void at(SimTime when, EventFn fn);
+  TimerId at(SimTime when, EventFn fn);
 
   /// Schedules fn `delay` after now().
-  void after(SimDuration delay, EventFn fn);
+  TimerId after(SimDuration delay, EventFn fn);
+
+  /// Disarms a pending event. A cancelled event neither runs nor advances
+  /// the clock (timeout guards must not drag virtual time forward when the
+  /// guarded operation completes first). Returns false if the event already
+  /// ran or was cancelled.
+  bool cancel(TimerId id);
 
   /// Executes the next event, advancing the clock. Returns false if the
   /// queue was empty.
@@ -44,8 +54,8 @@ class Simulator {
   /// (even if idle). Returns the number of events run.
   std::size_t run_until(SimTime deadline);
 
-  [[nodiscard]] bool idle() const { return queue_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] bool idle() const { return queue_.size() == cancelled_.size(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size() - cancelled_.size(); }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
  private:
@@ -59,10 +69,15 @@ class Simulator {
     }
   };
 
+  /// Pops cancelled events off the front of the queue without running them
+  /// or touching the clock.
+  void drop_cancelled_head();
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<TimerId> cancelled_;  ///< disarmed but still queued
 };
 
 }  // namespace lon::sim

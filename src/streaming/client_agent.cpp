@@ -121,6 +121,7 @@ void ClientAgent::download(const lightfield::ViewSetId& id, const exnode::ExNode
 
   lors::DownloadOptions options;
   options.net = (cls == AccessClass::kLanDepot) ? config_.lan_net : config_.wan_net;
+  options.retry = config_.retry;
   lors_.download_async(node_, exnode, options,
                        [this, id, cls](lors::DownloadResult result) {
                          if (cls == AccessClass::kWan) {
@@ -131,11 +132,35 @@ void ClientAgent::download(const lightfield::ViewSetId& id, const exnode::ExNode
                            LON_LOG(kWarn, "client-agent")
                                << "download of " << id.key() << " failed: "
                                << lors::to_string(result.status);
+                           // The exNode we trusted may be stale: leases run
+                           // out, soft staged copies get revoked, depots
+                           // crash. Forget everything we believed about this
+                           // view set and resolve it from scratch before
+                           // giving the client a failure.
+                           auto it = inflight_.find(id);
+                           if (it != inflight_.end() &&
+                               it->second.attempts < config_.max_refetch) {
+                             ++it->second.attempts;
+                             ++stats_.refetches;
+                             invalidate(id);
+                             resolve_and_download(id);
+                             return;
+                           }
                            finish_fetch(id, Bytes{});
                            return;
                          }
                          finish_fetch(id, std::move(result.data));
                        });
+}
+
+void ClientAgent::invalidate(const lightfield::ViewSetId& id) {
+  ++stats_.invalidations;
+  exnode_cache_.erase(id);
+  if (staged_.erase(id) > 0 && staging_active_ && config_.restage_on_failure) {
+    unstaged_.push_back(id);
+    ++stats_.restaged;
+    staging_pump();
+  }
 }
 
 void ClientAgent::finish_fetch(const lightfield::ViewSetId& id, Bytes data) {
@@ -188,7 +213,57 @@ void ClientAgent::start_staging() {
   if (!config_.staging || staging_active_) return;
   staging_active_ = true;
   unstaged_ = lattice_.all_view_sets();
+  start_lease_refresh();
   staging_pump();
+}
+
+void ClientAgent::start_lease_refresh() {
+  if (!config_.lease_refresh || refresh_timer_.has_value()) return;
+  const SimDuration interval = config_.lease_refresh_interval > 0
+                                   ? config_.lease_refresh_interval
+                                   : config_.staging_lease / 4;
+  refresh_timer_ = sim_.after(interval, [this, interval] { lease_refresh_tick(interval); });
+}
+
+void ClientAgent::stop_lease_refresh() {
+  if (refresh_timer_.has_value()) {
+    sim_.cancel(*refresh_timer_);
+    refresh_timer_.reset();
+  }
+}
+
+void ClientAgent::lease_refresh_tick(SimDuration interval) {
+  // Snapshot the ids: refresh callbacks may invalidate staged entries while
+  // the sweep is still issuing requests.
+  std::vector<lightfield::ViewSetId> ids;
+  ids.reserve(staged_.size());
+  for (const auto& [id, exnode] : staged_) ids.push_back(id);
+  for (const auto& id : ids) {
+    auto it = staged_.find(id);
+    if (it == staged_.end()) continue;
+    // Refresh only the replicas the agent owns: the soft staged copies on
+    // the LAN depots. The WAN replicas in the same exNode belong to the
+    // publisher on far longer leases — extending them to now + staging_lease
+    // would *shorten* those leases and rot the database itself.
+    exnode::ExNode lan_only = it->second;
+    for (const auto& depot : lan_only.depots()) {
+      const auto& lan = config_.lan_depots;
+      if (std::find(lan.begin(), lan.end(), depot) == lan.end()) {
+        lan_only.drop_depot(depot);
+      }
+    }
+    lors_.refresh_async(node_, lan_only, config_.staging_lease,
+                        [this, id](const lors::Lors::RefreshResult& result) {
+                          stats_.lease_refreshes += result.extended;
+                          if (result.failed > 0) {
+                            // Some allocation behind this staged copy is
+                            // already gone (expired or revoked): stop
+                            // trusting it and stage the view set afresh.
+                            invalidate(id);
+                          }
+                        });
+  }
+  refresh_timer_ = sim_.after(interval, [this, interval] { lease_refresh_tick(interval); });
 }
 
 std::size_t ClientAgent::start_staging(const lbone::Directory& directory,

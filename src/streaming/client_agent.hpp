@@ -63,6 +63,24 @@ struct ClientAgentConfig {
   /// Replicas closer than this count as "on the client's LAN" when
   /// classifying where an access was served from.
   SimDuration lan_threshold = 5 * kMillisecond;
+
+  // --- Self-healing ---------------------------------------------------------
+
+  /// Per-download retry discipline handed to LoRS (rounds over the replica
+  /// set with backoff). Distinct from max_refetch, which re-*resolves*.
+  lors::RetryPolicy retry;
+  /// After a download fails outright, how many times the agent invalidates
+  /// its cached exNode and re-resolves through the DVS before giving up —
+  /// the cure for stale exNodes (expired leases, revoked soft allocations).
+  int max_refetch = 2;
+  /// Keep staged (soft, leased) copies alive: periodically extend every
+  /// staged view set's allocations. Off by default; enable for long sessions
+  /// where the staging lease is shorter than the visualization.
+  bool lease_refresh = false;
+  SimDuration lease_refresh_interval = 0;  ///< 0 = staging_lease / 4
+  /// When a staged copy turns out dead (failed download or failed refresh),
+  /// queue the view set for prestaging again.
+  bool restage_on_failure = true;
 };
 
 class ClientAgent {
@@ -75,6 +93,10 @@ class ClientAgent {
     std::uint64_t prefetches = 0;      ///< prefetch fetches issued
     std::uint64_t staged = 0;          ///< view sets fully prestaged
     std::uint64_t staging_failures = 0;
+    std::uint64_t refetches = 0;       ///< failed downloads retried end-to-end
+    std::uint64_t invalidations = 0;   ///< exNodes evicted as stale
+    std::uint64_t restaged = 0;        ///< view sets queued for staging again
+    std::uint64_t lease_refreshes = 0; ///< staged replicas whose lease was renewed
   };
 
   ClientAgent(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fabric,
@@ -114,6 +136,10 @@ class ClientAgent {
   std::size_t start_staging(const lbone::Directory& directory, std::size_t count,
                             std::uint64_t database_bytes, SimDuration lease);
 
+  /// Stops the lease-refresh daemon (started automatically by start_staging
+  /// when config.lease_refresh is set). Safe to call when not running.
+  void stop_lease_refresh();
+
   [[nodiscard]] bool staging_complete() const {
     return unstaged_.empty() && staging_inflight_ == 0;
   }
@@ -132,6 +158,7 @@ class ClientAgent {
   struct Inflight {
     std::vector<Waiter> waiters;
     AccessClass cls = AccessClass::kWan;
+    int attempts = 0;  ///< end-to-end re-resolutions consumed so far
   };
 
   /// Starts (or joins) a fetch of `id`; cb may be null for prefetch.
@@ -148,6 +175,14 @@ class ClientAgent {
                 AccessClass cls);
 
   void finish_fetch(const lightfield::ViewSetId& id, Bytes data);
+
+  /// Drops every cached belief about `id` (exNode cache and staged entry);
+  /// optionally queues it for prestaging again.
+  void invalidate(const lightfield::ViewSetId& id);
+
+  // Lease-refresh daemon.
+  void start_lease_refresh();
+  void lease_refresh_tick(SimDuration interval);
 
   // Staging machinery.
   void staging_pump();
@@ -176,6 +211,7 @@ class ClientAgent {
   int staging_inflight_ = 0;
   std::size_t staging_rr_ = 0;  ///< round-robin over LAN depots
   int demand_wan_active_ = 0;
+  std::optional<sim::TimerId> refresh_timer_;
 
   lightfield::ViewSetId cursor_vs_{0, 0};
   Stats stats_;

@@ -87,9 +87,9 @@ TEST(Xml, MissingAttributeThrows) {
 
 TEST(ExNode, ExtentsStaySortedAndQueryable) {
   ExNode node(300);
-  node.add_extent({200, 100, {make_replica("d1", 3)}});
-  node.add_extent({0, 100, {make_replica("d1", 1)}});
-  node.add_extent({100, 100, {make_replica("d2", 2)}});
+  node.add_extent({200, 100, {make_replica("d1", 3)}, {}});
+  node.add_extent({0, 100, {make_replica("d1", 1)}, {}});
+  node.add_extent({100, 100, {make_replica("d2", 2)}, {}});
 
   ASSERT_EQ(node.extents().size(), 3u);
   EXPECT_EQ(node.extents()[0].offset, 0u);
@@ -104,19 +104,19 @@ TEST(ExNode, ExtentsStaySortedAndQueryable) {
 
 TEST(ExNode, RejectsOverlapsAndZeroLength) {
   ExNode node(100);
-  node.add_extent({0, 50, {}});
-  EXPECT_THROW(node.add_extent({25, 50, {}}), std::invalid_argument);
-  EXPECT_THROW(node.add_extent({49, 1, {}}), std::invalid_argument);
-  EXPECT_THROW(node.add_extent({10, 0, {}}), std::invalid_argument);
-  node.add_extent({50, 50, {}});  // exactly adjacent is fine
+  node.add_extent({0, 50, {}, {}});
+  EXPECT_THROW(node.add_extent({25, 50, {}, {}}), std::invalid_argument);
+  EXPECT_THROW(node.add_extent({49, 1, {}, {}}), std::invalid_argument);
+  EXPECT_THROW(node.add_extent({10, 0, {}, {}}), std::invalid_argument);
+  node.add_extent({50, 50, {}, {}});  // exactly adjacent is fine
 }
 
 TEST(ExNode, CompletenessRequiresFullCoverageAndReplicas) {
   ExNode node(200);
   EXPECT_FALSE(node.complete());
-  node.add_extent({0, 100, {make_replica("d1", 1)}});
+  node.add_extent({0, 100, {make_replica("d1", 1)}, {}});
   EXPECT_FALSE(node.complete());  // gap at the tail
-  node.add_extent({100, 100, {}});
+  node.add_extent({100, 100, {}, {}});
   EXPECT_FALSE(node.complete());  // extent with no replica
   node.add_replica(100, make_replica("d2", 2));
   EXPECT_TRUE(node.complete());
@@ -124,7 +124,7 @@ TEST(ExNode, CompletenessRequiresFullCoverageAndReplicas) {
 
 TEST(ExNode, AddReplicaFrontMakesItPreferred) {
   ExNode node(100);
-  node.add_extent({0, 100, {make_replica("wan", 1)}});
+  node.add_extent({0, 100, {make_replica("wan", 1)}, {}});
   EXPECT_TRUE(node.add_replica(0, make_replica("lan", 2), /*front=*/true));
   EXPECT_EQ(node.extents()[0].replicas.front().read.depot, "lan");
   EXPECT_FALSE(node.add_replica(50, make_replica("lan", 3)));  // no extent at 50
@@ -132,8 +132,8 @@ TEST(ExNode, AddReplicaFrontMakesItPreferred) {
 
 TEST(ExNode, DropDepotRemovesAllItsReplicas) {
   ExNode node(200);
-  node.add_extent({0, 100, {make_replica("dead", 1), make_replica("ok", 2)}});
-  node.add_extent({100, 100, {make_replica("dead", 3)}});
+  node.add_extent({0, 100, {make_replica("dead", 1), make_replica("ok", 2)}, {}});
+  node.add_extent({100, 100, {make_replica("dead", 3)}, {}});
   EXPECT_EQ(node.drop_depot("dead"), 2u);
   EXPECT_TRUE(node.extents()[1].replicas.empty());
   EXPECT_FALSE(node.complete());
@@ -141,8 +141,8 @@ TEST(ExNode, DropDepotRemovesAllItsReplicas) {
 
 TEST(ExNode, DepotsListsUniqueNames) {
   ExNode node(200);
-  node.add_extent({0, 100, {make_replica("a", 1), make_replica("b", 2)}});
-  node.add_extent({100, 100, {make_replica("a", 3)}});
+  node.add_extent({0, 100, {make_replica("a", 1), make_replica("b", 2)}, {}});
+  node.add_extent({100, 100, {make_replica("a", 3)}, {}});
   EXPECT_EQ(node.depots(), (std::vector<std::string>{"a", "b"}));
 }
 
@@ -151,8 +151,8 @@ TEST(ExNode, XmlRoundTripPreservesEverything) {
   node.metadata()["dataset"] = "negHip";
   node.metadata()["viewset"] = "3,17";
   node.add_extent({0, 524'288,
-                   {make_replica("ca-1", 11, 0), make_replica("ca-2", 12, 4096)}});
-  node.add_extent({524'288, 524'288, {make_replica("ca-3", 13)}});
+                   {make_replica("ca-1", 11, 0), make_replica("ca-2", 12, 4096)}, {}});
+  node.add_extent({524'288, 524'288, {make_replica("ca-3", 13)}, {}});
 
   const ExNode back = ExNode::from_xml(node.to_xml());
   EXPECT_EQ(back, node);
@@ -164,7 +164,7 @@ TEST(ExNode, XmlRoundTripPreservesManageCapabilities) {
   owner.manage = make_cap("d1", 5, 0x777);
   owner.manage->kind = ibp::CapKind::kManage;
   Replica reader = make_replica("d2", 6);  // downloader copy: read-only
-  node.add_extent({0, 100, {owner, reader}});
+  node.add_extent({0, 100, {owner, reader}, {}});
 
   const ExNode back = ExNode::from_xml(node.to_xml());
   ASSERT_EQ(back.extents().size(), 1u);
