@@ -8,7 +8,9 @@
 // plus replica failover only, + download retry rounds with backoff, + the
 // publisher's periodic repair sweeps that re-replicate extents stranded on
 // crashed depots.
+#include <cctype>
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
 
@@ -42,6 +44,11 @@ session::ExperimentConfig base(double crashes_per_minute) {
 }
 
 void report(const char* label, double rate, const session::ExperimentResult& r) {
+  std::string slug = "faults-" + std::string(label) + "-" + std::to_string(rate);
+  for (char& c : slug) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '.') c = '-';
+  }
+  bench::write_observability(r, slug);
   const double duration_s = to_seconds(r.script_duration);
   const double frame_rate =
       duration_s > 0 ? static_cast<double>(r.summary.total) / duration_s : 0.0;

@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "session/experiment.hpp"
@@ -41,6 +43,30 @@ inline session::ExperimentConfig small_config(std::size_t resolution,
   cfg.client.display_resolution = resolution;
   cfg.client.timing = streaming::ClientConfig::Timing::kModeled;
   return cfg;
+}
+
+/// Dumps a run's observability artifacts next to the bench output when
+/// LON_OBS_DIR is set: `<dir>/<label>.metrics.jsonl` (flat registry dump)
+/// and `<dir>/<label>.trace.json` (Chrome trace_event — load in
+/// chrome://tracing or Perfetto). No-op, returning false, when the
+/// environment variable is absent so normal runs stay side-effect free.
+inline bool write_observability(const session::ExperimentResult& result,
+                                const std::string& label) {
+  const char* dir = std::getenv("LON_OBS_DIR");
+  if (dir == nullptr || result.obs == nullptr) return false;
+  const std::string base = std::string(dir) + "/" + label;
+  {
+    std::ofstream os(base + ".metrics.jsonl");
+    if (!os) return false;
+    result.obs->metrics.write_jsonl(os);
+  }
+  {
+    std::ofstream os(base + ".trace.json");
+    if (!os) return false;
+    result.obs->trace.write_chrome_trace(os);
+  }
+  std::printf("# observability: %s.{metrics.jsonl,trace.json}\n", base.c_str());
+  return true;
 }
 
 inline void print_header(const std::string& title, const std::string& paper_claim) {

@@ -20,6 +20,7 @@ inline void run_latency_figure(std::size_t resolution, const char* figure,
         session::Case::kWanWithLanDepot}) {
     session::ExperimentConfig cfg = paper_config(resolution, which);
     const session::ExperimentResult result = session::run_experiment(cfg);
+    write_observability(result, std::string(figure) + "-" + session::to_string(which));
 
     std::printf("\n# %s — seconds per access\n", session::to_string(which));
     for (std::size_t n = 0; n < result.accesses.size(); ++n) {

@@ -14,6 +14,17 @@ constexpr SimDuration kDefaultDataTimeout = 20 * kSecond;
 
 }  // namespace
 
+const FaultStats& FaultInjector::stats() const {
+  stats_view_.crashes = metrics_.crashes.value();
+  stats_view_.restarts = metrics_.restarts.value();
+  stats_view_.links_cut = metrics_.links_cut.value();
+  stats_view_.links_restored = metrics_.links_restored.value();
+  stats_view_.disks_degraded = metrics_.disks_degraded.value();
+  stats_view_.requests_dropped = metrics_.requests_dropped.value();
+  stats_view_.bits_flipped = metrics_.bits_flipped.value();
+  return stats_view_;
+}
+
 void FaultInjector::arm(const FaultPlan& plan) {
   rng_ = Rng(plan.seed);
   drops_ = plan.drops;
@@ -35,12 +46,16 @@ void FaultInjector::arm(const FaultPlan& plan) {
     }
     sim_.at(crash.at, [this, depot = crash.depot] {
       fabric_.set_offline(depot, true);
-      ++stats_.crashes;
+      metrics_.crashes.inc();
+      const obs::SpanId ev = obs_.trace.instant("fault.crash", sim_.now());
+      obs_.trace.arg(ev, "depot", depot);
     });
     if (crash.restart_after > 0) {
       sim_.at(crash.at + crash.restart_after, [this, depot = crash.depot] {
         fabric_.set_offline(depot, false);
-        ++stats_.restarts;
+        metrics_.restarts.inc();
+        const obs::SpanId ev = obs_.trace.instant("fault.restart", sim_.now());
+        obs_.trace.arg(ev, "depot", depot);
       });
     }
   }
@@ -55,12 +70,14 @@ void FaultInjector::arm(const FaultPlan& plan) {
     }
     sim_.at(cut.at, [this, id = *link] {
       net_.set_link_up(id, false);
-      ++stats_.links_cut;
+      metrics_.links_cut.inc();
+      obs_.trace.instant("fault.link_cut", sim_.now());
     });
     if (cut.up_after > 0) {
       sim_.at(cut.at + cut.up_after, [this, id = *link] {
         net_.set_link_up(id, true);
-        ++stats_.links_restored;
+        metrics_.links_restored.inc();
+        obs_.trace.instant("fault.link_restored", sim_.now());
       });
     }
   }
@@ -80,7 +97,9 @@ void FaultInjector::arm(const FaultPlan& plan) {
       // Capture the rate at fire time so stacked degradations compose.
       const double original = depot->config().disk_bytes_per_sec;
       depot->set_disk_rate(original * deg.factor);
-      ++stats_.disks_degraded;
+      metrics_.disks_degraded.inc();
+      const obs::SpanId ev = obs_.trace.instant("fault.disk_degraded", sim_.now());
+      obs_.trace.arg(ev, "depot", deg.depot);
       if (deg.duration > 0) {
         sim_.after(deg.duration, [depot, original] { depot->set_disk_rate(original); });
       }
@@ -103,7 +122,9 @@ bool FaultInjector::in_drop_window(const std::string& depot) {
     if (now < w.at || now >= w.at + w.duration) continue;
     if (!w.depot.empty() && w.depot != depot) continue;
     if (rng_.uniform() < w.prob) {
-      ++stats_.requests_dropped;
+      metrics_.requests_dropped.inc();
+      const obs::SpanId ev = obs_.trace.instant("fault.drop", sim_.now());
+      obs_.trace.arg(ev, "depot", depot);
       return true;
     }
   }
@@ -119,7 +140,9 @@ void FaultInjector::maybe_corrupt(const std::string& depot, Bytes& data) {
     if (rng_.uniform() < w.prob) {
       const std::uint64_t bit = rng_.below(data.size() * 8);
       data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
-      ++stats_.bits_flipped;
+      metrics_.bits_flipped.inc();
+      const obs::SpanId ev = obs_.trace.instant("fault.bitflip", sim_.now());
+      obs_.trace.arg(ev, "depot", depot);
       return;  // one flip per load is plenty to prove the point
     }
   }

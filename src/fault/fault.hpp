@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "ibp/service.hpp"
+#include "obs/obs.hpp"
 #include "simnet/network.hpp"
 #include "util/rng.hpp"
 
@@ -91,8 +92,20 @@ struct FaultStats {
 
 class FaultInjector {
  public:
-  FaultInjector(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fabric)
-      : sim_(sim), net_(net), fabric_(fabric) {}
+  FaultInjector(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fabric,
+                obs::Context* obs = nullptr)
+      : sim_(sim),
+        net_(net),
+        fabric_(fabric),
+        obs_(obs != nullptr ? *obs : obs::global()),
+        scope_(obs_.metrics.scope("fault")),
+        metrics_{scope_.counter("fault.crashes"),
+                 scope_.counter("fault.restarts"),
+                 scope_.counter("fault.links_cut"),
+                 scope_.counter("fault.links_restored"),
+                 scope_.counter("fault.disks_degraded"),
+                 scope_.counter("fault.requests_dropped"),
+                 scope_.counter("fault.bits_flipped")} {}
 
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
@@ -105,19 +118,33 @@ class FaultInjector {
   /// caller forever, which no test should ever want).
   void arm(const FaultPlan& plan);
 
-  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+  /// Compatibility view over the obs registry counters.
+  [[nodiscard]] const FaultStats& stats() const;
 
  private:
+  struct Metrics {
+    obs::Counter& crashes;
+    obs::Counter& restarts;
+    obs::Counter& links_cut;
+    obs::Counter& links_restored;
+    obs::Counter& disks_degraded;
+    obs::Counter& requests_dropped;
+    obs::Counter& bits_flipped;
+  };
+
   [[nodiscard]] bool in_drop_window(const std::string& depot);
   void maybe_corrupt(const std::string& depot, Bytes& data);
 
   sim::Simulator& sim_;
   sim::Network& net_;
   ibp::Fabric& fabric_;
+  obs::Context& obs_;
+  obs::Scope scope_;
+  Metrics metrics_;
   Rng rng_{0xfa117};
   std::vector<DropWindow> drops_;
   std::vector<CorruptWindow> corruptions_;
-  FaultStats stats_;
+  mutable FaultStats stats_view_;
 };
 
 }  // namespace lon::fault

@@ -12,6 +12,14 @@ namespace {
 const CapabilitySet kNoCaps{};
 }
 
+const FabricStats& Fabric::stats() const {
+  stats_view_.timeouts = metrics_.timeouts.value();
+  stats_view_.requests_lost = metrics_.requests_lost.value();
+  stats_view_.requests_dropped = metrics_.requests_dropped.value();
+  stats_view_.flows_killed_offline = metrics_.flows_killed_offline.value();
+  return stats_view_;
+}
+
 Depot& Fabric::add_depot(sim::NodeId node, const std::string& name,
                          const DepotConfig& config) {
   if (depots_.contains(name)) throw std::invalid_argument("Fabric: duplicate depot " + name);
@@ -39,7 +47,7 @@ sim::NodeId Fabric::depot_node(const std::string& name) const {
 void Fabric::at_depot(sim::NodeId from, sim::NodeId depot_node, std::function<void()> fn) {
   if (!net_.reachable(from, depot_node)) {
     // Partition: the request vanishes. Only the caller's deadline reports it.
-    ++stats_.requests_lost;
+    metrics_.requests_lost.inc();
     return;
   }
   const SimDuration delay = net_.path_latency(from, depot_node) + kDepotOpOverhead;
@@ -48,7 +56,7 @@ void Fabric::at_depot(sim::NodeId from, sim::NodeId depot_node, std::function<vo
 
 void Fabric::reply_to(sim::NodeId depot_node, sim::NodeId client, std::function<void()> fn) {
   if (!net_.reachable(depot_node, client)) {
-    ++stats_.requests_lost;
+    metrics_.requests_lost.inc();
     return;
   }
   sim_.after(net_.path_latency(depot_node, client), std::move(fn));
@@ -56,7 +64,7 @@ void Fabric::reply_to(sim::NodeId depot_node, sim::NodeId client, std::function<
 
 bool Fabric::dropped(const std::string& depot) {
   if (drop_ && drop_(depot)) {
-    ++stats_.requests_dropped;
+    metrics_.requests_dropped.inc();
     return true;
   }
   return false;
@@ -79,7 +87,7 @@ void Fabric::set_offline(const std::string& name, bool offline) {
   if (offline && !was_offline) {
     // A crashed depot neither sends nor receives: bulk flows with the depot
     // as an endpoint must not complete delivery as if nothing happened.
-    stats_.flows_killed_offline += net_.cancel_node_flows(it->second.node);
+    metrics_.flows_killed_offline.inc(net_.cancel_node_flows(it->second.node));
   }
 }
 
@@ -130,7 +138,7 @@ void Fabric::store_async(sim::NodeId client, const Capability& write_cap,
                                      {IbpStatus::kTimeout});
   if (dropped(write_cap.depot)) return;
   if (!net_.reachable(client, hosted.node)) {
-    ++stats_.requests_lost;
+    metrics_.requests_lost.inc();
     return;
   }
   // The payload is a bulk flow from the client to the depot; the store
@@ -187,7 +195,7 @@ void Fabric::load_async(sim::NodeId client, const Capability& read_cap,
              const SimDuration disk = book_disk(hosted, payload->size());
              sim_.after(disk, [this, client, &hosted, payload, opts, cb] {
                if (!net_.reachable(hosted.node, client)) {
-                 ++stats_.requests_lost;
+                 metrics_.requests_lost.inc();
                  return;
                }
                // The request leg above already served as connection setup.
@@ -332,7 +340,7 @@ void Fabric::copy_async(sim::NodeId client, const CopyRequest& request,
         sim_.after(src_disk, [this, client, &src, &dst, request, caps, payload,
                               cb = std::move(cb)]() mutable {
           if (!net_.reachable(src.node, dst.node)) {
-            ++stats_.requests_lost;
+            metrics_.requests_lost.inc();
             return;
           }
           net_.start_transfer(

@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "ibp/depot.hpp"
+#include "obs/obs.hpp"
 #include "simnet/network.hpp"
 
 namespace lon::ibp {
@@ -43,7 +44,15 @@ struct FabricStats {
 
 class Fabric {
  public:
-  Fabric(sim::Simulator& sim, sim::Network& net) : sim_(sim), net_(net) {}
+  Fabric(sim::Simulator& sim, sim::Network& net, obs::Context* obs = nullptr)
+      : sim_(sim),
+        net_(net),
+        obs_(obs != nullptr ? *obs : obs::global()),
+        scope_(obs_.metrics.scope("ibp")),
+        metrics_{scope_.counter("ibp.timeouts"),
+                 scope_.counter("ibp.requests_lost"),
+                 scope_.counter("ibp.requests_dropped"),
+                 scope_.counter("ibp.flows_killed_offline")} {}
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -52,7 +61,9 @@ class Fabric {
 
   void set_timeouts(const FabricTimeouts& timeouts) { timeouts_ = timeouts; }
   [[nodiscard]] const FabricTimeouts& timeouts() const { return timeouts_; }
-  [[nodiscard]] const FabricStats& stats() const { return stats_; }
+  /// Robustness counters, read back out of the obs registry (which is the
+  /// single source of truth; this struct is a compatibility view).
+  [[nodiscard]] const FabricStats& stats() const;
 
   /// Fault-injection hook: return true to silently eat a request addressed
   /// to `depot` (the caller sees nothing until its deadline fires).
@@ -176,7 +187,7 @@ class Fabric {
     guard->timer = sim_.after(timeout, [this, guard, cb, args = std::move(on_timeout)] {
       if (guard->done) return;
       guard->done = true;
-      ++stats_.timeouts;
+      metrics_.timeouts.inc();
       std::apply(cb, args);
     });
     return [this, guard, cb = std::move(cb)](Args... args) {
@@ -191,11 +202,21 @@ class Fabric {
   /// now until that service completes (FIFO behind earlier bookings).
   SimDuration book_disk(Hosted& hosted, std::uint64_t bytes);
 
+  struct Metrics {
+    obs::Counter& timeouts;
+    obs::Counter& requests_lost;
+    obs::Counter& requests_dropped;
+    obs::Counter& flows_killed_offline;
+  };
+
   sim::Simulator& sim_;
   sim::Network& net_;
+  obs::Context& obs_;
+  obs::Scope scope_;
+  Metrics metrics_;
   std::unordered_map<std::string, Hosted> depots_;
   FabricTimeouts timeouts_;
-  FabricStats stats_;
+  mutable FabricStats stats_view_;
   DropHook drop_;
   CorruptHook corrupt_;
 };

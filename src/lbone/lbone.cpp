@@ -28,7 +28,15 @@ bool Directory::is_registered(const std::string& name) const {
                      [&](const Record& r) { return r.name == name; });
 }
 
+const Directory::ProbeStats& Directory::probe_stats() const {
+  probe_stats_view_.sweeps = metrics_.sweeps.value();
+  probe_stats_view_.marked_dead = metrics_.marked_dead.value();
+  probe_stats_view_.marked_alive = metrics_.marked_alive.value();
+  return probe_stats_view_;
+}
+
 std::vector<Candidate> Directory::find(sim::NodeId requester, const Requirements& req) const {
+  metrics_.queries.inc();
   std::vector<Candidate> out;
   for (const auto& record : records_) {
     if (!record.alive) continue;
@@ -73,11 +81,11 @@ void Directory::stop_health_probes() {
 }
 
 void Directory::probe_sweep() {
-  ++probe_stats_.sweeps;
+  metrics_.sweeps.inc();
   for (auto& record : records_) {
     const bool up = !fabric_.is_offline(record.name);
-    if (record.alive && !up) ++probe_stats_.marked_dead;
-    if (!record.alive && up) ++probe_stats_.marked_alive;
+    if (record.alive && !up) metrics_.marked_dead.inc();
+    if (!record.alive && up) metrics_.marked_alive.inc();
     record.alive = up;
   }
   probe_timer_ = net_.simulator().after(probe_interval_, [this] { probe_sweep(); });

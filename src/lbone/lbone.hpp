@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "ibp/service.hpp"
+#include "obs/obs.hpp"
 #include "simnet/network.hpp"
 
 namespace lon::lbone {
@@ -37,7 +38,15 @@ struct Candidate {
 
 class Directory {
  public:
-  Directory(sim::Network& net, ibp::Fabric& fabric) : net_(net), fabric_(fabric) {}
+  Directory(sim::Network& net, ibp::Fabric& fabric, obs::Context* obs = nullptr)
+      : net_(net),
+        fabric_(fabric),
+        obs_(obs != nullptr ? *obs : obs::global()),
+        scope_(obs_.metrics.scope("lbone")),
+        metrics_{scope_.counter("lbone.queries"),
+                 scope_.counter("lbone.sweeps"),
+                 scope_.counter("lbone.marked_dead"),
+                 scope_.counter("lbone.marked_alive")} {}
 
   /// Registers a depot already hosted in the fabric.
   void register_depot(const std::string& name);
@@ -73,7 +82,8 @@ class Directory {
     std::uint64_t marked_dead = 0;   ///< alive -> dead flips
     std::uint64_t marked_alive = 0;  ///< dead -> alive flips
   };
-  [[nodiscard]] const ProbeStats& probe_stats() const { return probe_stats_; }
+  /// Compatibility view over the obs registry counters.
+  [[nodiscard]] const ProbeStats& probe_stats() const;
 
  private:
   struct Record {
@@ -81,14 +91,24 @@ class Directory {
     bool alive = true;
   };
 
+  struct Metrics {
+    obs::Counter& queries;
+    obs::Counter& sweeps;
+    obs::Counter& marked_dead;
+    obs::Counter& marked_alive;
+  };
+
   void probe_sweep();
 
   sim::Network& net_;
   ibp::Fabric& fabric_;
+  obs::Context& obs_;
+  obs::Scope scope_;
+  Metrics metrics_;
   std::vector<Record> records_;
   SimDuration probe_interval_ = 0;  ///< 0 = probes off
   std::optional<sim::TimerId> probe_timer_;
-  ProbeStats probe_stats_;
+  mutable ProbeStats probe_stats_view_;
 };
 
 }  // namespace lon::lbone

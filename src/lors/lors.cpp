@@ -19,6 +19,16 @@ SimDuration RetryPolicy::backoff_for(int round, Rng& rng) const {
   return std::max<SimDuration>(1, static_cast<SimDuration>(backoff));
 }
 
+const LorsStats& Lors::stats() const {
+  stats_view_.retries = metrics_.retries.value();
+  stats_view_.failovers = metrics_.failovers.value();
+  stats_view_.corruption_detected = metrics_.corruption_detected.value();
+  stats_view_.repairs_run = metrics_.repairs_run.value();
+  stats_view_.replicas_repaired = metrics_.replicas_repaired.value();
+  stats_view_.replicas_lost = metrics_.replicas_lost.value();
+  return stats_view_;
+}
+
 const char* to_string(LorsStatus status) {
   switch (status) {
     case LorsStatus::kOk:
@@ -52,6 +62,8 @@ struct UploadState {
   exnode::ExNode exnode;
   ibp::Fabric* fabric = nullptr;
   sim::Simulator* sim = nullptr;
+  obs::Tracer* trace = nullptr;
+  obs::SpanId span = 0;
 };
 
 void upload_launch(const std::shared_ptr<UploadState>& st);
@@ -122,6 +134,8 @@ void upload_launch(const std::shared_ptr<UploadState>& st) {
     } else {
       result.status = LorsStatus::kAllocFailed;
     }
+    st->trace->arg(st->span, "status", to_string(result.status));
+    st->trace->end(st->span, st->sim->now());
     auto cb = std::move(st->on_done);
     st->on_done = nullptr;
     cb(result);
@@ -161,6 +175,10 @@ void Lors::upload_async(sim::NodeId client, Bytes data, const UploadOptions& opt
   }
   st->fabric = &fabric_;
   st->sim = &sim_;
+  st->trace = &obs_.trace;
+  st->span = obs_.trace.begin("lors.upload", sim_.now());
+  obs_.trace.arg(st->span, "bytes", st->data.size());
+  obs_.trace.arg(st->span, "blocks", st->block_count);
   upload_launch(st);
 }
 
@@ -185,7 +203,11 @@ struct DownloadState {
   sim::Network* net = nullptr;
   sim::Simulator* sim = nullptr;
   Rng* rng = nullptr;
-  LorsStats* stats = nullptr;
+  obs::Counter* retries_metric = nullptr;
+  obs::Counter* failovers_metric = nullptr;
+  obs::Counter* corruption_metric = nullptr;
+  obs::Tracer* trace = nullptr;
+  obs::SpanId span = 0;
 };
 
 void download_launch(const std::shared_ptr<DownloadState>& st);
@@ -218,7 +240,8 @@ void download_extent_try(const std::shared_ptr<DownloadState>& st, std::size_t e
     // cleared by then — otherwise the extent is lost for this download.
     if (!order->empty() && round < st->options.retry.max_attempts) {
       ++st->retries;
-      if (st->stats) ++st->stats->retries;
+      st->retries_metric->inc();
+      st->trace->instant("lors.retry", st->sim->now(), st->span);
       const SimDuration backoff = st->options.retry.backoff_for(round, *st->rng);
       st->sim->after(backoff, [st, extent_index, round] {
         // Reachability may have changed during the backoff: re-rank.
@@ -235,12 +258,21 @@ void download_extent_try(const std::shared_ptr<DownloadState>& st, std::size_t e
   }
   if (attempt > 0) {
     ++st->failovers;
-    if (st->stats) ++st->stats->failovers;
+    st->failovers_metric->inc();
+    st->trace->instant("lors.failover", st->sim->now(), st->span);
   }
   const exnode::Replica& replica = extent.replicas[(*order)[attempt]];
+  // One span per block-fetch attempt: the IBP leg of the lifeline. Failed
+  // attempts show as short spans followed by a failover sibling.
+  const obs::SpanId load_span = st->trace->begin("ibp.load", st->sim->now(), st->span);
+  st->trace->arg(load_span, "depot", replica.read.depot);
+  st->trace->arg(load_span, "offset", extent.offset);
   st->fabric->load_async(
       st->client, replica.read, replica.alloc_offset, extent.length, st->options.net,
-      [st, extent_index, order, attempt, round](ibp::IbpStatus status, Bytes bytes) {
+      [st, extent_index, order, attempt, round, load_span](ibp::IbpStatus status,
+                                                           Bytes bytes) {
+        st->trace->arg(load_span, "status", ibp::to_string(status));
+        st->trace->end(load_span, st->sim->now());
         const exnode::Extent& ext = st->node.extents()[extent_index];
         if (status != ibp::IbpStatus::kOk) {
           LON_LOG(kDebug, "lors") << "download replica failed (" << ibp::to_string(status)
@@ -254,7 +286,8 @@ void download_extent_try(const std::shared_ptr<DownloadState>& st, std::size_t e
         if (st->options.verify_checksums && ext.checksum.has_value() &&
             (bytes.size() != ext.length || crc32(bytes) != *ext.checksum)) {
           ++st->corrupt;
-          if (st->stats) ++st->stats->corruption_detected;
+          st->corruption_metric->inc();
+          st->trace->instant("lors.corruption", st->sim->now(), st->span);
           LON_LOG(kDebug, "lors") << "checksum mismatch on extent " << ext.offset
                                   << ", failing over";
           download_extent_try(st, extent_index, order, attempt + 1, round);
@@ -286,6 +319,9 @@ void download_launch(const std::shared_ptr<DownloadState>& st) {
     result.retries = st->retries;
     result.status = st->failed == 0 ? LorsStatus::kOk : LorsStatus::kPartial;
     result.data = std::move(st->data);
+    st->trace->arg(st->span, "status", to_string(result.status));
+    st->trace->arg(st->span, "blocks_failed", result.blocks_failed);
+    st->trace->end(st->span, st->sim->now());
     auto cb = std::move(st->on_done);
     st->on_done = nullptr;
     cb(std::move(result));
@@ -306,7 +342,13 @@ void Lors::download_async(sim::NodeId client, const exnode::ExNode& node,
   st->net = &net_;
   st->sim = &sim_;
   st->rng = &rng_;
-  st->stats = &stats_;
+  st->retries_metric = &metrics_.retries;
+  st->failovers_metric = &metrics_.failovers;
+  st->corruption_metric = &metrics_.corruption_detected;
+  st->trace = &obs_.trace;
+  st->span = obs_.trace.begin("lors.download", sim_.now(), options.parent_span);
+  obs_.trace.arg(st->span, "bytes", node.length());
+  obs_.trace.arg(st->span, "blocks", node.extents().size());
   if (node.extents().empty()) {
     sim_.after(0, [st] { download_launch(st); });
     return;
@@ -330,6 +372,8 @@ struct AugmentState {
   std::size_t failed = 0;
   ibp::Fabric* fabric = nullptr;
   sim::Simulator* sim = nullptr;
+  obs::Tracer* trace = nullptr;
+  obs::SpanId span = 0;
 };
 
 void augment_launch(const std::shared_ptr<AugmentState>& st);
@@ -387,6 +431,9 @@ void augment_launch(const std::shared_ptr<AugmentState>& st) {
     result.extents_failed = st->failed;
     result.status = st->failed == 0 ? LorsStatus::kOk : LorsStatus::kPartial;
     result.exnode = std::move(st->exnode);
+    st->trace->arg(st->span, "status", to_string(result.status));
+    st->trace->arg(st->span, "copied", result.extents_copied);
+    st->trace->end(st->span, st->sim->now());
     auto cb = std::move(st->on_done);
     st->on_done = nullptr;
     cb(result);
@@ -413,6 +460,9 @@ void Lors::augment_async(sim::NodeId client, const exnode::ExNode& node,
   st->exnode = node;
   st->fabric = &fabric_;
   st->sim = &sim_;
+  st->trace = &obs_.trace;
+  st->span = obs_.trace.begin("lors.augment", sim_.now(), options.parent_span);
+  obs_.trace.arg(st->span, "target", options.target_depot);
   if (node.extents().empty()) {
     sim_.after(0, [st] { augment_launch(st); });
     return;
@@ -499,7 +549,10 @@ struct RepairState {
 
   ibp::Fabric* fabric = nullptr;
   sim::Simulator* sim = nullptr;
-  LorsStats* stats = nullptr;
+  obs::Counter* replicas_lost_metric = nullptr;
+  obs::Counter* replicas_repaired_metric = nullptr;
+  obs::Tracer* trace = nullptr;
+  obs::SpanId span = 0;
 };
 
 void repair_plan(const std::shared_ptr<RepairState>& st);
@@ -572,7 +625,7 @@ void repair_plan(const std::shared_ptr<RepairState>& st) {
           ext.replicas.push_back(extents[i].replicas[j]);
         } else {
           ++st->result.replicas_lost;
-          if (st->stats) ++st->stats->replicas_lost;
+          st->replicas_lost_metric->inc();
         }
       }
     }
@@ -628,7 +681,7 @@ void repair_pump(const std::shared_ptr<RepairState>& st) {
         [st, job](ibp::IbpStatus status, const ibp::CapabilitySet& caps) {
           if (status == ibp::IbpStatus::kOk) {
             ++st->result.replicas_added;
-            if (st->stats) ++st->stats->replicas_repaired;
+            st->replicas_repaired_metric->inc();
             exnode::Replica rep;
             rep.read = caps.read;
             rep.manage = caps.manage;
@@ -649,6 +702,10 @@ void repair_pump(const std::shared_ptr<RepairState>& st) {
     st->result.status = st->result.extents_short == 0 && st->result.extents_dark == 0
                             ? LorsStatus::kOk
                             : LorsStatus::kPartial;
+    st->trace->arg(st->span, "status", to_string(st->result.status));
+    st->trace->arg(st->span, "lost", st->result.replicas_lost);
+    st->trace->arg(st->span, "repaired", st->result.replicas_added);
+    st->trace->end(st->span, st->sim->now());
     auto cb = std::move(st->on_done);
     st->on_done = nullptr;
     cb(st->result);
@@ -659,7 +716,7 @@ void repair_pump(const std::shared_ptr<RepairState>& st) {
 
 void Lors::repair_async(sim::NodeId client, const exnode::ExNode& node,
                         const RepairOptions& options, RepairCallback on_done) {
-  ++stats_.repairs_run;
+  metrics_.repairs_run.inc();
   auto st = std::make_shared<RepairState>();
   st->client = client;
   st->options = options;
@@ -667,7 +724,10 @@ void Lors::repair_async(sim::NodeId client, const exnode::ExNode& node,
   st->original = node;
   st->fabric = &fabric_;
   st->sim = &sim_;
-  st->stats = &stats_;
+  st->replicas_lost_metric = &metrics_.replicas_lost;
+  st->replicas_repaired_metric = &metrics_.replicas_repaired;
+  st->trace = &obs_.trace;
+  st->span = obs_.trace.begin("lors.repair", sim_.now());
   repair_probe(st);
 }
 

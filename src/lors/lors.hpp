@@ -26,6 +26,7 @@
 
 #include "exnode/exnode.hpp"
 #include "ibp/service.hpp"
+#include "obs/obs.hpp"
 #include "simnet/network.hpp"
 #include "util/rng.hpp"
 
@@ -76,6 +77,9 @@ struct DownloadOptions {
   /// block is treated as a failed fetch (failover to the next replica).
   /// Extents without a recorded checksum are delivered unverified.
   bool verify_checksums = true;
+  /// Parent for the lors.download trace span — lets the span chain survive
+  /// the async hop from whoever requested the download.
+  obs::SpanId parent_span = 0;
 };
 
 struct AugmentOptions {
@@ -85,6 +89,7 @@ struct AugmentOptions {
   ibp::AllocType alloc_type = ibp::AllocType::kSoft;  ///< staging is soft by default
   sim::TransferOptions net;          ///< options for depot-to-depot flows
   int max_concurrent = 4;
+  obs::SpanId parent_span = 0;       ///< parent for the lors.augment trace span
 };
 
 struct UploadResult {
@@ -148,8 +153,19 @@ class Lors {
   /// `seed` drives retry-backoff jitter (and nothing else), so runs are
   /// replayable bit-for-bit.
   Lors(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fabric,
-       std::uint64_t seed = 0x10f5)
-      : sim_(sim), net_(net), fabric_(fabric), rng_(seed) {}
+       std::uint64_t seed = 0x10f5, obs::Context* obs = nullptr)
+      : sim_(sim),
+        net_(net),
+        fabric_(fabric),
+        rng_(seed),
+        obs_(obs != nullptr ? *obs : obs::global()),
+        scope_(obs_.metrics.scope("lors")),
+        metrics_{scope_.counter("lors.retries"),
+                 scope_.counter("lors.failovers"),
+                 scope_.counter("lors.corruption_detected"),
+                 scope_.counter("lors.repairs_run"),
+                 scope_.counter("lors.replicas_repaired"),
+                 scope_.counter("lors.replicas_lost")} {}
 
   Lors(const Lors&) = delete;
   Lors& operator=(const Lors&) = delete;
@@ -194,14 +210,28 @@ class Lors {
   void repair_async(sim::NodeId client, const exnode::ExNode& node,
                     const RepairOptions& options, RepairCallback on_done);
 
-  [[nodiscard]] const LorsStats& stats() const { return stats_; }
+  /// Robustness counters, read back out of the obs registry (the single
+  /// source of truth; this struct is a compatibility view).
+  [[nodiscard]] const LorsStats& stats() const;
 
  private:
+  struct Metrics {
+    obs::Counter& retries;
+    obs::Counter& failovers;
+    obs::Counter& corruption_detected;
+    obs::Counter& repairs_run;
+    obs::Counter& replicas_repaired;
+    obs::Counter& replicas_lost;
+  };
+
   sim::Simulator& sim_;
   sim::Network& net_;
   ibp::Fabric& fabric_;
   Rng rng_;
-  LorsStats stats_;
+  obs::Context& obs_;
+  obs::Scope scope_;
+  Metrics metrics_;
+  mutable LorsStats stats_view_;
 };
 
 }  // namespace lon::lors

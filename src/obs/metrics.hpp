@@ -1,0 +1,175 @@
+// Process-wide metrics registry: named counters, gauges and log-bucketed
+// latency histograms.
+//
+// The paper's whole argument is quantitative (the >30 fps interactivity
+// claim, the hit/LAN/WAN latency classes of figures 9-12), and NetLogger-style
+// pipeline instrumentation is what made WAN visualization tunable in the
+// first place (Bethel et al., PAPERS.md). Instead of every layer keeping its
+// own ad-hoc stats struct that each bench re-aggregates by hand, all layers
+// increment metrics in one registry; the legacy stats() structs are thin
+// views over it and the benches dump it as flat JSONL.
+//
+// Metrics are identified by (name, labels). `name` is a dotted path
+// ("lors.retries"); `labels` is a pre-rendered "key=value,key=value" string.
+// Components obtain a Scope — their instance labels rendered once — and
+// create metrics through it, so two ClientAgents in one process never share a
+// counter while an exporter can still aggregate across them.
+//
+// Everything here runs on the simulator thread; nothing is thread-safe.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/time.hpp"
+
+namespace lon::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value (queue depths, cache occupancy).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Power-of-two-bucketed histogram over non-negative nanosecond durations,
+/// with exact count/sum/min/max and bucket-estimated percentiles.
+///
+/// This generalizes (rather than duplicates) volume::Histogram, which is a
+/// linear-binned density over scalar values in [0,1]: latencies span eight
+/// decades (100 us agent hits to multi-second WAN fetches), so buckets grow
+/// geometrically. Bucket b >= 1 covers [2^(b-1), 2^b) ns; bucket 0 holds
+/// zero-or-negative samples. Percentiles share the rank convention of the
+/// (fixed) volume::Histogram::percentile: the smallest bucket whose
+/// cumulative count reaches ceil(fraction * count), reported as the bucket
+/// midpoint clamped to the exactly-tracked [min, max].
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(SimDuration v);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::int64_t sum() const { return sum_; }  ///< exact, in ns
+  [[nodiscard]] SimDuration min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] SimDuration max() const { return count_ == 0 ? 0 : max_; }
+
+  /// Estimated value (ns) below which `fraction` of samples fall; 0 when
+  /// empty. Monotonic in `fraction`.
+  [[nodiscard]] double percentile(double fraction) const;
+  [[nodiscard]] double p50() const { return percentile(0.50); }
+  [[nodiscard]] double p90() const { return percentile(0.90); }
+  [[nodiscard]] double p99() const { return percentile(0.99); }
+
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return bins_;
+  }
+  /// Inclusive-exclusive bounds [lo, hi) of bucket `b`, in ns.
+  static std::pair<double, double> bucket_bounds(std::size_t b);
+
+ private:
+  std::array<std::uint64_t, kBuckets> bins_{};
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  SimDuration min_ = 0;
+  SimDuration max_ = 0;
+};
+
+class Registry;
+
+/// A component's window onto the registry: metric creation with this
+/// instance's labels pre-applied. Copyable; the registry must outlive it.
+class Scope {
+ public:
+  Scope(Registry& registry, std::string labels)
+      : registry_(&registry), labels_(std::move(labels)) {}
+
+  [[nodiscard]] Counter& counter(const std::string& name) const;
+  [[nodiscard]] Gauge& gauge(const std::string& name) const;
+  [[nodiscard]] LatencyHistogram& histogram(const std::string& name) const;
+  [[nodiscard]] const std::string& labels() const { return labels_; }
+
+ private:
+  Registry* registry_;
+  std::string labels_;
+};
+
+/// The registry proper. Metric objects are stable in memory once created
+/// (node-based storage), so layers keep references and pay no lookup on the
+/// increment path. Export order is deterministic: sorted by name, then
+/// labels.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name, const std::string& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& labels = {});
+  LatencyHistogram& histogram(const std::string& name, const std::string& labels = {});
+
+  /// Lookup without creation; nullptr when absent.
+  [[nodiscard]] const Counter* find_counter(const std::string& name,
+                                            const std::string& labels = {}) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name,
+                                        const std::string& labels = {}) const;
+  [[nodiscard]] const LatencyHistogram* find_histogram(
+      const std::string& name, const std::string& labels = {}) const;
+
+  /// Sum of one counter name across every label set (0 when absent).
+  [[nodiscard]] std::uint64_t counter_total(const std::string& name) const;
+
+  /// Mints a fresh instance label set for a component, e.g.
+  /// "component=lors,inst=2". Instances count per component name.
+  [[nodiscard]] std::string next_instance(const std::string& component);
+  [[nodiscard]] Scope scope(const std::string& component) {
+    return Scope(*this, next_instance(component));
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Flat JSONL dump: one self-describing JSON object per line, one line per
+  /// (name, labels) metric. The format the benches write next to their
+  /// stdout output and CI uploads as an artifact.
+  void write_jsonl(std::ostream& os) const;
+  [[nodiscard]] std::string jsonl() const;
+
+  /// Drops every metric and instance count (tests).
+  void reset();
+
+ private:
+  // (name, labels) -> metric. std::map nodes never move, so references
+  // handed out by counter()/gauge()/histogram() stay valid.
+  template <typename T>
+  using Family = std::map<std::pair<std::string, std::string>, T>;
+
+  Family<Counter> counters_;
+  Family<Gauge> gauges_;
+  Family<LatencyHistogram> histograms_;
+  std::map<std::string, std::uint64_t> instances_;
+};
+
+/// Escapes a string for embedding in a JSON string literal.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace lon::obs

@@ -1,0 +1,10 @@
+#include "obs/obs.hpp"
+
+namespace lon::obs {
+
+Context& global() {
+  static Context ctx;
+  return ctx;
+}
+
+}  // namespace lon::obs

@@ -1,0 +1,21 @@
+// One handle for everything observability: the metrics registry plus the
+// span tracer. Components take an obs::Context* (defaulted to the process
+// global) so existing construction sites keep compiling while experiment
+// runs get an isolated, fully-enabled context of their own.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace lon::obs {
+
+struct Context {
+  Registry metrics;
+  Tracer trace;
+};
+
+/// The process-wide default. Its tracer stays disabled (a long test process
+/// would otherwise accumulate spans without bound); its registry is live.
+[[nodiscard]] Context& global();
+
+}  // namespace lon::obs

@@ -1,0 +1,89 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "obs/metrics.hpp"  // json_escape
+
+namespace lon::obs {
+
+SpanId Tracer::begin(std::string name, SimTime now, SpanId parent) {
+  if (!enabled_) return 0;
+  Span span;
+  span.id = spans_.size() + 1;
+  span.parent = parent != 0 ? parent : current_;
+  span.name = std::move(name);
+  span.begin = now;
+  span.end = now;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Tracer::end(SpanId span, SimTime now) {
+  if (span == 0 || span > spans_.size()) return;
+  Span& s = spans_[span - 1];
+  if (!s.open) return;
+  s.end = now;
+  s.open = false;
+}
+
+SpanId Tracer::instant(std::string name, SimTime now, SpanId parent) {
+  const SpanId id = begin(std::move(name), now, parent);
+  if (id != 0) {
+    Span& s = spans_[id - 1];
+    s.open = false;
+    s.instant = true;
+  }
+  return id;
+}
+
+void Tracer::arg(SpanId span, std::string key, std::string value) {
+  if (span == 0 || span > spans_.size()) return;
+  spans_[span - 1].args.emplace_back(std::move(key), std::move(value));
+}
+
+SpanId Tracer::root_of(SpanId id) const {
+  const Span* s = find(id);
+  while (s != nullptr && s->parent != 0) {
+    const Span* up = find(s->parent);
+    if (up == nullptr) break;
+    s = up;
+  }
+  return s == nullptr ? 0 : s->id;
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Span& s : spans_) {
+    if (!first) os << ",";
+    first = false;
+    // Virtual-time ns -> trace ts in us. Chrome treats ts as a double
+    // internally, so fractional microseconds survive.
+    const double ts = static_cast<double>(s.begin) / 1000.0;
+    os << "\n{\"name\":\"" << json_escape(s.name) << "\",\"cat\":\"lon\",\"ph\":\""
+       << (s.instant ? "i" : "X") << "\",\"ts\":" << ts;
+    if (s.instant) {
+      os << ",\"s\":\"t\"";  // thread-scoped instant
+    } else {
+      const double dur = static_cast<double>(s.end - s.begin) / 1000.0;
+      os << ",\"dur\":" << dur;
+    }
+    os << ",\"pid\":1,\"tid\":" << root_of(s.id) << ",\"args\":{\"span\":" << s.id
+       << ",\"parent\":" << s.parent;
+    if (s.open) os << ",\"open\":true";
+    for (const auto& [k, v] : s.args) {
+      os << ",\"" << json_escape(k) << "\":\"" << json_escape(v) << "\"";
+    }
+    os << "}}";
+  }
+  os << "\n]}\n";
+}
+
+std::string Tracer::chrome_trace() const {
+  std::ostringstream os;
+  write_chrome_trace(os);
+  return os.str();
+}
+
+}  // namespace lon::obs

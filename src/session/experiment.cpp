@@ -29,11 +29,17 @@ const char* to_string(Case c) {
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   // --- System assembly -------------------------------------------------------
+  // A private observability context per run: counters start at zero, spans
+  // start empty, and concurrent experiments never share state. Tracing is on
+  // so every run comes back with its full span tree.
+  auto obs = std::make_shared<obs::Context>();
+  obs->trace.set_enabled(true);
+
   sim::Simulator sim;
   sim::Network net(sim, config.net_seed);
-  ibp::Fabric fabric(sim, net);
+  ibp::Fabric fabric(sim, net, obs.get());
   fabric.set_timeouts(config.timeouts);
-  lors::Lors lors(sim, net, fabric);
+  lors::Lors lors(sim, net, fabric, 0x10f5, obs.get());
 
   // LAN: client, client agent and the LAN depots hang off one switch.
   const sim::NodeId lan_switch = net.add_node("lan-switch");
@@ -82,14 +88,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   const sim::NodeId server_node = net.add_node("server");
   net.add_link(server_node, wan_router, far_lan);
 
-  lbone::Directory lbone(net, fabric);
+  lbone::Directory lbone(net, fabric, obs.get());
   for (const auto& name : lan_depots) lbone.register_depot(name);
   for (const auto& name : wan_depots) lbone.register_depot(name);
 
   // --- Light field database ---------------------------------------------------
   lightfield::ProceduralSource source(config.lattice);
   const lightfield::SphericalLattice& lattice = source.lattice();
-  streaming::DvsServer dvs(sim, net, dvs_node, lattice);
+  streaming::DvsServer dvs(sim, net, dvs_node, lattice, {}, obs.get());
 
   const CursorScript script =
       CursorScript::standard(lattice, config.dwell, config.accesses, config.seed);
@@ -134,9 +140,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   agent_config.lease_refresh = config.lease_refresh;
   agent_config.lease_refresh_interval = config.lease_refresh_interval;
   streaming::ClientAgent agent(sim, net, fabric, lors, dvs, lattice, agent_node,
-                               agent_config);
+                               agent_config, obs.get());
 
-  streaming::Client client(sim, net, config.lattice, client_node, agent, config.client);
+  streaming::Client client(sim, net, config.lattice, client_node, agent, config.client,
+                           obs.get());
 
   // --- Orchestrated run ----------------------------------------------------------
   // "As soon as visualization of a dataset begins, aggressive prestaging to
@@ -146,7 +153,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   // Fault plan times are authored relative to the script; publication already
   // consumed virtual time, so shift every event to the actual start.
-  fault::FaultInjector injector(sim, net, fabric);
+  fault::FaultInjector injector(sim, net, fabric, obs.get());
   {
     fault::FaultPlan plan = config.faults;
     for (auto& c : plan.crashes) c.at += script_start;
@@ -236,21 +243,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           : 0.0;
   result.failed_accesses = failed_accesses;
   result.fault_stats = injector.stats();
-  RobustnessSummary& rob = result.robustness;
-  rob.timeouts = fabric.stats().timeouts;
-  rob.requests_lost = fabric.stats().requests_lost;
-  rob.requests_dropped = fabric.stats().requests_dropped;
-  rob.flows_killed = fabric.stats().flows_killed_offline;
-  rob.retries = lors.stats().retries;
-  rob.failovers = lors.stats().failovers;
-  rob.corruption_detected = lors.stats().corruption_detected;
-  rob.repairs_run = lors.stats().repairs_run;
-  rob.replicas_repaired = lors.stats().replicas_repaired;
-  rob.replicas_lost = lors.stats().replicas_lost;
-  rob.refetches = agent.stats().refetches;
-  rob.invalidations = agent.stats().invalidations;
-  rob.restaged = agent.stats().restaged;
-  rob.lease_refreshes = agent.stats().lease_refreshes;
+  result.robustness = collect_robustness(obs->metrics);
+  result.obs = std::move(obs);
   return result;
 }
 

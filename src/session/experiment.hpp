@@ -16,10 +16,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "obs/obs.hpp"
 #include "lightfield/lattice.hpp"
 #include "session/cursor.hpp"
 #include "session/metrics.hpp"
@@ -109,6 +111,10 @@ struct ExperimentResult {
   std::size_t failed_accesses = 0;     ///< view requests that never delivered
   RobustnessSummary robustness;        ///< self-healing counters for the run
   fault::FaultStats fault_stats;       ///< what the injector actually did
+  /// The run's private observability context: every component reported into
+  /// `obs->metrics`, and `obs->trace` (enabled for experiments) holds the
+  /// full span tree — export it with write_chrome_trace / write_jsonl.
+  std::shared_ptr<obs::Context> obs;
 };
 
 /// Builds the full system for one case, publishes the database, replays the

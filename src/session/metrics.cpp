@@ -124,4 +124,23 @@ void print_robustness(std::ostream& os, const std::string& label,
      << " restaged=" << s.restaged << " lease_refreshes=" << s.lease_refreshes << '\n';
 }
 
+RobustnessSummary collect_robustness(const obs::Registry& registry) {
+  RobustnessSummary s;
+  s.timeouts = registry.counter_total("ibp.timeouts");
+  s.requests_lost = registry.counter_total("ibp.requests_lost");
+  s.requests_dropped = registry.counter_total("ibp.requests_dropped");
+  s.flows_killed = registry.counter_total("ibp.flows_killed_offline");
+  s.retries = registry.counter_total("lors.retries");
+  s.failovers = registry.counter_total("lors.failovers");
+  s.corruption_detected = registry.counter_total("lors.corruption_detected");
+  s.repairs_run = registry.counter_total("lors.repairs_run");
+  s.replicas_repaired = registry.counter_total("lors.replicas_repaired");
+  s.replicas_lost = registry.counter_total("lors.replicas_lost");
+  s.refetches = registry.counter_total("agent.refetches");
+  s.invalidations = registry.counter_total("agent.invalidations");
+  s.restaged = registry.counter_total("agent.restaged");
+  s.lease_refreshes = registry.counter_total("agent.lease_refreshes");
+  return s;
+}
+
 }  // namespace lon::session

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "streaming/types.hpp"
 
 namespace lon::session {
@@ -72,5 +73,10 @@ struct RobustnessSummary {
 /// One-paragraph robustness block (used by the fault benches/tests).
 void print_robustness(std::ostream& os, const std::string& label,
                       const RobustnessSummary& s);
+
+/// Assembles the robustness summary from the obs registry the run's
+/// components reported into. Sums across instances of each component, so it
+/// works for multi-agent topologies too.
+[[nodiscard]] RobustnessSummary collect_robustness(const obs::Registry& registry);
 
 }  // namespace lon::session

@@ -65,13 +65,16 @@ inline void ViewSetCache::evict_to_fit(std::uint64_t incoming) {
 }
 
 inline void ViewSetCache::put(const lightfield::ViewSetId& id, Bytes data) {
-  if (data.size() > budget_) return;  // would evict everything for nothing
+  // Drop any existing entry for this id first: even when the new payload is
+  // too big to cache, serving the old (possibly invalidated) version from
+  // get() would be worse than a miss.
   auto it = map_.find(id);
   if (it != map_.end()) {
     used_ -= it->second->data.size();
     lru_.erase(it->second);
     map_.erase(it);
   }
+  if (data.size() > budget_) return;  // would evict everything for nothing
   evict_to_fit(data.size());
   used_ += data.size();
   lru_.push_front(Entry{id, std::move(data)});

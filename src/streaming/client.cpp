@@ -8,13 +8,47 @@ namespace lon::streaming {
 
 Client::Client(sim::Simulator& sim, sim::Network& net,
                const lightfield::LatticeConfig& lattice, sim::NodeId node,
-               ClientAgent& agent, ClientConfig config)
+               ClientAgent& agent, ClientConfig config, obs::Context* obs)
     : sim_(sim),
       net_(net),
       node_(node),
       agent_(agent),
       config_(std::move(config)),
+      obs_(obs != nullptr ? *obs : obs::global()),
+      scope_(obs_.metrics.scope("client")),
+      metrics_{scope_.counter("session.accesses"),
+               scope_.counter("session.hits"),
+               scope_.counter("session.lan"),
+               scope_.counter("session.wan"),
+               scope_.histogram("session.total_ns"),
+               scope_.histogram("session.comm_ns"),
+               scope_.histogram("session.decompress_ns"),
+               scope_.histogram("session.comm_hit_ns"),
+               scope_.histogram("session.comm_lan_ns"),
+               scope_.histogram("session.comm_wan_ns")},
       renderer_(lattice) {}
+
+void Client::record_access(const AccessRecord& record) {
+  metrics_.accesses.inc();
+  metrics_.total_ns.record(record.total());
+  metrics_.comm_ns.record(record.comm_latency);
+  metrics_.decompress_ns.record(record.decompress_time);
+  switch (record.cls) {
+    case AccessClass::kAgentHit:
+      metrics_.hits.inc();
+      metrics_.comm_hit_ns.record(record.comm_latency);
+      break;
+    case AccessClass::kLanDepot:
+      metrics_.lan.inc();
+      metrics_.comm_lan_ns.record(record.comm_latency);
+      break;
+    case AccessClass::kWan:
+    case AccessClass::kGenerated:
+      metrics_.wan.inc();
+      metrics_.comm_wan_ns.record(record.comm_latency);
+      break;
+  }
+}
 
 void Client::set_view(const Spherical& dir, std::function<void(bool)> on_ready) {
   direction_ = dir;
@@ -48,12 +82,19 @@ void Client::begin_request(const lightfield::ViewSetId& id, std::function<void(b
   pending_ = PendingRequest{id, sim_.now(), {}};
   if (cb) pending_->callbacks.push_back(std::move(cb));
 
+  // Root of the access lifeline: everything downstream (agent fetch, DVS
+  // query, LoRS download, IBP loads, decompression) nests under this span.
+  const obs::SpanId span = obs_.trace.begin("client.request", sim_.now());
+  obs_.trace.arg(span, "view_set", id.key());
+  pending_->span = span;
+
   // Request message travels to the agent; the agent answers with the
   // compressed view set, which then travels back over the LAN.
   const SimDuration to_agent = net_.path_latency(node_, agent_.node());
-  sim_.after(to_agent, [this, id] {
+  sim_.after(to_agent, [this, id, span] {
     agent_.request_view_set(
-        id, [this](const Bytes& compressed, AccessClass cls, SimDuration comm) {
+        id,
+        [this](const Bytes& compressed, AccessClass cls, SimDuration comm) {
           // Payload transfer agent -> client.
           auto payload = std::make_shared<Bytes>(compressed);
           sim::TransferOptions opts = config_.lan_net;
@@ -61,7 +102,8 @@ void Client::begin_request(const lightfield::ViewSetId& id, std::function<void(b
                               [this, payload, cls, comm](const sim::TransferResult&) {
                                 on_delivery(*payload, cls, comm);
                               });
-        });
+        },
+        span);
   });
 }
 
@@ -103,6 +145,9 @@ void Client::on_delivery(const Bytes& compressed, AccessClass cls,
     // The view set could not be obtained anywhere.
     record.delivered = sim_.now();
     accesses_.push_back(record);
+    record_access(record);
+    obs_.trace.arg(request.span, "outcome", "failed");
+    obs_.trace.end(request.span, sim_.now());
     pending_.reset();
     for (auto& cb : request.callbacks) cb(false);
     if (queued_.has_value()) {
@@ -124,12 +169,21 @@ void Client::on_delivery(const Bytes& compressed, AccessClass cls,
   }
   record.decompress_time = decompress_time;
 
+  const obs::SpanId decomp_span =
+      obs_.trace.begin("client.decompress", sim_.now(), request.span);
+  obs_.trace.arg(decomp_span, "bytes", compressed.size());
+
   sim_.after(decompress_time,
-             [this, record, vs = std::move(vs), ok,
+             [this, record, decomp_span, vs = std::move(vs), ok,
               request = std::move(request)]() mutable {
+               obs_.trace.end(decomp_span, sim_.now());
                AccessRecord final = record;
                final.delivered = sim_.now();
                accesses_.push_back(final);
+               record_access(final);
+               obs_.trace.arg(request.span, "outcome",
+                              ok ? to_string(final.cls) : "decode_error");
+               obs_.trace.end(request.span, sim_.now());
                if (ok) install_view_set(std::move(vs));
                pending_.reset();
                for (auto& cb : request.callbacks) cb(ok);

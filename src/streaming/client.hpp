@@ -41,7 +41,8 @@ struct ClientConfig {
 class Client {
  public:
   Client(sim::Simulator& sim, sim::Network& net, const lightfield::LatticeConfig& lattice,
-         sim::NodeId node, ClientAgent& agent, ClientConfig config);
+         sim::NodeId node, ClientAgent& agent, ClientConfig config,
+         obs::Context* obs = nullptr);
 
   /// Points the view at `dir`. If the containing view set is locally loaded
   /// the call completes immediately; otherwise it requests the view set from
@@ -65,10 +66,26 @@ class Client {
     lightfield::ViewSetId id;
     SimTime requested = 0;
     std::vector<std::function<void(bool)>> callbacks;
+    obs::SpanId span = 0;  ///< client.request — root of the access lifeline
+  };
+
+  struct Metrics {
+    obs::Counter& accesses;
+    obs::Counter& hits;
+    obs::Counter& lan;
+    obs::Counter& wan;
+    obs::LatencyHistogram& total_ns;
+    obs::LatencyHistogram& comm_ns;
+    obs::LatencyHistogram& decompress_ns;
+    obs::LatencyHistogram& comm_hit_ns;
+    obs::LatencyHistogram& comm_lan_ns;
+    obs::LatencyHistogram& comm_wan_ns;
   };
 
   void begin_request(const lightfield::ViewSetId& id, std::function<void(bool)> cb);
   void on_delivery(const Bytes& compressed, AccessClass cls, SimDuration comm_latency);
+  /// Mirrors the AccessRecord into the session.* registry metrics.
+  void record_access(const AccessRecord& record);
   void install_view_set(lightfield::ViewSet vs);
 
   [[nodiscard]] SimDuration charge_decompress(const Bytes& compressed,
@@ -80,6 +97,9 @@ class Client {
   sim::NodeId node_;
   ClientAgent& agent_;
   ClientConfig config_;
+  obs::Context& obs_;
+  obs::Scope scope_;
+  Metrics metrics_;
 
   lightfield::Renderer renderer_;
   std::deque<lightfield::ViewSetId> resident_;  // eviction order (FIFO)

@@ -25,7 +25,7 @@ const char* to_string(AccessClass cls) {
 ClientAgent::ClientAgent(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fabric,
                          lors::Lors& lors, DvsServer& dvs,
                          const lightfield::SphericalLattice& lattice, sim::NodeId node,
-                         ClientAgentConfig config)
+                         ClientAgentConfig config, obs::Context* obs)
     : sim_(sim),
       net_(net),
       fabric_(fabric),
@@ -34,6 +34,19 @@ ClientAgent::ClientAgent(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fa
       lattice_(lattice),
       node_(node),
       config_(std::move(config)),
+      obs_(obs != nullptr ? *obs : obs::global()),
+      scope_(obs_.metrics.scope("agent")),
+      metrics_{scope_.counter("agent.requests"),
+               scope_.counter("agent.hits"),
+               scope_.counter("agent.lan_accesses"),
+               scope_.counter("agent.wan_accesses"),
+               scope_.counter("agent.prefetches"),
+               scope_.counter("agent.staged"),
+               scope_.counter("agent.staging_failures"),
+               scope_.counter("agent.refetches"),
+               scope_.counter("agent.invalidations"),
+               scope_.counter("agent.restaged"),
+               scope_.counter("agent.lease_refreshes")},
       cache_(config_.cache_bytes) {
   if (config_.staging && config_.lan_depots.empty()) {
     throw std::invalid_argument("ClientAgent: staging enabled without LAN depots");
@@ -41,18 +54,23 @@ ClientAgent::ClientAgent(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fa
 }
 
 void ClientAgent::request_view_set(const lightfield::ViewSetId& id,
-                                   DeliverCallback on_done) {
-  ++stats_.requests;
-  fetch(id, std::move(on_done), /*demand=*/true);
+                                   DeliverCallback on_done, obs::SpanId parent_span) {
+  metrics_.requests.inc();
+  fetch(id, std::move(on_done), /*demand=*/true, parent_span);
 }
 
-void ClientAgent::fetch(const lightfield::ViewSetId& id, DeliverCallback cb, bool demand) {
+void ClientAgent::fetch(const lightfield::ViewSetId& id, DeliverCallback cb, bool demand,
+                        obs::SpanId parent) {
   // 1. Agent cache.
   if (const Bytes* data = cache_.get(id); data != nullptr) {
-    if (demand) ++stats_.hits;
+    if (demand) metrics_.hits.inc();
     if (cb) {
+      const obs::SpanId span = obs_.trace.begin("agent.fetch", sim_.now(), parent);
+      obs_.trace.arg(span, "view_set", id.key());
+      obs_.trace.arg(span, "source", "cache");
       // Serving from memory: the figure-12 "hit" latency.
-      sim_.after(kAgentHitLatency, [data = *data, cb = std::move(cb)] {
+      sim_.after(kAgentHitLatency, [this, span, data = *data, cb = std::move(cb)] {
+        obs_.trace.end(span, sim_.now());
         cb(data, AccessClass::kAgentHit, kAgentHitLatency);
       });
     }
@@ -63,13 +81,16 @@ void ClientAgent::fetch(const lightfield::ViewSetId& id, DeliverCallback cb, boo
   //    with an ongoing prefetch — part of the latency is already hidden).
   auto it = inflight_.find(id);
   if (it != inflight_.end()) {
-    it->second.waiters.push_back(Waiter{std::move(cb), sim_.now(), demand});
+    it->second.waiters.push_back(Waiter{std::move(cb), sim_.now(), demand, parent});
     return;
   }
 
   // 3. Start a fresh fetch.
   Inflight flight;
-  flight.waiters.push_back(Waiter{std::move(cb), sim_.now(), demand});
+  flight.waiters.push_back(Waiter{std::move(cb), sim_.now(), demand, parent});
+  flight.span = obs_.trace.begin("agent.fetch", sim_.now(), parent);
+  obs_.trace.arg(flight.span, "view_set", id.key());
+  obs_.trace.arg(flight.span, "demand", demand ? "true" : "false");
   inflight_.emplace(id, std::move(flight));
   resolve_and_download(id);
 }
@@ -100,6 +121,10 @@ void ClientAgent::resolve_and_download(const lightfield::ViewSetId& id) {
     return;
   }
   // Ask the DVS (runtime generation allowed: the miss path of section 3.6).
+  // The ambient register parents the DVS query span under this fetch.
+  const auto flight = inflight_.find(id);
+  const obs::Tracer::Ambient ambient(
+      obs_.trace, flight != inflight_.end() ? flight->second.span : 0);
   dvs_.query_async(node_, id, /*generate_if_missing=*/true,
                    [this, id](const DvsServer::QueryResult& result) {
                      if (!result.found) {
@@ -122,6 +147,7 @@ void ClientAgent::download(const lightfield::ViewSetId& id, const exnode::ExNode
   lors::DownloadOptions options;
   options.net = (cls == AccessClass::kLanDepot) ? config_.lan_net : config_.wan_net;
   options.retry = config_.retry;
+  options.parent_span = it != inflight_.end() ? it->second.span : 0;
   lors_.download_async(node_, exnode, options,
                        [this, id, cls](lors::DownloadResult result) {
                          if (cls == AccessClass::kWan) {
@@ -141,7 +167,9 @@ void ClientAgent::download(const lightfield::ViewSetId& id, const exnode::ExNode
                            if (it != inflight_.end() &&
                                it->second.attempts < config_.max_refetch) {
                              ++it->second.attempts;
-                             ++stats_.refetches;
+                             metrics_.refetches.inc();
+                             obs_.trace.instant("agent.refetch", sim_.now(),
+                                                it->second.span);
                              invalidate(id);
                              resolve_and_download(id);
                              return;
@@ -154,11 +182,12 @@ void ClientAgent::download(const lightfield::ViewSetId& id, const exnode::ExNode
 }
 
 void ClientAgent::invalidate(const lightfield::ViewSetId& id) {
-  ++stats_.invalidations;
+  metrics_.invalidations.inc();
+  obs_.trace.instant("agent.invalidate", sim_.now());
   exnode_cache_.erase(id);
   if (staged_.erase(id) > 0 && staging_active_ && config_.restage_on_failure) {
     unstaged_.push_back(id);
-    ++stats_.restaged;
+    metrics_.restaged.inc();
     staging_pump();
   }
 }
@@ -172,18 +201,22 @@ void ClientAgent::finish_fetch(const lightfield::ViewSetId& id, Bytes data) {
   const bool ok = !data.empty();
   if (ok) cache_.put(id, data);
 
+  obs_.trace.arg(flight.span, "class", to_string(flight.cls));
+  obs_.trace.arg(flight.span, "outcome", ok ? "ok" : "failed");
+  obs_.trace.end(flight.span, sim_.now());
+
   for (const Waiter& waiter : flight.waiters) {
     if (waiter.demand) {
       switch (flight.cls) {
         case AccessClass::kLanDepot:
-          ++stats_.lan_accesses;
+          metrics_.lan_accesses.inc();
           break;
         case AccessClass::kWan:
         case AccessClass::kGenerated:
-          ++stats_.wan_accesses;
+          metrics_.wan_accesses.inc();
           break;
         case AccessClass::kAgentHit:
-          ++stats_.hits;
+          metrics_.hits.inc();
           break;
       }
     }
@@ -200,7 +233,7 @@ void ClientAgent::notify_cursor(const Spherical& dir) {
     const int quadrant = lattice_.quadrant_of(dir);
     for (const auto& target : lattice_.prefetch_targets(cursor_vs_, quadrant)) {
       if (cache_.contains(target) || inflight_.contains(target)) continue;
-      ++stats_.prefetches;
+      metrics_.prefetches.inc();
       fetch(target, nullptr, /*demand=*/false);
     }
   }
@@ -254,7 +287,7 @@ void ClientAgent::lease_refresh_tick(SimDuration interval) {
     }
     lors_.refresh_async(node_, lan_only, config_.staging_lease,
                         [this, id](const lors::Lors::RefreshResult& result) {
-                          stats_.lease_refreshes += result.extended;
+                          metrics_.lease_refreshes.inc(result.extended);
                           if (result.failed > 0) {
                             // Some allocation behind this staged copy is
                             // already gone (expired or revoked): stop
@@ -318,28 +351,37 @@ void ClientAgent::staging_pump() {
 }
 
 void ClientAgent::stage_one(const lightfield::ViewSetId& id) {
+  // Staging is a root span of its own: it is background work, not part of
+  // any client request's lifeline.
+  const obs::SpanId span = obs_.trace.begin("agent.stage", sim_.now());
+  obs_.trace.arg(span, "view_set", id.key());
+
   // Resolve the exNode first (cheap control traffic), then issue third-party
   // copies toward a LAN depot. The data path is depot-to-depot.
-  auto do_stage = [this, id](const exnode::ExNode& exnode) {
+  auto do_stage = [this, id, span](const exnode::ExNode& exnode) {
     lors::AugmentOptions options;
     options.target_depot = config_.lan_depots[staging_rr_++ % config_.lan_depots.size()];
     options.preferred = true;  // downloads should find the LAN replica first
     options.lease = config_.staging_lease;
     options.alloc_type = ibp::AllocType::kSoft;  // revocable: polite sharing
     options.net = config_.staging_net;
+    options.parent_span = span;
     lors_.augment_async(node_, exnode, options,
-                        [this, id](const lors::AugmentResult& result) {
+                        [this, id, span](const lors::AugmentResult& result) {
                           --staging_inflight_;
                           if (result.status == lors::LorsStatus::kOk) {
-                            ++stats_.staged;
+                            metrics_.staged.inc();
                             staged_[id] = result.exnode;
                             exnode_cache_[id] = result.exnode;
                           } else {
-                            ++stats_.staging_failures;
+                            metrics_.staging_failures.inc();
                             LON_LOG(kDebug, "client-agent")
                                 << "staging of " << id.key() << " failed: "
                                 << lors::to_string(result.status);
                           }
+                          obs_.trace.arg(span, "outcome",
+                                         lors::to_string(result.status));
+                          obs_.trace.end(span, sim_.now());
                           staging_pump();
                         });
   };
@@ -348,17 +390,35 @@ void ClientAgent::stage_one(const lightfield::ViewSetId& id) {
     do_stage(cached->second);
     return;
   }
+  const obs::Tracer::Ambient ambient(obs_.trace, span);
   dvs_.query_async(node_, id, /*generate_if_missing=*/false,
-                   [this, id, do_stage](const DvsServer::QueryResult& result) {
+                   [this, id, span, do_stage](const DvsServer::QueryResult& result) {
                      if (!result.found) {
-                       ++stats_.staging_failures;
+                       metrics_.staging_failures.inc();
                        --staging_inflight_;
+                       obs_.trace.arg(span, "outcome", "unresolved");
+                       obs_.trace.end(span, sim_.now());
                        staging_pump();
                        return;
                      }
                      exnode_cache_[id] = result.exnode;
                      do_stage(result.exnode);
                    });
+}
+
+const ClientAgent::Stats& ClientAgent::stats() const {
+  stats_view_.requests = metrics_.requests.value();
+  stats_view_.hits = metrics_.hits.value();
+  stats_view_.lan_accesses = metrics_.lan_accesses.value();
+  stats_view_.wan_accesses = metrics_.wan_accesses.value();
+  stats_view_.prefetches = metrics_.prefetches.value();
+  stats_view_.staged = metrics_.staged.value();
+  stats_view_.staging_failures = metrics_.staging_failures.value();
+  stats_view_.refetches = metrics_.refetches.value();
+  stats_view_.invalidations = metrics_.invalidations.value();
+  stats_view_.restaged = metrics_.restaged.value();
+  stats_view_.lease_refreshes = metrics_.lease_refreshes.value();
+  return stats_view_;
 }
 
 }  // namespace lon::streaming

@@ -31,6 +31,7 @@
 #include "lbone/lbone.hpp"
 #include "lightfield/lattice.hpp"
 #include "lors/lors.hpp"
+#include "obs/obs.hpp"
 #include "streaming/cache.hpp"
 #include "streaming/dvs.hpp"
 #include "streaming/types.hpp"
@@ -102,7 +103,7 @@ class ClientAgent {
   ClientAgent(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fabric,
               lors::Lors& lors, DvsServer& dvs,
               const lightfield::SphericalLattice& lattice, sim::NodeId node,
-              ClientAgentConfig config);
+              ClientAgentConfig config, obs::Context* obs = nullptr);
 
   [[nodiscard]] sim::NodeId node() const { return node_; }
   [[nodiscard]] const ClientAgentConfig& config() const { return config_; }
@@ -114,8 +115,11 @@ class ClientAgent {
       std::function<void(const Bytes& compressed, AccessClass cls, SimDuration comm_latency)>;
 
   /// Demand request from a client (invoked at agent time — the client models
-  /// its own network legs). Triggers the access path above.
-  void request_view_set(const lightfield::ViewSetId& id, DeliverCallback on_done);
+  /// its own network legs). Triggers the access path above. `parent_span`
+  /// carries the client's request span across the client->agent hop so the
+  /// whole lifeline nests in one trace.
+  void request_view_set(const lightfield::ViewSetId& id, DeliverCallback on_done,
+                        obs::SpanId parent_span = 0);
 
   /// Cursor update from the client: drives quadrant prefetch and reorders
   /// the prestaging queue by proximity.
@@ -146,7 +150,8 @@ class ClientAgent {
   [[nodiscard]] bool is_staged(const lightfield::ViewSetId& id) const {
     return staged_.contains(id);
   }
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Compatibility view over the obs registry counters.
+  [[nodiscard]] const Stats& stats() const;
   [[nodiscard]] const ViewSetCache& cache() const { return cache_; }
 
  private:
@@ -154,15 +159,32 @@ class ClientAgent {
     DeliverCallback cb;
     SimTime arrived = 0;
     bool demand = false;  ///< prefetches pass a null callback
+    obs::SpanId parent = 0;
   };
   struct Inflight {
     std::vector<Waiter> waiters;
     AccessClass cls = AccessClass::kWan;
     int attempts = 0;  ///< end-to-end re-resolutions consumed so far
+    obs::SpanId span = 0;  ///< agent.fetch span covering the whole fetch
+  };
+
+  struct Metrics {
+    obs::Counter& requests;
+    obs::Counter& hits;
+    obs::Counter& lan_accesses;
+    obs::Counter& wan_accesses;
+    obs::Counter& prefetches;
+    obs::Counter& staged;
+    obs::Counter& staging_failures;
+    obs::Counter& refetches;
+    obs::Counter& invalidations;
+    obs::Counter& restaged;
+    obs::Counter& lease_refreshes;
   };
 
   /// Starts (or joins) a fetch of `id`; cb may be null for prefetch.
-  void fetch(const lightfield::ViewSetId& id, DeliverCallback cb, bool demand);
+  void fetch(const lightfield::ViewSetId& id, DeliverCallback cb, bool demand,
+             obs::SpanId parent = 0);
 
   /// Resolves the exNode (staged > cached > DVS) then downloads.
   void resolve_and_download(const lightfield::ViewSetId& id);
@@ -197,6 +219,9 @@ class ClientAgent {
   const lightfield::SphericalLattice& lattice_;
   sim::NodeId node_;
   ClientAgentConfig config_;
+  obs::Context& obs_;
+  obs::Scope scope_;
+  Metrics metrics_;
 
   ViewSetCache cache_;
   std::unordered_map<lightfield::ViewSetId, exnode::ExNode, lightfield::ViewSetIdHash>
@@ -214,7 +239,7 @@ class ClientAgent {
   std::optional<sim::TimerId> refresh_timer_;
 
   lightfield::ViewSetId cursor_vs_{0, 0};
-  Stats stats_;
+  mutable Stats stats_view_;
 };
 
 }  // namespace lon::streaming

@@ -5,8 +5,17 @@
 namespace lon::streaming {
 
 DvsServer::DvsServer(sim::Simulator& sim, sim::Network& net, sim::NodeId node,
-                     const lightfield::SphericalLattice& lattice, DvsConfig config)
-    : sim_(sim), net_(net), node_(node), config_(config) {
+                     const lightfield::SphericalLattice& lattice, DvsConfig config,
+                     obs::Context* obs)
+    : sim_(sim),
+      net_(net),
+      node_(node),
+      config_(config),
+      obs_(obs != nullptr ? *obs : obs::global()),
+      scope_(obs_.metrics.scope("dvs")),
+      metrics_{scope_.counter("dvs.queries"),    scope_.counter("dvs.hits"),
+               scope_.counter("dvs.misses"),     scope_.counter("dvs.forwarded"),
+               scope_.counter("dvs.updates"),    scope_.counter("dvs.levels_visited")} {
   if (config_.leaf_capacity == 0) throw std::invalid_argument("DvsServer: leaf capacity 0");
   Region whole{0, static_cast<int>(lattice.view_set_rows()), 0,
                static_cast<int>(lattice.view_set_cols())};
@@ -75,34 +84,46 @@ bool DvsServer::knows(const lightfield::ViewSetId& id) const {
 
 void DvsServer::query_async(sim::NodeId from, const lightfield::ViewSetId& id,
                             bool generate_if_missing, QueryCallback on_done) {
+  // The span opens at the caller's side of the hop (while the caller's
+  // ambient parent is still live) and covers the full round trip.
+  const obs::SpanId span = obs_.trace.begin("dvs.query", sim_.now());
+  obs_.trace.arg(span, "view_set", id.key());
   const SimDuration to_server = net_.path_latency(from, node_);
-  sim_.after(to_server, [this, from, id, generate_if_missing,
+  sim_.after(to_server, [this, from, id, generate_if_missing, span,
                          cb = std::move(on_done)]() mutable {
-    ++stats_.queries;
+    metrics_.queries.inc();
     int levels = 0;
     Node* leaf = descend(id, &levels);
-    stats_.levels_visited += static_cast<std::uint64_t>(levels);
+    metrics_.levels_visited.inc(static_cast<std::uint64_t>(levels));
     const SimDuration lookup = static_cast<SimDuration>(levels) * config_.level_overhead;
     const SimDuration back = net_.path_latency(node_, from);
 
     if (leaf != nullptr) {
       auto it = leaf->entries.find(id);
       if (it != leaf->entries.end()) {
-        ++stats_.hits;
+        metrics_.hits.inc();
         QueryResult result;
         result.found = true;
         result.exnode = it->second;
         result.levels = levels;
-        sim_.after(lookup + back, [result, cb] { cb(result); });
+        sim_.after(lookup + back, [this, span, result, cb] {
+          obs_.trace.arg(span, "outcome", "hit");
+          obs_.trace.end(span, sim_.now());
+          cb(result);
+        });
         return;
       }
     }
 
     if (!generate_if_missing || agent_ == nullptr || leaf == nullptr) {
-      ++stats_.misses;
+      metrics_.misses.inc();
       QueryResult result;
       result.levels = levels;
-      sim_.after(lookup + back, [result, cb] { cb(result); });
+      sim_.after(lookup + back, [this, span, result, cb] {
+        obs_.trace.arg(span, "outcome", "miss");
+        obs_.trace.end(span, sim_.now());
+        cb(result);
+      });
       return;
     }
 
@@ -110,22 +131,29 @@ void DvsServer::query_async(sim::NodeId from, const lightfield::ViewSetId& id,
     // forwards the request to the right server agent for generation and
     // uploading of the view set at runtime. It updates the exNode table with
     // the exNode returned by the server agent."
-    ++stats_.forwarded;
-    sim_.after(lookup, [this, id, levels, back, cb = std::move(cb)]() mutable {
+    metrics_.forwarded.inc();
+    sim_.after(lookup, [this, id, levels, back, span, cb = std::move(cb)]() mutable {
+      // Ambient parent for the server agent's generate span: the forward is
+      // a synchronous call, so the register survives exactly long enough.
+      const obs::Tracer::Ambient ambient(obs_.trace, span);
       agent_->generate_async(
-          id, [this, id, levels, back, cb = std::move(cb)](bool ok,
-                                                           const exnode::ExNode& exnode) {
+          id, [this, id, levels, back, span,
+               cb = std::move(cb)](bool ok, const exnode::ExNode& exnode) {
             QueryResult result;
             result.levels = levels;
             if (ok) {
               install(id, exnode);
-              ++stats_.updates;
+              metrics_.updates.inc();
               result.found = true;
               result.exnode = exnode;
             } else {
-              ++stats_.misses;
+              metrics_.misses.inc();
             }
-            sim_.after(back, [result, cb] { cb(result); });
+            sim_.after(back, [this, span, ok, result, cb] {
+              obs_.trace.arg(span, "outcome", ok ? "generated" : "miss");
+              obs_.trace.end(span, sim_.now());
+              cb(result);
+            });
           });
     });
   });
@@ -137,9 +165,19 @@ void DvsServer::update_async(sim::NodeId from, const lightfield::ViewSetId& id,
   sim_.after(rtt, [this, id, exnode = std::move(exnode),
                    cb = std::move(on_done)]() mutable {
     install(id, std::move(exnode));
-    ++stats_.updates;
+    metrics_.updates.inc();
     if (cb) cb();
   });
+}
+
+const DvsServer::Stats& DvsServer::stats() const {
+  stats_view_.queries = metrics_.queries.value();
+  stats_view_.hits = metrics_.hits.value();
+  stats_view_.misses = metrics_.misses.value();
+  stats_view_.forwarded = metrics_.forwarded.value();
+  stats_view_.updates = metrics_.updates.value();
+  stats_view_.levels_visited = metrics_.levels_visited.value();
+  return stats_view_;
 }
 
 }  // namespace lon::streaming

@@ -24,6 +24,7 @@
 
 #include "exnode/exnode.hpp"
 #include "lightfield/lattice.hpp"
+#include "obs/obs.hpp"
 #include "simnet/network.hpp"
 
 namespace lon::streaming {
@@ -59,7 +60,8 @@ class DvsServer {
   };
 
   DvsServer(sim::Simulator& sim, sim::Network& net, sim::NodeId node,
-            const lightfield::SphericalLattice& lattice, DvsConfig config = {});
+            const lightfield::SphericalLattice& lattice, DvsConfig config = {},
+            obs::Context* obs = nullptr);
 
   [[nodiscard]] sim::NodeId node() const { return node_; }
   [[nodiscard]] int tree_depth() const { return depth_; }
@@ -90,9 +92,19 @@ class DvsServer {
   void update_async(sim::NodeId from, const lightfield::ViewSetId& id,
                     exnode::ExNode exnode, std::function<void()> on_done);
 
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Compatibility view over the obs registry counters.
+  [[nodiscard]] const Stats& stats() const;
 
  private:
+  struct Metrics {
+    obs::Counter& queries;
+    obs::Counter& hits;
+    obs::Counter& misses;
+    obs::Counter& forwarded;
+    obs::Counter& updates;
+    obs::Counter& levels_visited;
+  };
+
   struct Region {
     int row0 = 0, row1 = 0, col0 = 0, col1 = 0;  // half-open view-set ranges
 
@@ -121,10 +133,13 @@ class DvsServer {
   sim::Network& net_;
   sim::NodeId node_;
   DvsConfig config_;
+  obs::Context& obs_;
+  obs::Scope scope_;
+  Metrics metrics_;
   std::unique_ptr<Node> root_;
   int depth_ = 1;
   GeneratorService* agent_ = nullptr;
-  Stats stats_;
+  mutable Stats stats_view_;
 };
 
 }  // namespace lon::streaming

@@ -9,14 +9,19 @@ namespace lon::streaming {
 ServerAgent::ServerAgent(sim::Simulator& sim, sim::Network& net, lors::Lors& lors,
                          DvsServer& dvs, sim::NodeId node,
                          std::shared_ptr<lightfield::ViewSetSource> source,
-                         ServerAgentConfig config)
+                         ServerAgentConfig config, obs::Context* obs)
     : sim_(sim),
       net_(net),
       lors_(lors),
       dvs_(dvs),
       node_(node),
       source_(std::move(source)),
-      config_(std::move(config)) {
+      config_(std::move(config)),
+      obs_(obs != nullptr ? *obs : obs::global()),
+      scope_(obs_.metrics.scope("server")),
+      metrics_{scope_.counter("server.requests"),
+               scope_.counter("server.generated"),
+               scope_.counter("server.upload_failures")} {
   if (source_ == nullptr) throw std::invalid_argument("ServerAgent: null source");
   if (config_.depots.empty()) throw std::invalid_argument("ServerAgent: no depots");
   if (config_.processors < 1) throw std::invalid_argument("ServerAgent: processors < 1");
@@ -39,7 +44,12 @@ void ServerAgent::generate_async(const lightfield::ViewSetId& id,
     sim_.after(0, [cb = std::move(on_done)] { cb(false, exnode::ExNode{}); });
     return;
   }
-  pending_.push_back(Request{id, std::move(on_done)});
+  metrics_.requests.inc();
+  // Parent is whatever the forwarding DVS left ambient; the span covers
+  // queue wait as well as the render/upload/update pipeline.
+  const obs::SpanId span = obs_.trace.begin("server.generate", sim_.now());
+  obs_.trace.arg(span, "view_set", id.key());
+  pending_.push_back(Request{id, std::move(on_done), span});
   maybe_start();
 }
 
@@ -58,7 +68,7 @@ void ServerAgent::run_one(Request request) {
   // the actual pixel content is produced by the source.
   sim_.after(generation_cost(), [this, request = std::move(request)]() mutable {
     Bytes compressed = source_->build_compressed(request.id);
-    ++generated_;
+    metrics_.generated.inc();
 
     lors::UploadOptions upload;
     upload.depots = config_.depots;
@@ -66,6 +76,9 @@ void ServerAgent::run_one(Request request) {
     upload.block_bytes = config_.block_bytes;
     upload.lease = config_.lease;
     upload.net = config_.net;
+    // The upload's span chains under server.generate via the ambient
+    // register (upload_async opens its span before returning).
+    const obs::Tracer::Ambient ambient(obs_.trace, request.span);
     lors_.upload_async(
         node_, std::move(compressed), upload,
         [this, request = std::move(request)](const lors::UploadResult& result) mutable {
@@ -73,6 +86,9 @@ void ServerAgent::run_one(Request request) {
             LON_LOG(kWarn, "server-agent")
                 << "upload of " << request.id.key() << " failed: "
                 << lors::to_string(result.status);
+            metrics_.upload_failures.inc();
+            obs_.trace.arg(request.span, "outcome", "upload_failed");
+            obs_.trace.end(request.span, sim_.now());
             request.on_done(false, exnode::ExNode{});
             busy_ = false;
             maybe_start();
@@ -85,6 +101,7 @@ void ServerAgent::run_one(Request request) {
           // the requester receives the exNode through the callback chain.
           dvs_.update_async(node_, request.id, exnode,
                             [this, request = std::move(request), exnode]() mutable {
+                              obs_.trace.end(request.span, sim_.now());
                               request.on_done(true, exnode);
                               busy_ = false;
                               maybe_start();

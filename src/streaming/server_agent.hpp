@@ -43,7 +43,7 @@ class ServerAgent final : public GeneratorService {
  public:
   ServerAgent(sim::Simulator& sim, sim::Network& net, lors::Lors& lors, DvsServer& dvs,
               sim::NodeId node, std::shared_ptr<lightfield::ViewSetSource> source,
-              ServerAgentConfig config);
+              ServerAgentConfig config, obs::Context* obs = nullptr);
 
   [[nodiscard]] sim::NodeId node() const { return node_; }
 
@@ -54,12 +54,21 @@ class ServerAgent final : public GeneratorService {
   void generate_async(const lightfield::ViewSetId& id, GenerateCallback on_done) override;
 
   [[nodiscard]] std::size_t queue_depth() const { return pending_.size(); }
-  [[nodiscard]] std::uint64_t generated_count() const { return generated_; }
+  [[nodiscard]] std::uint64_t generated_count() const {
+    return metrics_.generated.value();
+  }
 
  private:
   struct Request {
     lightfield::ViewSetId id;
     GenerateCallback on_done;
+    obs::SpanId span = 0;  ///< server.generate span, queue wait included
+  };
+
+  struct Metrics {
+    obs::Counter& requests;
+    obs::Counter& generated;
+    obs::Counter& upload_failures;
   };
 
   void maybe_start();
@@ -72,10 +81,12 @@ class ServerAgent final : public GeneratorService {
   sim::NodeId node_;
   std::shared_ptr<lightfield::ViewSetSource> source_;
   ServerAgentConfig config_;
+  obs::Context& obs_;
+  obs::Scope scope_;
+  Metrics metrics_;
 
   std::deque<Request> pending_;  // back = latest; scheduler pops the back (LIFO)
   bool busy_ = false;
-  std::uint64_t generated_ = 0;
 };
 
 }  // namespace lon::streaming

@@ -59,7 +59,20 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
-  for (auto& f : futures) f.get();
+  // Every chunk captures &fn: rethrowing out of the first failed get() while
+  // later chunks are still running would leave them calling through a
+  // dangling reference. Drain all futures first, then surface the first
+  // failure.
+  for (auto& f : futures) f.wait();
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace lon

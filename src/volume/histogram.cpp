@@ -1,6 +1,7 @@
 #include "volume/histogram.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace lon::volume {
@@ -8,13 +9,17 @@ namespace lon::volume {
 double Histogram::percentile(double fraction) const {
   if (total == 0) return 0.0;
   fraction = std::clamp(fraction, 0.0, 1.0);
-  const auto target = static_cast<std::uint64_t>(fraction * static_cast<double>(total));
+  // Rank of the sample we want, 1-based. Truncating here would make target 0
+  // for small fractions and return the center of a leading empty bin.
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(fraction * static_cast<double>(total))));
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < bins.size(); ++b) {
     seen += bins[b];
     if (seen >= target) return bin_center(b);
   }
-  return 1.0;
+  return bin_center(bins.size() - 1);
 }
 
 std::size_t Histogram::mode_bin() const {
