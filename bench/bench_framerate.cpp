@@ -11,6 +11,7 @@
 
 #include "lightfield/procedural.hpp"
 #include "lightfield/renderer.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -45,6 +46,36 @@ void BM_NovelViewSynthesis(benchmark::State& state) {
                          benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_NovelViewSynthesis)->Arg(200)->Arg(300)->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NovelViewSynthesisPooled(benchmark::State& state) {
+  // Same synthesis, output rows interpolated across the shared worker pool
+  // (pixels are identical to the serial path). The fps ratio against
+  // BM_NovelViewSynthesis is the single-client render speedup the perf gate
+  // checks on multi-core runners.
+  const auto resolution = static_cast<std::size_t>(state.range(0));
+  const lightfield::LatticeConfig cfg = bench_config(resolution);
+  lightfield::ProceduralSource source(cfg);
+  lightfield::Renderer renderer(cfg);
+  renderer.add_view_set(source.build({6, 12}));
+  ThreadPool& pool = ThreadPool::shared();
+
+  const auto& lattice = source.lattice();
+  const Spherical a = lattice.sample_direction(38, 74);
+  const Spherical b = lattice.sample_direction(39, 75);
+  double t = 0.25;
+  for (auto _ : state) {
+    const Spherical dir{a.theta + t * (b.theta - a.theta),
+                        a.phi + t * (b.phi - a.phi)};
+    benchmark::DoNotOptimize(renderer.render(dir, resolution, 1.0, &pool));
+    t = t < 0.7 ? t + 0.01 : 0.25;
+  }
+  state.counters["fps"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+  state.counters["threads_used"] = static_cast<double>(pool.size());
+}
+BENCHMARK(BM_NovelViewSynthesisPooled)->Arg(200)->Arg(300)->Arg(500)
     ->Unit(benchmark::kMillisecond);
 
 void BM_RenderAtExactSample(benchmark::State& state) {

@@ -5,146 +5,134 @@
 // visualization process", and section 3.5's claim that "a client agent can
 // serve multiple clients, especially in a mobile environment".
 //
-// N clients share one client agent (case 3: WAN database + LAN staging);
-// each browses its own orchestrated path. As N grows, the shared agent
-// cache and the prestaged LAN replicas absorb more of the load; per-client
-// latency should degrade sub-linearly.
+// N clients share one client agent (case 3: WAN database + LAN staging) via
+// session::run_multi_client; each browses its own orchestrated path. As N
+// grows, the shared agent cache and the prestaged LAN replicas absorb more
+// of the load; per-client latency should degrade sub-linearly. Per-client
+// p50/p99 come from each client's own obs histogram.
+//
+// Flags:
+//   --smoke   smaller configuration for the CI perf gate (fast, deterministic)
+//   --json    machine-readable output (one JSON object) for ci/perf_gate.py
+#include <algorithm>
 #include <cstdio>
-#include <memory>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "lightfield/procedural.hpp"
-#include "session/cursor.hpp"
-#include "session/publisher.hpp"
-#include "streaming/client.hpp"
-#include "streaming/client_agent.hpp"
+#include "session/experiment.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace lon;
 
-struct PerClient {
-  std::unique_ptr<streaming::Client> client;
-  session::CursorScript script;
-  std::size_t step = 0;
-  bool done = false;
+struct Row {
+  int users = 0;
+  std::size_t accesses = 0;
+  double mean_total_s = 0.0;
+  double p99_worst_s = 0.0;   ///< worst per-client p99
+  double p99_mean_s = 0.0;    ///< mean of per-client p99s
+  double hit_rate = 0.0;
+  std::uint64_t lan = 0;
+  std::uint64_t wan = 0;
+  double virtual_duration_s = 0.0;
+  std::size_t failed = 0;
 };
 
-void run_users(std::size_t n_clients) {
-  sim::Simulator sim;
-  sim::Network net(sim, 7);
-  ibp::Fabric fabric(sim, net);
-  lors::Lors lors(sim, net, fabric);
+Row run_users(int n_clients, std::size_t accesses_per_client) {
+  session::MultiClientConfig mc;
+  mc.clients = n_clients;
+  mc.accesses_per_client = accesses_per_client;
+  mc.client_seed = 100;
 
-  lightfield::LatticeConfig lattice_cfg;
-  lattice_cfg.angular_step_deg = 7.5;  // 8x16 = 128 view sets
-  lattice_cfg.view_set_span = 3;
-  lattice_cfg.view_resolution = 200;
-  lightfield::ProceduralSource source(lattice_cfg);
+  // Latency study over a filler database: transfer/staging shape is
+  // faithful, clients skip decode. Virtual-time results are deterministic.
+  lightfield::LatticeConfig lattice;
+  lattice.angular_step_deg = 7.5;  // 8x16 = 128 view sets
+  lattice.view_set_span = 3;
+  lattice.view_resolution = 200;
+  mc.base.lattice = lattice;
+  mc.base.which = session::Case::kWanWithLanDepot;
+  mc.base.all_filler = true;
+  mc.base.client.decode = false;
+  mc.base.client.timing = streaming::ClientConfig::Timing::kModeled;
+  // The shared pool carries stripe verification; virtual results are
+  // identical with or without it (the bench doubles as a determinism check).
+  mc.base.pool = &ThreadPool::shared();
 
-  const sim::NodeId lan_switch = net.add_node("lan-switch");
-  const sim::NodeId agent_node = net.add_node("agent");
-  const sim::LinkConfig lan{1e9, 50 * kMicrosecond, 0.0};
-  net.add_link(agent_node, lan_switch, lan);
-  std::vector<std::string> lan_depots;
-  for (int i = 0; i < 4; ++i) {
-    const std::string name = "lan-" + std::to_string(i);
-    const sim::NodeId node = net.add_node(name);
-    net.add_link(node, lan_switch, lan);
-    ibp::DepotConfig cfg;
-    cfg.capacity_bytes = 8ull << 30;
-    fabric.add_depot(node, name, cfg);
-    lan_depots.push_back(name);
+  const session::MultiClientResult result = session::run_multi_client(mc);
+
+  Row row;
+  row.users = n_clients;
+  row.virtual_duration_s = to_seconds(result.script_duration);
+  row.failed = result.failed_accesses;
+  double total_latency = 0.0;
+  double p99_sum = 0.0;
+  for (const auto& pc : result.clients) {
+    row.accesses += pc.accesses.size();
+    total_latency += pc.summary.mean_total_s * static_cast<double>(pc.accesses.size());
+    row.p99_worst_s = std::max(row.p99_worst_s, pc.p99_total_s);
+    p99_sum += pc.p99_total_s;
   }
-  const sim::NodeId wan_router = net.add_node("wan");
-  net.add_link(lan_switch, wan_router, {100e6, 35 * kMillisecond, 0.0});
-  std::vector<std::string> wan_depots;
-  for (int i = 0; i < 3; ++i) {
-    const std::string name = "ca-" + std::to_string(i);
-    const sim::NodeId node = net.add_node(name);
-    net.add_link(node, wan_router, {1e9, kMillisecond, 0.0});
-    ibp::DepotConfig cfg;
-    cfg.capacity_bytes = 32ull << 30;
-    fabric.add_depot(node, name, cfg);
-    wan_depots.push_back(name);
-  }
-  const sim::NodeId dvs_node = net.add_node("dvs");
-  net.add_link(dvs_node, wan_router, {1e9, kMillisecond, 0.0});
-  const sim::NodeId server_node = net.add_node("server");
-  net.add_link(server_node, wan_router, {1e9, kMillisecond, 0.0});
-
-  streaming::DvsServer dvs(sim, net, dvs_node, source.lattice());
-  session::PublishOptions publish;
-  publish.depots = wan_depots;
-  publish.all_filler = true;  // latency study; clients skip decode
-  publish.net.streams = 8;
-  (void)session::publish_database(sim, lors, dvs, source, server_node, publish);
-
-  streaming::ClientAgentConfig agent_cfg;
-  agent_cfg.staging = true;
-  agent_cfg.lan_depots = lan_depots;
-  streaming::ClientAgent agent(sim, net, fabric, lors, dvs, source.lattice(),
-                               agent_node, agent_cfg);
-
-  streaming::ClientConfig client_cfg;
-  client_cfg.display_resolution = 200;
-  client_cfg.decode = false;
-  client_cfg.timing = streaming::ClientConfig::Timing::kModeled;
-
-  std::vector<PerClient> clients(n_clients);
-  for (std::size_t i = 0; i < n_clients; ++i) {
-    const sim::NodeId node = net.add_node("client-" + std::to_string(i));
-    net.add_link(node, lan_switch, lan);
-    clients[i].client = std::make_unique<streaming::Client>(
-        sim, net, lattice_cfg, node, agent, client_cfg);
-    clients[i].script =
-        session::CursorScript::standard(source.lattice(), 2 * kSecond, 25, 100 + i);
-  }
-
-  agent.start_staging();
-  std::size_t remaining = n_clients;
-  std::function<void(std::size_t)> advance = [&](std::size_t i) {
-    PerClient& pc = clients[i];
-    if (pc.step >= pc.script.size()) {
-      pc.done = true;
-      --remaining;
-      return;
-    }
-    const session::CursorStep step = pc.script.steps()[pc.step++];
-    pc.client->set_view(step.direction, [&, i, step](bool) {
-      sim.after(step.dwell, [&, i] { advance(i); });
-    });
-  };
-  for (std::size_t i = 0; i < n_clients; ++i) advance(i);
-  while (remaining > 0 && sim.step()) {
-  }
-
-  // Aggregate.
-  double sum = 0.0, worst = 0.0;
-  std::size_t accesses = 0;
-  for (const auto& pc : clients) {
-    for (const auto& a : pc.client->accesses()) {
-      sum += to_seconds(a.total());
-      worst = std::max(worst, to_seconds(a.total()));
-      ++accesses;
-    }
-  }
-  const auto& stats = agent.stats();
-  std::printf("%8zu %10zu %12.3f %12.3f %10.2f %8zu %8zu\n", n_clients, accesses,
-              sum / static_cast<double>(accesses), worst,
-              static_cast<double>(stats.hits) / static_cast<double>(stats.requests),
-              stats.lan_accesses, stats.wan_accesses);
+  row.mean_total_s =
+      row.accesses > 0 ? total_latency / static_cast<double>(row.accesses) : 0.0;
+  row.p99_mean_s = p99_sum / static_cast<double>(result.clients.size());
+  const auto& stats = result.agent_stats;
+  row.hit_rate = stats.requests > 0
+                     ? static_cast<double>(stats.hits) / static_cast<double>(stats.requests)
+                     : 0.0;
+  row.lan = stats.lan_accesses;
+  row.wan = stats.wan_accesses;
+  return row;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+
+  const std::vector<int> user_counts = smoke ? std::vector<int>{1, 4, 8}
+                                             : std::vector<int>{1, 2, 4, 8};
+  const std::size_t accesses = smoke ? 8 : 25;
+
+  std::vector<Row> rows;
+  rows.reserve(user_counts.size());
+  for (const int n : user_counts) rows.push_back(run_users(n, accesses));
+
+  if (json) {
+    std::printf("{\"bench\":\"scalability_users\",\"mode\":\"%s\",\"results\":[",
+                smoke ? "smoke" : "full");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::printf(
+          "%s{\"users\":%d,\"accesses\":%zu,\"mean_total_s\":%.6f,"
+          "\"p99_worst_s\":%.6f,\"p99_mean_s\":%.6f,\"hit_rate\":%.4f,"
+          "\"lan\":%llu,\"wan\":%llu,\"virtual_duration_s\":%.3f,\"failed\":%zu}",
+          i == 0 ? "" : ",", r.users, r.accesses, r.mean_total_s, r.p99_worst_s,
+          r.p99_mean_s, r.hit_rate, static_cast<unsigned long long>(r.lan),
+          static_cast<unsigned long long>(r.wan), r.virtual_duration_s, r.failed);
+    }
+    std::printf("]}\n");
+    return 0;
+  }
+
   bench::print_header(
       "Extension: one client agent serving N concurrent users (case 3)",
       "future work in the paper; sharing should make per-user cost sublinear");
-  std::printf("%8s %10s %12s %12s %10s %8s %8s\n", "users", "accesses", "mean (s)",
-              "max (s)", "hit-rate", "lan", "wan");
-  for (const std::size_t n : {1u, 2u, 4u, 8u}) run_users(n);
+  std::printf("%8s %10s %12s %12s %12s %10s %8s %8s %8s\n", "users", "accesses",
+              "mean (s)", "p99-worst", "p99-mean", "hit-rate", "lan", "wan", "failed");
+  for (const Row& r : rows) {
+    std::printf("%8d %10zu %12.3f %12.3f %12.3f %10.2f %8llu %8llu %8zu\n", r.users,
+                r.accesses, r.mean_total_s, r.p99_worst_s, r.p99_mean_s, r.hit_rate,
+                static_cast<unsigned long long>(r.lan),
+                static_cast<unsigned long long>(r.wan), r.failed);
+  }
   return 0;
 }

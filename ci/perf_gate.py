@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate.
+
+Runs the two perf benches in their smoke configurations, writes the results
+to BENCH_pr.json, and compares them against the committed BENCH_baseline.json:
+
+  bench_scalability_users --smoke --json
+      Virtual-time metrics from the deterministic simulator (mean/p99 access
+      latency per user count, hit rates, failure counts). These are exactly
+      reproducible on any machine, so any regression past the tolerance is a
+      HARD failure.
+
+  bench_framerate --benchmark_format=json
+      Wall-clock render throughput (google-benchmark). Absolute fps depends
+      on the runner, so cross-run comparisons only WARN unless --strict.
+      The pooled/serial fps ratio on the same run is machine-relative,
+      though: on a 4+-core host the BM_NovelViewSynthesisPooled counters
+      must show >= --min-speedup over BM_NovelViewSynthesis (hard failure).
+
+Exit status is non-zero on any hard failure. A PR that intentionally changes
+performance updates the baseline in the same commit:
+
+  python3 ci/perf_gate.py --build-dir build --update-baseline
+
+or carries the `perf-override` label, which skips the gate job entirely.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+HARD_FAILURES = []
+WARNINGS = []
+
+
+def fail(msg):
+    HARD_FAILURES.append(msg)
+    print(f"FAIL: {msg}")
+
+
+def warn(msg):
+    WARNINGS.append(msg)
+    print(f"warn: {msg}")
+
+
+def run_json(cmd):
+    print(f"+ {' '.join(cmd)}", flush=True)
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True).stdout
+    # google-benchmark may prefix context lines before the JSON object.
+    return json.loads(out[out.index("{"):])
+
+
+def collect_scalability(build_dir):
+    return run_json([os.path.join(build_dir, "bench", "bench_scalability_users"),
+                     "--smoke", "--json"])
+
+
+def collect_framerate(build_dir):
+    raw = run_json([os.path.join(build_dir, "bench", "bench_framerate"),
+                    "--benchmark_format=json"])
+    rows = []
+    for bench in raw.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        if "fps" in bench:
+            rows.append({"name": bench["name"], "fps": bench["fps"]})
+    return {"benchmarks": rows}
+
+
+def check_scalability(pr, base, tolerance):
+    base_rows = {row["users"]: row for row in base.get("results", [])}
+    for row in pr.get("results", []):
+        users = row["users"]
+        tag = f"scalability_users[{users} users]"
+        if row.get("failed", 0) > 0:
+            fail(f"{tag}: {row['failed']} failed accesses")
+        if users not in base_rows:
+            warn(f"{tag}: no baseline row; add one with --update-baseline")
+            continue
+        ref = base_rows[users]
+        for key in ("mean_total_s", "p99_worst_s"):
+            got, want = row[key], ref[key]
+            limit = want * (1.0 + tolerance)
+            if got > limit:
+                fail(f"{tag}: {key} {got:.4f}s exceeds baseline {want:.4f}s "
+                     f"by more than {tolerance:.0%} (virtual time: deterministic)")
+            else:
+                print(f"ok:   {tag}: {key} {got:.4f}s (baseline {want:.4f}s)")
+
+
+def fps_by_name(section):
+    return {row["name"]: row["fps"] for row in section.get("benchmarks", [])}
+
+
+def check_framerate(pr, base, tolerance, strict):
+    report = fail if strict else warn
+    pr_fps, base_fps = fps_by_name(pr), fps_by_name(base)
+    for name, got in sorted(pr_fps.items()):
+        if name not in base_fps:
+            continue
+        want = base_fps[name]
+        if got < want * (1.0 - tolerance):
+            report(f"framerate[{name}]: {got:.1f} fps vs baseline {want:.1f} fps "
+                   f"(wall clock; runner-dependent)")
+        else:
+            print(f"ok:   framerate[{name}]: {got:.1f} fps (baseline {want:.1f})")
+
+
+def check_speedup(pr, min_speedup, cores):
+    """Pooled vs serial synthesis fps from the same run (machine-relative)."""
+    fps = fps_by_name(pr)
+    ratios = {}
+    for name, value in fps.items():
+        if name.startswith("BM_NovelViewSynthesisPooled/"):
+            arg = name.rsplit("/", 1)[1]
+            serial = fps.get(f"BM_NovelViewSynthesis/{arg}")
+            if serial:
+                ratios[arg] = value / serial
+    if not ratios:
+        fail("speedup: pooled/serial synthesis benchmark pair not found")
+        return
+    best = max(ratios.values())
+    detail = ", ".join(f"{k}px: {v:.2f}x" for k, v in sorted(ratios.items()))
+    if cores < 4:
+        print(f"skip: speedup check needs >= 4 cores, host has {cores} ({detail})")
+    elif best < min_speedup:
+        fail(f"speedup: best pooled/serial ratio {best:.2f}x < {min_speedup}x ({detail})")
+    else:
+        print(f"ok:   speedup {best:.2f}x ({detail})")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--baseline", default="BENCH_baseline.json")
+    parser.add_argument("--out", default="BENCH_pr.json")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed relative regression (default 15%%)")
+    parser.add_argument("--min-speedup", type=float, default=1.5)
+    parser.add_argument("--strict", action="store_true",
+                        help="wall-clock fps regressions fail instead of warning")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write the measurements to --baseline and exit")
+    args = parser.parse_args()
+
+    cores = os.cpu_count() or 1
+    results = {
+        "meta": {"cores": cores, "mode": "smoke"},
+        "scalability_users": collect_scalability(args.build_dir),
+        "framerate": collect_framerate(args.build_dir),
+    }
+
+    target = args.baseline if args.update_baseline else args.out
+    with open(target, "w") as f:
+        json.dump(results, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {target}")
+    if args.update_baseline:
+        return 0
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except FileNotFoundError:
+        fail(f"missing {args.baseline}; create it with --update-baseline")
+        return 1
+
+    check_scalability(results["scalability_users"],
+                      baseline.get("scalability_users", {}), args.tolerance)
+    check_framerate(results["framerate"], baseline.get("framerate", {}),
+                    args.tolerance, args.strict)
+    check_speedup(results["framerate"], args.min_speedup, cores)
+
+    print(f"\nperf gate: {len(HARD_FAILURES)} failure(s), {len(WARNINGS)} warning(s)")
+    return 1 if HARD_FAILURES else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

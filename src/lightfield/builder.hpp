@@ -29,8 +29,14 @@ class ViewSetSource {
   /// Builds the (uncompressed) view set for `id`.
   [[nodiscard]] virtual ViewSet build(const ViewSetId& id) = 0;
 
-  /// Builds and compresses in one step.
-  [[nodiscard]] Bytes build_compressed(const ViewSetId& id) { return build(id).compress(); }
+  /// Builds and compresses in one step. chunk_bytes > 0 selects the chunked
+  /// (LFZC) container — the format the agent-side decompress pipeline can
+  /// overlap with stripe transfers — compressed across `pool` when given.
+  [[nodiscard]] Bytes build_compressed(const ViewSetId& id, std::uint64_t chunk_bytes = 0,
+                                       ThreadPool* pool = nullptr) {
+    const ViewSet vs = build(id);
+    return chunk_bytes > 0 ? vs.compress_chunked(chunk_bytes, pool) : vs.compress();
+  }
 };
 
 /// Renders sample views of a volume with the ray caster (multi-threaded).

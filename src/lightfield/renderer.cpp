@@ -77,13 +77,13 @@ bool Renderer::can_render(const Spherical& dir) const {
 }
 
 render::ImageRGB8 Renderer::render(const Spherical& dir, std::size_t out_res,
-                                   double zoom) const {
+                                   double zoom, ThreadPool* pool) const {
   Corner corner[4];
   if (!corners(dir, corner)) {
     throw std::runtime_error("Renderer::render: required view set not loaded");
   }
   render::ImageRGB8 out(out_res, out_res);
-  for (std::size_t y = 0; y < out_res; ++y) {
+  auto render_row = [&](std::size_t y) {
     for (std::size_t x = 0; x < out_res; ++x) {
       double acc_r = 0.0, acc_g = 0.0, acc_b = 0.0;
       for (const Corner& c : corner) {
@@ -105,6 +105,11 @@ render::ImageRGB8 Renderer::render(const Spherical& dir, std::size_t out_res,
                static_cast<std::uint8_t>(std::clamp(acc_g, 0.0, 255.0) + 0.5),
                static_cast<std::uint8_t>(std::clamp(acc_b, 0.0, 255.0) + 0.5)});
     }
+  };
+  if (pool != nullptr && pool->size() > 1 && out_res > 1) {
+    pool->parallel_for(0, out_res, render_row);
+  } else {
+    for (std::size_t y = 0; y < out_res; ++y) render_row(y);
   }
   return out;
 }

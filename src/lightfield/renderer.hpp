@@ -42,9 +42,12 @@ class Renderer {
 
   /// Synthesizes the novel view for direction `dir` at out_res x out_res,
   /// with an optional digital zoom (1.0 = the sample-view framing).
-  /// Requires can_render(dir).
+  /// Requires can_render(dir). With a pool, output rows are interpolated in
+  /// parallel (each row writes a disjoint slice — pixels are identical to
+  /// the serial path).
   [[nodiscard]] render::ImageRGB8 render(const Spherical& dir, std::size_t out_res,
-                                         double zoom = 1.0) const;
+                                         double zoom = 1.0,
+                                         ThreadPool* pool = nullptr) const;
 
  private:
   struct Corner {

@@ -208,9 +208,74 @@ struct DownloadState {
   obs::Counter* corruption_metric = nullptr;
   obs::Tracer* trace = nullptr;
   obs::SpanId span = 0;
+
+  /// Blocks that landed this virtual instant and await batched verification
+  /// on the pool. One zero-delay barrier event is in flight per batch.
+  struct ArrivedBlock {
+    std::size_t extent_index = 0;
+    std::shared_ptr<std::vector<std::size_t>> order;
+    std::size_t attempt = 0;
+    int round = 1;
+    Bytes bytes;
+    bool ok = false;
+  };
+  std::vector<ArrivedBlock> verify_batch;
+  bool verify_scheduled = false;
 };
 
 void download_launch(const std::shared_ptr<DownloadState>& st);
+void download_extent_try(const std::shared_ptr<DownloadState>& st, std::size_t extent_index,
+                         std::shared_ptr<std::vector<std::size_t>> order, std::size_t attempt,
+                         int round);
+
+void download_stripe_done(const std::shared_ptr<DownloadState>& st,
+                          const exnode::Extent& ext) {
+  --st->outstanding;
+  if (st->options.on_stripe) {
+    st->options.on_stripe(StripeEvent{ext.offset, ext.length, &st->data});
+  }
+}
+
+/// Drains the batch of same-instant arrivals: checksums and result-buffer
+/// copies run across the pool (disjoint regions), then outcomes are handled
+/// on the simulator thread in ascending extent order. The barrier fires via
+/// after(0), so no virtual time passes and the serial path's behaviour —
+/// bytes, counters, failovers, completion time — is reproduced exactly.
+void download_verify_batch(const std::shared_ptr<DownloadState>& st) {
+  st->verify_scheduled = false;
+  auto batch = std::move(st->verify_batch);
+  st->verify_batch.clear();
+  if (batch.empty()) return;
+  std::sort(batch.begin(), batch.end(),
+            [](const DownloadState::ArrivedBlock& a, const DownloadState::ArrivedBlock& b) {
+              return a.extent_index < b.extent_index;
+            });
+  st->options.pool->parallel_for(0, batch.size(), [&](std::size_t i) {
+    DownloadState::ArrivedBlock& block = batch[i];
+    const exnode::Extent& ext = st->node.extents()[block.extent_index];
+    block.ok = block.bytes.size() == ext.length &&
+               (!ext.checksum.has_value() || crc32(block.bytes) == *ext.checksum);
+    if (block.ok) {
+      std::copy(block.bytes.begin(), block.bytes.end(),
+                st->data.begin() + static_cast<long>(ext.offset));
+    }
+  });
+  for (auto& block : batch) {
+    const exnode::Extent& ext = st->node.extents()[block.extent_index];
+    if (!block.ok) {
+      ++st->corrupt;
+      st->corruption_metric->inc();
+      st->trace->instant("lors.corruption", st->sim->now(), st->span);
+      LON_LOG(kDebug, "lors") << "checksum mismatch on extent " << ext.offset
+                              << ", failing over";
+      download_extent_try(st, block.extent_index, block.order, block.attempt + 1,
+                          block.round);
+      continue;
+    }
+    download_stripe_done(st, ext);
+  }
+  download_launch(st);
+}
 
 /// Replica preference: exNode order is meaningful (staged replicas are
 /// placed first), but among equals the closest depot wins.
@@ -280,6 +345,18 @@ void download_extent_try(const std::shared_ptr<DownloadState>& st, std::size_t e
           download_extent_try(st, extent_index, order, attempt + 1, round);
           return;
         }
+        // CPU-bound verification + assembly goes to the pool when one is
+        // configured: batch this arrival and drain behind a zero-delay
+        // barrier so same-instant blocks are checksummed in parallel.
+        if (st->options.pool != nullptr && st->options.verify_checksums) {
+          st->verify_batch.push_back(DownloadState::ArrivedBlock{
+              extent_index, order, attempt, round, std::move(bytes)});
+          if (!st->verify_scheduled) {
+            st->verify_scheduled = true;
+            st->sim->after(0, [st] { download_verify_batch(st); });
+          }
+          return;
+        }
         // Trust nothing that crossed the network: a depot can serve rotted
         // bytes with a straight face. A mismatch is a failed fetch — the
         // corrupt block is never copied into the result.
@@ -295,7 +372,7 @@ void download_extent_try(const std::shared_ptr<DownloadState>& st, std::size_t e
         }
         std::copy(bytes.begin(), bytes.end(),
                   st->data.begin() + static_cast<long>(ext.offset));
-        --st->outstanding;
+        download_stripe_done(st, ext);
         download_launch(st);
       });
 }

@@ -29,6 +29,7 @@
 #include "obs/obs.hpp"
 #include "simnet/network.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lon::lors {
 
@@ -69,6 +70,16 @@ struct RetryPolicy {
   [[nodiscard]] SimDuration backoff_for(int round, Rng& rng) const;
 };
 
+/// Notification that one extent's bytes have been verified and copied into
+/// the download's result buffer. `buffer` is the in-progress result object
+/// (full length, zero-filled where extents are still in flight); only
+/// [offset, offset + length) is guaranteed valid during this callback.
+struct StripeEvent {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  const Bytes* buffer = nullptr;
+};
+
 struct DownloadOptions {
   sim::TransferOptions net;          ///< per-block transfer options
   int max_concurrent = 8;            ///< in-flight block downloads
@@ -77,6 +88,16 @@ struct DownloadOptions {
   /// block is treated as a failed fetch (failover to the next replica).
   /// Extents without a recorded checksum are delivered unverified.
   bool verify_checksums = true;
+  /// When set, checksum verification and result assembly of blocks that land
+  /// at the same virtual instant run batched across this pool instead of
+  /// serially on the simulator thread. Results are processed in ascending
+  /// extent order behind a zero-delay barrier, so the outcome (bytes, status,
+  /// counters, virtual completion time) is identical to the serial path.
+  ThreadPool* pool = nullptr;
+  /// Called on the simulator thread as each extent is verified and assembled,
+  /// in completion order — the hook the client agent's decompress pipeline
+  /// hangs off to overlap chunk decode with in-flight transfers.
+  std::function<void(const StripeEvent&)> on_stripe;
   /// Parent for the lors.download trace span — lets the span chain survive
   /// the async hop from whoever requested the download.
   obs::SpanId parent_span = 0;

@@ -21,15 +21,33 @@ std::size_t bucket_of(SimDuration v) {
 }  // namespace
 
 void LatencyHistogram::record(SimDuration v) {
-  ++bins_[bucket_of(v)];
-  if (count_ == 0) {
-    min_ = max_ = v;
-  } else {
-    min_ = std::min(min_, v);
-    max_ = std::max(max_, v);
+  bins_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  // min_/max_ fold in with CAS loops; the +/-inf sentinels make the first
+  // sample a plain fold too, so concurrent first samples cannot race.
+  SimDuration cur = min_.load(std::memory_order_relaxed);
+  while (v < cur && !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
   }
-  ++count_;
-  sum_ += v;
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+SimDuration LatencyHistogram::min() const {
+  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+SimDuration LatencyHistogram::max() const {
+  return count() == 0 ? 0 : max_.load(std::memory_order_relaxed);
+}
+
+std::array<std::uint64_t, LatencyHistogram::kBuckets> LatencyHistogram::buckets() const {
+  std::array<std::uint64_t, kBuckets> out{};
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    out[b] = bins_[b].load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 std::pair<double, double> LatencyHistogram::bucket_bounds(std::size_t b) {
@@ -39,14 +57,17 @@ std::pair<double, double> LatencyHistogram::bucket_bounds(std::size_t b) {
 }
 
 double LatencyHistogram::percentile(double fraction) const {
-  if (count_ == 0) return 0.0;
+  // Concurrent record()s make this an approximate snapshot, which is all a
+  // percentile estimate ever was; reads are monotonic enough for reporting.
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
   fraction = std::clamp(fraction, 0.0, 1.0);
   const auto target = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(
-             std::ceil(fraction * static_cast<double>(count_))));
+      1,
+      static_cast<std::uint64_t>(std::ceil(fraction * static_cast<double>(n))));
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < kBuckets; ++b) {
-    seen += bins_[b];
+    seen += bins_[b].load(std::memory_order_relaxed);
     if (seen >= target) {
       const auto [lo, hi] = bucket_bounds(b);
       const double mid = 0.5 * (lo + hi);
@@ -69,37 +90,44 @@ LatencyHistogram& Scope::histogram(const std::string& name) const {
 }
 
 Counter& Registry::counter(const std::string& name, const std::string& labels) {
+  std::lock_guard lock(mutex_);
   return counters_[{name, labels}];
 }
 
 Gauge& Registry::gauge(const std::string& name, const std::string& labels) {
+  std::lock_guard lock(mutex_);
   return gauges_[{name, labels}];
 }
 
 LatencyHistogram& Registry::histogram(const std::string& name,
                                       const std::string& labels) {
+  std::lock_guard lock(mutex_);
   return histograms_[{name, labels}];
 }
 
 const Counter* Registry::find_counter(const std::string& name,
                                       const std::string& labels) const {
+  std::lock_guard lock(mutex_);
   const auto it = counters_.find({name, labels});
   return it == counters_.end() ? nullptr : &it->second;
 }
 
 const Gauge* Registry::find_gauge(const std::string& name,
                                   const std::string& labels) const {
+  std::lock_guard lock(mutex_);
   const auto it = gauges_.find({name, labels});
   return it == gauges_.end() ? nullptr : &it->second;
 }
 
 const LatencyHistogram* Registry::find_histogram(const std::string& name,
                                                  const std::string& labels) const {
+  std::lock_guard lock(mutex_);
   const auto it = histograms_.find({name, labels});
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
 std::uint64_t Registry::counter_total(const std::string& name) const {
+  std::lock_guard lock(mutex_);
   std::uint64_t total = 0;
   // Keys sort by name first, so the name's label sets are contiguous.
   for (auto it = counters_.lower_bound({name, std::string{}});
@@ -109,12 +137,25 @@ std::uint64_t Registry::counter_total(const std::string& name) const {
   return total;
 }
 
+std::vector<std::pair<std::string, const LatencyHistogram*>> Registry::histograms_named(
+    const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::string, const LatencyHistogram*>> out;
+  for (auto it = histograms_.lower_bound({name, std::string{}});
+       it != histograms_.end() && it->first.first == name; ++it) {
+    out.emplace_back(it->first.second, &it->second);
+  }
+  return out;
+}
+
 std::string Registry::next_instance(const std::string& component) {
+  std::lock_guard lock(mutex_);
   const std::uint64_t inst = instances_[component]++;
   return "component=" + component + ",inst=" + std::to_string(inst);
 }
 
 void Registry::reset() {
+  std::lock_guard lock(mutex_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
@@ -142,6 +183,10 @@ void write_double(std::ostream& os, double v) {
 }  // namespace
 
 void Registry::write_jsonl(std::ostream& os) const {
+  // The maps must not rehash/rebalance underneath the walk; instrument
+  // *values* are atomics, so concurrent record()s stay safe while we hold
+  // only the map lock.
+  std::lock_guard lock(mutex_);
   for (const auto& [key, c] : counters_) {
     write_key(os, key, "counter");
     os << ",\"value\":" << c.value() << "}\n";

@@ -15,15 +15,27 @@
 // create metrics through it, so two ClientAgents in one process never share a
 // counter while an exporter can still aggregate across them.
 //
-// Everything here runs on the simulator thread; nothing is thread-safe.
+// Metric objects and the registry are thread-safe: the demand path now runs
+// CPU work (stripe verification, chunk decompression, ray casting) on the
+// shared ThreadPool, and pool workers increment counters and record
+// latencies concurrently with the simulator thread. Counters, gauges and
+// histogram bins are atomics (relaxed ordering — metrics tolerate benign
+// reordering); the registry's maps are guarded by a mutex on the
+// creation/lookup/export paths only, so the increment fast path stays
+// lock-free. The span Tracer (trace.hpp) is NOT thread-safe and stays
+// confined to the simulator thread (DESIGN.md section 10).
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/time.hpp"
 
@@ -32,22 +44,28 @@ namespace lon::obs {
 /// Monotonically increasing event count.
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_ += n; }
-  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Last-write-wins instantaneous value (queue depths, cache occupancy).
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  void add(double d) { value_ += d; }
-  [[nodiscard]] double value() const { return value_; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Power-of-two-bucketed histogram over non-negative nanosecond durations,
@@ -67,10 +85,14 @@ class LatencyHistogram {
 
   void record(SimDuration v);
 
-  [[nodiscard]] std::uint64_t count() const { return count_; }
-  [[nodiscard]] std::int64_t sum() const { return sum_; }  ///< exact, in ns
-  [[nodiscard]] SimDuration min() const { return count_ == 0 ? 0 : min_; }
-  [[nodiscard]] SimDuration max() const { return count_ == 0 ? 0 : max_; }
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t sum() const {  ///< exact, in ns
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] SimDuration min() const;
+  [[nodiscard]] SimDuration max() const;
 
   /// Estimated value (ns) below which `fraction` of samples fall; 0 when
   /// empty. Monotonic in `fraction`.
@@ -79,18 +101,19 @@ class LatencyHistogram {
   [[nodiscard]] double p90() const { return percentile(0.90); }
   [[nodiscard]] double p99() const { return percentile(0.99); }
 
-  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets() const {
-    return bins_;
-  }
+  /// Snapshot of the bucket counts (each bin loaded relaxed).
+  [[nodiscard]] std::array<std::uint64_t, kBuckets> buckets() const;
   /// Inclusive-exclusive bounds [lo, hi) of bucket `b`, in ns.
   static std::pair<double, double> bucket_bounds(std::size_t b);
 
  private:
-  std::array<std::uint64_t, kBuckets> bins_{};
-  std::uint64_t count_ = 0;
-  std::int64_t sum_ = 0;
-  SimDuration min_ = 0;
-  SimDuration max_ = 0;
+  std::array<std::atomic<std::uint64_t>, kBuckets> bins_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  // min_ starts at +inf and max_ at -inf so concurrent first samples race
+  // benignly; min()/max() report 0 while empty.
+  std::atomic<SimDuration> min_{std::numeric_limits<SimDuration>::max()};
+  std::atomic<SimDuration> max_{std::numeric_limits<SimDuration>::min()};
 };
 
 class Registry;
@@ -137,6 +160,12 @@ class Registry {
   /// Sum of one counter name across every label set (0 when absent).
   [[nodiscard]] std::uint64_t counter_total(const std::string& name) const;
 
+  /// Every label set under which `name` exists as a histogram, in label
+  /// order — how per-instance latencies (e.g. one session.total_ns per
+  /// client of a multi-client run) are enumerated for reporting.
+  [[nodiscard]] std::vector<std::pair<std::string, const LatencyHistogram*>>
+  histograms_named(const std::string& name) const;
+
   /// Mints a fresh instance label set for a component, e.g.
   /// "component=lors,inst=2". Instances count per component name.
   [[nodiscard]] std::string next_instance(const std::string& component);
@@ -145,6 +174,7 @@ class Registry {
   }
 
   [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
@@ -159,10 +189,14 @@ class Registry {
 
  private:
   // (name, labels) -> metric. std::map nodes never move, so references
-  // handed out by counter()/gauge()/histogram() stay valid.
+  // handed out by counter()/gauge()/histogram() stay valid even while other
+  // threads create new metrics. mutex_ guards the maps themselves (create,
+  // find, export); the metric objects are internally atomic, so the
+  // increment path never takes this lock.
   template <typename T>
   using Family = std::map<std::pair<std::string, std::string>, T>;
 
+  mutable std::mutex mutex_;
   Family<Counter> counters_;
   Family<Gauge> gauges_;
   Family<LatencyHistogram> histograms_;

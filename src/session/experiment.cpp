@@ -27,135 +27,170 @@ const char* to_string(Case c) {
   return "?";
 }
 
-ExperimentResult run_experiment(const ExperimentConfig& config) {
-  // --- System assembly -------------------------------------------------------
-  // A private observability context per run: counters start at zero, spans
-  // start empty, and concurrent experiments never share state. Tracing is on
-  // so every run comes back with its full span tree.
-  auto obs = std::make_shared<obs::Context>();
-  obs->trace.set_enabled(true);
+namespace {
 
+/// The paper's topology (section 4.3) with `client_count` client machines on
+/// the LAN, all sharing one client agent. Node-creation order for one client
+/// matches the historical single-client assembly exactly, so existing seeded
+/// runs stay bit-identical.
+struct System {
+  std::shared_ptr<obs::Context> obs;
   sim::Simulator sim;
-  sim::Network net(sim, config.net_seed);
-  ibp::Fabric fabric(sim, net, obs.get());
-  fabric.set_timeouts(config.timeouts);
-  lors::Lors lors(sim, net, fabric, 0x10f5, obs.get());
+  sim::Network net;
+  ibp::Fabric fabric;
+  lors::Lors lors;
+  lightfield::ProceduralSource source;
 
-  // LAN: client, client agent and the LAN depots hang off one switch.
-  const sim::NodeId lan_switch = net.add_node("lan-switch");
-  const sim::NodeId client_node = net.add_node("client");
-  const sim::NodeId agent_node = net.add_node("client-agent");
-  const sim::LinkConfig lan_link{config.lan_bandwidth_bps, config.lan_latency, 0.0};
-  net.add_link(client_node, lan_switch, lan_link);
-  net.add_link(agent_node, lan_switch, lan_link);
-
+  sim::NodeId lan_switch = 0;
+  std::vector<sim::NodeId> client_nodes;
+  sim::NodeId agent_node = 0;
   std::vector<std::string> lan_depots;
-  for (int i = 0; i < config.lan_depot_count; ++i) {
-    const std::string name = "lan-" + std::to_string(i);
-    const sim::NodeId node = net.add_node(name + "-node");
-    net.add_link(node, lan_switch, lan_link);
-    ibp::DepotConfig depot;
-    depot.capacity_bytes = 16ull << 30;
-    depot.max_alloc_bytes = 1ull << 30;
-    depot.disk_bytes_per_sec = config.depot_disk_bps;
-    depot.rng_seed = 0x1a00 + static_cast<std::uint64_t>(i);
-    fabric.add_depot(node, name, depot);
-    lan_depots.push_back(name);
-  }
-
-  // WAN: a shared trunk to the "California" side; server depots, the DVS
-  // server and the (publishing) server node live behind it.
-  const sim::NodeId wan_router = net.add_node("wan-router");
-  net.add_link(lan_switch, wan_router,
-               {config.wan_bandwidth_bps, config.wan_latency, config.wan_jitter});
-  const sim::LinkConfig far_lan{1e9, kMillisecond, 0.0};
-
+  sim::NodeId wan_router = 0;
   std::vector<std::string> wan_depots;
-  for (int i = 0; i < config.wan_depot_count; ++i) {
-    const std::string name = "ca-" + std::to_string(i);
-    const sim::NodeId node = net.add_node(name + "-node");
-    net.add_link(node, wan_router, far_lan);
-    ibp::DepotConfig depot;
-    depot.capacity_bytes = 64ull << 30;
-    depot.max_alloc_bytes = 1ull << 30;
-    depot.disk_bytes_per_sec = config.depot_disk_bps;
-    depot.rng_seed = 0xca00 + static_cast<std::uint64_t>(i);
-    fabric.add_depot(node, name, depot);
-    wan_depots.push_back(name);
-  }
-  const sim::NodeId dvs_node = net.add_node("dvs-server");
-  net.add_link(dvs_node, wan_router, far_lan);
-  const sim::NodeId server_node = net.add_node("server");
-  net.add_link(server_node, wan_router, far_lan);
+  sim::NodeId dvs_node = 0;
+  sim::NodeId server_node = 0;
 
-  lbone::Directory lbone(net, fabric, obs.get());
-  for (const auto& name : lan_depots) lbone.register_depot(name);
-  for (const auto& name : wan_depots) lbone.register_depot(name);
+  std::unique_ptr<lbone::Directory> lbone;
+  std::unique_ptr<streaming::DvsServer> dvs;
+  std::unique_ptr<streaming::ClientAgent> agent;
+  std::vector<std::unique_ptr<streaming::Client>> clients;
 
-  // --- Light field database ---------------------------------------------------
-  lightfield::ProceduralSource source(config.lattice);
-  const lightfield::SphericalLattice& lattice = source.lattice();
-  streaming::DvsServer dvs(sim, net, dvs_node, lattice, {}, obs.get());
+  System(const ExperimentConfig& config, int client_count)
+      : obs(std::make_shared<obs::Context>()),
+        net(sim, config.net_seed),
+        fabric(sim, net, obs.get()),
+        lors(sim, net, fabric, 0x10f5, obs.get()),
+        source(config.lattice) {
+    // A private observability context per run: counters start at zero, spans
+    // start empty, and concurrent experiments never share state. Tracing is
+    // on so every run comes back with its full span tree.
+    obs->trace.set_enabled(true);
+    fabric.set_timeouts(config.timeouts);
 
-  const CursorScript script =
-      CursorScript::standard(lattice, config.dwell, config.accesses, config.seed);
-
-  PublishOptions publish;
-  publish.depots =
-      (config.which == Case::kLanData) ? lan_depots : wan_depots;
-  publish.replicas = config.publish_replicas;
-  publish.net.streams = 8;
-  publish.all_filler = config.all_filler;
-  if (!config.full_content && !config.all_filler) {
-    // Real pixels only where the client will decompress them: every view set
-    // the script visits.
-    std::set<std::pair<int, int>> visited;
-    for (const CursorStep& step : script.steps()) {
-      const auto id = lattice.view_set_of(step.direction);
-      visited.insert({id.row, id.col});
+    // LAN: client(s), client agent and the LAN depots hang off one switch.
+    lan_switch = net.add_node("lan-switch");
+    const sim::LinkConfig lan_link{config.lan_bandwidth_bps, config.lan_latency, 0.0};
+    for (int i = 0; i < client_count; ++i) {
+      const std::string name =
+          client_count == 1 ? "client" : "client-" + std::to_string(i);
+      const sim::NodeId node = net.add_node(name);
+      net.add_link(node, lan_switch, lan_link);
+      client_nodes.push_back(node);
     }
-    for (const auto& [row, col] : visited) {
-      publish.real_ids.push_back({row, col});
+    agent_node = net.add_node("client-agent");
+    net.add_link(agent_node, lan_switch, lan_link);
+
+    for (int i = 0; i < config.lan_depot_count; ++i) {
+      const std::string name = "lan-" + std::to_string(i);
+      const sim::NodeId node = net.add_node(name + "-node");
+      net.add_link(node, lan_switch, lan_link);
+      ibp::DepotConfig depot;
+      depot.capacity_bytes = 16ull << 30;
+      depot.max_alloc_bytes = 1ull << 30;
+      depot.disk_bytes_per_sec = config.depot_disk_bps;
+      depot.rng_seed = 0x1a00 + static_cast<std::uint64_t>(i);
+      fabric.add_depot(node, name, depot);
+      lan_depots.push_back(name);
+    }
+
+    // WAN: a shared trunk to the "California" side; server depots, the DVS
+    // server and the (publishing) server node live behind it.
+    wan_router = net.add_node("wan-router");
+    net.add_link(lan_switch, wan_router,
+                 {config.wan_bandwidth_bps, config.wan_latency, config.wan_jitter});
+    const sim::LinkConfig far_lan{1e9, kMillisecond, 0.0};
+
+    for (int i = 0; i < config.wan_depot_count; ++i) {
+      const std::string name = "ca-" + std::to_string(i);
+      const sim::NodeId node = net.add_node(name + "-node");
+      net.add_link(node, wan_router, far_lan);
+      ibp::DepotConfig depot;
+      depot.capacity_bytes = 64ull << 30;
+      depot.max_alloc_bytes = 1ull << 30;
+      depot.disk_bytes_per_sec = config.depot_disk_bps;
+      depot.rng_seed = 0xca00 + static_cast<std::uint64_t>(i);
+      fabric.add_depot(node, name, depot);
+      wan_depots.push_back(name);
+    }
+    dvs_node = net.add_node("dvs-server");
+    net.add_link(dvs_node, wan_router, far_lan);
+    server_node = net.add_node("server");
+    net.add_link(server_node, wan_router, far_lan);
+
+    lbone = std::make_unique<lbone::Directory>(net, fabric, obs.get());
+    for (const auto& name : lan_depots) lbone->register_depot(name);
+    for (const auto& name : wan_depots) lbone->register_depot(name);
+
+    dvs = std::make_unique<streaming::DvsServer>(sim, net, dvs_node, source.lattice(),
+                                                 streaming::DvsConfig{}, obs.get());
+  }
+
+  /// Publishes the database: real pixels for every view set any script
+  /// visits, size-matched filler elsewhere (per the content policy).
+  PublishResult publish(const ExperimentConfig& config,
+                        const std::vector<const CursorScript*>& scripts) {
+    PublishOptions publish;
+    publish.depots = (config.which == Case::kLanData) ? lan_depots : wan_depots;
+    publish.replicas = config.publish_replicas;
+    publish.net.streams = 8;
+    publish.all_filler = config.all_filler;
+    publish.chunk_bytes = config.publish_chunk_bytes;
+    publish.pool = config.pool;
+    if (!config.full_content && !config.all_filler) {
+      std::set<std::pair<int, int>> visited;
+      for (const CursorScript* script : scripts) {
+        for (const CursorStep& step : script->steps()) {
+          const auto id = source.lattice().view_set_of(step.direction);
+          visited.insert({id.row, id.col});
+        }
+      }
+      for (const auto& [row, col] : visited) {
+        publish.real_ids.push_back({row, col});
+      }
+    }
+    PublishResult published =
+        publish_database(sim, lors, *dvs, source, server_node, publish);
+    if (published.failed > 0) {
+      throw std::runtime_error("run_experiment: database publication failed");
+    }
+    return published;
+  }
+
+  void make_agent(const ExperimentConfig& config) {
+    streaming::ClientAgentConfig agent_config;
+    agent_config.cache_bytes = config.agent_cache_bytes;
+    agent_config.prefetch = config.prefetch;
+    agent_config.staging = (config.which == Case::kWanWithLanDepot);
+    agent_config.lan_depots = lan_depots;
+    agent_config.staging_concurrency = config.staging_concurrency;
+    agent_config.staging_order = config.staging_order;
+    agent_config.pause_staging_on_miss = config.pause_staging_on_miss;
+    agent_config.wan_net.streams = config.wan_streams;
+    agent_config.retry = config.retry;
+    agent_config.max_refetch = config.max_refetch;
+    agent_config.staging_lease = config.staging_lease;
+    agent_config.lease_refresh = config.lease_refresh;
+    agent_config.lease_refresh_interval = config.lease_refresh_interval;
+    agent_config.pool = config.pool;
+    agent_config.pipeline_decompress = config.pipeline_decompress;
+    agent_config.pipeline_inflight = config.pipeline_inflight;
+    agent = std::make_unique<streaming::ClientAgent>(sim, net, fabric, lors, *dvs,
+                                                     source.lattice(), agent_node,
+                                                     agent_config, obs.get());
+  }
+
+  void make_clients(const ExperimentConfig& config) {
+    for (const sim::NodeId node : client_nodes) {
+      clients.push_back(std::make_unique<streaming::Client>(
+          sim, net, config.lattice, node, *agent, config.client, obs.get()));
     }
   }
-  PublishResult published =
-      publish_database(sim, lors, dvs, source, server_node, publish);
-  if (published.failed > 0) {
-    throw std::runtime_error("run_experiment: database publication failed");
-  }
 
-  // --- Client agent and client -------------------------------------------------
-  streaming::ClientAgentConfig agent_config;
-  agent_config.cache_bytes = config.agent_cache_bytes;
-  agent_config.prefetch = config.prefetch;
-  agent_config.staging = (config.which == Case::kWanWithLanDepot);
-  agent_config.lan_depots = lan_depots;
-  agent_config.staging_concurrency = config.staging_concurrency;
-  agent_config.staging_order = config.staging_order;
-  agent_config.pause_staging_on_miss = config.pause_staging_on_miss;
-  agent_config.wan_net.streams = config.wan_streams;
-  agent_config.retry = config.retry;
-  agent_config.max_refetch = config.max_refetch;
-  agent_config.staging_lease = config.staging_lease;
-  agent_config.lease_refresh = config.lease_refresh;
-  agent_config.lease_refresh_interval = config.lease_refresh_interval;
-  streaming::ClientAgent agent(sim, net, fabric, lors, dvs, lattice, agent_node,
-                               agent_config, obs.get());
-
-  streaming::Client client(sim, net, config.lattice, client_node, agent, config.client,
-                           obs.get());
-
-  // --- Orchestrated run ----------------------------------------------------------
-  // "As soon as visualization of a dataset begins, aggressive prestaging to
-  // the LAN depot is initiated."
-  const SimTime script_start = sim.now();
-  agent.start_staging();
-
-  // Fault plan times are authored relative to the script; publication already
-  // consumed virtual time, so shift every event to the actual start.
-  fault::FaultInjector injector(sim, net, fabric, obs.get());
-  {
-    fault::FaultPlan plan = config.faults;
+  /// Arms the fault plan with every event shifted to the actual script start
+  /// (publication already consumed virtual time).
+  void arm_faults(fault::FaultInjector& injector, const fault::FaultPlan& faults,
+                  SimTime script_start) {
+    fault::FaultPlan plan = faults;
     for (auto& c : plan.crashes) c.at += script_start;
     for (auto& p : plan.partitions) p.at += script_start;
     for (auto& d : plan.degradations) d.at += script_start;
@@ -163,6 +198,31 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     for (auto& c : plan.corruptions) c.at += script_start;
     injector.arm(plan);
   }
+};
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  System sys(config, 1);
+  const lightfield::SphericalLattice& lattice = sys.source.lattice();
+
+  const CursorScript script =
+      CursorScript::standard(lattice, config.dwell, config.accesses, config.seed);
+  PublishResult published = sys.publish(config, {&script});
+
+  sys.make_agent(config);
+  sys.make_clients(config);
+  streaming::Client& client = *sys.clients.front();
+  sim::Simulator& sim = sys.sim;
+
+  // --- Orchestrated run -------------------------------------------------------
+  // "As soon as visualization of a dataset begins, aggressive prestaging to
+  // the LAN depot is initiated."
+  const SimTime script_start = sim.now();
+  sys.agent->start_staging();
+
+  fault::FaultInjector injector(sim, sys.net, sys.fabric, sys.obs.get());
+  sys.arm_faults(injector, config.faults, script_start);
 
   // The publisher's repair daemon: every repair_interval, probe the next
   // repair_batch exNodes in the catalog, drop dead replicas, re-replicate
@@ -180,22 +240,22 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                                     ? config.repair_target_replicas
                                     : config.publish_replicas;
       options.candidate_depots =
-          (config.which == Case::kLanData) ? lan_depots : wan_depots;
-      lors.repair_async(server_node, owned, options,
-                        [&, batch, id = id](const lors::RepairResult& r) {
-                          if (r.status != lors::LorsStatus::kCancelled) {
-                            for (auto& [pid, pnode] : published.exnodes) {
-                              if (pid == id) pnode = r.exnode;
-                            }
-                            if (r.replicas_lost > 0 || r.replicas_added > 0) {
-                              exnode::ExNode copy = r.exnode;
-                              dvs.install(id, std::move(copy));
-                            }
-                          }
-                          if (--*batch == 0) {
-                            sim.after(config.repair_interval, repair_sweep);
-                          }
-                        });
+          (config.which == Case::kLanData) ? sys.lan_depots : sys.wan_depots;
+      sys.lors.repair_async(sys.server_node, owned, options,
+                            [&, batch, id = id](const lors::RepairResult& r) {
+                              if (r.status != lors::LorsStatus::kCancelled) {
+                                for (auto& [pid, pnode] : published.exnodes) {
+                                  if (pid == id) pnode = r.exnode;
+                                }
+                                if (r.replicas_lost > 0 || r.replicas_added > 0) {
+                                  exnode::ExNode copy = r.exnode;
+                                  sys.dvs->install(id, std::move(copy));
+                                }
+                              }
+                              if (--*batch == 0) {
+                                sim.after(config.repair_interval, repair_sweep);
+                              }
+                            });
     }
   };
   if (config.repair_interval > 0) {
@@ -227,13 +287,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
   const SimTime script_end = sim.now();
 
-  // --- Results ---------------------------------------------------------------------
+  // --- Results ----------------------------------------------------------------
   ExperimentResult result;
   result.accesses = client.accesses();
   result.summary = summarize(result.accesses);
-  result.agent_stats = agent.stats();
-  result.staged_at_end = agent.stats().staged;
-  result.staging_complete = agent.staging_complete();
+  result.agent_stats = sys.agent->stats();
+  result.staged_at_end = sys.agent->stats().staged;
+  result.staging_complete = sys.agent->staging_complete();
   result.script_duration = script_end - script_start;
   result.db_compressed_bytes = static_cast<double>(published.compressed_bytes);
   result.db_uncompressed_bytes = static_cast<double>(published.uncompressed_bytes);
@@ -243,8 +303,97 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           : 0.0;
   result.failed_accesses = failed_accesses;
   result.fault_stats = injector.stats();
-  result.robustness = collect_robustness(obs->metrics);
-  result.obs = std::move(obs);
+  result.robustness = collect_robustness(sys.obs->metrics);
+  result.obs = std::move(sys.obs);
+  return result;
+}
+
+MultiClientResult run_multi_client(const MultiClientConfig& mc) {
+  if (mc.clients < 1) {
+    throw std::invalid_argument("run_multi_client: clients < 1");
+  }
+  const ExperimentConfig& config = mc.base;
+  System sys(config, mc.clients);
+  const lightfield::SphericalLattice& lattice = sys.source.lattice();
+
+  std::vector<CursorScript> scripts;
+  std::vector<const CursorScript*> script_ptrs;
+  scripts.reserve(static_cast<std::size_t>(mc.clients));
+  for (int i = 0; i < mc.clients; ++i) {
+    scripts.push_back(CursorScript::standard(
+        lattice, config.dwell, mc.accesses_per_client,
+        mc.client_seed + static_cast<std::uint64_t>(i)));
+  }
+  for (const CursorScript& s : scripts) script_ptrs.push_back(&s);
+  sys.publish(config, script_ptrs);
+
+  sys.make_agent(config);
+  sys.make_clients(config);
+  sim::Simulator& sim = sys.sim;
+
+  const SimTime script_start = sim.now();
+  sys.agent->start_staging();
+
+  fault::FaultInjector injector(sim, sys.net, sys.fabric, sys.obs.get());
+  sys.arm_faults(injector, config.faults, script_start);
+
+  // One driver per client: each replays its own script, waiting for every
+  // view then dwelling, exactly like the single-client loop. Starts are
+  // staggered so the scripts interleave in virtual time.
+  struct Driver {
+    std::size_t step = 0;
+    std::size_t failed = 0;
+  };
+  std::vector<Driver> drivers(static_cast<std::size_t>(mc.clients));
+  int remaining = mc.clients;
+  std::vector<std::function<void()>> advance(static_cast<std::size_t>(mc.clients));
+  for (int i = 0; i < mc.clients; ++i) {
+    const auto ci = static_cast<std::size_t>(i);
+    advance[ci] = [&, ci] {
+      Driver& d = drivers[ci];
+      if (d.step >= scripts[ci].size()) {
+        --remaining;
+        return;
+      }
+      const CursorStep step = scripts[ci].steps()[d.step++];
+      sys.clients[ci]->set_view(step.direction, [&, ci, step](bool ok) {
+        if (!ok) {
+          ++drivers[ci].failed;
+          LON_LOG(kWarn, "experiment")
+              << "client " << ci << " view request failed; continuing";
+        }
+        sim.after(step.dwell, advance[ci]);
+      });
+    };
+    sim.after(static_cast<SimDuration>(i) * mc.start_stagger, advance[ci]);
+  }
+  while (remaining > 0 && sim.step()) {
+  }
+  const SimTime script_end = sim.now();
+
+  MultiClientResult result;
+  for (int i = 0; i < mc.clients; ++i) {
+    const auto ci = static_cast<std::size_t>(i);
+    MultiClientResult::PerClient pc;
+    pc.accesses = sys.clients[ci]->accesses();
+    pc.summary = summarize(pc.accesses);
+    pc.failed_accesses = drivers[ci].failed;
+    // Clients are constructed in index order, so client i owns the registry
+    // instance labelled inst=i.
+    const std::string labels = "component=client,inst=" + std::to_string(i);
+    if (const obs::LatencyHistogram* h =
+            sys.obs->metrics.find_histogram("session.total_ns", labels)) {
+      pc.p50_total_s = h->p50() / 1e9;
+      pc.p99_total_s = h->p99() / 1e9;
+    }
+    result.failed_accesses += pc.failed_accesses;
+    result.clients.push_back(std::move(pc));
+  }
+  result.agent_stats = sys.agent->stats();
+  result.staging_complete = sys.agent->staging_complete();
+  result.script_duration = script_end - script_start;
+  result.fault_stats = injector.stats();
+  result.obs = std::move(sys.obs);
   return result;
 }
 

@@ -96,6 +96,15 @@ struct ExperimentConfig {
   SimDuration repair_interval = 0;
   int repair_target_replicas = 0;    ///< 0 = publish_replicas
   std::size_t repair_batch = 4;      ///< exNodes probed per sweep
+
+  // Concurrency (the parallel demand path). The defaults reproduce the
+  // serial seed behaviour exactly.
+  ThreadPool* pool = nullptr;             ///< CPU pool for verify/codec work
+  bool pipeline_decompress = false;       ///< overlap decode with stripe arrival
+  std::size_t pipeline_inflight = 0;      ///< chunk decodes in flight (0 = 2x pool)
+  /// > 0: publish view sets as chunked (LFZC) containers of this chunk size,
+  /// the format the pipeline can overlap. 0 = plain lfz (the seed format).
+  std::uint64_t publish_chunk_bytes = 0;
 };
 
 struct ExperimentResult {
@@ -121,5 +130,46 @@ struct ExperimentResult {
 /// orchestrated cursor script (each movement waits for the view it needs,
 /// then dwells), and returns the access trace.
 ExperimentResult run_experiment(const ExperimentConfig& config);
+
+// --- Multi-client scaling -----------------------------------------------------
+//
+// N concurrent clients on the same LAN share one client agent — and with it
+// the view-set cache, the obs registry, the LAN prestage depots and the
+// depot/WAN capacity. Each client replays its own cursor script; requests
+// interleave in virtual time, so the driver exercises exactly the contention
+// the scalability benches measure.
+
+struct MultiClientConfig {
+  ExperimentConfig base;              ///< topology, case, faults, client knobs
+  int clients = 8;
+  std::size_t accesses_per_client = 25;
+  /// Per-client cursor-script seed base (client i uses client_seed + i).
+  std::uint64_t client_seed = 100;
+  /// Stagger between client starts so the scripts interleave rather than
+  /// moving in lockstep.
+  SimDuration start_stagger = 250 * kMillisecond;
+};
+
+struct MultiClientResult {
+  struct PerClient {
+    std::vector<streaming::AccessRecord> accesses;
+    AccessSummary summary;
+    std::size_t failed_accesses = 0;
+    /// From this client's own obs histogram ("component=client,inst=i").
+    double p50_total_s = 0.0;
+    double p99_total_s = 0.0;
+  };
+  std::vector<PerClient> clients;
+  streaming::ClientAgent::Stats agent_stats;
+  SimTime script_duration = 0;         ///< first start to last completion
+  std::size_t failed_accesses = 0;     ///< summed over clients
+  bool staging_complete = false;
+  fault::FaultStats fault_stats;
+  std::shared_ptr<obs::Context> obs;
+};
+
+/// Builds one system with `clients` client machines, publishes the union of
+/// the per-client scripts' view sets, and drives every script to completion.
+MultiClientResult run_multi_client(const MultiClientConfig& config);
 
 }  // namespace lon::session

@@ -38,6 +38,12 @@ struct PublishOptions {
   std::uint64_t filler_seed = 9;
   /// Filler sizes vary this much (fractionally) around the measured mean.
   double filler_size_jitter = 0.1;
+
+  /// > 0: real view sets are published as chunked (LFZC) containers of this
+  /// chunk size — the format the client agent's decompress pipeline can
+  /// overlap with stripe transfers — compressed across `pool` when given.
+  std::uint64_t chunk_bytes = 0;
+  ThreadPool* pool = nullptr;
 };
 
 struct PublishResult {

@@ -4,11 +4,18 @@
 // view sets recently downloaded or pre-fetched" (paper section 3.5). The
 // budget applies to payload bytes; exNodes are tiny and tracked separately
 // without a budget.
+//
+// Thread-safe: the multi-client session driver hammers one shared agent's
+// cache from concurrent fetch completions, and the decompress pipeline holds
+// payloads while the simulator thread keeps evicting. All operations take an
+// internal mutex, and get() hands out shared ownership of the payload so a
+// reader is never left holding bytes that a concurrent put() just evicted.
 #pragma once
 
 #include <cstdint>
 #include <list>
-#include <optional>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "lightfield/lattice.hpp"
@@ -24,29 +31,42 @@ class ViewSetCache {
   /// budget. Items larger than the whole budget are not cached.
   void put(const lightfield::ViewSetId& id, Bytes data);
 
-  /// Returns the bytes and marks the entry most recently used.
-  [[nodiscard]] const Bytes* get(const lightfield::ViewSetId& id);
+  /// Returns shared ownership of the bytes (empty on miss) and marks the
+  /// entry most recently used. The payload stays valid after eviction for as
+  /// long as the caller holds the pointer.
+  [[nodiscard]] std::shared_ptr<const Bytes> get(const lightfield::ViewSetId& id);
 
   /// Lookup without touching recency (for inspection).
   [[nodiscard]] bool contains(const lightfield::ViewSetId& id) const {
+    std::lock_guard lock(mutex_);
     return map_.contains(id);
   }
 
-  [[nodiscard]] std::size_t size() const { return map_.size(); }
-  [[nodiscard]] std::uint64_t bytes_used() const { return used_; }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return map_.size();
+  }
+  [[nodiscard]] std::uint64_t bytes_used() const {
+    std::lock_guard lock(mutex_);
+    return used_;
+  }
   [[nodiscard]] std::uint64_t budget() const { return budget_; }
-  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+  [[nodiscard]] std::uint64_t evictions() const {
+    std::lock_guard lock(mutex_);
+    return evictions_;
+  }
 
  private:
   struct Entry {
     lightfield::ViewSetId id;
-    Bytes data;
+    std::shared_ptr<const Bytes> data;
   };
   using List = std::list<Entry>;
 
-  void evict_to_fit(std::uint64_t incoming);
+  void evict_to_fit(std::uint64_t incoming);  // caller holds mutex_
 
-  std::uint64_t budget_;
+  const std::uint64_t budget_;
+  mutable std::mutex mutex_;
   std::uint64_t used_ = 0;
   std::uint64_t evictions_ = 0;
   List lru_;  // front = most recent
@@ -57,7 +77,7 @@ class ViewSetCache {
 inline void ViewSetCache::evict_to_fit(std::uint64_t incoming) {
   while (used_ + incoming > budget_ && !lru_.empty()) {
     const Entry& victim = lru_.back();
-    used_ -= victim.data.size();
+    used_ -= victim.data->size();
     map_.erase(victim.id);
     lru_.pop_back();
     ++evictions_;
@@ -65,27 +85,29 @@ inline void ViewSetCache::evict_to_fit(std::uint64_t incoming) {
 }
 
 inline void ViewSetCache::put(const lightfield::ViewSetId& id, Bytes data) {
+  std::lock_guard lock(mutex_);
   // Drop any existing entry for this id first: even when the new payload is
   // too big to cache, serving the old (possibly invalidated) version from
   // get() would be worse than a miss.
   auto it = map_.find(id);
   if (it != map_.end()) {
-    used_ -= it->second->data.size();
+    used_ -= it->second->data->size();
     lru_.erase(it->second);
     map_.erase(it);
   }
   if (data.size() > budget_) return;  // would evict everything for nothing
   evict_to_fit(data.size());
   used_ += data.size();
-  lru_.push_front(Entry{id, std::move(data)});
+  lru_.push_front(Entry{id, std::make_shared<const Bytes>(std::move(data))});
   map_[id] = lru_.begin();
 }
 
-inline const Bytes* ViewSetCache::get(const lightfield::ViewSetId& id) {
+inline std::shared_ptr<const Bytes> ViewSetCache::get(const lightfield::ViewSetId& id) {
+  std::lock_guard lock(mutex_);
   auto it = map_.find(id);
   if (it == map_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second);  // move to front
-  return &it->second->data;
+  return it->second->data;
 }
 
 }  // namespace lon::streaming

@@ -20,6 +20,7 @@ Client::Client(sim::Simulator& sim, sim::Network& net,
                scope_.counter("session.hits"),
                scope_.counter("session.lan"),
                scope_.counter("session.wan"),
+               scope_.counter("session.pipelined"),
                scope_.histogram("session.total_ns"),
                scope_.histogram("session.comm_ns"),
                scope_.histogram("session.decompress_ns"),
@@ -30,6 +31,7 @@ Client::Client(sim::Simulator& sim, sim::Network& net,
 
 void Client::record_access(const AccessRecord& record) {
   metrics_.accesses.inc();
+  if (record.pipelined) metrics_.pipelined.inc();
   metrics_.total_ns.record(record.total());
   metrics_.comm_ns.record(record.comm_latency);
   metrics_.decompress_ns.record(record.decompress_time);
@@ -94,13 +96,14 @@ void Client::begin_request(const lightfield::ViewSetId& id, std::function<void(b
   sim_.after(to_agent, [this, id, span] {
     agent_.request_view_set(
         id,
-        [this](const Bytes& compressed, AccessClass cls, SimDuration comm) {
-          // Payload transfer agent -> client.
-          auto payload = std::make_shared<Bytes>(compressed);
+        [this](const ClientAgent::Delivery& d) {
+          // Payload transfer agent -> client. The wire carries the compressed
+          // bytes; a pre-decoded view set (pipeline) rides along as metadata.
+          auto delivery = std::make_shared<ClientAgent::Delivery>(d);
           sim::TransferOptions opts = config_.lan_net;
-          net_.start_transfer(agent_.node(), node_, payload->size(), opts,
-                              [this, payload, cls, comm](const sim::TransferResult&) {
-                                on_delivery(*payload, cls, comm);
+          net_.start_transfer(agent_.node(), node_, delivery->payload->size(), opts,
+                              [this, delivery](const sim::TransferResult&) {
+                                on_delivery(*delivery);
                               });
         },
         span);
@@ -129,16 +132,16 @@ SimDuration Client::charge_decompress(const Bytes& compressed,
                                   config_.decompress_bytes_per_sec * 1e9);
 }
 
-void Client::on_delivery(const Bytes& compressed, AccessClass cls,
-                         SimDuration comm_latency) {
+void Client::on_delivery(const ClientAgent::Delivery& delivery) {
   if (!pending_.has_value()) return;  // stale delivery (should not happen)
   PendingRequest request = std::move(*pending_);
+  const Bytes& compressed = *delivery.payload;
 
   AccessRecord record;
   record.id = request.id;
-  record.cls = cls;
+  record.cls = delivery.cls;
   record.requested = request.requested;
-  record.comm_latency = comm_latency;
+  record.comm_latency = delivery.comm_latency;
   record.compressed_bytes = compressed.size();
 
   if (compressed.empty()) {
@@ -161,17 +164,30 @@ void Client::on_delivery(const Bytes& compressed, AccessClass cls,
   lightfield::ViewSet vs;
   SimDuration decompress_time = 0;
   bool ok = true;
-  try {
-    decompress_time = charge_decompress(compressed, request.id, vs);
-  } catch (const DecodeError& e) {
-    LON_LOG(kError, "client") << "view set decode failed: " << e.what();
-    ok = false;
+  if (config_.decode && delivery.view_set != nullptr && delivery.pipeline != nullptr) {
+    // The agent's pipeline already decoded the set while its stripes were in
+    // flight; install that copy and charge only the tail the overlap could
+    // not hide (a deterministic replay of the chunk schedule, independent of
+    // the host's real core count).
+    vs = *delivery.view_set;
+    decompress_time =
+        residual_decompress_time(*delivery.pipeline, config_.decompress_bytes_per_sec,
+                                 config_.modeled_decode_workers);
+    record.pipelined = true;
+  } else {
+    try {
+      decompress_time = charge_decompress(compressed, request.id, vs);
+    } catch (const DecodeError& e) {
+      LON_LOG(kError, "client") << "view set decode failed: " << e.what();
+      ok = false;
+    }
   }
   record.decompress_time = decompress_time;
 
   const obs::SpanId decomp_span =
       obs_.trace.begin("client.decompress", sim_.now(), request.span);
   obs_.trace.arg(decomp_span, "bytes", compressed.size());
+  if (record.pipelined) obs_.trace.arg(decomp_span, "mode", "pipelined");
 
   sim_.after(decompress_time,
              [this, record, decomp_span, vs = std::move(vs), ok,

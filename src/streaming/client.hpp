@@ -35,6 +35,10 @@ struct ClientConfig {
   /// is installed and decompression time is modeled from the view-set
   /// geometry). For communication-latency studies over filler databases.
   bool decode = true;
+  /// Modeled decoder parallelism when replaying a pipelined delivery's chunk
+  /// schedule (agent-side overlap). Fixed rather than derived from the host
+  /// core count so modeled runs are machine-independent.
+  int modeled_decode_workers = 4;
   sim::TransferOptions lan_net;          ///< client <-> agent transfers
 };
 
@@ -74,6 +78,7 @@ class Client {
     obs::Counter& hits;
     obs::Counter& lan;
     obs::Counter& wan;
+    obs::Counter& pipelined;
     obs::LatencyHistogram& total_ns;
     obs::LatencyHistogram& comm_ns;
     obs::LatencyHistogram& decompress_ns;
@@ -83,7 +88,7 @@ class Client {
   };
 
   void begin_request(const lightfield::ViewSetId& id, std::function<void(bool)> cb);
-  void on_delivery(const Bytes& compressed, AccessClass cls, SimDuration comm_latency);
+  void on_delivery(const ClientAgent::Delivery& delivery);
   /// Mirrors the AccessRecord into the session.* registry metrics.
   void record_access(const AccessRecord& record);
   void install_view_set(lightfield::ViewSet vs);

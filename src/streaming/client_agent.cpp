@@ -46,7 +46,8 @@ ClientAgent::ClientAgent(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fa
                scope_.counter("agent.refetches"),
                scope_.counter("agent.invalidations"),
                scope_.counter("agent.restaged"),
-               scope_.counter("agent.lease_refreshes")},
+               scope_.counter("agent.lease_refreshes"),
+               scope_.counter("agent.pipelined")},
       cache_(config_.cache_bytes) {
   if (config_.staging && config_.lan_depots.empty()) {
     throw std::invalid_argument("ClientAgent: staging enabled without LAN depots");
@@ -54,24 +55,37 @@ ClientAgent::ClientAgent(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fa
 }
 
 void ClientAgent::request_view_set(const lightfield::ViewSetId& id,
-                                   DeliverCallback on_done, obs::SpanId parent_span) {
+                                   RichDeliverCallback on_done, obs::SpanId parent_span) {
   metrics_.requests.inc();
   fetch(id, std::move(on_done), /*demand=*/true, parent_span);
 }
 
-void ClientAgent::fetch(const lightfield::ViewSetId& id, DeliverCallback cb, bool demand,
-                        obs::SpanId parent) {
+void ClientAgent::request_view_set(const lightfield::ViewSetId& id,
+                                   DeliverCallback on_done, obs::SpanId parent_span) {
+  RichDeliverCallback rich;
+  if (on_done) {
+    rich = [cb = std::move(on_done)](const Delivery& delivery) {
+      cb(*delivery.payload, delivery.cls, delivery.comm_latency);
+    };
+  }
+  request_view_set(id, std::move(rich), parent_span);
+}
+
+void ClientAgent::fetch(const lightfield::ViewSetId& id, RichDeliverCallback cb,
+                        bool demand, obs::SpanId parent) {
   // 1. Agent cache.
-  if (const Bytes* data = cache_.get(id); data != nullptr) {
+  if (std::shared_ptr<const Bytes> data = cache_.get(id); data != nullptr) {
     if (demand) metrics_.hits.inc();
     if (cb) {
       const obs::SpanId span = obs_.trace.begin("agent.fetch", sim_.now(), parent);
       obs_.trace.arg(span, "view_set", id.key());
       obs_.trace.arg(span, "source", "cache");
-      // Serving from memory: the figure-12 "hit" latency.
-      sim_.after(kAgentHitLatency, [this, span, data = *data, cb = std::move(cb)] {
+      // Serving from memory: the figure-12 "hit" latency. The shared_ptr
+      // keeps the payload alive even if the entry is evicted meanwhile.
+      sim_.after(kAgentHitLatency, [this, span, data = std::move(data),
+                                    cb = std::move(cb)] {
         obs_.trace.end(span, sim_.now());
-        cb(data, AccessClass::kAgentHit, kAgentHitLatency);
+        cb(Delivery{data, AccessClass::kAgentHit, kAgentHitLatency, nullptr, nullptr});
       });
     }
     return;
@@ -148,8 +162,23 @@ void ClientAgent::download(const lightfield::ViewSetId& id, const exnode::ExNode
   options.net = (cls == AccessClass::kLanDepot) ? config_.lan_net : config_.wan_net;
   options.retry = config_.retry;
   options.parent_span = it != inflight_.end() ? it->second.span : 0;
+  // CPU work off the simulator thread: stripe verification batches across
+  // the pool, and — when the pipeline is on — chunk decompression overlaps
+  // the remaining stripe transfers. One fresh pipeline per download attempt.
+  options.pool = config_.pool;
+  std::shared_ptr<DecompressPipeline> pipeline;
+  if (config_.pipeline_decompress) {
+    DecompressPipeline::Options pipe_options;
+    pipe_options.pool = config_.pool != nullptr ? config_.pool : &ThreadPool::shared();
+    pipe_options.max_inflight = config_.pipeline_inflight;
+    if (options.pool == nullptr) options.pool = pipe_options.pool;
+    pipeline = std::make_shared<DecompressPipeline>(pipe_options);
+    options.on_stripe = [this, pipeline](const lors::StripeEvent& event) {
+      pipeline->on_stripe(event, sim_.now());
+    };
+  }
   lors_.download_async(node_, exnode, options,
-                       [this, id, cls](lors::DownloadResult result) {
+                       [this, id, cls, pipeline](lors::DownloadResult result) {
                          if (cls == AccessClass::kWan) {
                            --demand_wan_active_;
                            staging_pump();  // resume if paused on miss
@@ -177,7 +206,7 @@ void ClientAgent::download(const lightfield::ViewSetId& id, const exnode::ExNode
                            finish_fetch(id, Bytes{});
                            return;
                          }
-                         finish_fetch(id, std::move(result.data));
+                         finish_fetch(id, std::move(result.data), pipeline);
                        });
 }
 
@@ -192,14 +221,37 @@ void ClientAgent::invalidate(const lightfield::ViewSetId& id) {
   }
 }
 
-void ClientAgent::finish_fetch(const lightfield::ViewSetId& id, Bytes data) {
+void ClientAgent::finish_fetch(const lightfield::ViewSetId& id, Bytes data,
+                               const std::shared_ptr<DecompressPipeline>& pipeline) {
   auto it = inflight_.find(id);
   if (it == inflight_.end()) return;
   Inflight flight = std::move(it->second);
   inflight_.erase(it);
 
   const bool ok = !data.empty();
-  if (ok) cache_.put(id, data);
+  auto payload = std::make_shared<const Bytes>(std::move(data));
+  if (ok) cache_.put(id, *payload);
+
+  // Drain the pipeline: every in-flight chunk decode joins here, and the
+  // reassembled view set rides along in the delivery so clients skip the
+  // serial whole-buffer decompress.
+  std::shared_ptr<const lightfield::ViewSet> decoded;
+  std::shared_ptr<const DecompressPipeline::Report> report;
+  if (ok && pipeline != nullptr) {
+    auto drained = std::make_shared<DecompressPipeline::Report>();
+    if (auto raw = pipeline->finish(*payload, sim_.now(), *drained)) {
+      try {
+        decoded = std::make_shared<const lightfield::ViewSet>(
+            lightfield::ViewSet::deserialize(*raw));
+        metrics_.pipelined.inc();
+      } catch (const DecodeError& e) {
+        LON_LOG(kWarn, "client-agent")
+            << "pipelined view set " << id.key() << " undecodable: " << e.what();
+        decoded = nullptr;
+      }
+    }
+    if (drained->chunked) report = std::move(drained);
+  }
 
   obs_.trace.arg(flight.span, "class", to_string(flight.cls));
   obs_.trace.arg(flight.span, "outcome", ok ? "ok" : "failed");
@@ -221,7 +273,8 @@ void ClientAgent::finish_fetch(const lightfield::ViewSetId& id, Bytes data) {
       }
     }
     if (waiter.cb) {
-      waiter.cb(data, flight.cls, sim_.now() - waiter.arrived);
+      waiter.cb(Delivery{payload, flight.cls, sim_.now() - waiter.arrived, decoded,
+                         report});
     }
   }
 }
@@ -418,6 +471,7 @@ const ClientAgent::Stats& ClientAgent::stats() const {
   stats_view_.invalidations = metrics_.invalidations.value();
   stats_view_.restaged = metrics_.restaged.value();
   stats_view_.lease_refreshes = metrics_.lease_refreshes.value();
+  stats_view_.pipelined = metrics_.pipelined.value();
   return stats_view_;
 }
 

@@ -30,10 +30,12 @@
 
 #include "lbone/lbone.hpp"
 #include "lightfield/lattice.hpp"
+#include "lightfield/viewset.hpp"
 #include "lors/lors.hpp"
 #include "obs/obs.hpp"
 #include "streaming/cache.hpp"
 #include "streaming/dvs.hpp"
+#include "streaming/pipeline.hpp"
 #include "streaming/types.hpp"
 
 namespace lon::streaming {
@@ -82,6 +84,21 @@ struct ClientAgentConfig {
   /// When a staged copy turns out dead (failed download or failed refresh),
   /// queue the view set for prestaging again.
   bool restage_on_failure = true;
+
+  // --- Concurrency ----------------------------------------------------------
+
+  /// Pool for CPU-bound demand-path work: batched stripe verification inside
+  /// LoRS and the decompress pipeline. Null = ThreadPool::shared() when the
+  /// pipeline is on, serial LoRS verification otherwise.
+  ThreadPool* pool = nullptr;
+  /// Overlap chunk decompression of chunked (LFZC) payloads with the
+  /// still-in-flight stripe transfers of the same download. Deliveries then
+  /// carry the pre-decoded view set plus the per-chunk virtual arrival
+  /// record the client replays to charge only the unhidden decode tail.
+  bool pipeline_decompress = false;
+  /// Chunk decodes in flight before the pipeline's producer blocks
+  /// (0 = twice the pool size).
+  std::size_t pipeline_inflight = 0;
 };
 
 class ClientAgent {
@@ -98,6 +115,7 @@ class ClientAgent {
     std::uint64_t invalidations = 0;   ///< exNodes evicted as stale
     std::uint64_t restaged = 0;        ///< view sets queued for staging again
     std::uint64_t lease_refreshes = 0; ///< staged replicas whose lease was renewed
+    std::uint64_t pipelined = 0;       ///< deliveries pre-decoded by the pipeline
   };
 
   ClientAgent(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fabric,
@@ -110,7 +128,22 @@ class ClientAgent {
 
   /// Delivery of a view set to a requesting client. `comm_latency` is the
   /// data-access time as measured at the agent (figure 12); `cls` says where
-  /// the bytes came from. Empty bytes = the view set could not be obtained.
+  /// the bytes came from. Empty payload = the view set could not be obtained.
+  struct Delivery {
+    std::shared_ptr<const Bytes> payload;  ///< compressed bytes (never null)
+    AccessClass cls = AccessClass::kWan;
+    SimDuration comm_latency = 0;
+    /// Set when the decompress pipeline decoded the payload while its
+    /// stripes were still arriving; clients use it instead of decompressing
+    /// the payload again.
+    std::shared_ptr<const lightfield::ViewSet> view_set;
+    /// The pipeline's virtual-time record (null when not pipelined) — input
+    /// to residual_decompress_time for the client's modeled charge.
+    std::shared_ptr<const DecompressPipeline::Report> pipeline;
+  };
+  using RichDeliverCallback = std::function<void(const Delivery&)>;
+
+  /// Legacy delivery signature (payload, class, comm latency).
   using DeliverCallback =
       std::function<void(const Bytes& compressed, AccessClass cls, SimDuration comm_latency)>;
 
@@ -118,6 +151,8 @@ class ClientAgent {
   /// its own network legs). Triggers the access path above. `parent_span`
   /// carries the client's request span across the client->agent hop so the
   /// whole lifeline nests in one trace.
+  void request_view_set(const lightfield::ViewSetId& id, RichDeliverCallback on_done,
+                        obs::SpanId parent_span = 0);
   void request_view_set(const lightfield::ViewSetId& id, DeliverCallback on_done,
                         obs::SpanId parent_span = 0);
 
@@ -156,7 +191,7 @@ class ClientAgent {
 
  private:
   struct Waiter {
-    DeliverCallback cb;
+    RichDeliverCallback cb;
     SimTime arrived = 0;
     bool demand = false;  ///< prefetches pass a null callback
     obs::SpanId parent = 0;
@@ -180,10 +215,11 @@ class ClientAgent {
     obs::Counter& invalidations;
     obs::Counter& restaged;
     obs::Counter& lease_refreshes;
+    obs::Counter& pipelined;
   };
 
   /// Starts (or joins) a fetch of `id`; cb may be null for prefetch.
-  void fetch(const lightfield::ViewSetId& id, DeliverCallback cb, bool demand,
+  void fetch(const lightfield::ViewSetId& id, RichDeliverCallback cb, bool demand,
              obs::SpanId parent = 0);
 
   /// Resolves the exNode (staged > cached > DVS) then downloads.
@@ -196,7 +232,8 @@ class ClientAgent {
   void download(const lightfield::ViewSetId& id, const exnode::ExNode& exnode,
                 AccessClass cls);
 
-  void finish_fetch(const lightfield::ViewSetId& id, Bytes data);
+  void finish_fetch(const lightfield::ViewSetId& id, Bytes data,
+                    const std::shared_ptr<DecompressPipeline>& pipeline = nullptr);
 
   /// Drops every cached belief about `id` (exNode cache and staged entry);
   /// optionally queues it for prestaging again.

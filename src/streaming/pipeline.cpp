@@ -1,0 +1,173 @@
+#include "streaming/pipeline.hpp"
+
+#include <algorithm>
+
+#include "compress/lfz.hpp"
+
+namespace lon::streaming {
+
+namespace {
+
+/// "LFZC" magic + u64 original size + u32 chunk count (bytes.hpp encoding).
+constexpr std::uint64_t kHeaderBytes = 4 + 8 + 4;
+
+std::uint32_t read_u32(const Bytes& buffer, std::uint64_t pos) {
+  return static_cast<std::uint32_t>(buffer[pos]) |
+         static_cast<std::uint32_t>(buffer[pos + 1]) << 8 |
+         static_cast<std::uint32_t>(buffer[pos + 2]) << 16 |
+         static_cast<std::uint32_t>(buffer[pos + 3]) << 24;
+}
+
+std::uint64_t read_u64(const Bytes& buffer, std::uint64_t pos) {
+  return static_cast<std::uint64_t>(read_u32(buffer, pos)) |
+         static_cast<std::uint64_t>(read_u32(buffer, pos + 4)) << 32;
+}
+
+}  // namespace
+
+DecompressPipeline::DecompressPipeline(const Options& options)
+    : pool_(options.pool != nullptr ? *options.pool : ThreadPool::shared()),
+      max_inflight_(options.max_inflight > 0 ? options.max_inflight : 2 * pool_.size()) {}
+
+void DecompressPipeline::merge_stripe(std::uint64_t offset, std::uint64_t length) {
+  const std::uint64_t end = offset + length;
+  auto it = std::lower_bound(ranges_.begin(), ranges_.end(),
+                             std::pair<std::uint64_t, std::uint64_t>{offset, 0});
+  it = ranges_.insert(it, {offset, end});
+  // Merge with neighbours that touch or overlap.
+  if (it != ranges_.begin() && std::prev(it)->second >= it->first) {
+    auto prev = std::prev(it);
+    prev->second = std::max(prev->second, it->second);
+    it = ranges_.erase(it);
+    it = std::prev(it);
+  }
+  while (std::next(it) != ranges_.end() && it->second >= std::next(it)->first) {
+    it->second = std::max(it->second, std::next(it)->second);
+    ranges_.erase(std::next(it));
+  }
+}
+
+std::uint64_t DecompressPipeline::contiguous_prefix() const {
+  if (ranges_.empty() || ranges_.front().first != 0) return 0;
+  return ranges_.front().second;
+}
+
+void DecompressPipeline::on_stripe(const lors::StripeEvent& event, SimTime now) {
+  if (header_ == Header::kNotChunked || event.buffer == nullptr) return;
+  merge_stripe(event.offset, event.length);
+  report_.last_stripe_at = now;
+  pump(*event.buffer, contiguous_prefix(), now, /*final_pass=*/false);
+}
+
+bool DecompressPipeline::pump(const Bytes& buffer, std::uint64_t prefix, SimTime now,
+                              bool final_pass) {
+  if (header_ == Header::kNotChunked) return false;
+  if (header_ == Header::kUnknown) {
+    if (prefix < kHeaderBytes) return true;  // directory not yet decidable
+    if (!lfz::is_chunked(std::span(buffer).first(4))) {
+      header_ = Header::kNotChunked;
+      return false;
+    }
+    original_size_ = read_u64(buffer, 4);
+    chunk_count_ = read_u32(buffer, 12);
+    if (chunk_count_ == 0 || chunk_count_ > buffer.size()) {
+      header_ = Header::kNotChunked;  // malformed; the fallback path reports it
+      return false;
+    }
+    header_ = Header::kChunked;
+    parse_pos_ = kHeaderBytes;
+    decoded_.resize(chunk_count_);
+    report_.chunked = true;
+    report_.chunks_total = chunk_count_;
+    report_.chunks.resize(chunk_count_);
+  }
+  while (next_chunk_ < chunk_count_ && parse_pos_ + 4 <= prefix) {
+    const std::uint32_t body_length = read_u32(buffer, parse_pos_);
+    if (parse_pos_ + 4 + body_length > buffer.size()) {
+      header_ = Header::kNotChunked;  // length prefix runs past the container
+      return false;
+    }
+    if (parse_pos_ + 4 + body_length > prefix) break;  // body still in flight
+    submit_chunk(buffer, next_chunk_, parse_pos_ + 4, body_length, now);
+    if (!final_pass) ++report_.chunks_overlapped;
+    parse_pos_ += 4 + body_length;
+    ++next_chunk_;
+  }
+  return true;
+}
+
+void DecompressPipeline::submit_chunk(const Bytes& buffer, std::size_t index,
+                                      std::uint64_t body_offset, std::uint32_t body_length,
+                                      SimTime now) {
+  Bytes body(buffer.begin() + static_cast<long>(body_offset),
+             buffer.begin() + static_cast<long>(body_offset + body_length));
+  ChunkRecord& record = report_.chunks[index];
+  record.available_at = now;
+  record.compressed_bytes = body_length;
+  try {
+    record.original_bytes = lfz::decompressed_size(body);
+  } catch (const DecodeError&) {
+    record.original_bytes = 0;  // the decode task will report the failure
+  }
+  // Bounded producer/consumer: block the producer on the oldest decode when
+  // too many are outstanding, keeping undrained plaintext memory bounded.
+  while (inflight_.size() - drained_ >= max_inflight_) {
+    if (!inflight_[drained_].get()) any_failed_ = true;
+    ++drained_;
+  }
+  inflight_.push_back(pool_.submit([this, index, body = std::move(body)]() -> bool {
+    try {
+      decoded_[index] = lfz::decompress(body);
+      return true;
+    } catch (...) {
+      return false;
+    }
+  }));
+}
+
+std::optional<Bytes> DecompressPipeline::finish(const Bytes& full, SimTime now,
+                                                Report& report) {
+  if (header_ != Header::kNotChunked) {
+    // Pick up chunks whose stripes bypassed on_stripe (retried blocks, or a
+    // caller that never wired the stripe callback).
+    pump(full, full.size(), now, /*final_pass=*/true);
+  }
+  for (; drained_ < inflight_.size(); ++drained_) {
+    if (!inflight_[drained_].get()) any_failed_ = true;
+  }
+  report = report_;
+  if (header_ != Header::kChunked) return std::nullopt;
+  if (any_failed_ || next_chunk_ < chunk_count_) {
+    report.ok = false;
+    return std::nullopt;
+  }
+  Bytes out;
+  out.reserve(original_size_);
+  for (const Bytes& chunk : decoded_) out.insert(out.end(), chunk.begin(), chunk.end());
+  if (out.size() != original_size_) {
+    report.ok = false;
+    return std::nullopt;
+  }
+  report_.ok = true;
+  report = report_;
+  return out;
+}
+
+SimDuration residual_decompress_time(const DecompressPipeline::Report& report,
+                                     double bytes_per_sec, int workers) {
+  if (!report.chunked || report.chunks.empty() || bytes_per_sec <= 0.0) return 0;
+  std::vector<SimTime> free_at(static_cast<std::size_t>(std::max(1, workers)), 0);
+  SimTime done = 0;
+  // Chunks are recorded in container order, which is also the order the
+  // contiguous prefix released them — available_at is nondecreasing, so a
+  // single forward pass is an exact replay of the modeled decoder farm.
+  for (const auto& chunk : report.chunks) {
+    auto slot = std::min_element(free_at.begin(), free_at.end());
+    const SimTime start = std::max(*slot, chunk.available_at);
+    *slot = start + from_seconds(static_cast<double>(chunk.original_bytes) / bytes_per_sec);
+    done = std::max(done, *slot);
+  }
+  return done > report.last_stripe_at ? done - report.last_stripe_at : 0;
+}
+
+}  // namespace lon::streaming

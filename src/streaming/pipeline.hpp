@@ -1,0 +1,112 @@
+// Bounded producer/consumer pipeline overlapping view-set decompression with
+// in-flight LoRS stripe transfers.
+//
+// Figure 8 shows decompression becoming the interactive bottleneck at large
+// view resolutions; the chunked lfz container (compress/lfz.hpp) removed the
+// single-stream limit, but the demand path still decompressed only after the
+// last stripe landed. This pipeline starts decoding as soon as the arrived
+// stripes cover a complete chunk: the LoRS download (producer, simulator
+// thread) feeds stripe-arrival events, complete chunks are submitted to the
+// shared ThreadPool (consumers) with a bounded number in flight, and
+// finish() drains the tail once the final stripe lands.
+//
+// Two clocks are in play and deliberately kept separate (DESIGN.md
+// section 10): the *real* decode work runs on pool workers concurrently with
+// the simulator thread's event processing, while the *virtual* cost the
+// client charges is replayed deterministically from the per-chunk virtual
+// arrival times recorded here (residual_decompress_time) — so modeled runs
+// stay bit-for-bit reproducible regardless of host core count.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <optional>
+#include <vector>
+
+#include "lors/lors.hpp"
+#include "util/bytes.hpp"
+#include "util/thread_pool.hpp"
+#include "util/time.hpp"
+
+namespace lon::streaming {
+
+class DecompressPipeline {
+ public:
+  struct Options {
+    ThreadPool* pool = nullptr;   ///< defaults to ThreadPool::shared()
+    /// Chunk decodes allowed in flight before the producer blocks; 0 = twice
+    /// the pool size. Bounds the memory held by undrained decodes.
+    std::size_t max_inflight = 0;
+  };
+
+  /// One chunk's virtual-time footprint, for the deterministic replay.
+  struct ChunkRecord {
+    SimTime available_at = 0;            ///< virtual time its last byte arrived
+    std::uint64_t compressed_bytes = 0;
+    std::uint64_t original_bytes = 0;
+  };
+
+  struct Report {
+    bool chunked = false;    ///< payload was an LFZC container (pipeline engaged)
+    bool ok = false;         ///< every chunk decoded cleanly
+    std::size_t chunks_total = 0;
+    std::size_t chunks_overlapped = 0;  ///< submitted before the final stripe
+    std::vector<ChunkRecord> chunks;
+    SimTime last_stripe_at = 0;
+  };
+
+  explicit DecompressPipeline(const Options& options);
+
+  /// Producer side: a verified stripe landed in the download buffer at
+  /// virtual time `now`. Parses the LFZC chunk directory out of the
+  /// contiguous prefix and submits every newly-complete chunk to the pool.
+  /// Called on the simulator thread only.
+  void on_stripe(const lors::StripeEvent& event, SimTime now);
+
+  /// Drains all in-flight decodes and assembles the original serialized
+  /// bytes. `full` is the completed download buffer (also used to pick up
+  /// chunks whose stripes never went through on_stripe, e.g. failover
+  /// re-fetches). Returns nullopt when the payload is not a chunked
+  /// container or any chunk failed to decode — the caller falls back to the
+  /// ordinary whole-buffer decompress.
+  std::optional<Bytes> finish(const Bytes& full, SimTime now, Report& report);
+
+ private:
+  /// Parses and submits chunks out of buffer[0, prefix); returns false when
+  /// the container is known not to be chunked.
+  bool pump(const Bytes& buffer, std::uint64_t prefix, SimTime now, bool final_pass);
+  void submit_chunk(const Bytes& buffer, std::size_t index, std::uint64_t body_offset,
+                    std::uint32_t body_length, SimTime now);
+  void merge_stripe(std::uint64_t offset, std::uint64_t length);
+  [[nodiscard]] std::uint64_t contiguous_prefix() const;
+
+  ThreadPool& pool_;
+  std::size_t max_inflight_;
+
+  // Arrived byte ranges, merged and sorted by offset.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges_;  // [offset, end)
+
+  // LFZC parse state over the contiguous prefix.
+  enum class Header { kUnknown, kChunked, kNotChunked } header_ = Header::kUnknown;
+  std::uint64_t original_size_ = 0;
+  std::uint32_t chunk_count_ = 0;
+  std::uint64_t parse_pos_ = 0;   ///< next unparsed byte of the container
+  std::size_t next_chunk_ = 0;    ///< next chunk index to submit
+
+  std::vector<Bytes> decoded_;
+  std::vector<std::future<bool>> inflight_;
+  std::size_t drained_ = 0;       ///< inflight_ futures already waited on
+  bool any_failed_ = false;
+  Report report_;
+};
+
+/// Deterministic replay of the pipeline on the virtual clock: chunks become
+/// available at their recorded virtual arrival times and are decoded by
+/// `workers` modeled decoders at `bytes_per_sec` (uncompressed output
+/// bytes). Returns the decompression time that extends *past* the final
+/// stripe — the only decode latency the overlap failed to hide, which is
+/// what the client charges instead of the full serial cost.
+[[nodiscard]] SimDuration residual_decompress_time(const DecompressPipeline::Report& report,
+                                                   double bytes_per_sec, int workers);
+
+}  // namespace lon::streaming

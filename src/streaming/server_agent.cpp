@@ -25,14 +25,19 @@ ServerAgent::ServerAgent(sim::Simulator& sim, sim::Network& net, lors::Lors& lor
   if (source_ == nullptr) throw std::invalid_argument("ServerAgent: null source");
   if (config_.depots.empty()) throw std::invalid_argument("ServerAgent: no depots");
   if (config_.processors < 1) throw std::invalid_argument("ServerAgent: processors < 1");
+  if (config_.generator_lanes < 1) {
+    throw std::invalid_argument("ServerAgent: generator_lanes < 1");
+  }
 }
 
 SimDuration ServerAgent::generation_cost() const {
   const auto& cfg = source_->lattice().config();
   const double pixels = static_cast<double>(cfg.view_set_span) * cfg.view_set_span *
                         static_cast<double>(cfg.view_resolution) * cfg.view_resolution;
-  const double render_s =
-      pixels / (config_.pixels_per_sec_per_proc * config_.processors);
+  // Lanes split the cluster evenly: one lane gets all processors (the seed
+  // behaviour); N lanes each render on 1/N of the cluster.
+  const int procs = std::max(1, config_.processors / config_.generator_lanes);
+  const double render_s = pixels / (config_.pixels_per_sec_per_proc * procs);
   // Raw pixels are written once and the compressed output once more.
   const double io_s = pixels * 3.0 * 1.2 / config_.io_bytes_per_sec;
   return from_seconds(render_s + io_s);
@@ -54,20 +59,23 @@ void ServerAgent::generate_async(const lightfield::ViewSetId& id,
 }
 
 void ServerAgent::maybe_start() {
-  if (busy_ || pending_.empty()) return;
-  busy_ = true;
   // LIFO: the scheduler "chooses the latest request to assign to the
   // generator" — the newest request is what the interactive user wants now.
-  Request request = std::move(pending_.back());
-  pending_.pop_back();
-  run_one(std::move(request));
+  // With several lanes, the newest requests occupy them newest-first.
+  while (active_ < config_.generator_lanes && !pending_.empty()) {
+    ++active_;
+    Request request = std::move(pending_.back());
+    pending_.pop_back();
+    run_one(std::move(request));
+  }
 }
 
 void ServerAgent::run_one(Request request) {
   // The generator occupies the cluster for the modeled generation time;
   // the actual pixel content is produced by the source.
   sim_.after(generation_cost(), [this, request = std::move(request)]() mutable {
-    Bytes compressed = source_->build_compressed(request.id);
+    Bytes compressed =
+        source_->build_compressed(request.id, config_.chunk_bytes, config_.pool);
     metrics_.generated.inc();
 
     lors::UploadOptions upload;
@@ -90,7 +98,7 @@ void ServerAgent::run_one(Request request) {
             obs_.trace.arg(request.span, "outcome", "upload_failed");
             obs_.trace.end(request.span, sim_.now());
             request.on_done(false, exnode::ExNode{});
-            busy_ = false;
+            --active_;
             maybe_start();
             return;
           }
@@ -103,7 +111,7 @@ void ServerAgent::run_one(Request request) {
                             [this, request = std::move(request), exnode]() mutable {
                               obs_.trace.end(request.span, sim_.now());
                               request.on_done(true, exnode);
-                              busy_ = false;
+                              --active_;
                               maybe_start();
                             });
         });

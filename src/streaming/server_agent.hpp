@@ -37,6 +37,17 @@ struct ServerAgentConfig {
   int processors = 32;                    ///< the paper's cluster size
   double pixels_per_sec_per_proc = 1.5e6; ///< ray-cast throughput per CPU
   double io_bytes_per_sec = 25e6;         ///< "most of the time ... disk I/O"
+
+  // Concurrency.
+  /// Requests serviced at once. The cluster's processors are split evenly
+  /// across lanes, so one request on a busy server is slower but N waiting
+  /// clients stop serializing behind each other's uploads.
+  int generator_lanes = 1;
+  /// Compressed-container chunk size handed to the source (> 0 emits the
+  /// chunked LFZC format the agent pipeline can overlap; 0 = plain lfz).
+  std::uint64_t chunk_bytes = 0;
+  /// Pool for the source's real CPU work (ray-cast views, codec chunks).
+  ThreadPool* pool = nullptr;
 };
 
 class ServerAgent final : public GeneratorService {
@@ -54,6 +65,7 @@ class ServerAgent final : public GeneratorService {
   void generate_async(const lightfield::ViewSetId& id, GenerateCallback on_done) override;
 
   [[nodiscard]] std::size_t queue_depth() const { return pending_.size(); }
+  [[nodiscard]] int active_lanes() const { return active_; }
   [[nodiscard]] std::uint64_t generated_count() const {
     return metrics_.generated.value();
   }
@@ -86,7 +98,7 @@ class ServerAgent final : public GeneratorService {
   Metrics metrics_;
 
   std::deque<Request> pending_;  // back = latest; scheduler pops the back (LIFO)
-  bool busy_ = false;
+  int active_ = 0;               // requests currently occupying a lane
 };
 
 }  // namespace lon::streaming

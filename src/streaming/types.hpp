@@ -28,6 +28,9 @@ struct AccessRecord {
   SimDuration comm_latency = 0; ///< data-access time as measured at the agent
   SimDuration decompress_time = 0;
   std::uint64_t compressed_bytes = 0;
+  /// Decompression overlapped the stripe transfers at the agent;
+  /// decompress_time then holds only the unhidden residual tail.
+  bool pipelined = false;
 
   /// Latency as measured at the client (figures 9-11).
   [[nodiscard]] SimDuration total() const { return delivered - requested; }

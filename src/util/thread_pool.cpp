@@ -1,8 +1,22 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace lon {
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool* pool = [] {
+    std::size_t threads = 0;
+    if (const char* env = std::getenv("LON_POOL_THREADS"); env != nullptr) {
+      threads = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+    }
+    // Leaked deliberately: workers may still be draining detached work when
+    // static destructors run; joining here would be a shutdown hazard.
+    return new ThreadPool(threads);
+  }();
+  return *pool;
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {

@@ -48,6 +48,18 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn, std::size_t chunks = 0);
 
+  /// The process-wide shared worker pool used by the demand path (LoRS
+  /// stripe verification, the client agent's decompress pipeline, server
+  /// generation and batch codec work). Sized from LON_POOL_THREADS when set,
+  /// otherwise hardware concurrency. Constructed on first use and never
+  /// destroyed before exit; safe to call from any thread.
+  ///
+  /// Ownership rule (DESIGN.md section 10): the simulator thread owns all
+  /// virtual-time state; pool workers only run pure CPU work (checksums,
+  /// codec chunks, ray-cast tiles) over disjoint data and must never touch
+  /// the simulator, the network, or the tracer.
+  [[nodiscard]] static ThreadPool& shared();
+
  private:
   void worker_loop();
 
