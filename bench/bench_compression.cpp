@@ -1,0 +1,212 @@
+// Micro bench: codec throughput, ratio and bytes-on-the-wire per wire format.
+//
+// One deterministic procedural view set is pushed through every container the
+// system can publish — stored, LFZ1, chunked LFZC, inter-view-predicted LFZ2
+// — measuring compressed size (exactly reproducible; the perf gate hard-fails
+// on any byte change), ratio against raw pixels, and wall-clock MB/s both
+// directions. A separate pair of timings decodes the same Huffman symbol
+// stream with the table-driven decoder and the bit-at-a-time reference; their
+// ratio is machine-relative, so the gate can enforce the table speedup even
+// on a 1-core runner.
+//
+// Flags:
+//   --smoke   smaller view set / fewer symbols for the CI perf gate
+//   --json    machine-readable output (one JSON object) for ci/perf_gate.py
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "compress/huffman.hpp"
+#include "compress/lfz.hpp"
+#include "lightfield/procedural.hpp"
+
+namespace {
+
+using namespace lon;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+/// Best-of-`reps` wall time of `fn`, in seconds.
+template <typename Fn>
+double best_time(int reps, Fn&& fn) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(best, seconds_since(start));
+  }
+  return best;
+}
+
+struct Row {
+  const char* mode = "";
+  std::uint64_t bytes = 0;          ///< on the wire (deterministic)
+  std::uint64_t payload_bytes = 0;  ///< serialized input the codec processed
+  double ratio = 0.0;               ///< raw pixel bytes / wire bytes
+  double compress_mb_s = 0.0;
+  double decompress_mb_s = 0.0;
+};
+
+Row measure(const char* mode, const Bytes& payload, std::uint64_t pixel_bytes, int reps,
+            Bytes (*compress)(const Bytes&), Bytes (*decompress)(const Bytes&)) {
+  Row row;
+  row.mode = mode;
+  row.payload_bytes = payload.size();
+  const Bytes wire = compress(payload);
+  row.bytes = wire.size();
+  row.ratio = static_cast<double>(pixel_bytes) / static_cast<double>(wire.size());
+  if (decompress(wire) != payload) throw std::runtime_error("codec round-trip mismatch");
+  const double mb = static_cast<double>(payload.size()) / 1e6;
+  row.compress_mb_s = mb / best_time(reps, [&] { (void)compress(payload); });
+  row.decompress_mb_s = mb / best_time(reps, [&] { (void)decompress(wire); });
+  return row;
+}
+
+constexpr std::uint64_t kChunkBytes = 256 * 1024;
+
+Bytes compress_stored(const Bytes& d) {
+  lfz::CompressOptions opt;
+  opt.store_only = true;
+  return lfz::compress(d, opt);
+}
+Bytes compress_lfz1(const Bytes& d) { return lfz::compress(d); }
+Bytes compress_lfzc(const Bytes& d) { return lfz::compress_chunked(d, kChunkBytes); }
+Bytes compress_lfz2(const Bytes& d) { return lfz::compress_lfz2(d, kChunkBytes); }
+Bytes decompress_plain(const Bytes& d) { return lfz::decompress(d); }
+Bytes decompress_chunked(const Bytes& d) { return lfz::decompress_chunked(d); }
+
+struct DecodeResult {
+  std::size_t symbols = 0;
+  double table_msym_s = 0.0;
+  double bitwise_msym_s = 0.0;
+  double speedup = 0.0;
+};
+
+/// Times the table decoder against the bit-at-a-time reference over one
+/// encoded symbol stream (skewed frequencies, full 286-symbol alphabet).
+DecodeResult measure_decode(std::size_t symbols, int reps) {
+  constexpr std::size_t kAlphabet = 286;
+  std::vector<std::uint64_t> freqs(kAlphabet);
+  for (std::size_t s = 0; s < kAlphabet; ++s) {
+    freqs[s] = 1 + (s * 2654435761u) % 997;  // deterministic skew, all nonzero
+  }
+  const auto lengths = lfz::build_code_lengths(freqs);
+  const lfz::HuffmanEncoder encoder(lengths);
+  const lfz::HuffmanDecoder decoder(lengths);
+
+  std::vector<std::uint16_t> stream(symbols);
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (auto& s : stream) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    s = static_cast<std::uint16_t>((state >> 33) % kAlphabet);
+  }
+  lfz::BitWriter writer;
+  for (const auto s : stream) encoder.encode(writer, s);
+  const Bytes encoded = writer.take();
+
+  // Checksum both paths so the decode loops cannot be optimized away (and to
+  // assert the fast path agrees with the reference on this stream).
+  const auto drain = [&](auto&& decode_one) {
+    lfz::BitReader reader(encoded);
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < symbols; ++i) sum += decode_one(reader);
+    return sum;
+  };
+  const std::uint64_t want =
+      drain([&](lfz::BitReader& r) { return decoder.decode_bitwise(r); });
+  std::uint64_t got = 0;
+  DecodeResult result;
+  result.symbols = symbols;
+  const double msym = static_cast<double>(symbols) / 1e6;
+  result.table_msym_s = msym / best_time(reps, [&] {
+                          got = drain([&](lfz::BitReader& r) { return decoder.decode(r); });
+                        });
+  if (got != want) throw std::runtime_error("table decode disagrees with bitwise");
+  result.bitwise_msym_s =
+      msym / best_time(reps, [&] {
+        (void)drain([&](lfz::BitReader& r) { return decoder.decode_bitwise(r); });
+      });
+  result.speedup = result.table_msym_s / result.bitwise_msym_s;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+
+  // One deterministic procedural view set (real filter + codec pipeline, no
+  // ray casting) at the paper's 2.5-degree view spacing — smoke shrinks the
+  // block and resolution to keep the CI gate fast.
+  lightfield::LatticeConfig lattice;
+  lattice.angular_step_deg = 2.5;
+  lattice.view_set_span = smoke ? 3 : 6;
+  lattice.view_resolution = smoke ? 128 : 200;
+  lightfield::ProceduralSource source(lattice);
+  const lightfield::ViewSet vs = source.build(source.lattice().all_view_sets().front());
+  const std::uint64_t pixel_bytes = vs.pixel_bytes();
+
+  const Bytes intra = vs.serialize(lightfield::SerializeMode::kIntra);
+  const Bytes adaptive = vs.serialize(lightfield::SerializeMode::kAdaptive);
+
+  const int reps = smoke ? 3 : 5;
+  std::vector<Row> rows;
+  rows.push_back(measure("stored", intra, pixel_bytes, reps, compress_stored,
+                         decompress_plain));
+  rows.push_back(measure("lfz1", intra, pixel_bytes, reps, compress_lfz1,
+                         decompress_plain));
+  rows.push_back(measure("lfzc", intra, pixel_bytes, reps, compress_lfzc,
+                         decompress_chunked));
+  rows.push_back(measure("lfz2", adaptive, pixel_bytes, reps, compress_lfz2,
+                         decompress_chunked));
+
+  const DecodeResult decode = measure_decode(smoke ? std::size_t{1} << 19
+                                                   : std::size_t{1} << 21,
+                                             reps);
+
+  if (json) {
+    std::printf("{\"bench\":\"compression\",\"mode\":\"%s\",\"pixel_bytes\":%llu,"
+                "\"results\":[",
+                smoke ? "smoke" : "full", static_cast<unsigned long long>(pixel_bytes));
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::printf("%s{\"mode\":\"%s\",\"bytes\":%llu,\"payload_bytes\":%llu,"
+                  "\"ratio\":%.4f,\"compress_mb_s\":%.2f,\"decompress_mb_s\":%.2f}",
+                  i == 0 ? "" : ",", r.mode, static_cast<unsigned long long>(r.bytes),
+                  static_cast<unsigned long long>(r.payload_bytes), r.ratio,
+                  r.compress_mb_s, r.decompress_mb_s);
+    }
+    std::printf("],\"decode\":{\"symbols\":%zu,\"table_msym_s\":%.2f,"
+                "\"bitwise_msym_s\":%.2f,\"speedup\":%.2f}}\n",
+                decode.symbols, decode.table_msym_s, decode.bitwise_msym_s,
+                decode.speedup);
+    return 0;
+  }
+
+  std::printf("codec bench (%s): %llu pixel bytes per view set\n",
+              smoke ? "smoke" : "full", static_cast<unsigned long long>(pixel_bytes));
+  std::printf("%8s %12s %12s %8s %14s %14s\n", "mode", "wire bytes", "payload",
+              "ratio", "comp MB/s", "decomp MB/s");
+  for (const Row& r : rows) {
+    std::printf("%8s %12llu %12llu %8.2f %14.1f %14.1f\n", r.mode,
+                static_cast<unsigned long long>(r.bytes),
+                static_cast<unsigned long long>(r.payload_bytes), r.ratio,
+                r.compress_mb_s, r.decompress_mb_s);
+  }
+  std::printf("huffman decode: table %.1f Msym/s vs bitwise %.1f Msym/s "
+              "(%.2fx, %zu symbols)\n",
+              decode.table_msym_s, decode.bitwise_msym_s, decode.speedup,
+              decode.symbols);
+  return 0;
+}

@@ -17,6 +17,15 @@ to BENCH_pr.json, and compares them against the committed BENCH_baseline.json:
       though: on a 4+-core host the BM_NovelViewSynthesisPooled counters
       must show >= --min-speedup over BM_NovelViewSynthesis (hard failure).
 
+  bench_compression --smoke --json
+      Codec bytes-on-the-wire and ratios per wire format (stored, lfz1,
+      lfzc, lfz2). The compressed sizes are deterministic, so any byte or
+      ratio change against the baseline is a HARD failure. Wall-clock MB/s
+      warns like fps. Two same-run machine-relative checks are always hard:
+      the table-driven Huffman decode must be >= --min-decode-speedup over
+      the bit-at-a-time reference, and the lfz2 container must be strictly
+      smaller than lfzc on the same view set.
+
 Exit status is non-zero on any hard failure. A PR that intentionally changes
 performance updates the baseline in the same commit:
 
@@ -67,6 +76,11 @@ def collect_framerate(build_dir):
         if "fps" in bench:
             rows.append({"name": bench["name"], "fps": bench["fps"]})
     return {"benchmarks": rows}
+
+
+def collect_compression(build_dir):
+    return run_json([os.path.join(build_dir, "bench", "bench_compression"),
+                     "--smoke", "--json"])
 
 
 def check_scalability(pr, base, tolerance):
@@ -131,6 +145,51 @@ def check_speedup(pr, min_speedup, cores):
         print(f"ok:   speedup {best:.2f}x ({detail})")
 
 
+def check_compression(pr, base, tolerance, strict, min_decode_speedup):
+    """Deterministic bytes/ratio vs baseline + same-run relative checks."""
+    report = fail if strict else warn
+    base_rows = {row["mode"]: row for row in base.get("results", [])}
+    pr_rows = {row["mode"]: row for row in pr.get("results", [])}
+    for mode, row in sorted(pr_rows.items()):
+        tag = f"compression[{mode}]"
+        if mode not in base_rows:
+            warn(f"{tag}: no baseline row; add one with --update-baseline")
+            continue
+        ref = base_rows[mode]
+        if row["bytes"] != ref["bytes"]:
+            fail(f"{tag}: wire bytes {row['bytes']} != baseline {ref['bytes']} "
+                 f"(compressed output is deterministic)")
+        elif row["ratio"] < ref["ratio"] * (1.0 - 1e-6):
+            fail(f"{tag}: ratio {row['ratio']:.4f} below baseline {ref['ratio']:.4f}")
+        else:
+            print(f"ok:   {tag}: {row['bytes']} bytes, ratio {row['ratio']:.2f}")
+        for key in ("compress_mb_s", "decompress_mb_s"):
+            got, want = row[key], ref.get(key)
+            if want and got < want * (1.0 - tolerance):
+                report(f"{tag}: {key} {got:.1f} vs baseline {want:.1f} "
+                       f"(wall clock; runner-dependent)")
+
+    # Same-run, machine-relative: the whole point of the wire format.
+    if "lfzc" in pr_rows and "lfz2" in pr_rows:
+        lfzc, lfz2 = pr_rows["lfzc"]["bytes"], pr_rows["lfz2"]["bytes"]
+        if lfz2 >= lfzc:
+            fail(f"compression: lfz2 ({lfz2} bytes) not smaller than lfzc ({lfzc})")
+        else:
+            print(f"ok:   compression: lfz2 {lfz2} < lfzc {lfzc} "
+                  f"({1.0 - lfz2 / lfzc:.1%} fewer bytes)")
+    else:
+        fail("compression: lfzc/lfz2 row pair not found")
+
+    decode = pr.get("decode", {})
+    speedup = decode.get("speedup", 0.0)
+    if speedup < min_decode_speedup:
+        fail(f"compression: table decode speedup {speedup:.2f}x < "
+             f"{min_decode_speedup}x over bitwise")
+    else:
+        print(f"ok:   compression: table decode {speedup:.2f}x over bitwise "
+              f"({decode.get('table_msym_s', 0):.1f} Msym/s)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
@@ -139,6 +198,8 @@ def main():
     parser.add_argument("--tolerance", type=float, default=0.15,
                         help="allowed relative regression (default 15%%)")
     parser.add_argument("--min-speedup", type=float, default=1.5)
+    parser.add_argument("--min-decode-speedup", type=float, default=2.0,
+                        help="required table/bitwise Huffman decode ratio")
     parser.add_argument("--strict", action="store_true",
                         help="wall-clock fps regressions fail instead of warning")
     parser.add_argument("--update-baseline", action="store_true",
@@ -150,6 +211,7 @@ def main():
         "meta": {"cores": cores, "mode": "smoke"},
         "scalability_users": collect_scalability(args.build_dir),
         "framerate": collect_framerate(args.build_dir),
+        "compression": collect_compression(args.build_dir),
     }
 
     target = args.baseline if args.update_baseline else args.out
@@ -172,6 +234,8 @@ def main():
     check_framerate(results["framerate"], baseline.get("framerate", {}),
                     args.tolerance, args.strict)
     check_speedup(results["framerate"], args.min_speedup, cores)
+    check_compression(results["compression"], baseline.get("compression", {}),
+                      args.tolerance, args.strict, args.min_decode_speedup)
 
     print(f"\nperf gate: {len(HARD_FAILURES)} failure(s), {len(WARNINGS)} warning(s)")
     return 1 if HARD_FAILURES else 0

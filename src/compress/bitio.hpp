@@ -2,8 +2,16 @@
 //
 // BitWriter packs bits into bytes starting at the least significant bit;
 // BitReader consumes them in the same order. Huffman codes are written
-// most-significant-code-bit first via put_huff/get-by-length, matching the
+// most-significant-code-bit first via put_code/get-by-length, matching the
 // canonical-code decoder in huffman.hpp.
+//
+// BitReader keeps a 64-bit accumulator that refill() tops up eight input
+// bytes at a time, so the table-driven Huffman decoder can peek a whole code
+// (up to kMaxCodeLength bits) and consume it in one step instead of pulling
+// bits one at a time. peek() zero-pads past the end of the stream; consume()
+// is where truncation is detected, so a code that genuinely extends past the
+// last input bit still throws DecodeError exactly like the bit-at-a-time
+// reader did.
 #pragma once
 
 #include <cstdint>
@@ -13,11 +21,20 @@
 
 namespace lon::lfz {
 
+/// Reverses the low `count` bits of `value` (bit 0 <-> bit count-1).
+constexpr std::uint32_t reverse_bits(std::uint32_t value, int count) {
+  std::uint32_t out = 0;
+  for (int i = 0; i < count; ++i) {
+    out = (out << 1) | ((value >> i) & 1u);
+  }
+  return out;
+}
+
 class BitWriter {
  public:
-  /// Writes the low `count` bits of `value`, LSB first.
+  /// Writes the low `count` bits of `value`, LSB first. count in [0, 32].
   void put(std::uint32_t value, int count) {
-    acc_ |= static_cast<std::uint64_t>(value & ((1u << count) - 1)) << filled_;
+    acc_ |= (static_cast<std::uint64_t>(value) & ((1ull << count) - 1)) << filled_;
     filled_ += count;
     while (filled_ >= 8) {
       out_.push_back(static_cast<std::uint8_t>(acc_));
@@ -27,9 +44,11 @@ class BitWriter {
   }
 
   /// Writes a Huffman code of `length` bits, most significant bit first
-  /// (so the canonical decoder can accumulate bit-by-bit).
+  /// (so the canonical decoder can accumulate bit-by-bit). Equivalent to one
+  /// put() of the bit-reversed code; encoders that pre-reverse their code
+  /// tables (HuffmanEncoder does) call put() directly.
   void put_code(std::uint32_t code, int length) {
-    for (int i = length - 1; i >= 0; --i) put((code >> i) & 1u, 1);
+    put(reverse_bits(code, length), length);
   }
 
   /// Flushes any partial byte (zero-padded).
@@ -58,13 +77,51 @@ class BitReader {
  public:
   explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
 
-  /// Reads `count` bits, LSB first.
-  std::uint32_t get(int count) {
-    while (filled_ < count) {
-      if (pos_ >= data_.size()) throw DecodeError("lfz: bit stream truncated");
+  /// Tops up the accumulator from the input. After refill() at least
+  /// min(56, bits remaining in the stream) bits are buffered. Idempotent and
+  /// cheap; decode loops call it once per symbol.
+  void refill() {
+    if (filled_ > 56) return;
+    if (pos_ + 8 <= data_.size()) {
+      // Bulk path: assemble the next eight bytes little-endian (the compiler
+      // lowers the loop to a single unaligned load on LE hosts), keep only
+      // the bytes that fit the accumulator, and advance past exactly those.
+      const std::uint8_t* p = data_.data() + pos_;
+      std::uint64_t word = 0;
+      for (int i = 0; i < 8; ++i) {
+        word |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+      }
+      const int take = (63 - filled_) >> 3;  // whole bytes that fit: <= 7
+      word &= (1ull << (take * 8)) - 1;
+      acc_ |= word << filled_;
+      pos_ += static_cast<std::size_t>(take);
+      filled_ += take * 8;
+      return;
+    }
+    while (filled_ <= 56 && pos_ < data_.size()) {
       acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << filled_;
       filled_ += 8;
     }
+  }
+
+  /// Returns the next `count` buffered bits without consuming them, LSB
+  /// first; bits past the end of the stream read as zero. count <= 56.
+  [[nodiscard]] std::uint32_t peek(int count) {
+    refill();
+    return static_cast<std::uint32_t>(acc_ & ((1ull << count) - 1));
+  }
+
+  /// Discards `count` bits; throws if the stream does not hold that many.
+  void consume(int count) {
+    if (count > filled_) throw DecodeError("lfz: bit stream truncated");
+    acc_ >>= count;
+    filled_ -= count;
+  }
+
+  /// Reads `count` bits, LSB first. count in [1, 56].
+  std::uint32_t get(int count) {
+    refill();
+    if (count > filled_) throw DecodeError("lfz: bit stream truncated");
     const auto value = static_cast<std::uint32_t>(acc_ & ((1ull << count) - 1));
     acc_ >>= count;
     filled_ -= count;

@@ -86,7 +86,7 @@ std::vector<std::uint8_t> build_code_lengths(std::span<const std::uint64_t> freq
 }
 
 HuffmanEncoder::HuffmanEncoder(std::span<const std::uint8_t> lengths)
-    : codes_(lengths.size(), 0), lengths_(lengths.begin(), lengths.end()) {
+    : reversed_(lengths.size(), 0), lengths_(lengths.begin(), lengths.end()) {
   // Canonical code assignment: count codes per length, then compute the
   // first code of each length.
   std::uint32_t count[kMaxCodeLength + 1] = {};
@@ -101,7 +101,7 @@ HuffmanEncoder::HuffmanEncoder(std::span<const std::uint8_t> lengths)
     next[l] = code;
   }
   for (std::size_t i = 0; i < lengths_.size(); ++i) {
-    if (lengths_[i] > 0) codes_[i] = next[lengths_[i]]++;
+    if (lengths_[i] > 0) reversed_[i] = reverse_bits(next[lengths_[i]]++, lengths_[i]);
   }
 }
 
@@ -109,6 +109,15 @@ HuffmanDecoder::HuffmanDecoder(std::span<const std::uint8_t> lengths) {
   for (const std::uint8_t l : lengths) {
     if (l > kMaxCodeLength) throw DecodeError("huffman: invalid code length");
     if (l > 0) ++count_[l];
+  }
+  // Reject over-subscribed length sets (Kraft sum > 1): a corrupt container
+  // can deliver any length array, and over-subscription would otherwise wrap
+  // the canonical code space and corrupt the decode tables. Incomplete sets
+  // are allowed — their unreachable codes throw at decode time.
+  std::int64_t space = 1;
+  for (int l = 1; l <= kMaxCodeLength; ++l) {
+    space = (space << 1) - static_cast<std::int64_t>(count_[l]);
+    if (space < 0) throw DecodeError("huffman: over-subscribed code lengths");
   }
   std::uint32_t code = 0;
   std::uint32_t index = 0;
@@ -127,9 +136,45 @@ HuffmanDecoder::HuffmanDecoder(std::span<const std::uint8_t> lengths) {
       sorted_symbols_[fill[lengths[i]]++] = static_cast<std::uint32_t>(i);
     }
   }
+  if (symbol_count_ == 0) return;
+
+  // Build the lookup tables. Codes are emitted MSB-first into an LSB-first
+  // bit stream, so the next `l` stream bits are the code bit-reversed: entry
+  // fill uses reverse_bits and replicates each code across all table slots
+  // that share its low bits.
+  root_.assign(std::size_t{1} << kRootBits, 0);
+  constexpr int kSubBits = kMaxCodeLength - kRootBits;
+  constexpr std::uint32_t kSubSize = 1u << kSubBits;
+  std::uint32_t next[kMaxCodeLength + 1];
+  std::copy(first_code_, first_code_ + kMaxCodeLength + 1, next);
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    const int l = lengths[i];
+    if (l == 0) continue;
+    const std::uint32_t rev = reverse_bits(next[l]++, l);
+    const std::uint32_t entry =
+        (static_cast<std::uint32_t>(l) << 16) | static_cast<std::uint32_t>(i);
+    if (l <= kRootBits) {
+      for (std::uint32_t slot = rev; slot < root_.size(); slot += 1u << l) {
+        root_[slot] = entry;
+      }
+      continue;
+    }
+    // Long code: the root entry for its first kRootBits stream bits links to
+    // a fixed kSubSize spill block indexed by the remaining bits.
+    const std::uint32_t prefix = rev & ((1u << kRootBits) - 1);
+    if ((root_[prefix] & kSubtableFlag) == 0) {
+      root_[prefix] = kSubtableFlag | static_cast<std::uint32_t>(sub_.size());
+      sub_.resize(sub_.size() + kSubSize, 0);
+    }
+    const std::uint32_t base = root_[prefix] & 0xffffu;
+    for (std::uint32_t slot = rev >> kRootBits; slot < kSubSize;
+         slot += 1u << (l - kRootBits)) {
+      sub_[base + slot] = entry;
+    }
+  }
 }
 
-std::uint32_t HuffmanDecoder::decode(BitReader& in) const {
+std::uint32_t HuffmanDecoder::decode_bitwise(BitReader& in) const {
   if (symbol_count_ == 0) throw DecodeError("huffman: decode with empty table");
   std::uint32_t code = 0;
   for (int l = 1; l <= kMaxCodeLength; ++l) {

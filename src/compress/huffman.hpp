@@ -6,6 +6,14 @@
 // length-limiting technique. Codes are assigned canonically (shorter codes
 // first, ties by symbol index), so only the length array needs to be stored
 // in the compressed stream.
+//
+// Decoding is table-driven: a (1 << kRootBits)-entry root table maps the
+// next kRootBits of the stream straight to (symbol, length) for codes that
+// fit, and to a spill subtable for the rare longer codes — one peek and one
+// consume per symbol instead of a bit-at-a-time tree walk. The bit-at-a-time
+// decoder is kept as decode_bitwise(): it is the reference the table path is
+// tested bit-exact against, and the baseline bench_compression measures the
+// table speedup over.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +25,8 @@
 namespace lon::lfz {
 
 inline constexpr int kMaxCodeLength = 15;
+/// Codes at most this long decode from the root table in one lookup.
+inline constexpr int kRootBits = 10;
 
 /// Computes canonical code lengths (0 = symbol unused) for the given
 /// frequencies. At most kMaxCodeLength. If only one symbol has nonzero
@@ -24,33 +34,56 @@ inline constexpr int kMaxCodeLength = 15;
 std::vector<std::uint8_t> build_code_lengths(std::span<const std::uint64_t> freqs);
 
 /// Canonical encoder table: code bits per symbol, derived from lengths.
+/// Codes are stored pre-reversed so each symbol is one BitWriter::put.
 class HuffmanEncoder {
  public:
   explicit HuffmanEncoder(std::span<const std::uint8_t> lengths);
 
   void encode(BitWriter& out, std::uint32_t symbol) const {
-    out.put_code(codes_[symbol], lengths_[symbol]);
+    out.put(reversed_[symbol], lengths_[symbol]);
   }
 
   [[nodiscard]] int length_of(std::uint32_t symbol) const { return lengths_[symbol]; }
 
  private:
-  std::vector<std::uint32_t> codes_;
+  std::vector<std::uint32_t> reversed_;  // canonical code, bit-reversed
   std::vector<std::uint8_t> lengths_;
 };
 
-/// Canonical decoder: walks the code length table bit by bit using the
-/// first-code/offset arrays (the classic zlib "huft"-style decode without
-/// lookup tables — simple and adequately fast).
+/// Canonical decoder. decode() is the table-driven fast path;
+/// decode_bitwise() the classic first-code/offset walk. Both reject the same
+/// invalid streams with DecodeError; the constructor additionally rejects
+/// over-subscribed length sets (which a corrupt container can smuggle in and
+/// which would otherwise overflow the tables).
 class HuffmanDecoder {
  public:
   explicit HuffmanDecoder(std::span<const std::uint8_t> lengths);
 
-  std::uint32_t decode(BitReader& in) const;
+  /// Table-driven decode: peek up to kMaxCodeLength bits, one or two table
+  /// lookups, consume the code's length.
+  std::uint32_t decode(BitReader& in) const {
+    if (symbol_count_ == 0) throw DecodeError("huffman: decode with empty table");
+    std::uint32_t entry = root_[in.peek(kRootBits)];
+    if ((entry & kSubtableFlag) != 0) {
+      entry = sub_[(entry & 0xffffu) + (in.peek(kMaxCodeLength) >> kRootBits)];
+    }
+    const int length = static_cast<int>((entry >> 16) & 0x1f);
+    if (length == 0) throw DecodeError("huffman: invalid code in stream");
+    in.consume(length);
+    return entry & 0xffffu;
+  }
+
+  /// Reference decoder: accumulates the code one bit at a time against the
+  /// first-code/offset arrays (the zlib "huft"-style decode).
+  std::uint32_t decode_bitwise(BitReader& in) const;
 
   [[nodiscard]] bool empty() const { return symbol_count_ == 0; }
 
  private:
+  // Table entry layout: bits 0..15 symbol (or spill base), bits 16..20 code
+  // length, bit 31 = entry links to sub_. 0 = invalid code.
+  static constexpr std::uint32_t kSubtableFlag = 0x8000'0000u;
+
   // For each length l: first_code_[l] is the smallest canonical code of that
   // length, offset_[l] the index into sorted_symbols_ of its first symbol.
   std::uint32_t first_code_[kMaxCodeLength + 1] = {};
@@ -58,6 +91,9 @@ class HuffmanDecoder {
   std::uint32_t offset_[kMaxCodeLength + 1] = {};
   std::vector<std::uint32_t> sorted_symbols_;
   std::size_t symbol_count_ = 0;
+
+  std::vector<std::uint32_t> root_;  // 1 << kRootBits entries
+  std::vector<std::uint32_t> sub_;   // fixed-stride spill blocks for long codes
 };
 
 }  // namespace lon::lfz

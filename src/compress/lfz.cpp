@@ -84,6 +84,12 @@ Bytes compress(std::span<const std::uint8_t> data, const CompressOptions& option
   header.u64(data.size());
   header.u32(adler32(data));
 
+  if (options.store_only) {
+    header.u8(0);
+    header.raw(data);
+    return header.take();
+  }
+
   const std::vector<Token> tokens = lz77_tokenize(data, options.lz);
 
   // Gather symbol statistics.
@@ -168,6 +174,13 @@ Bytes decompress(std::span<const std::uint8_t> compressed) {
     const auto raw = in.raw(h.original_size);
     out.assign(raw.begin(), raw.end());
   } else {
+    // A corrupt header can claim any original size; bound it by the maximum
+    // lz77+huffman expansion (a 2-bit match token emits <= 258 bytes, so
+    // ~1032x) before reserving output, so length overflows throw instead of
+    // attempting absurd allocations.
+    if (h.original_size > (static_cast<std::uint64_t>(in.remaining()) + 16) * 1032) {
+      throw DecodeError("lfz: implausible original size");
+    }
     const auto lit_lengths = read_lengths_packed(in, kLitAlphabet);
     const auto dist_lengths = read_lengths_packed(in, kDistAlphabet);
     const HuffmanDecoder lit_dec(lit_lengths);
@@ -209,19 +222,20 @@ std::uint64_t decompressed_size(std::span<const std::uint8_t> compressed) {
   return read_header(in).original_size;
 }
 
-// --- chunked container ---------------------------------------------------------
+// --- chunked containers --------------------------------------------------------
 
 namespace {
+
 constexpr std::uint8_t kChunkedMagic[4] = {'L', 'F', 'Z', 'C'};
+constexpr std::uint8_t kLfz2Magic[4] = {'L', 'F', 'Z', '2'};
+
+bool has_magic(std::span<const std::uint8_t> data, const std::uint8_t (&magic)[4]) {
+  return data.size() >= 4 && std::equal(data.begin(), data.begin() + 4, magic);
 }
 
-bool is_chunked(std::span<const std::uint8_t> compressed) {
-  return compressed.size() >= 4 &&
-         std::equal(compressed.begin(), compressed.begin() + 4, kChunkedMagic);
-}
-
-Bytes compress_chunked(std::span<const std::uint8_t> data, std::uint64_t chunk_bytes,
-                       const CompressOptions& options, ThreadPool* pool) {
+Bytes compress_chunked_as(std::span<const std::uint8_t> data, std::uint64_t chunk_bytes,
+                          const CompressOptions& options, ThreadPool* pool,
+                          const std::uint8_t (&magic)[4]) {
   if (chunk_bytes == 0) throw std::invalid_argument("compress_chunked: zero chunk size");
   const std::size_t chunks =
       data.empty() ? 0
@@ -240,21 +254,56 @@ Bytes compress_chunked(std::span<const std::uint8_t> data, std::uint64_t chunk_b
   }
 
   ByteWriter out;
-  out.raw(std::span(kChunkedMagic));
+  out.raw(std::span(magic));
   out.u64(data.size());
   out.u32(static_cast<std::uint32_t>(chunks));
   for (const auto& chunk : compressed) out.blob(chunk);
   return out.take();
 }
 
+}  // namespace
+
+bool is_chunked(std::span<const std::uint8_t> compressed) {
+  return has_magic(compressed, kChunkedMagic) || has_magic(compressed, kLfz2Magic);
+}
+
+bool is_lfz2(std::span<const std::uint8_t> compressed) {
+  return has_magic(compressed, kLfz2Magic);
+}
+
+const char* wire_label(std::span<const std::uint8_t> compressed) {
+  if (has_magic(compressed, kLfz2Magic)) return "lfz2";
+  if (has_magic(compressed, kChunkedMagic)) return "lfzc";
+  if (has_magic(compressed, kMagic)) {
+    // Offset 16 is the method byte (after magic, u64 size, u32 checksum).
+    if (compressed.size() > 16 && compressed[16] == 0) return "stored";
+    return "lfz1";
+  }
+  return "unknown";
+}
+
+Bytes compress_chunked(std::span<const std::uint8_t> data, std::uint64_t chunk_bytes,
+                       const CompressOptions& options, ThreadPool* pool) {
+  return compress_chunked_as(data, chunk_bytes, options, pool, kChunkedMagic);
+}
+
+Bytes compress_lfz2(std::span<const std::uint8_t> data, std::uint64_t chunk_bytes,
+                    const CompressOptions& options, ThreadPool* pool) {
+  return compress_chunked_as(data, chunk_bytes, options, pool, kLfz2Magic);
+}
+
 Bytes decompress_chunked(std::span<const std::uint8_t> compressed, ThreadPool* pool) {
   ByteReader in(compressed);
   const auto magic = in.raw(4);
-  if (!std::equal(magic.begin(), magic.end(), kChunkedMagic)) {
+  if (!std::equal(magic.begin(), magic.end(), kChunkedMagic) &&
+      !std::equal(magic.begin(), magic.end(), kLfz2Magic)) {
     throw DecodeError("lfz: bad chunked magic");
   }
   const std::uint64_t original = in.u64();
   const std::uint32_t chunks = in.u32();
+  // Every chunk carries at least a length prefix, so the count is bounded by
+  // the remaining bytes — reject overflowed directories before reserving.
+  if (chunks > in.remaining()) throw DecodeError("lfz: implausible chunk count");
   std::vector<Bytes> bodies;
   bodies.reserve(chunks);
   for (std::uint32_t c = 0; c < chunks; ++c) bodies.push_back(in.blob());
@@ -279,10 +328,12 @@ Bytes decompress_chunked(std::span<const std::uint8_t> compressed, ThreadPool* p
     if (error) std::rethrow_exception(error);
   }
 
+  std::uint64_t total = 0;
+  for (const auto& chunk : plain) total += chunk.size();
+  if (total != original) throw DecodeError("lfz: chunked size mismatch");
   Bytes out;
-  out.reserve(original);
+  out.reserve(total);
   for (const auto& chunk : plain) out.insert(out.end(), chunk.begin(), chunk.end());
-  if (out.size() != original) throw DecodeError("lfz: chunked size mismatch");
   return out;
 }
 

@@ -31,6 +31,10 @@ namespace lon::lfz {
 
 struct CompressOptions {
   Lz77Options lz;
+  /// Skip entropy coding entirely and emit a stored (method 0) block — for
+  /// payloads known to be incompressible (publisher filler) and for the
+  /// "stored" row of bench_compression.
+  bool store_only = false;
 };
 
 /// Compresses data; never fails (falls back to stored blocks when expansion
@@ -44,7 +48,7 @@ Bytes decompress(std::span<const std::uint8_t> compressed);
 /// Peeks at the original size without decompressing.
 std::uint64_t decompressed_size(std::span<const std::uint8_t> compressed);
 
-// --- chunked container --------------------------------------------------------
+// --- chunked containers -------------------------------------------------------
 //
 // Figure 8 shows view-set decompression becoming the interactive bottleneck
 // at 500^2; the paper remarks "alternatively, a more efficient compression
@@ -53,17 +57,35 @@ std::uint64_t decompressed_size(std::span<const std::uint8_t> compressed);
 // chunks ("LFZC" magic, chunk directory, one lfz stream per chunk) so both
 // sides can run across a thread pool. Slightly worse ratio (per-chunk
 // dictionaries reset), near-linear (de)compression speedup.
+//
+// "LFZ2" is byte-for-byte the same chunk layout under a distinct magic; the
+// magic marks that the *payload* is an inter-view-predicted view-set
+// serialization (SerializeMode::kAdaptive in lightfield/viewset.hpp), so the
+// wire format is observable per mode while every chunked-container consumer
+// (the decompress pipeline, the client) handles both transparently.
 
 /// Compresses in `chunk_bytes` chunks, in parallel when a pool is given.
 Bytes compress_chunked(std::span<const std::uint8_t> data,
                        std::uint64_t chunk_bytes = 1 << 20,
                        const CompressOptions& options = {}, ThreadPool* pool = nullptr);
 
-/// Decompresses a chunked container, in parallel when a pool is given.
+/// Same chunk layout under the "LFZ2" magic (inter-view-predicted payload).
+Bytes compress_lfz2(std::span<const std::uint8_t> data, std::uint64_t chunk_bytes = 1 << 20,
+                    const CompressOptions& options = {}, ThreadPool* pool = nullptr);
+
+/// Decompresses a chunked container (LFZC or LFZ2), in parallel when a pool
+/// is given.
 Bytes decompress_chunked(std::span<const std::uint8_t> compressed,
                          ThreadPool* pool = nullptr);
 
-/// True if the bytes carry the chunked-container magic.
+/// True if the bytes carry either chunked-container magic (LFZC or LFZ2).
 bool is_chunked(std::span<const std::uint8_t> compressed);
+
+/// True if the bytes carry the LFZ2 magic specifically.
+bool is_lfz2(std::span<const std::uint8_t> compressed);
+
+/// Wire-format label for metrics: "stored", "lfz1", "lfzc", "lfz2" or
+/// "unknown". Never throws.
+const char* wire_label(std::span<const std::uint8_t> compressed);
 
 }  // namespace lon::lfz

@@ -32,9 +32,12 @@ class ViewSetSource {
   /// Builds and compresses in one step. chunk_bytes > 0 selects the chunked
   /// (LFZC) container — the format the agent-side decompress pipeline can
   /// overlap with stripe transfers — compressed across `pool` when given.
+  /// lfz2 selects the inter-view-predicted LFZ2 container instead (always
+  /// chunked; chunk_bytes 0 falls back to the 1 MiB default).
   [[nodiscard]] Bytes build_compressed(const ViewSetId& id, std::uint64_t chunk_bytes = 0,
-                                       ThreadPool* pool = nullptr) {
+                                       ThreadPool* pool = nullptr, bool lfz2 = false) {
     const ViewSet vs = build(id);
+    if (lfz2) return vs.compress_lfz2(chunk_bytes > 0 ? chunk_bytes : 1 << 20, pool);
     return chunk_bytes > 0 ? vs.compress_chunked(chunk_bytes, pool) : vs.compress();
   }
 };

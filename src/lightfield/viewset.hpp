@@ -25,7 +25,12 @@ namespace lon::lightfield {
 /// coherence", section 3.2): the first view is intra-coded, every later view
 /// is stored as its per-pixel difference from the previous view in the
 /// block, which is near-zero for 2.5-degree-apart cameras.
-enum class SerializeMode : std::uint8_t { kIntra = 0, kInterView = 1 };
+/// kAdaptive (the LFZ2 payload) predicts each view from its already-decoded
+/// lattice neighbor (left in the block row, or the view above for column 0)
+/// and picks intra filtering vs. the inter delta per view by the smaller
+/// post-filter residual sum — parallax-heavy views fall back to intra
+/// instead of paying for a bad prediction.
+enum class SerializeMode : std::uint8_t { kIntra = 0, kInterView = 1, kAdaptive = 2 };
 
 class ViewSet {
  public:
@@ -60,8 +65,14 @@ class ViewSet {
                                        ThreadPool* pool = nullptr,
                                        SerializeMode mode = SerializeMode::kIntra) const;
 
-  /// Accepts both plain and chunked containers (auto-detected); the pool
-  /// only matters for chunked input.
+  /// LFZ2: the adaptive inter-view serialization in a chunked container
+  /// under the "LFZ2" magic — fewer bytes on the wire than LFZC at the same
+  /// pipeline/overlap behaviour.
+  [[nodiscard]] Bytes compress_lfz2(std::uint64_t chunk_bytes = 1 << 20,
+                                    ThreadPool* pool = nullptr) const;
+
+  /// Accepts plain and chunked containers of every mode (auto-detected); the
+  /// pool only matters for chunked input.
   static ViewSet decompress(const Bytes& compressed, ThreadPool* pool = nullptr);
 
   bool operator==(const ViewSet&) const = default;

@@ -49,7 +49,8 @@ PublishResult publish_database(sim::Simulator& sim, lors::Lors& lors,
 
   for (const auto& id : all) {
     if (all_real || real_set.contains(id)) {
-      Bytes compressed = source.build_compressed(id, options.chunk_bytes, options.pool);
+      Bytes compressed =
+          source.build_compressed(id, options.chunk_bytes, options.pool, options.lfz2);
       real_bytes += compressed.size();
       ++real_count;
       payloads.emplace_back(id, std::move(compressed));

@@ -44,6 +44,9 @@ struct PublishOptions {
   /// overlap with stripe transfers — compressed across `pool` when given.
   std::uint64_t chunk_bytes = 0;
   ThreadPool* pool = nullptr;
+  /// Publish real view sets as inter-view-predicted LFZ2 containers instead
+  /// of LFZC — fewer bytes on the wire, decoded transparently by the client.
+  bool lfz2 = false;
 };
 
 struct PublishResult {

@@ -1,7 +1,9 @@
 #include "streaming/client.hpp"
 
 #include <chrono>
+#include <string>
 
+#include "compress/lfz.hpp"
 #include "util/log.hpp"
 
 namespace lon::streaming {
@@ -184,9 +186,24 @@ void Client::on_delivery(const ClientAgent::Delivery& delivery) {
   }
   record.decompress_time = decompress_time;
 
+  // Codec observability: bytes on the wire vs. pixels produced, keyed by the
+  // wire format ("lfzc", "lfz2", ...), right next to the client.decompress
+  // lifeline below.
+  const char* codec = lfz::wire_label(compressed);
+  const std::string codec_label = std::string("codec=") + codec;
+  obs_.metrics.counter("codec.bytes_in", codec_label).inc(compressed.size());
+  if (ok) {
+    obs_.metrics.counter("codec.bytes_out", codec_label).inc(vs.pixel_bytes());
+    obs_.metrics.gauge("codec.ratio", codec_label)
+        .set(static_cast<double>(vs.pixel_bytes()) /
+             static_cast<double>(compressed.size()));
+  }
+  obs_.metrics.histogram("codec.decode_ns", codec_label).record(decompress_time);
+
   const obs::SpanId decomp_span =
       obs_.trace.begin("client.decompress", sim_.now(), request.span);
   obs_.trace.arg(decomp_span, "bytes", compressed.size());
+  obs_.trace.arg(decomp_span, "codec", codec);
   if (record.pipelined) obs_.trace.arg(decomp_span, "mode", "pipelined");
 
   sim_.after(decompress_time,

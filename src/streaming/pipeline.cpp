@@ -8,7 +8,8 @@ namespace lon::streaming {
 
 namespace {
 
-/// "LFZC" magic + u64 original size + u32 chunk count (bytes.hpp encoding).
+/// "LFZC"/"LFZ2" magic + u64 original size + u32 chunk count (bytes.hpp
+/// encoding) — both chunked containers share the layout.
 constexpr std::uint64_t kHeaderBytes = 4 + 8 + 4;
 
 std::uint32_t read_u32(const Bytes& buffer, std::uint64_t pos) {

@@ -47,7 +47,7 @@ class DecompressPipeline {
   };
 
   struct Report {
-    bool chunked = false;    ///< payload was an LFZC container (pipeline engaged)
+    bool chunked = false;    ///< payload was chunked (LFZC/LFZ2, pipeline on)
     bool ok = false;         ///< every chunk decoded cleanly
     std::size_t chunks_total = 0;
     std::size_t chunks_overlapped = 0;  ///< submitted before the final stripe
@@ -58,8 +58,9 @@ class DecompressPipeline {
   explicit DecompressPipeline(const Options& options);
 
   /// Producer side: a verified stripe landed in the download buffer at
-  /// virtual time `now`. Parses the LFZC chunk directory out of the
-  /// contiguous prefix and submits every newly-complete chunk to the pool.
+  /// virtual time `now`. Parses the chunk directory (LFZC or LFZ2 — same
+  /// layout, different payload) out of the contiguous prefix and submits
+  /// every newly-complete chunk to the pool.
   /// Called on the simulator thread only.
   void on_stripe(const lors::StripeEvent& event, SimTime now);
 

@@ -48,6 +48,9 @@ struct ServerAgentConfig {
   std::uint64_t chunk_bytes = 0;
   /// Pool for the source's real CPU work (ray-cast views, codec chunks).
   ThreadPool* pool = nullptr;
+  /// Emit inter-view-predicted LFZ2 containers instead of LFZC — fewer
+  /// bytes on the wire, decoded transparently by the client agent.
+  bool lfz2 = false;
 };
 
 class ServerAgent final : public GeneratorService {

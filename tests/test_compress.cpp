@@ -2,6 +2,8 @@
 // container round-trips, corruption detection and image predictor filters.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <string>
 
@@ -345,6 +347,292 @@ TEST(Filters, BadFilterTypeThrows) {
   Bytes filtered(1 + 4 * 3, 0);
   filtered[0] = 9;  // invalid type
   EXPECT_THROW(unfilter_image(filtered, 4, 1, 3), DecodeError);
+}
+
+// --- fast decode path ----------------------------------------------------------------
+
+TEST(BitIo, Put32BitValueRoundTrips) {
+  BitWriter w;
+  w.put(0xdeadbeefu, 32);  // the full-width case: (1 << 32) would be UB
+  w.put(0xffffffffu, 32);
+  const Bytes data = w.take();
+  BitReader r(data);
+  EXPECT_EQ(r.get(32), 0xdeadbeefu);
+  EXPECT_EQ(r.get(32), 0xffffffffu);
+}
+
+TEST(BitIo, PeekZeroPadsPastEndButConsumeThrows) {
+  BitWriter w;
+  w.put(0b101, 3);
+  const Bytes data = w.take();  // one byte
+  BitReader r(data);
+  EXPECT_EQ(r.peek(15) & 0x7u, 0b101u);  // peek beyond the stream zero-pads
+  r.consume(8);                          // the byte that exists
+  EXPECT_EQ(r.peek(10), 0u);
+  EXPECT_THROW(r.consume(1), DecodeError);  // but consuming padding is truncation
+}
+
+TEST(BitIo, BulkRefillMatchesByteAtATime) {
+  // Cross the 8-byte fast-refill path at several stream alignments and check
+  // every extracted octet against a scalar bit extractor.
+  Bytes data(67);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  const auto bit_at = [&](std::size_t j) {
+    return static_cast<std::uint32_t>(data[j >> 3] >> (j & 7)) & 1u;
+  };
+  for (const int lead : {1, 3, 7, 11}) {
+    BitReader r(data);
+    (void)r.get(lead);
+    std::size_t pos = static_cast<std::size_t>(lead);
+    const std::size_t total = data.size() * 8;
+    while (total - pos >= 8) {
+      std::uint32_t want = 0;
+      for (int b = 0; b < 8; ++b) want |= bit_at(pos + static_cast<std::size_t>(b)) << b;
+      ASSERT_EQ(r.get(8), want) << "lead " << lead << " pos " << pos;
+      pos += 8;
+    }
+  }
+}
+
+TEST(Huffman, TableDecodeMatchesBitwiseOnRandomCodeSets) {
+  Rng rng(404);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t alphabet = 2 + rng.below(285);
+    std::vector<std::uint64_t> freqs(alphabet);
+    for (auto& f : freqs) {
+      // Skewed frequencies (and some zeros) exercise long codes + subtables.
+      f = rng.below(4) == 0 ? 0 : (1ull << rng.below(16));
+    }
+    freqs[rng.below(alphabet)] = 1;  // guarantee at least one used symbol
+    const auto lengths = build_code_lengths(freqs);
+    const HuffmanEncoder encoder(lengths);
+    const HuffmanDecoder decoder(lengths);
+
+    std::vector<std::uint32_t> symbols;
+    BitWriter w;
+    for (int i = 0; i < 2000; ++i) {
+      const auto s = static_cast<std::uint32_t>(rng.below(alphabet));
+      if (lengths[s] == 0) continue;
+      symbols.push_back(s);
+      encoder.encode(w, s);
+    }
+    const Bytes encoded = w.take();
+    BitReader table_reader(encoded);
+    BitReader bitwise_reader(encoded);
+    for (const auto want : symbols) {
+      EXPECT_EQ(decoder.decode(table_reader), want);
+      EXPECT_EQ(decoder.decode_bitwise(bitwise_reader), want);
+    }
+    EXPECT_EQ(table_reader.bytes_consumed(), bitwise_reader.bytes_consumed());
+  }
+}
+
+TEST(Huffman, SingleSymbolAlphabetRoundTrips) {
+  // Degenerate but legal: one used symbol gets a 1-bit code and both
+  // decoders must resolve it (the table fill must cover the whole root).
+  std::vector<std::uint64_t> freqs(30, 0);
+  freqs[17] = 123;
+  const auto lengths = build_code_lengths(freqs);
+  ASSERT_EQ(lengths[17], 1);
+  const HuffmanEncoder encoder(lengths);
+  const HuffmanDecoder decoder(lengths);
+  BitWriter w;
+  for (int i = 0; i < 64; ++i) encoder.encode(w, 17);
+  const Bytes encoded = w.take();
+  BitReader r(encoded);
+  BitReader rb(encoded);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(decoder.decode(r), 17u);
+    EXPECT_EQ(decoder.decode_bitwise(rb), 17u);
+  }
+}
+
+TEST(Huffman, FullDeflateAlphabetAllNonzeroRespectsMaxLength) {
+  // All 286 literal/length symbols in use with wildly skewed counts: the
+  // halving fallback must land every code within kMaxCodeLength, and the
+  // canonical set must stay decodable (not over-subscribed).
+  std::vector<std::uint64_t> freqs(286);
+  std::uint64_t fib_a = 1, fib_b = 1;
+  for (auto& f : freqs) {
+    f = fib_a;
+    const std::uint64_t next = fib_a + fib_b;
+    fib_a = fib_b;
+    fib_b = next;
+    if (fib_b > (1ull << 40)) fib_a = fib_b = 1;  // keep counts finite, re-skew
+  }
+  const auto lengths = build_code_lengths(freqs);
+  for (const auto l : lengths) {
+    ASSERT_GT(l, 0);
+    ASSERT_LE(l, kMaxCodeLength);
+  }
+  double kraft = 0.0;
+  for (const auto l : lengths) kraft += std::ldexp(1.0, -l);
+  EXPECT_LE(kraft, 1.0 + 1e-9);
+
+  const HuffmanEncoder encoder(lengths);
+  const HuffmanDecoder decoder(lengths);
+  BitWriter w;
+  for (std::uint32_t s = 0; s < 286; ++s) encoder.encode(w, s);
+  const Bytes encoded = w.take();
+  BitReader r(encoded);
+  for (std::uint32_t s = 0; s < 286; ++s) EXPECT_EQ(decoder.decode(r), s);
+}
+
+TEST(Huffman, OverSubscribedLengthsRejected) {
+  // Three 1-bit codes cannot coexist; a corrupt container could smuggle such
+  // a length array in, which must fail table construction, not overflow it.
+  const std::vector<std::uint8_t> three_ones{1, 1, 1};
+  EXPECT_THROW(HuffmanDecoder{three_ones}, DecodeError);
+  std::vector<std::uint8_t> deep(65, 6);  // 65 codes of length 6 > 2^6 = 64
+  EXPECT_THROW(HuffmanDecoder{deep}, DecodeError);
+}
+
+// --- codec hardening -----------------------------------------------------------------
+
+namespace {
+
+/// Compressible-but-structured payload for the corruption sweeps.
+Bytes hardening_payload(std::size_t size) {
+  Bytes data(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    data[i] = static_cast<std::uint8_t>((i * 7) % 251 < 100 ? 42 : (i / 13) % 256);
+  }
+  return data;
+}
+
+/// A corrupted container must throw DecodeError — or, for flips the checksum
+/// provably cannot distinguish, still produce the original bytes. Anything
+/// else (crash, garbage output, std::bad_alloc from a forged size field)
+/// fails the test.
+void expect_rejected_or_intact(const Bytes& corrupted, const Bytes& original) {
+  try {
+    const Bytes out = is_chunked(corrupted) ? decompress_chunked(corrupted)
+                                            : decompress(corrupted);
+    EXPECT_EQ(out, original);
+  } catch (const DecodeError&) {
+    // expected
+  }
+}
+
+}  // namespace
+
+TEST(LfzHardening, TruncationsNeverCrash) {
+  const Bytes input = hardening_payload(20000);
+  for (const Bytes& container :
+       {compress(input), compress_chunked(input, 4096), compress_lfz2(input, 4096)}) {
+    for (std::size_t keep = 0; keep < container.size();
+         keep += std::max<std::size_t>(1, container.size() / 97)) {
+      const Bytes cut(container.begin(),
+                      container.begin() + static_cast<std::ptrdiff_t>(keep));
+      expect_rejected_or_intact(cut, input);
+    }
+  }
+}
+
+TEST(LfzHardening, BitFlipsNeverCrash) {
+  const Bytes input = hardening_payload(20000);
+  for (const Bytes& container :
+       {compress(input), compress_chunked(input, 4096), compress_lfz2(input, 4096)}) {
+    for (std::size_t pos = 0; pos < container.size();
+         pos += std::max<std::size_t>(1, container.size() / 211)) {
+      for (const int bit : {0, 3, 7}) {
+        Bytes flipped = container;
+        flipped[pos] = static_cast<std::uint8_t>(flipped[pos] ^ (1u << bit));
+        expect_rejected_or_intact(flipped, input);
+      }
+    }
+  }
+}
+
+TEST(LfzHardening, ForgedLengthFieldsThrowInsteadOfAllocating) {
+  const Bytes input = hardening_payload(4096);
+
+  // LFZ1: the u64 original-size field at offset 4 claims 2^60 bytes.
+  Bytes huge = compress(input);
+  for (int i = 0; i < 8; ++i) huge[4 + i] = i == 7 ? 0x10 : 0x00;
+  EXPECT_THROW((void)decompress(huge), DecodeError);
+
+  for (Bytes container : {compress_chunked(input, 1024), compress_lfz2(input, 1024)}) {
+    // Chunked: forge the u32 chunk count at offset 12 to ~4 billion.
+    Bytes many = container;
+    many[12] = many[13] = many[14] = many[15] = 0xff;
+    EXPECT_THROW((void)decompress_chunked(many), DecodeError);
+
+    // And the u64 claimed original size at offset 4.
+    Bytes big = container;
+    for (int i = 0; i < 8; ++i) big[4 + i] = 0xff;
+    EXPECT_THROW((void)decompress_chunked(big), DecodeError);
+  }
+}
+
+TEST(LfzHardening, WireLabelNeverThrows) {
+  const Bytes input = hardening_payload(4096);
+  EXPECT_STREQ(wire_label(compress(input)), "lfz1");
+  CompressOptions stored;
+  stored.store_only = true;
+  EXPECT_STREQ(wire_label(compress(input, stored)), "stored");
+  EXPECT_STREQ(wire_label(compress_chunked(input, 1024)), "lfzc");
+  EXPECT_STREQ(wire_label(compress_lfz2(input, 1024)), "lfz2");
+  EXPECT_STREQ(wire_label(Bytes{}), "unknown");
+  EXPECT_STREQ(wire_label(Bytes{'L', 'F'}), "unknown");
+  EXPECT_STREQ(wire_label(Bytes(3, 0xff)), "unknown");
+}
+
+TEST(LfzHardening, StoreOnlyRoundTrips) {
+  const Bytes input = hardening_payload(10000);
+  CompressOptions opt;
+  opt.store_only = true;
+  const Bytes packed = compress(input, opt);
+  EXPECT_EQ(packed.size(), input.size() + 17);  // header only, no coding
+  EXPECT_EQ(decompress(packed), input);
+}
+
+TEST(LfzHardening, Lfz2ContainerRoundTripsArbitraryBytes) {
+  // compress_lfz2 is byte-transparent: the inter-view prediction lives in
+  // the serialization layer above, so any payload must survive.
+  Rng rng(8181);
+  for (const std::size_t size : {0ul, 1ul, 4095ul, 70000ul}) {
+    Bytes data(size);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+    const Bytes packed = compress_lfz2(data, 16 * 1024);
+    EXPECT_TRUE(is_lfz2(packed));
+    EXPECT_TRUE(is_chunked(packed));
+    EXPECT_EQ(decompress_chunked(packed), data);
+  }
+}
+
+TEST(LfzHardening, PooledChunkedRoundTripsMatchSerial) {
+  // TSan target: the same chunks compressed/decompressed across a pool must
+  // produce byte-identical containers and outputs.
+  const Bytes input = hardening_payload(150000);
+  ThreadPool pool(3);
+  const Bytes serial_c = compress_chunked(input, 16 * 1024);
+  const Bytes pooled_c = compress_chunked(input, 16 * 1024, {}, &pool);
+  EXPECT_EQ(serial_c, pooled_c);
+  const Bytes serial_2 = compress_lfz2(input, 16 * 1024);
+  const Bytes pooled_2 = compress_lfz2(input, 16 * 1024, {}, &pool);
+  EXPECT_EQ(serial_2, pooled_2);
+  EXPECT_EQ(decompress_chunked(pooled_c, &pool), input);
+  EXPECT_EQ(decompress_chunked(pooled_2, &pool), input);
+}
+
+// --- golden containers ---------------------------------------------------------------
+
+// Captured from the encoder before the table-driven decode path landed; the
+// decoder must keep accepting historical LFZ1/LFZC containers bit-for-bit.
+#include "golden_lfz_blobs.inc"
+
+TEST(LfzGolden, SeedEncoderContainersStillDecode) {
+  const Bytes want = hardening_payload(6000);
+  const Bytes lfz1(kGoldenLfz1, kGoldenLfz1 + sizeof(kGoldenLfz1));
+  EXPECT_STREQ(wire_label(lfz1), "lfz1");
+  EXPECT_EQ(decompress(lfz1), want);
+
+  const Bytes lfzc(kGoldenLfzc, kGoldenLfzc + sizeof(kGoldenLfzc));
+  EXPECT_STREQ(wire_label(lfzc), "lfzc");
+  EXPECT_EQ(decompress_chunked(lfzc), want);
 }
 
 }  // namespace

@@ -265,6 +265,67 @@ TEST(ViewSetData, ChunkedCompressionRoundTripsAndAutoDetects) {
             1.25 * static_cast<double>(plain.size()));
 }
 
+TEST(ViewSetData, AdaptiveModeRoundTrips) {
+  ProceduralSource coherent(small_config(32));
+  const ViewSet vs = coherent.build({1, 2});
+  EXPECT_EQ(ViewSet::deserialize(vs.serialize(SerializeMode::kAdaptive)), vs);
+
+  // Incoherent content: every view should fall back to intra, and still
+  // round-trip exactly.
+  ViewSet noisy({0, 1}, 2, 16);
+  Rng rng(99);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      for (auto& b : noisy.view(r, c).bytes()) {
+        b = static_cast<std::uint8_t>(rng.below(256));
+      }
+    }
+  }
+  EXPECT_EQ(ViewSet::deserialize(noisy.serialize(SerializeMode::kAdaptive)), noisy);
+}
+
+TEST(ViewSetData, Lfz2RoundTripsAndAutoDetects) {
+  ProceduralSource source(small_config(64));
+  const ViewSet vs = source.build({1, 2});
+  const Bytes lfz2 = vs.compress_lfz2(16 * 1024);
+  EXPECT_EQ(ViewSet::decompress(lfz2), vs);  // auto-detected container
+  ThreadPool pool(2);
+  EXPECT_EQ(ViewSet::decompress(lfz2, &pool), vs);
+}
+
+TEST(ViewSetData, Lfz2BeatsLfzcAtPaperViewSpacing) {
+  // At the paper's 2.5-degree view spacing the lattice-neighbor prediction
+  // must pay for its flag bytes many times over.
+  LatticeConfig cfg;
+  cfg.angular_step_deg = 2.5;
+  cfg.view_set_span = 3;
+  cfg.view_resolution = 96;
+  ProceduralSource source(cfg);
+  const ViewSet vs = source.build({3, 7});
+  const Bytes lfzc = vs.compress_chunked(64 * 1024);
+  const Bytes lfz2 = vs.compress_lfz2(64 * 1024);
+  EXPECT_LT(static_cast<double>(lfz2.size()), 0.95 * static_cast<double>(lfzc.size()));
+  EXPECT_EQ(ViewSet::decompress(lfz2), vs);
+}
+
+TEST(ViewSetData, AdaptiveDeserializeRejectsBadFlags) {
+  ViewSet vs({0, 0}, 2, 8);
+  Bytes data = vs.serialize(SerializeMode::kAdaptive);
+  const std::size_t first_flag = 21;  // 5 u32 header fields + mode byte
+
+  Bytes bad_flag = data;
+  bad_flag[first_flag] = 7;  // neither intra nor inter
+  EXPECT_THROW(ViewSet::deserialize(bad_flag), DecodeError);
+
+  Bytes inter_without_neighbor = data;
+  inter_without_neighbor[first_flag] = 1;  // view (0,0) has no neighbor
+  EXPECT_THROW(ViewSet::deserialize(inter_without_neighbor), DecodeError);
+
+  Bytes bad_mode = vs.serialize();
+  bad_mode[20] = 9;  // unknown serialize mode
+  EXPECT_THROW(ViewSet::deserialize(bad_mode), DecodeError);
+}
+
 TEST(ViewSetData, DeserializeRejectsGarbage) {
   EXPECT_THROW(ViewSet::deserialize(Bytes{1, 2, 3}), DecodeError);
   ViewSet vs({0, 0}, 1, 4);

@@ -6,6 +6,7 @@
 #include <memory>
 #include <optional>
 
+#include "compress/lfz.hpp"
 #include "lightfield/procedural.hpp"
 #include "streaming/cache.hpp"
 #include "streaming/client.hpp"
@@ -566,6 +567,27 @@ TEST_F(PipelineTest, ServerAgentGeneratesOnDvsMiss) {
   EXPECT_FALSE(received.empty());
   EXPECT_EQ(server.generated_count(), 1u);
   EXPECT_TRUE(dvs_->knows(id));
+  EXPECT_EQ(lightfield::ViewSet::decompress(received), source_->build(id));
+}
+
+TEST_F(PipelineTest, ServerAgentPublishesLfz2WhenConfigured) {
+  // Flip the whole database to the inter-view-predicted container; the
+  // delivery path and the client-side decode must not care.
+  ServerAgentConfig server_cfg;
+  server_cfg.depots = wan_depots_;
+  server_cfg.lfz2 = true;
+  ServerAgent server(sim_, net_, lors_, *dvs_, server_node_, source_, server_cfg);
+  dvs_->register_server_agent(&server);
+
+  auto agent = make_agent(false, false);
+  const ViewSetId id{2, 3};
+  Bytes received;
+  agent->request_view_set(id, [&](const Bytes& data, AccessClass, SimDuration) {
+    received = data;
+  });
+  sim_.run();
+  ASSERT_FALSE(received.empty());
+  EXPECT_STREQ(lfz::wire_label(received), "lfz2");
   EXPECT_EQ(lightfield::ViewSet::decompress(received), source_->build(id));
 }
 
