@@ -26,6 +26,15 @@ to BENCH_pr.json, and compares them against the committed BENCH_baseline.json:
       the bit-at-a-time reference, and the lfz2 container must be strictly
       smaller than lfzc on the same view set.
 
+  bench_prefetch --smoke --json
+      Client-agent policy engine on scripted cursor walks (virtual time, so
+      fully deterministic -> all hard checks). Per row vs baseline: demand
+      hit rate must not drop, wasted-prefetch bytes and demand p99 must stay
+      within tolerance. Same-run: the predictive scheduler must strictly
+      beat the paper's quadrant policy on the smooth-pan and reversal walks,
+      and under the thrashing-cache rows the hybrid eviction policy must
+      keep demand p99 at or below plain LRU with fewer pollution evictions.
+
 Exit status is non-zero on any hard failure. A PR that intentionally changes
 performance updates the baseline in the same commit:
 
@@ -80,6 +89,11 @@ def collect_framerate(build_dir):
 
 def collect_compression(build_dir):
     return run_json([os.path.join(build_dir, "bench", "bench_compression"),
+                     "--smoke", "--json"])
+
+
+def collect_prefetch(build_dir):
+    return run_json([os.path.join(build_dir, "bench", "bench_prefetch"),
                      "--smoke", "--json"])
 
 
@@ -190,6 +204,64 @@ def check_compression(pr, base, tolerance, strict, min_decode_speedup):
               f"({decode.get('table_msym_s', 0):.1f} Msym/s)")
 
 
+def check_prefetch(pr, base, tolerance):
+    """Deterministic policy metrics vs baseline + same-run policy ordering."""
+    base_rows = {row["name"]: row for row in base.get("results", [])}
+    pr_rows = {row["name"]: row for row in pr.get("results", [])}
+    for name, row in sorted(pr_rows.items()):
+        tag = f"prefetch[{name}]"
+        if row.get("failed", 0) > 0:
+            fail(f"{tag}: {row['failed']} failed accesses")
+        if name not in base_rows:
+            warn(f"{tag}: no baseline row; add one with --update-baseline")
+            continue
+        ref = base_rows[name]
+        if row["hit_rate"] < ref["hit_rate"] - 1e-6:
+            fail(f"{tag}: hit rate {row['hit_rate']:.4f} below baseline "
+                 f"{ref['hit_rate']:.4f} (virtual time: deterministic)")
+        if row["wasted_bytes"] > ref["wasted_bytes"] * (1.0 + tolerance):
+            fail(f"{tag}: wasted prefetch bytes {row['wasted_bytes']} exceed "
+                 f"baseline {ref['wasted_bytes']} by more than {tolerance:.0%}")
+        if row["p99_s"] > ref["p99_s"] * (1.0 + tolerance):
+            fail(f"{tag}: demand p99 {row['p99_s']:.4f}s exceeds baseline "
+                 f"{ref['p99_s']:.4f}s by more than {tolerance:.0%}")
+        else:
+            print(f"ok:   {tag}: hit {row['hit_rate']:.3f}, "
+                  f"p99 {row['p99_s']:.4f}s, wasted {row['wasted_bytes']}B")
+
+    # Same-run orderings: what the policy engine is *for*. All virtual-time.
+    for script in ("smooth_pan", "reversal"):
+        quad = pr_rows.get(f"{script}/quadrant")
+        pred = pr_rows.get(f"{script}/predictive")
+        if not quad or not pred:
+            fail(f"prefetch[{script}]: quadrant/predictive row pair not found")
+            continue
+        if pred["hit_rate"] <= quad["hit_rate"]:
+            fail(f"prefetch[{script}]: predictive hit rate {pred['hit_rate']:.4f} "
+                 f"does not beat quadrant {quad['hit_rate']:.4f}")
+        elif pred["mean_s"] > quad["mean_s"]:
+            fail(f"prefetch[{script}]: predictive mean {pred['mean_s']:.4f}s "
+                 f"slower than quadrant {quad['mean_s']:.4f}s")
+        else:
+            print(f"ok:   prefetch[{script}]: predictive {pred['hit_rate']:.3f} "
+                  f"> quadrant {quad['hit_rate']:.3f} hit rate")
+
+    lru = pr_rows.get("reversal/predictive/lru")
+    hybrid = pr_rows.get("reversal/predictive/hybrid")
+    if not lru or not hybrid:
+        fail("prefetch: tight-cache lru/hybrid row pair not found")
+    elif hybrid["p99_s"] > lru["p99_s"]:
+        fail(f"prefetch[tight-cache]: hybrid p99 {hybrid['p99_s']:.4f}s above "
+             f"lru {lru['p99_s']:.4f}s (demand working set not protected)")
+    elif hybrid["pollution_evictions"] > lru["pollution_evictions"]:
+        fail(f"prefetch[tight-cache]: hybrid evicted {hybrid['pollution_evictions']} "
+             f"polluters vs lru {lru['pollution_evictions']}")
+    else:
+        print(f"ok:   prefetch[tight-cache]: hybrid p99 {hybrid['p99_s']:.4f}s "
+              f"<= lru {lru['p99_s']:.4f}s, pollution "
+              f"{hybrid['pollution_evictions']} vs {lru['pollution_evictions']}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
@@ -212,6 +284,7 @@ def main():
         "scalability_users": collect_scalability(args.build_dir),
         "framerate": collect_framerate(args.build_dir),
         "compression": collect_compression(args.build_dir),
+        "prefetch": collect_prefetch(args.build_dir),
     }
 
     target = args.baseline if args.update_baseline else args.out
@@ -236,6 +309,8 @@ def main():
     check_speedup(results["framerate"], args.min_speedup, cores)
     check_compression(results["compression"], baseline.get("compression", {}),
                       args.tolerance, args.strict, args.min_decode_speedup)
+    check_prefetch(results["prefetch"], baseline.get("prefetch", {}),
+                   args.tolerance)
 
     print(f"\nperf gate: {len(HARD_FAILURES)} failure(s), {len(WARNINGS)} warning(s)")
     return 1 if HARD_FAILURES else 0

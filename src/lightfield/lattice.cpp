@@ -75,12 +75,28 @@ ViewSetId SphericalLattice::view_set_of(const Spherical& dir) const {
 }
 
 int SphericalLattice::quadrant_of(const Spherical& dir) const {
+  // The quadrant must be measured within the *containing* view set — the one
+  // view_set_of() reports — or the prefetch targets point away from where the
+  // cursor actually is. Taking fmod of the raw coordinates gets this wrong
+  // wherever rounding crosses a set boundary: just left of the phi wrap seam
+  // (fc = cols - eps belongs to set col 0, but fmod says "right half" of the
+  // last set) and just above any set's first row (fr = k*span - eps rounds
+  // into set k, but fmod says "lower half" of set k-1).
   const auto [fr, fc] = lattice_coords(dir);
+  const auto [row, col] = nearest_sample(dir);
+  const ViewSetId id = view_set_of(row, col);
   const double span = config_.view_set_span;
-  const double local_r = std::clamp(fr, 0.0, static_cast<double>(rows_) - 1.0);
-  const double rq = std::fmod(local_r, span) / span;       // [0,1) within the set
-  const double cq = std::fmod(fc, span) / span;
-  return (rq >= 0.5 ? 1 : 0) | (cq >= 0.5 ? 2 : 0);
+  const double local_r = fr - static_cast<double>(id.row) * span;
+  double local_c = fc - static_cast<double>(id.col) * span;
+  // Wrap the phi offset to the nearest image so a cursor just left of the
+  // seam measures slightly negative instead of nearly +cols.
+  const auto n = static_cast<double>(cols_);
+  if (local_c >= n / 2.0) local_c -= n;
+  else if (local_c < -n / 2.0) local_c += n;
+  // Split at the set's center — the point equidistant from the two opposite
+  // neighbours' centers. In fr-space the center sits at span/2 - 0.5 (theta
+  // carries the half-step pole offset); in fc-space at span/2.
+  return (local_r >= span / 2.0 - 0.5 ? 1 : 0) | (local_c >= span / 2.0 ? 2 : 0);
 }
 
 std::vector<ViewSetId> SphericalLattice::neighbors(const ViewSetId& id) const {

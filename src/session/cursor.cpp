@@ -21,6 +21,78 @@ std::size_t CursorScript::expected_accesses(
   return accesses;
 }
 
+namespace {
+
+/// Appends a constant-rate pan of `sets` view-set widths starting at `phi`
+/// (radians, moving `direction` = +-1), sampling `steps_per_set` times per
+/// set width. Returns the phi where the pan ended.
+double emit_pan(std::vector<CursorStep>& steps, double theta, double phi,
+                double set_width, std::size_t sets, int steps_per_set, int direction,
+                SimDuration dwell) {
+  const double dphi = direction * set_width / steps_per_set;
+  const auto total = sets * static_cast<std::size_t>(steps_per_set);
+  for (std::size_t i = 0; i < total; ++i) {
+    phi += dphi;
+    double wrapped = std::fmod(phi, 2 * kPi);
+    if (wrapped < 0) wrapped += 2 * kPi;
+    steps.push_back(CursorStep{Spherical{theta, wrapped}, dwell});
+  }
+  return phi;
+}
+
+double row_theta(const lightfield::SphericalLattice& lattice, int row) {
+  if (row < 0) row = static_cast<int>(lattice.view_set_rows()) / 2;
+  return lattice.view_set_center({row, 0}).theta;
+}
+
+}  // namespace
+
+CursorScript CursorScript::smooth_pan(const lightfield::SphericalLattice& lattice,
+                                      SimDuration dwell, std::size_t sets,
+                                      int steps_per_set, int row) {
+  const double set_width =
+      lattice.config().view_set_span * deg2rad(lattice.config().angular_step_deg);
+  const double theta = row_theta(lattice, row);
+  const int r = row < 0 ? static_cast<int>(lattice.view_set_rows()) / 2 : row;
+  std::vector<CursorStep> steps;
+  steps.push_back(CursorStep{lattice.view_set_center({r, 0}), dwell});
+  emit_pan(steps, theta, steps.front().direction.phi, set_width, sets, steps_per_set,
+           +1, dwell);
+  return CursorScript(std::move(steps));
+}
+
+CursorScript CursorScript::reversal(const lightfield::SphericalLattice& lattice,
+                                    SimDuration dwell, std::size_t sets_out,
+                                    int steps_per_set, int row) {
+  const double set_width =
+      lattice.config().view_set_span * deg2rad(lattice.config().angular_step_deg);
+  const double theta = row_theta(lattice, row);
+  const int r = row < 0 ? static_cast<int>(lattice.view_set_rows()) / 2 : row;
+  std::vector<CursorStep> steps;
+  steps.push_back(CursorStep{lattice.view_set_center({r, 0}), dwell});
+  const double turn = emit_pan(steps, theta, steps.front().direction.phi, set_width,
+                               sets_out, steps_per_set, +1, dwell);
+  emit_pan(steps, theta, turn, set_width, sets_out, steps_per_set, -1, dwell);
+  return CursorScript(std::move(steps));
+}
+
+CursorScript CursorScript::teleport(const lightfield::SphericalLattice& lattice,
+                                    SimDuration dwell, std::size_t segment,
+                                    int steps_per_set, std::size_t jumps, int row) {
+  const double set_width =
+      lattice.config().view_set_span * deg2rad(lattice.config().angular_step_deg);
+  const double theta = row_theta(lattice, row);
+  const int r = row < 0 ? static_cast<int>(lattice.view_set_rows()) / 2 : row;
+  std::vector<CursorStep> steps;
+  steps.push_back(CursorStep{lattice.view_set_center({r, 0}), dwell});
+  double phi = steps.front().direction.phi;
+  for (std::size_t j = 0; j <= jumps; ++j) {
+    phi = emit_pan(steps, theta, phi, set_width, segment, steps_per_set, +1, dwell);
+    if (j < jumps) phi += kPi;  // half the sphere away: unambiguous teleport
+  }
+  return CursorScript(std::move(steps));
+}
+
 CursorScript CursorScript::standard(const lightfield::SphericalLattice& lattice,
                                     SimDuration dwell, std::size_t accesses,
                                     std::uint64_t seed) {

@@ -47,6 +47,30 @@ class CursorScript {
                                SimDuration dwell, std::size_t accesses = 58,
                                std::uint64_t seed = 2003);
 
+  // Scripted walks for the policy bench: each isolates one kinematic regime
+  // the prefetch policies must handle. All are deterministic (no rng).
+
+  /// Constant-rate pan in +phi along one view-set row: `steps_per_set`
+  /// samples inside each of `sets` view sets. The regime trajectory
+  /// extrapolation is built for. `row` < 0 = the middle latitude band.
+  static CursorScript smooth_pan(const lightfield::SphericalLattice& lattice,
+                                 SimDuration dwell, std::size_t sets = 16,
+                                 int steps_per_set = 4, int row = -1);
+
+  /// Pans `sets_out` view sets in +phi, then retraces the same path back —
+  /// the motion model must flip its velocity estimate at the turn.
+  static CursorScript reversal(const lightfield::SphericalLattice& lattice,
+                               SimDuration dwell, std::size_t sets_out = 8,
+                               int steps_per_set = 4, int row = -1);
+
+  /// Figure-12-style browse: pan `segment` sets, teleport half the sphere
+  /// away in phi, pan again — `jumps` times. Exercises the model reset; a
+  /// policy that keeps extrapolating across the jump wastes its prefetches.
+  static CursorScript teleport(const lightfield::SphericalLattice& lattice,
+                               SimDuration dwell, std::size_t segment = 5,
+                               int steps_per_set = 4, std::size_t jumps = 3,
+                               int row = -1);
+
  private:
   std::vector<CursorStep> steps_;
 };

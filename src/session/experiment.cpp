@@ -160,6 +160,11 @@ struct System {
     streaming::ClientAgentConfig agent_config;
     agent_config.cache_bytes = config.agent_cache_bytes;
     agent_config.prefetch = config.prefetch;
+    agent_config.prefetch_strategy = config.prefetch_strategy;
+    agent_config.eviction = config.eviction;
+    agent_config.prefetch_horizon = config.prefetch_horizon;
+    agent_config.prefetch_max_inflight = config.prefetch_max_inflight;
+    agent_config.prefetch_max_bytes = config.prefetch_max_bytes;
     agent_config.staging = (config.which == Case::kWanWithLanDepot);
     agent_config.lan_depots = lan_depots;
     agent_config.staging_concurrency = config.staging_concurrency;
@@ -207,7 +212,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   const lightfield::SphericalLattice& lattice = sys.source.lattice();
 
   const CursorScript script =
-      CursorScript::standard(lattice, config.dwell, config.accesses, config.seed);
+      config.script.has_value()
+          ? *config.script
+          : CursorScript::standard(lattice, config.dwell, config.accesses, config.seed);
   PublishResult published = sys.publish(config, {&script});
 
   sys.make_agent(config);

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,9 @@ struct ExperimentConfig {
   SimDuration dwell = 2 * kSecond;   ///< user pause between movements
   std::size_t accesses = 58;         ///< view-set requests the script generates
   std::uint64_t seed = 2003;
+  /// When set, replaces the standard seeded walk (dwell/accesses/seed are
+  /// then ignored) — how the policy bench replays its scripted cursor walks.
+  std::optional<CursorScript> script;
 
   // Content policy: true renders every view set (slow); false renders only
   // the view sets the script touches and publishes size-matched filler for
@@ -63,6 +67,13 @@ struct ExperimentConfig {
   // case but can be overridden for ablations).
   std::uint64_t agent_cache_bytes = 512ull << 20;
   bool prefetch = true;
+  /// Policy engine: which prefetch scheduler and cache replacement policy the
+  /// agent runs, plus the predictive scheduler's budget/horizon knobs.
+  policy::PrefetchStrategy prefetch_strategy = policy::PrefetchStrategy::kQuadrant;
+  policy::EvictionStrategy eviction = policy::EvictionStrategy::kLru;
+  SimDuration prefetch_horizon = 2 * kSecond;
+  std::size_t prefetch_max_inflight = 0;   ///< 0 = unlimited
+  std::uint64_t prefetch_max_bytes = 0;    ///< 0 = unlimited
   int staging_concurrency = 4;
   streaming::ClientAgentConfig::StagingOrder staging_order =
       streaming::ClientAgentConfig::StagingOrder::kProximity;

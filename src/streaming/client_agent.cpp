@@ -47,11 +47,27 @@ ClientAgent::ClientAgent(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fa
                scope_.counter("agent.invalidations"),
                scope_.counter("agent.restaged"),
                scope_.counter("agent.lease_refreshes"),
-               scope_.counter("agent.pipelined")},
-      cache_(config_.cache_bytes) {
+               scope_.counter("agent.pipelined"),
+               scope_.counter("policy.predictions"),
+               scope_.counter("prefetch.bytes"),
+               scope_.counter("prefetch.useful"),
+               scope_.counter("prefetch.useful_bytes"),
+               scope_.counter("cache.pollution_evictions"),
+               scope_.counter("cache.rejected_prefetch"),
+               scope_.counter("agent.pipeline_aborts")},
+      cache_(config_.cache_bytes),
+      motion_(config_.motion),
+      latency_(config_.latency) {
   if (config_.staging && config_.lan_depots.empty()) {
     throw std::invalid_argument("ClientAgent: staging enabled without LAN depots");
   }
+  // Plain LRU keeps the cache's O(1) legacy eviction path; other strategies
+  // install a policy (and the lattice, for cursor-distance measurements).
+  cache_.configure(&lattice_, config_.eviction == policy::EvictionStrategy::kLru
+                                  ? nullptr
+                                  : policy::make_eviction_policy(config_.eviction));
+  prefetch_policy_ = policy::make_prefetch_policy(
+      config_.prefetch ? config_.prefetch_strategy : policy::PrefetchStrategy::kNone);
 }
 
 void ClientAgent::request_view_set(const lightfield::ViewSetId& id,
@@ -74,8 +90,14 @@ void ClientAgent::request_view_set(const lightfield::ViewSetId& id,
 void ClientAgent::fetch(const lightfield::ViewSetId& id, RichDeliverCallback cb,
                         bool demand, obs::SpanId parent) {
   // 1. Agent cache.
-  if (std::shared_ptr<const Bytes> data = cache_.get(id); data != nullptr) {
+  bool first_prefetch_hit = false;
+  if (std::shared_ptr<const Bytes> data = cache_.get(id, &first_prefetch_hit, demand);
+      data != nullptr) {
     if (demand) metrics_.hits.inc();
+    if (first_prefetch_hit) {
+      metrics_.prefetch_useful.inc();
+      metrics_.prefetch_useful_bytes.inc(data->size());
+    }
     if (cb) {
       const obs::SpanId span = obs_.trace.begin("agent.fetch", sim_.now(), parent);
       obs_.trace.arg(span, "view_set", id.key());
@@ -95,6 +117,9 @@ void ClientAgent::fetch(const lightfield::ViewSetId& id, RichDeliverCallback cb,
   //    with an ongoing prefetch — part of the latency is already hidden).
   auto it = inflight_.find(id);
   if (it != inflight_.end()) {
+    // A demand request catching up with its own prefetch is the other shape
+    // of "useful prefetch": part of the latency is already hidden.
+    if (demand && it->second.prefetch_origin) it->second.demand_joined = true;
     it->second.waiters.push_back(Waiter{std::move(cb), sim_.now(), demand, parent});
     return;
   }
@@ -102,6 +127,8 @@ void ClientAgent::fetch(const lightfield::ViewSetId& id, RichDeliverCallback cb,
   // 3. Start a fresh fetch.
   Inflight flight;
   flight.waiters.push_back(Waiter{std::move(cb), sim_.now(), demand, parent});
+  flight.started = sim_.now();
+  flight.prefetch_origin = !demand;
   flight.span = obs_.trace.begin("agent.fetch", sim_.now(), parent);
   obs_.trace.arg(flight.span, "view_set", id.key());
   obs_.trace.arg(flight.span, "demand", demand ? "true" : "false");
@@ -110,17 +137,30 @@ void ClientAgent::fetch(const lightfield::ViewSetId& id, RichDeliverCallback cb,
 }
 
 AccessClass ClientAgent::classify(const exnode::ExNode& exnode) const {
-  const auto& extents = exnode.extents();
-  if (extents.empty() || extents.front().replicas.empty()) return AccessClass::kWan;
-  // LoRS prefers the front replica (staged copies are inserted there) unless
-  // a closer one exists; mirror that choice here.
+  // Scan every extent, not just the first: partial staging or post-repair
+  // dark extents can leave the LAN replica out of extent 0 while the rest of
+  // the view set is served locally. Judging only the front extent then
+  // misclassifies the access as WAN — inflating agent.wan_accesses and
+  // wrongly pausing staging under pause_staging_on_miss.
   SimDuration best = std::numeric_limits<SimDuration>::max();
-  for (const auto& replica : extents.front().replicas) {
-    const sim::NodeId depot = fabric_.depot_node(replica.read.depot);
-    if (!net_.reachable(node_, depot)) continue;
-    best = std::min(best, net_.path_latency(node_, depot));
+  for (const auto& extent : exnode.extents()) {
+    for (const auto& replica : extent.replicas) {
+      const sim::NodeId depot = fabric_.depot_node(replica.read.depot);
+      if (!net_.reachable(node_, depot)) continue;
+      best = std::min(best, net_.path_latency(node_, depot));
+    }
   }
+  if (best == std::numeric_limits<SimDuration>::max()) return AccessClass::kWan;
   return best <= config_.lan_threshold ? AccessClass::kLanDepot : AccessClass::kWan;
+}
+
+policy::FetchClass ClientAgent::fetch_class_of(const lightfield::ViewSetId& id) const {
+  if (staged_.contains(id)) return policy::FetchClass::kLan;
+  if (auto cached = exnode_cache_.find(id); cached != exnode_cache_.end()) {
+    return classify(cached->second) == AccessClass::kLanDepot ? policy::FetchClass::kLan
+                                                              : policy::FetchClass::kWan;
+  }
+  return policy::FetchClass::kWan;
 }
 
 void ClientAgent::resolve_and_download(const lightfield::ViewSetId& id) {
@@ -187,6 +227,15 @@ void ClientAgent::download(const lightfield::ViewSetId& id, const exnode::ExNode
                            LON_LOG(kWarn, "client-agent")
                                << "download of " << id.key() << " failed: "
                                << lors::to_string(result.status);
+                           // This attempt's pipeline dies with the attempt:
+                           // drain its in-flight chunk decodes now, or they
+                           // keep holding pool slots and decoded buffers
+                           // (and the refetch races a new pipeline against
+                           // the abandoned one).
+                           if (pipeline != nullptr) {
+                             pipeline->abort();
+                             metrics_.pipeline_aborts.inc();
+                           }
                            // The exNode we trusted may be stale: leases run
                            // out, soft staged copies get revoked, depots
                            // crash. Forget everything we believed about this
@@ -230,7 +279,35 @@ void ClientAgent::finish_fetch(const lightfield::ViewSetId& id, Bytes data,
 
   const bool ok = !data.empty();
   auto payload = std::make_shared<const Bytes>(std::move(data));
-  if (ok) cache_.put(id, *payload);
+  // A prefetch the user never caught up with is the speculative kind the
+  // eviction policy may sacrifice or refuse; one a demand request joined is
+  // demand working set from the start.
+  const bool speculative = flight.prefetch_origin && !flight.demand_joined;
+  if (ok) {
+    // Shared-ownership insert: the cache aliases this payload rather than
+    // deep-copying every delivered view set.
+    cache_.put(id, payload, speculative);
+    sync_cache_metrics();
+    const auto size = static_cast<double>(payload->size());
+    payload_bytes_ewma_ =
+        payload_bytes_ewma_ <= 0.0 ? size : 0.3 * size + 0.7 * payload_bytes_ewma_;
+    if (flight.cls != AccessClass::kAgentHit) {
+      latency_.observe(flight.cls == AccessClass::kLanDepot ? policy::FetchClass::kLan
+                                                            : policy::FetchClass::kWan,
+                       sim_.now() - flight.started);
+    }
+  }
+  if (flight.prefetch_origin) {
+    if (prefetch_inflight_ > 0) --prefetch_inflight_;
+    prefetch_bytes_inflight_ -= std::min(prefetch_bytes_inflight_, flight.prefetch_charge);
+    if (ok) {
+      metrics_.prefetch_bytes.inc(payload->size());
+      if (flight.demand_joined) {
+        metrics_.prefetch_useful.inc();
+        metrics_.prefetch_useful_bytes.inc(payload->size());
+      }
+    }
+  }
 
   // Drain the pipeline: every in-flight chunk decode joins here, and the
   // reassembled view set rides along in the delivery so clients skip the
@@ -281,18 +358,73 @@ void ClientAgent::finish_fetch(const lightfield::ViewSetId& id, Bytes data,
 
 void ClientAgent::notify_cursor(const Spherical& dir) {
   cursor_vs_ = lattice_.view_set_of(dir);
+  cache_.set_cursor(dir);
+  motion_.observe(dir, sim_.now());
 
-  if (config_.prefetch) {
-    const int quadrant = lattice_.quadrant_of(dir);
-    for (const auto& target : lattice_.prefetch_targets(cursor_vs_, quadrant)) {
-      if (cache_.contains(target) || inflight_.contains(target)) continue;
-      metrics_.prefetches.inc();
-      fetch(target, nullptr, /*demand=*/false);
-    }
-  }
+  if (config_.prefetch) run_prefetch(dir);
   // A cursor move reorders the staging queue (proximity order re-evaluates
   // lazily in pick_next_stage), and may open staging slots.
   staging_pump();
+}
+
+void ClientAgent::run_prefetch(const Spherical& dir) {
+  // Free inflight slots bound how many targets the policy may propose.
+  std::size_t slots = std::numeric_limits<std::size_t>::max();
+  if (config_.prefetch_max_inflight > 0) {
+    if (prefetch_inflight_ >= config_.prefetch_max_inflight) return;
+    slots = config_.prefetch_max_inflight - prefetch_inflight_;
+  }
+
+  policy::PrefetchContext ctx;
+  ctx.lattice = &lattice_;
+  ctx.motion = &motion_;
+  ctx.cursor = dir;
+  ctx.cursor_vs = cursor_vs_;
+  ctx.quadrant = lattice_.quadrant_of(dir);
+  ctx.now = sim_.now();
+  ctx.horizon = config_.prefetch_horizon;
+  ctx.budget = slots;
+  ctx.is_resident = [this](const lightfield::ViewSetId& id) {
+    return cache_.contains(id) || inflight_.contains(id);
+  };
+  ctx.fetch_estimate = [this](const lightfield::ViewSetId& id) {
+    return latency_.estimate(fetch_class_of(id));
+  };
+
+  const auto targets = prefetch_policy_->targets(ctx);
+  metrics_.predictions.inc(targets.size());
+  // Charge each flight the running estimate of a payload's size; until the
+  // first payload lands the estimate is zero and the byte budget cannot
+  // meaningfully gate.
+  const auto charge = static_cast<std::uint64_t>(payload_bytes_ewma_);
+  for (const auto& target : targets) {
+    if (config_.prefetch_max_bytes > 0 && charge > 0 &&
+        prefetch_bytes_inflight_ + charge > config_.prefetch_max_bytes) {
+      break;
+    }
+    metrics_.prefetches.inc();
+    ++prefetch_inflight_;
+    prefetch_bytes_inflight_ += charge;
+    fetch(target, nullptr, /*demand=*/false);
+    // fetch() always goes async for a non-resident id, so the flight exists.
+    if (auto it = inflight_.find(target);
+        it != inflight_.end() && it->second.prefetch_origin) {
+      it->second.prefetch_charge = charge;
+    }
+  }
+}
+
+void ClientAgent::sync_cache_metrics() {
+  const std::uint64_t pollution = cache_.pollution_evictions();
+  if (pollution > synced_pollution_) {
+    metrics_.pollution_evictions.inc(pollution - synced_pollution_);
+    synced_pollution_ = pollution;
+  }
+  const std::uint64_t rejected = cache_.rejected_inserts();
+  if (rejected > synced_rejected_) {
+    metrics_.rejected_prefetch.inc(rejected - synced_rejected_);
+    synced_rejected_ = rejected;
+  }
 }
 
 void ClientAgent::start_staging() {
@@ -472,6 +604,11 @@ const ClientAgent::Stats& ClientAgent::stats() const {
   stats_view_.restaged = metrics_.restaged.value();
   stats_view_.lease_refreshes = metrics_.lease_refreshes.value();
   stats_view_.pipelined = metrics_.pipelined.value();
+  stats_view_.predictions = metrics_.predictions.value();
+  stats_view_.prefetch_useful = metrics_.prefetch_useful.value();
+  stats_view_.pipeline_aborts = metrics_.pipeline_aborts.value();
+  stats_view_.pollution_evictions = metrics_.pollution_evictions.value();
+  stats_view_.rejected_prefetch = metrics_.rejected_prefetch.value();
   return stats_view_;
 }
 

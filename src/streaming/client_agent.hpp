@@ -33,6 +33,10 @@
 #include "lightfield/viewset.hpp"
 #include "lors/lors.hpp"
 #include "obs/obs.hpp"
+#include "policy/eviction.hpp"
+#include "policy/latency.hpp"
+#include "policy/motion.hpp"
+#include "policy/prefetch.hpp"
 #include "streaming/cache.hpp"
 #include "streaming/dvs.hpp"
 #include "streaming/pipeline.hpp"
@@ -47,7 +51,26 @@ inline constexpr SimDuration kAgentHitLatency = 100 * kMicrosecond;
 struct ClientAgentConfig {
   std::uint64_t cache_bytes = 512ull << 20;  ///< agent view-set cache budget
 
-  bool prefetch = true;                      ///< quadrant prefetch (figure 4)
+  bool prefetch = true;                      ///< master prefetch switch
+
+  // --- Policy engine --------------------------------------------------------
+
+  /// Which sets to prefetch: the paper's quadrant policy (figure 4) or the
+  /// motion-model-driven predictive scheduler. Ignored when !prefetch.
+  policy::PrefetchStrategy prefetch_strategy = policy::PrefetchStrategy::kQuadrant;
+  /// Cache replacement: LRU (paper), angular distance, or the hybrid that
+  /// protects the demand working set from prefetch pollution.
+  policy::EvictionStrategy eviction = policy::EvictionStrategy::kLru;
+  policy::MotionConfig motion;                    ///< cursor motion model knobs
+  policy::FetchLatencyEstimator::Config latency;  ///< per-class latency priors
+  /// How far ahead (virtual time) the predictive policy may schedule.
+  SimDuration prefetch_horizon = 2 * kSecond;
+  /// Concurrent prefetch fetches allowed (0 = unlimited, the legacy
+  /// behaviour of issuing every quadrant target).
+  std::size_t prefetch_max_inflight = 0;
+  /// Byte budget for in-flight prefetches, charged at the EWMA of observed
+  /// payload sizes (0 = unlimited).
+  std::uint64_t prefetch_max_bytes = 0;
 
   bool staging = false;                      ///< aggressive prestaging (figure 5)
   std::vector<std::string> lan_depots;       ///< staging targets (round-robin)
@@ -116,6 +139,11 @@ class ClientAgent {
     std::uint64_t restaged = 0;        ///< view sets queued for staging again
     std::uint64_t lease_refreshes = 0; ///< staged replicas whose lease was renewed
     std::uint64_t pipelined = 0;       ///< deliveries pre-decoded by the pipeline
+    std::uint64_t predictions = 0;     ///< targets proposed by the prefetch policy
+    std::uint64_t prefetch_useful = 0; ///< prefetches a demand request benefited from
+    std::uint64_t pipeline_aborts = 0; ///< abandoned download attempts drained
+    std::uint64_t pollution_evictions = 0;  ///< unused prefetches evicted
+    std::uint64_t rejected_prefetch = 0;    ///< prefetch inserts refused admission
   };
 
   ClientAgent(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fabric,
@@ -188,6 +216,9 @@ class ClientAgent {
   /// Compatibility view over the obs registry counters.
   [[nodiscard]] const Stats& stats() const;
   [[nodiscard]] const ViewSetCache& cache() const { return cache_; }
+  /// Prefetch fetches currently in flight (for budget tests).
+  [[nodiscard]] std::size_t prefetch_inflight() const { return prefetch_inflight_; }
+  [[nodiscard]] const policy::CursorMotionModel& motion_model() const { return motion_; }
 
  private:
   struct Waiter {
@@ -201,6 +232,10 @@ class ClientAgent {
     AccessClass cls = AccessClass::kWan;
     int attempts = 0;  ///< end-to-end re-resolutions consumed so far
     obs::SpanId span = 0;  ///< agent.fetch span covering the whole fetch
+    SimTime started = 0;   ///< when the fetch began (feeds the latency EWMA)
+    bool prefetch_origin = false;  ///< started by the prefetcher
+    bool demand_joined = false;    ///< a demand request later joined it
+    std::uint64_t prefetch_charge = 0;  ///< bytes charged to the prefetch budget
   };
 
   struct Metrics {
@@ -216,6 +251,13 @@ class ClientAgent {
     obs::Counter& restaged;
     obs::Counter& lease_refreshes;
     obs::Counter& pipelined;
+    obs::Counter& predictions;           ///< policy.predictions
+    obs::Counter& prefetch_bytes;        ///< prefetch.bytes
+    obs::Counter& prefetch_useful;       ///< prefetch.useful
+    obs::Counter& prefetch_useful_bytes; ///< prefetch.useful_bytes
+    obs::Counter& pollution_evictions;   ///< cache.pollution_evictions
+    obs::Counter& rejected_prefetch;     ///< cache.rejected_prefetch
+    obs::Counter& pipeline_aborts;       ///< agent.pipeline_aborts
   };
 
   /// Starts (or joins) a fetch of `id`; cb may be null for prefetch.
@@ -225,9 +267,19 @@ class ClientAgent {
   /// Resolves the exNode (staged > cached > DVS) then downloads.
   void resolve_and_download(const lightfield::ViewSetId& id);
 
-  /// Where a download of this exNode will be served from: LAN if the
-  /// preferred replica of its first extent is within lan_threshold.
+  /// Where a download of this exNode will be served from: LAN if the best
+  /// reachable replica across all extents is within lan_threshold.
   [[nodiscard]] AccessClass classify(const exnode::ExNode& exnode) const;
+
+  /// Best latency-class guess for fetching `id` right now (staged/known
+  /// exNode → classify; unknown → WAN). Feeds the predictive scoring.
+  [[nodiscard]] policy::FetchClass fetch_class_of(const lightfield::ViewSetId& id) const;
+
+  /// Issues prefetches chosen by the policy, within the inflight/byte budget.
+  void run_prefetch(const Spherical& dir);
+
+  /// Mirrors the cache's pollution/rejection counters into the obs registry.
+  void sync_cache_metrics();
 
   void download(const lightfield::ViewSetId& id, const exnode::ExNode& exnode,
                 AccessClass cls);
@@ -276,6 +328,17 @@ class ClientAgent {
   std::optional<sim::TimerId> refresh_timer_;
 
   lightfield::ViewSetId cursor_vs_{0, 0};
+
+  // Policy engine state.
+  policy::CursorMotionModel motion_;
+  policy::FetchLatencyEstimator latency_;
+  std::unique_ptr<policy::PrefetchPolicy> prefetch_policy_;
+  std::size_t prefetch_inflight_ = 0;
+  std::uint64_t prefetch_bytes_inflight_ = 0;
+  double payload_bytes_ewma_ = 0.0;  ///< prefetch budget charge estimate
+  std::uint64_t synced_pollution_ = 0;  ///< cache counters already mirrored
+  std::uint64_t synced_rejected_ = 0;
+
   mutable Stats stats_view_;
 };
 

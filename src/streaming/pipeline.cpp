@@ -30,6 +30,21 @@ DecompressPipeline::DecompressPipeline(const Options& options)
     : pool_(options.pool != nullptr ? *options.pool : ThreadPool::shared()),
       max_inflight_(options.max_inflight > 0 ? options.max_inflight : 2 * pool_.size()) {}
 
+DecompressPipeline::~DecompressPipeline() { abort(); }
+
+std::size_t DecompressPipeline::abort() {
+  std::size_t drained = 0;
+  for (; drained_ < inflight_.size(); ++drained_, ++drained) {
+    inflight_[drained_].get();
+  }
+  decoded_.clear();
+  decoded_.shrink_to_fit();
+  // Stray stripe events from the failed download's callbacks must not start
+  // new decodes on a dead attempt.
+  header_ = Header::kNotChunked;
+  return drained;
+}
+
 void DecompressPipeline::merge_stripe(std::uint64_t offset, std::uint64_t length) {
   const std::uint64_t end = offset + length;
   auto it = std::lower_bound(ranges_.begin(), ranges_.end(),

@@ -57,6 +57,20 @@ class DecompressPipeline {
 
   explicit DecompressPipeline(const Options& options);
 
+  /// Decode tasks capture `this`; destruction with decodes still in flight
+  /// would be a use-after-free on a pool worker. The destructor drains
+  /// whatever abort()/finish() has not already waited on.
+  ~DecompressPipeline();
+
+  DecompressPipeline(const DecompressPipeline&) = delete;
+  DecompressPipeline& operator=(const DecompressPipeline&) = delete;
+
+  /// Abandons the attempt (failed download about to be refetched): waits out
+  /// every in-flight chunk decode, releases the decoded buffers, and turns
+  /// any further on_stripe() calls into no-ops. Returns how many decodes had
+  /// to be drained — the work the old code leaked.
+  std::size_t abort();
+
   /// Producer side: a verified stripe landed in the download buffer at
   /// virtual time `now`. Parses the chunk directory (LFZC or LFZ2 — same
   /// layout, different payload) out of the contiguous prefix and submits

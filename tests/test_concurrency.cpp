@@ -272,6 +272,24 @@ TEST(DecompressPipeline, FallsBackOnCorruptChunkAndNonChunkedPayload) {
   EXPECT_FALSE(plain_report.chunked);
 }
 
+TEST(DecompressPipeline, AbortDrainsInflightAndIgnoresLateStripes) {
+  // A failed download abandons its pipeline mid-transfer: abort() must wait
+  // out the chunk decodes already in flight, release their buffers, and turn
+  // straggling stripe callbacks from the dying transfer into no-ops.
+  const Bytes original = make_compressible(300'000);
+  const Bytes container = lfz::compress_chunked(original, 32 * 1024);
+
+  ThreadPool pool(4);
+  streaming::DecompressPipeline pipeline({.pool = &pool, .max_inflight = 4});
+  feed_stripes(pipeline, container, 20'000);
+  const std::size_t drained = pipeline.abort();
+  EXPECT_GT(drained, 0u);  // decodes were in flight and got reaped
+  // Stripes that were still queued when the attempt died land on a dead
+  // pipeline: no new decodes start, so a second abort finds nothing.
+  feed_stripes(pipeline, container, 20'000);
+  EXPECT_EQ(pipeline.abort(), 0u);
+}
+
 // --- thread-safe cache and registry (satellite 4 regressions) ----------------------
 
 TEST(ConcurrentCache, HammeredFromPoolKeepsInvariants) {

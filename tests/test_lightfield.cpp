@@ -154,6 +154,94 @@ TEST(Lattice, PrefetchTargetsClampAtPoles) {
   EXPECT_EQ(targets.size(), 1u);  // only the phi neighbour survives
 }
 
+TEST(Lattice, QuadrantAgreesWithContainingSetAtPhiSeam) {
+  // Regression: a cursor just left of the phi wrap seam rounds into view-set
+  // col 0, so its quadrant must say "left half" (towards the last column),
+  // not "right half" of the set it is no longer in. The old fmod-based
+  // computation got this backwards and prefetched away from the cursor.
+  const SphericalLattice lattice(small_config());
+  const double step = deg2rad(lattice.config().angular_step_deg);
+  const Spherical dir{1.2, 2.0 * kPi - 0.01 * step};
+  const ViewSetId vs = lattice.view_set_of(dir);
+  ASSERT_EQ(vs.col, 0);
+  const int q = lattice.quadrant_of(dir);
+  EXPECT_EQ(q & 2, 0) << "cursor left of the seam must be in the left half";
+  bool towards_wrap = false;
+  for (const auto& t : lattice.prefetch_targets(vs, q)) {
+    if (t.col == static_cast<int>(lattice.view_set_cols()) - 1) towards_wrap = true;
+  }
+  EXPECT_TRUE(towards_wrap);
+}
+
+TEST(Lattice, QuadrantAgreesWithContainingSetAtRowBoundary) {
+  // Regression: fr = 2.6 rounds to lattice row 3, i.e. view-set row 1, but
+  // the raw fmod said "lower half" of row 0 — prefetching towards row 2
+  // while the cursor sits at the *top* edge of row 1.
+  const SphericalLattice lattice(small_config());
+  const double step = deg2rad(lattice.config().angular_step_deg);
+  const Spherical dir{(2.6 + 0.5) * step, 1.0};
+  const ViewSetId vs = lattice.view_set_of(dir);
+  ASSERT_EQ(vs.row, 1);
+  const int q = lattice.quadrant_of(dir);
+  EXPECT_EQ(q & 1, 0) << "cursor at the top edge of its set is in the upper half";
+  bool towards_row0 = false;
+  for (const auto& t : lattice.prefetch_targets(vs, q)) {
+    if (t.row == 0) towards_row0 = true;
+  }
+  EXPECT_TRUE(towards_row0);
+}
+
+TEST(Lattice, QuadrantPointsTowardNearerNeighborEverywhere) {
+  // Property: the quadrant is a *grid* policy (paper figure 4 is drawn in
+  // lattice coordinates), so along each axis the quadrant's neighbour must be
+  // at least as close to the cursor as the opposite-side neighbour. Sweeps
+  // across every set boundary including the wrap seam.
+  const auto wrap = [](double a) {
+    a = std::fmod(a + kPi, 2.0 * kPi);
+    if (a < 0.0) a += 2.0 * kPi;
+    return std::abs(a - kPi);
+  };
+  const SphericalLattice lattice(small_config());
+  const int cols = static_cast<int>(lattice.view_set_cols());
+  const int rows = static_cast<int>(lattice.view_set_rows());
+  for (double theta : {0.7, 1.2, 1.75, 2.3}) {
+    for (double phi = 0.001; phi < 2.0 * kPi; phi += 0.037) {
+      const Spherical dir{theta, phi};
+      const ViewSetId vs = lattice.view_set_of(dir);
+      const int q = lattice.quadrant_of(dir);
+      const int dc = (q & 2) ? 1 : -1;
+      const ViewSetId phi_near{vs.row, ((vs.col + dc) % cols + cols) % cols};
+      const ViewSetId phi_far{vs.row, ((vs.col - dc) % cols + cols) % cols};
+      EXPECT_LE(wrap(dir.phi - lattice.view_set_center(phi_near).phi),
+                wrap(dir.phi - lattice.view_set_center(phi_far).phi) + 1e-9)
+          << "theta=" << theta << " phi=" << phi;
+      const int dr = (q & 1) ? 1 : -1;
+      if (vs.row + dr >= 0 && vs.row + dr < rows && vs.row - dr >= 0 &&
+          vs.row - dr < rows) {
+        EXPECT_LE(
+            std::abs(dir.theta - lattice.view_set_center({vs.row + dr, vs.col}).theta),
+            std::abs(dir.theta - lattice.view_set_center({vs.row - dr, vs.col}).theta) +
+                1e-9)
+            << "theta=" << theta << " phi=" << phi;
+      }
+    }
+  }
+}
+
+TEST(Lattice, QuadrantAtPolesStaysTowardEquator) {
+  const SphericalLattice lattice(small_config());
+  // Above the first sample row the cursor is in the upper half of set row 0;
+  // prefetch clamps to the lone phi neighbour rather than pointing off-grid.
+  const Spherical near_north{0.01, 1.0};
+  const int qn = lattice.quadrant_of(near_north);
+  EXPECT_EQ(qn & 1, 0);
+  EXPECT_EQ(lattice.prefetch_targets(lattice.view_set_of(near_north), qn).size(), 1u);
+  const Spherical near_south{kPi - 0.01, 1.0};
+  const int qs = lattice.quadrant_of(near_south);
+  EXPECT_EQ(qs & 1, 1);
+  EXPECT_EQ(lattice.prefetch_targets(lattice.view_set_of(near_south), qs).size(), 1u);
+}
+
 TEST(Lattice, ViewSetDistanceIsMetricLike) {
   const SphericalLattice lattice(small_config());
   EXPECT_NEAR(lattice.view_set_distance({1, 3}, {1, 3}), 0.0, 1e-12);

@@ -75,6 +75,37 @@ TEST(Cache, BudgetIsRespectedUnderChurn) {
   EXPECT_LE(cache.size(), 11u);
 }
 
+TEST(Cache, SharedPutAliasesPayloadWithoutCopy) {
+  // Regression: finish_fetch used to deep-copy every delivered payload into
+  // the cache. The shared-ownership put must alias the caller's buffer.
+  ViewSetCache cache(100);
+  auto payload = std::make_shared<const Bytes>(Bytes(40, 7));
+  ASSERT_TRUE(cache.put({0, 0}, payload));
+  EXPECT_EQ(payload.use_count(), 2);  // cache + caller, no private copy
+  EXPECT_EQ(cache.get({0, 0}).get(), payload.get());
+  EXPECT_EQ(cache.bytes_used(), 40u);
+  cache.put({0, 1}, Bytes(80));  // evicts {0,0}
+  EXPECT_FALSE(cache.contains({0, 0}));
+  EXPECT_EQ(cache.bytes_used(), 80u);
+  EXPECT_EQ(payload.use_count(), 1);  // eviction released the cache's ref
+  EXPECT_EQ(payload->size(), 40u);    // caller's bytes untouched
+}
+
+TEST(Cache, FirstDemandHitOnPrefetchedEntryIsCountedOnce) {
+  ViewSetCache cache(100);
+  cache.put({0, 0}, Bytes(10), /*prefetched=*/true);
+  bool first = false;
+  // A non-demand lookup (the prefetcher peeking) claims no usefulness.
+  EXPECT_NE(cache.get({0, 0}, &first, /*demand=*/false), nullptr);
+  EXPECT_FALSE(first);
+  EXPECT_EQ(cache.prefetch_hits(), 0u);
+  EXPECT_NE(cache.get({0, 0}, &first, /*demand=*/true), nullptr);
+  EXPECT_TRUE(first);
+  EXPECT_NE(cache.get({0, 0}, &first, /*demand=*/true), nullptr);
+  EXPECT_FALSE(first);  // only the first demand hit is the useful-prefetch signal
+  EXPECT_EQ(cache.prefetch_hits(), 1u);
+}
+
 // --- DVS ----------------------------------------------------------------------
 
 class DvsTest : public ::testing::Test {
@@ -545,6 +576,81 @@ TEST_F(PipelineTest, AgentCacheEvictionKeepsSessionCorrect) {
   EXPECT_GT(agent->cache().evictions(), 0u);
   // Revisits after eviction re-fetch from the WAN, not from thin air.
   EXPECT_GT(agent->stats().wan_accesses, 4u);
+}
+
+TEST_F(PipelineTest, ClassifyUsesBestReplicaAcrossAllExtents) {
+  // Regression: classify() used to look only at the first extent's replicas.
+  // Stripe a view set across one WAN and one LAN depot (upload round-robins
+  // blocks over the depot list), so extent 0 lives on the WAN and extent 1 on
+  // the LAN: the access must still classify by the best replica overall.
+  const ViewSetId id{1, 2};
+  Bytes compressed = source_->build_compressed(id);
+  ASSERT_GT(compressed.size(), 2048u);  // at least two extents
+  lors::UploadOptions up;
+  up.depots = {"ca-0", "lan-0"};
+  up.block_bytes = 2048;
+  bool ok = false;
+  lors_.upload_async(server_node_, std::move(compressed), up,
+                     [&](const lors::UploadResult& r) {
+                       ok = r.status == lors::LorsStatus::kOk;
+                       exnode::ExNode node = r.exnode;
+                       dvs_->install(id, std::move(node));
+                     });
+  sim_.run();
+  ASSERT_TRUE(ok);
+
+  auto agent = make_agent(false, false);
+  std::optional<AccessClass> cls;
+  Bytes received;
+  agent->request_view_set(id, [&](const Bytes& data, AccessClass c, SimDuration) {
+    received = data;
+    cls = c;
+  });
+  sim_.run();
+  ASSERT_TRUE(cls.has_value());
+  EXPECT_EQ(*cls, AccessClass::kLanDepot);
+  EXPECT_EQ(agent->stats().lan_accesses, 1u);
+  EXPECT_EQ(received, source_->build_compressed(id));
+}
+
+TEST_F(PipelineTest, FailedDownloadAbortsAbandonedPipeline) {
+  // Regression: a failed download used to leak its decompress pipeline —
+  // in-flight chunk decodes kept pool slots and buffers alive while the
+  // refetch raced a fresh pipeline against the abandoned one.
+  const ViewSetId id{1, 2};
+  publish(id);
+  ClientAgentConfig cfg;
+  cfg.prefetch = false;
+  cfg.pipeline_decompress = true;
+  auto agent = std::make_unique<ClientAgent>(sim_, net_, fabric_, lors_, *dvs_,
+                                             source_->lattice(), agent_node_, cfg);
+  // Both WAN depots dark: every download attempt fails after one round trip.
+  fabric_.set_offline("ca-0", true);
+  fabric_.set_offline("ca-1", true);
+  bool done = false;
+  Bytes received = {9};
+  agent->request_view_set(id, [&](const Bytes& data, AccessClass, SimDuration) {
+    done = true;
+    received = data;
+  });
+  sim_.run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(received.empty());  // failure reported, not hung
+  // Every failed attempt (initial + each refetch) drained its own pipeline.
+  EXPECT_GT(agent->stats().refetches, 0u);
+  EXPECT_EQ(agent->stats().pipeline_aborts, agent->stats().refetches + 1);
+
+  // Depots return: the same agent then serves the view set cleanly, with no
+  // abandoned pipeline work polluting the retried fetch.
+  fabric_.set_offline("ca-0", false);
+  fabric_.set_offline("ca-1", false);
+  Bytes again;
+  agent->request_view_set(id, [&](const Bytes& data, AccessClass, SimDuration) {
+    again = data;
+  });
+  sim_.run();
+  EXPECT_EQ(again, source_->build_compressed(id));
+  EXPECT_EQ(agent->stats().pipeline_aborts, agent->stats().refetches + 1);
 }
 
 TEST_F(PipelineTest, ServerAgentGeneratesOnDvsMiss) {
