@@ -35,6 +35,15 @@ to BENCH_pr.json, and compares them against the committed BENCH_baseline.json:
       and under the thrashing-cache rows the hybrid eviction policy must
       keep demand p99 at or below plain LRU with fewer pollution evictions.
 
+  bench_scenarios --smoke --json
+      Adversarial scenario suite (virtual time -> all hard checks). Per row
+      vs baseline: mean/p99 within tolerance. Same-run SLO checks: the
+      100-client flash crowd with admission control keeps its worst
+      per-client p99 within the scenario SLO with no starved client, the
+      identical crowd without admission misses that p99 by >= 2x, the
+      teleport-under-faults chaos row detects injected corruption and loses
+      nothing permanently, and the warm site cache beats the cold one.
+
 Exit status is non-zero on any hard failure. A PR that intentionally changes
 performance updates the baseline in the same commit:
 
@@ -94,6 +103,11 @@ def collect_compression(build_dir):
 
 def collect_prefetch(build_dir):
     return run_json([os.path.join(build_dir, "bench", "bench_prefetch"),
+                     "--smoke", "--json"])
+
+
+def collect_scenarios(build_dir):
+    return run_json([os.path.join(build_dir, "bench", "bench_scenarios"),
                      "--smoke", "--json"])
 
 
@@ -262,6 +276,87 @@ def check_prefetch(pr, base, tolerance):
               f"{hybrid['pollution_evictions']} vs {lru['pollution_evictions']}")
 
 
+def check_scenarios(pr, base, tolerance):
+    """Deterministic SLO harness: per-row baselines + same-run invariants."""
+    base_rows = {row["name"]: row for row in base.get("results", [])}
+    pr_rows = {row["name"]: row for row in pr.get("results", [])}
+    # Rows with a fault plan are *supposed* to fight for their bytes; every
+    # other row must deliver everything.
+    faulted = {"teleport_faults"}
+    for name, row in sorted(pr_rows.items()):
+        tag = f"scenarios[{name}]"
+        if name not in faulted and row.get("failed", 0) > 0:
+            fail(f"{tag}: {row['failed']} failed accesses on a fault-free row")
+        if name not in base_rows:
+            warn(f"{tag}: no baseline row; add one with --update-baseline")
+            continue
+        ref = base_rows[name]
+        for key in ("mean_total_s", "p99_worst_s"):
+            got, want = row[key], ref[key]
+            limit = want * (1.0 + tolerance)
+            if got > limit:
+                fail(f"{tag}: {key} {got:.4f}s exceeds baseline {want:.4f}s "
+                     f"by more than {tolerance:.0%} (virtual time: deterministic)")
+            else:
+                print(f"ok:   {tag}: {key} {got:.4f}s (baseline {want:.4f}s)")
+
+    # Same-run invariants — the acceptance criteria of the overload work.
+    adm = pr_rows.get("flash_crowd/admission")
+    ctl = pr_rows.get("flash_crowd/no_admission")
+    if not adm or not ctl:
+        fail("scenarios: flash_crowd admission/no_admission row pair not found")
+    else:
+        slo = adm.get("slo_s", 1.0)
+        if adm["p99_worst_s"] > slo:
+            fail(f"scenarios[flash_crowd]: admission p99 {adm['p99_worst_s']:.3f}s "
+                 f"misses the {slo:.1f}s SLO")
+        if adm.get("min_delivered", 0) == 0:
+            fail("scenarios[flash_crowd]: a client was starved to zero deliveries "
+                 "under admission control")
+        if adm.get("failed", 0) > 0:
+            fail(f"scenarios[flash_crowd]: {adm['failed']} accesses permanently "
+                 f"shed under admission control")
+        if adm.get("demand_shed", 0) == 0:
+            fail("scenarios[flash_crowd]: the crowd never tripped admission "
+                 "(scenario lost its teeth)")
+        if ctl["p99_worst_s"] < 2.0 * adm["p99_worst_s"]:
+            fail(f"scenarios[flash_crowd]: control p99 {ctl['p99_worst_s']:.3f}s "
+                 f"is not >= 2x admission p99 {adm['p99_worst_s']:.3f}s")
+        if not HARD_FAILURES or all("flash_crowd" not in f for f in HARD_FAILURES):
+            print(f"ok:   scenarios[flash_crowd]: admission p99 "
+                  f"{adm['p99_worst_s']:.3f}s <= {slo:.1f}s SLO, control "
+                  f"{ctl['p99_worst_s']:.3f}s ({ctl['p99_worst_s'] / adm['p99_worst_s']:.1f}x), "
+                  f"{adm['demand_shed']} sheds, min delivered {adm['min_delivered']}")
+
+    chaos = pr_rows.get("teleport_faults")
+    if not chaos:
+        fail("scenarios: teleport_faults row not found")
+    else:
+        if chaos.get("failed", 0) > 0:
+            fail(f"scenarios[teleport_faults]: {chaos['failed']} accesses lost "
+                 f"permanently under the fault plan")
+        if chaos.get("corruption_detected", 0) == 0:
+            fail("scenarios[teleport_faults]: injected corruption was never "
+                 "detected (checksum path dark)")
+        if chaos.get("min_delivered", 0) == 0:
+            fail("scenarios[teleport_faults]: a client was starved to zero")
+        if all("teleport_faults" not in f for f in HARD_FAILURES):
+            print(f"ok:   scenarios[teleport_faults]: 0 lost, "
+                  f"{chaos['corruption_detected']} corruptions detected, "
+                  f"{chaos['failovers']} failovers")
+
+    cold = pr_rows.get("site_cache/cold")
+    warm = pr_rows.get("site_cache/warm")
+    if not cold or not warm:
+        fail("scenarios: site_cache cold/warm row pair not found")
+    elif warm["mean_total_s"] > cold["mean_total_s"]:
+        fail(f"scenarios[site_cache]: warm mean {warm['mean_total_s']:.4f}s above "
+             f"cold {cold['mean_total_s']:.4f}s (prestaging not paying off)")
+    else:
+        print(f"ok:   scenarios[site_cache]: warm {warm['mean_total_s']:.4f}s <= "
+              f"cold {cold['mean_total_s']:.4f}s")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
@@ -285,6 +380,7 @@ def main():
         "framerate": collect_framerate(args.build_dir),
         "compression": collect_compression(args.build_dir),
         "prefetch": collect_prefetch(args.build_dir),
+        "scenarios": collect_scenarios(args.build_dir),
     }
 
     target = args.baseline if args.update_baseline else args.out
@@ -311,6 +407,8 @@ def main():
                       args.tolerance, args.strict, args.min_decode_speedup)
     check_prefetch(results["prefetch"], baseline.get("prefetch", {}),
                    args.tolerance)
+    check_scenarios(results["scenarios"], baseline.get("scenarios", {}),
+                    args.tolerance)
 
     print(f"\nperf gate: {len(HARD_FAILURES)} failure(s), {len(WARNINGS)} warning(s)")
     return 1 if HARD_FAILURES else 0

@@ -1,16 +1,9 @@
 #include "session/experiment.hpp"
 
-#include <memory>
-#include <set>
 #include <stdexcept>
 
-#include "fault/fault.hpp"
-#include "ibp/service.hpp"
-#include "lbone/lbone.hpp"
-#include "lightfield/procedural.hpp"
-#include "lors/lors.hpp"
-#include "session/publisher.hpp"
-#include "streaming/dvs.hpp"
+#include "session/scenario.hpp"
+#include "session/system.hpp"
 #include "util/log.hpp"
 
 namespace lon::session {
@@ -27,186 +20,6 @@ const char* to_string(Case c) {
   return "?";
 }
 
-namespace {
-
-/// The paper's topology (section 4.3) with `client_count` client machines on
-/// the LAN, all sharing one client agent. Node-creation order for one client
-/// matches the historical single-client assembly exactly, so existing seeded
-/// runs stay bit-identical.
-struct System {
-  std::shared_ptr<obs::Context> obs;
-  sim::Simulator sim;
-  sim::Network net;
-  ibp::Fabric fabric;
-  lors::Lors lors;
-  lightfield::ProceduralSource source;
-
-  sim::NodeId lan_switch = 0;
-  std::vector<sim::NodeId> client_nodes;
-  sim::NodeId agent_node = 0;
-  std::vector<std::string> lan_depots;
-  sim::NodeId wan_router = 0;
-  std::vector<std::string> wan_depots;
-  sim::NodeId dvs_node = 0;
-  sim::NodeId server_node = 0;
-
-  std::unique_ptr<lbone::Directory> lbone;
-  std::unique_ptr<streaming::DvsServer> dvs;
-  std::unique_ptr<streaming::ClientAgent> agent;
-  std::vector<std::unique_ptr<streaming::Client>> clients;
-
-  System(const ExperimentConfig& config, int client_count)
-      : obs(std::make_shared<obs::Context>()),
-        net(sim, config.net_seed),
-        fabric(sim, net, obs.get()),
-        lors(sim, net, fabric, 0x10f5, obs.get()),
-        source(config.lattice) {
-    // A private observability context per run: counters start at zero, spans
-    // start empty, and concurrent experiments never share state. Tracing is
-    // on so every run comes back with its full span tree.
-    obs->trace.set_enabled(true);
-    fabric.set_timeouts(config.timeouts);
-
-    // LAN: client(s), client agent and the LAN depots hang off one switch.
-    lan_switch = net.add_node("lan-switch");
-    const sim::LinkConfig lan_link{config.lan_bandwidth_bps, config.lan_latency, 0.0};
-    for (int i = 0; i < client_count; ++i) {
-      const std::string name =
-          client_count == 1 ? "client" : "client-" + std::to_string(i);
-      const sim::NodeId node = net.add_node(name);
-      net.add_link(node, lan_switch, lan_link);
-      client_nodes.push_back(node);
-    }
-    agent_node = net.add_node("client-agent");
-    net.add_link(agent_node, lan_switch, lan_link);
-
-    for (int i = 0; i < config.lan_depot_count; ++i) {
-      const std::string name = "lan-" + std::to_string(i);
-      const sim::NodeId node = net.add_node(name + "-node");
-      net.add_link(node, lan_switch, lan_link);
-      ibp::DepotConfig depot;
-      depot.capacity_bytes = 16ull << 30;
-      depot.max_alloc_bytes = 1ull << 30;
-      depot.disk_bytes_per_sec = config.depot_disk_bps;
-      depot.rng_seed = 0x1a00 + static_cast<std::uint64_t>(i);
-      fabric.add_depot(node, name, depot);
-      lan_depots.push_back(name);
-    }
-
-    // WAN: a shared trunk to the "California" side; server depots, the DVS
-    // server and the (publishing) server node live behind it.
-    wan_router = net.add_node("wan-router");
-    net.add_link(lan_switch, wan_router,
-                 {config.wan_bandwidth_bps, config.wan_latency, config.wan_jitter});
-    const sim::LinkConfig far_lan{1e9, kMillisecond, 0.0};
-
-    for (int i = 0; i < config.wan_depot_count; ++i) {
-      const std::string name = "ca-" + std::to_string(i);
-      const sim::NodeId node = net.add_node(name + "-node");
-      net.add_link(node, wan_router, far_lan);
-      ibp::DepotConfig depot;
-      depot.capacity_bytes = 64ull << 30;
-      depot.max_alloc_bytes = 1ull << 30;
-      depot.disk_bytes_per_sec = config.depot_disk_bps;
-      depot.rng_seed = 0xca00 + static_cast<std::uint64_t>(i);
-      fabric.add_depot(node, name, depot);
-      wan_depots.push_back(name);
-    }
-    dvs_node = net.add_node("dvs-server");
-    net.add_link(dvs_node, wan_router, far_lan);
-    server_node = net.add_node("server");
-    net.add_link(server_node, wan_router, far_lan);
-
-    lbone = std::make_unique<lbone::Directory>(net, fabric, obs.get());
-    for (const auto& name : lan_depots) lbone->register_depot(name);
-    for (const auto& name : wan_depots) lbone->register_depot(name);
-
-    dvs = std::make_unique<streaming::DvsServer>(sim, net, dvs_node, source.lattice(),
-                                                 streaming::DvsConfig{}, obs.get());
-  }
-
-  /// Publishes the database: real pixels for every view set any script
-  /// visits, size-matched filler elsewhere (per the content policy).
-  PublishResult publish(const ExperimentConfig& config,
-                        const std::vector<const CursorScript*>& scripts) {
-    PublishOptions publish;
-    publish.depots = (config.which == Case::kLanData) ? lan_depots : wan_depots;
-    publish.replicas = config.publish_replicas;
-    publish.net.streams = 8;
-    publish.all_filler = config.all_filler;
-    publish.chunk_bytes = config.publish_chunk_bytes;
-    publish.pool = config.pool;
-    if (!config.full_content && !config.all_filler) {
-      std::set<std::pair<int, int>> visited;
-      for (const CursorScript* script : scripts) {
-        for (const CursorStep& step : script->steps()) {
-          const auto id = source.lattice().view_set_of(step.direction);
-          visited.insert({id.row, id.col});
-        }
-      }
-      for (const auto& [row, col] : visited) {
-        publish.real_ids.push_back({row, col});
-      }
-    }
-    PublishResult published =
-        publish_database(sim, lors, *dvs, source, server_node, publish);
-    if (published.failed > 0) {
-      throw std::runtime_error("run_experiment: database publication failed");
-    }
-    return published;
-  }
-
-  void make_agent(const ExperimentConfig& config) {
-    streaming::ClientAgentConfig agent_config;
-    agent_config.cache_bytes = config.agent_cache_bytes;
-    agent_config.prefetch = config.prefetch;
-    agent_config.prefetch_strategy = config.prefetch_strategy;
-    agent_config.eviction = config.eviction;
-    agent_config.prefetch_horizon = config.prefetch_horizon;
-    agent_config.prefetch_max_inflight = config.prefetch_max_inflight;
-    agent_config.prefetch_max_bytes = config.prefetch_max_bytes;
-    agent_config.staging = (config.which == Case::kWanWithLanDepot);
-    agent_config.lan_depots = lan_depots;
-    agent_config.staging_concurrency = config.staging_concurrency;
-    agent_config.staging_order = config.staging_order;
-    agent_config.pause_staging_on_miss = config.pause_staging_on_miss;
-    agent_config.wan_net.streams = config.wan_streams;
-    agent_config.retry = config.retry;
-    agent_config.max_refetch = config.max_refetch;
-    agent_config.staging_lease = config.staging_lease;
-    agent_config.lease_refresh = config.lease_refresh;
-    agent_config.lease_refresh_interval = config.lease_refresh_interval;
-    agent_config.pool = config.pool;
-    agent_config.pipeline_decompress = config.pipeline_decompress;
-    agent_config.pipeline_inflight = config.pipeline_inflight;
-    agent = std::make_unique<streaming::ClientAgent>(sim, net, fabric, lors, *dvs,
-                                                     source.lattice(), agent_node,
-                                                     agent_config, obs.get());
-  }
-
-  void make_clients(const ExperimentConfig& config) {
-    for (const sim::NodeId node : client_nodes) {
-      clients.push_back(std::make_unique<streaming::Client>(
-          sim, net, config.lattice, node, *agent, config.client, obs.get()));
-    }
-  }
-
-  /// Arms the fault plan with every event shifted to the actual script start
-  /// (publication already consumed virtual time).
-  void arm_faults(fault::FaultInjector& injector, const fault::FaultPlan& faults,
-                  SimTime script_start) {
-    fault::FaultPlan plan = faults;
-    for (auto& c : plan.crashes) c.at += script_start;
-    for (auto& p : plan.partitions) p.at += script_start;
-    for (auto& d : plan.degradations) d.at += script_start;
-    for (auto& d : plan.drops) d.at += script_start;
-    for (auto& c : plan.corruptions) c.at += script_start;
-    injector.arm(plan);
-  }
-};
-
-}  // namespace
-
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   System sys(config, 1);
   const lightfield::SphericalLattice& lattice = sys.source.lattice();
@@ -215,9 +28,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       config.script.has_value()
           ? *config.script
           : CursorScript::standard(lattice, config.dwell, config.accesses, config.seed);
-  PublishResult published = sys.publish(config, {&script});
+  PublishResult& published = sys.publish(config, {&script});
 
   sys.make_agent(config);
+  sys.make_server_agent(config);
   sys.make_clients(config);
   streaming::Client& client = *sys.clients.front();
   sim::Simulator& sim = sys.sim;
@@ -230,44 +44,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   fault::FaultInjector injector(sim, sys.net, sys.fabric, sys.obs.get());
   sys.arm_faults(injector, config.faults, script_start);
-
-  // The publisher's repair daemon: every repair_interval, probe the next
-  // repair_batch exNodes in the catalog, drop dead replicas, re-replicate
-  // short extents, and push the healed exNode back into the DVS so readers
-  // stop chasing capabilities on crashed depots.
-  std::size_t repair_cursor = 0;
-  std::function<void()> repair_sweep = [&] {
-    if (published.exnodes.empty()) return;
-    auto batch = std::make_shared<std::size_t>(
-        std::min(config.repair_batch, published.exnodes.size()));
-    for (std::size_t i = 0; i < *batch; ++i) {
-      auto& [id, owned] = published.exnodes[repair_cursor++ % published.exnodes.size()];
-      lors::RepairOptions options;
-      options.target_replicas = config.repair_target_replicas > 0
-                                    ? config.repair_target_replicas
-                                    : config.publish_replicas;
-      options.candidate_depots =
-          (config.which == Case::kLanData) ? sys.lan_depots : sys.wan_depots;
-      sys.lors.repair_async(sys.server_node, owned, options,
-                            [&, batch, id = id](const lors::RepairResult& r) {
-                              if (r.status != lors::LorsStatus::kCancelled) {
-                                for (auto& [pid, pnode] : published.exnodes) {
-                                  if (pid == id) pnode = r.exnode;
-                                }
-                                if (r.replicas_lost > 0 || r.replicas_added > 0) {
-                                  exnode::ExNode copy = r.exnode;
-                                  sys.dvs->install(id, std::move(copy));
-                                }
-                              }
-                              if (--*batch == 0) {
-                                sim.after(config.repair_interval, repair_sweep);
-                              }
-                            });
-    }
-  };
-  if (config.repair_interval > 0) {
-    sim.after(config.repair_interval, repair_sweep);
-  }
+  sys.start_repair(config);
 
   bool done = false;
   std::size_t step_index = 0;
@@ -319,88 +96,38 @@ MultiClientResult run_multi_client(const MultiClientConfig& mc) {
   if (mc.clients < 1) {
     throw std::invalid_argument("run_multi_client: clients < 1");
   }
-  const ExperimentConfig& config = mc.base;
-  System sys(config, mc.clients);
-  const lightfield::SphericalLattice& lattice = sys.source.lattice();
-
-  std::vector<CursorScript> scripts;
-  std::vector<const CursorScript*> script_ptrs;
-  scripts.reserve(static_cast<std::size_t>(mc.clients));
+  // A multi-client run is the simplest scenario: N standard seeded walks,
+  // evenly staggered. Everything below delegates to the scenario driver.
+  Scenario scenario;
+  scenario.name = "multi-client";
+  scenario.base = mc.base;
+  const lightfield::SphericalLattice lattice(mc.base.lattice);
   for (int i = 0; i < mc.clients; ++i) {
-    scripts.push_back(CursorScript::standard(
-        lattice, config.dwell, mc.accesses_per_client,
-        mc.client_seed + static_cast<std::uint64_t>(i)));
+    ScenarioClient sc;
+    sc.script = CursorScript::standard(
+        lattice, mc.base.dwell, mc.accesses_per_client,
+        mc.client_seed + static_cast<std::uint64_t>(i));
+    sc.start = static_cast<SimDuration>(i) * mc.start_stagger;
+    scenario.clients.push_back(std::move(sc));
   }
-  for (const CursorScript& s : scripts) script_ptrs.push_back(&s);
-  sys.publish(config, script_ptrs);
-
-  sys.make_agent(config);
-  sys.make_clients(config);
-  sim::Simulator& sim = sys.sim;
-
-  const SimTime script_start = sim.now();
-  sys.agent->start_staging();
-
-  fault::FaultInjector injector(sim, sys.net, sys.fabric, sys.obs.get());
-  sys.arm_faults(injector, config.faults, script_start);
-
-  // One driver per client: each replays its own script, waiting for every
-  // view then dwelling, exactly like the single-client loop. Starts are
-  // staggered so the scripts interleave in virtual time.
-  struct Driver {
-    std::size_t step = 0;
-    std::size_t failed = 0;
-  };
-  std::vector<Driver> drivers(static_cast<std::size_t>(mc.clients));
-  int remaining = mc.clients;
-  std::vector<std::function<void()>> advance(static_cast<std::size_t>(mc.clients));
-  for (int i = 0; i < mc.clients; ++i) {
-    const auto ci = static_cast<std::size_t>(i);
-    advance[ci] = [&, ci] {
-      Driver& d = drivers[ci];
-      if (d.step >= scripts[ci].size()) {
-        --remaining;
-        return;
-      }
-      const CursorStep step = scripts[ci].steps()[d.step++];
-      sys.clients[ci]->set_view(step.direction, [&, ci, step](bool ok) {
-        if (!ok) {
-          ++drivers[ci].failed;
-          LON_LOG(kWarn, "experiment")
-              << "client " << ci << " view request failed; continuing";
-        }
-        sim.after(step.dwell, advance[ci]);
-      });
-    };
-    sim.after(static_cast<SimDuration>(i) * mc.start_stagger, advance[ci]);
-  }
-  while (remaining > 0 && sim.step()) {
-  }
-  const SimTime script_end = sim.now();
+  ScenarioResult run = run_scenario(scenario);
 
   MultiClientResult result;
-  for (int i = 0; i < mc.clients; ++i) {
-    const auto ci = static_cast<std::size_t>(i);
-    MultiClientResult::PerClient pc;
-    pc.accesses = sys.clients[ci]->accesses();
-    pc.summary = summarize(pc.accesses);
-    pc.failed_accesses = drivers[ci].failed;
-    // Clients are constructed in index order, so client i owns the registry
-    // instance labelled inst=i.
-    const std::string labels = "component=client,inst=" + std::to_string(i);
-    if (const obs::LatencyHistogram* h =
-            sys.obs->metrics.find_histogram("session.total_ns", labels)) {
-      pc.p50_total_s = h->p50() / 1e9;
-      pc.p99_total_s = h->p99() / 1e9;
-    }
-    result.failed_accesses += pc.failed_accesses;
-    result.clients.push_back(std::move(pc));
+  for (auto& pc : run.clients) {
+    MultiClientResult::PerClient out;
+    out.accesses = std::move(pc.accesses);
+    out.summary = pc.summary;
+    out.failed_accesses = pc.failed_accesses;
+    out.p50_total_s = pc.p50_total_s;
+    out.p99_total_s = pc.p99_total_s;
+    result.clients.push_back(std::move(out));
   }
-  result.agent_stats = sys.agent->stats();
-  result.staging_complete = sys.agent->staging_complete();
-  result.script_duration = script_end - script_start;
-  result.fault_stats = injector.stats();
-  result.obs = std::move(sys.obs);
+  result.agent_stats = run.agent_stats;
+  result.script_duration = run.duration;
+  result.failed_accesses = run.failed_accesses;
+  result.staging_complete = run.staging_complete;
+  result.fault_stats = run.fault_stats;
+  result.obs = std::move(run.obs);
   return result;
 }
 

@@ -116,6 +116,24 @@ struct ExperimentConfig {
   /// > 0: publish view sets as chunked (LFZC) containers of this chunk size,
   /// the format the pipeline can overlap. 0 = plain lfz (the seed format).
   std::uint64_t publish_chunk_bytes = 0;
+
+  // Overload protection. The defaults keep every mechanism off: no admission
+  // control, no degradation ladder, no coarse tier, no server agent — the
+  // fault-free runs reproduce the seed exactly.
+  streaming::AdmissionConfig admission;    ///< demand-path admission at the agent
+  SimDuration interactivity_deadline = 0;  ///< SLO the triage and ladder work to
+  bool degrade = false;                    ///< enable the degradation ladder
+  int degrade_after_misses = 3;            ///< deadline misses per rung down
+  int upgrade_after_hits = 8;              ///< clean deliveries per rung up
+  /// > 0: publish a coarse tier at this view resolution next to the full
+  /// database (lightfield::MultiDatabase) for the kCoarseLod rung.
+  std::size_t lod_resolution = 0;
+  int hot_report_threshold = 0;  ///< sheds per view set before reporting hot
+  /// Run the server-side generator/augmenter behind the DVS.
+  bool server_agent = false;
+  streaming::AdmissionConfig server_admission;  ///< generation-tier admission
+  int augment_threshold = 0;      ///< hot reports before fanning replicas out
+  SimDuration augment_cooldown = 60 * kSecond;  ///< per-view-set augment hysteresis
 };
 
 struct ExperimentResult {

@@ -121,7 +121,16 @@ void print_robustness(std::ostream& os, const std::string& label,
      << "  repair: runs=" << s.repairs_run << " replicas_lost=" << s.replicas_lost
      << " replicas_repaired=" << s.replicas_repaired << '\n'
      << "  agent: refetches=" << s.refetches << " invalidations=" << s.invalidations
-     << " restaged=" << s.restaged << " lease_refreshes=" << s.lease_refreshes << '\n';
+     << " restaged=" << s.restaged << " lease_refreshes=" << s.lease_refreshes << '\n'
+     << "  overload: shed=" << s.demand_shed << " (queue=" << s.shed_queue_full
+     << ", tokens=" << s.shed_no_tokens << ", deadline=" << s.shed_deadline
+     << ") generation_shed=" << s.generation_shed
+     << " shed_retries=" << s.shed_retries << '\n'
+     << "  degrade: down=" << s.downgrades << " up=" << s.upgrades
+     << " lan_only=" << s.degrade_lan_only << " lod=" << s.degrade_lod
+     << " demand_only=" << s.degrade_demand_only << '\n'
+     << "  augment: hot_reports=" << s.hot_reports << " augments=" << s.augments
+     << '\n';
 }
 
 RobustnessSummary collect_robustness(const obs::Registry& registry) {
@@ -140,6 +149,19 @@ RobustnessSummary collect_robustness(const obs::Registry& registry) {
   s.invalidations = registry.counter_total("agent.invalidations");
   s.restaged = registry.counter_total("agent.restaged");
   s.lease_refreshes = registry.counter_total("agent.lease_refreshes");
+  s.demand_shed = registry.counter_total("agent.demand_shed");
+  s.shed_queue_full = registry.counter_total("agent.shed_queue_full");
+  s.shed_no_tokens = registry.counter_total("agent.shed_no_tokens");
+  s.shed_deadline = registry.counter_total("agent.shed_deadline");
+  s.generation_shed = registry.counter_total("server.generation_shed");
+  s.shed_retries = registry.counter_total("session.shed_retries");
+  s.downgrades = registry.counter_total("agent.downgrades");
+  s.upgrades = registry.counter_total("agent.upgrades");
+  s.degrade_lan_only = registry.counter_total("agent.degrade_lan_only");
+  s.degrade_lod = registry.counter_total("agent.degrade_lod");
+  s.degrade_demand_only = registry.counter_total("agent.degrade_demand_only");
+  s.hot_reports = registry.counter_total("agent.hot_reports");
+  s.augments = registry.counter_total("server.augments");
   return s;
 }
 

@@ -68,6 +68,21 @@ struct RobustnessSummary {
   std::uint64_t invalidations = 0;        ///< exNodes evicted as stale
   std::uint64_t restaged = 0;             ///< view sets staged again
   std::uint64_t lease_refreshes = 0;      ///< staged leases renewed
+
+  // Overload protection (PR 6): explicit sheds, ladder moves, augmentation.
+  std::uint64_t demand_shed = 0;          ///< demand requests refused at the agent
+  std::uint64_t shed_queue_full = 0;      ///< ... demand queue at capacity
+  std::uint64_t shed_no_tokens = 0;       ///< ... fair-share bucket empty
+  std::uint64_t shed_deadline = 0;        ///< ... predicted deadline miss
+  std::uint64_t generation_shed = 0;      ///< generation requests the server shed
+  std::uint64_t shed_retries = 0;         ///< client retries after a shed
+  std::uint64_t downgrades = 0;           ///< degradation-ladder steps down
+  std::uint64_t upgrades = 0;             ///< ... and recoveries back up
+  std::uint64_t degrade_lan_only = 0;     ///< WAN prefetches skipped (kLanOnly)
+  std::uint64_t degrade_lod = 0;          ///< accesses served coarse (kCoarseLod)
+  std::uint64_t degrade_demand_only = 0;  ///< prefetch rounds suppressed
+  std::uint64_t hot_reports = 0;          ///< demand-pressure reports to the DVS
+  std::uint64_t augments = 0;             ///< hot view sets fanned to more depots
 };
 
 /// One-paragraph robustness block (used by the fault benches/tests).

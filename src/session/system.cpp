@@ -1,0 +1,251 @@
+#include "session/system.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "ibp/service.hpp"
+
+namespace lon::session {
+
+System::System(const ExperimentConfig& config, int client_count)
+    : obs(std::make_shared<obs::Context>()),
+      net(sim, config.net_seed),
+      fabric(sim, net, obs.get()),
+      lors(sim, net, fabric, 0x10f5, obs.get()),
+      source(config.lattice) {
+  // A private observability context per run: counters start at zero, spans
+  // start empty, and concurrent experiments never share state. Tracing is
+  // on so every run comes back with its full span tree.
+  obs->trace.set_enabled(true);
+  fabric.set_timeouts(config.timeouts);
+
+  // LAN: client(s), client agent and the LAN depots hang off one switch.
+  lan_switch = net.add_node("lan-switch");
+  const sim::LinkConfig lan_link{config.lan_bandwidth_bps, config.lan_latency, 0.0};
+  for (int i = 0; i < client_count; ++i) {
+    const std::string name =
+        client_count == 1 ? "client" : "client-" + std::to_string(i);
+    const sim::NodeId node = net.add_node(name);
+    net.add_link(node, lan_switch, lan_link);
+    client_nodes.push_back(node);
+  }
+  agent_node = net.add_node("client-agent");
+  net.add_link(agent_node, lan_switch, lan_link);
+
+  for (int i = 0; i < config.lan_depot_count; ++i) {
+    const std::string name = "lan-" + std::to_string(i);
+    const sim::NodeId node = net.add_node(name + "-node");
+    net.add_link(node, lan_switch, lan_link);
+    ibp::DepotConfig depot;
+    depot.capacity_bytes = 16ull << 30;
+    depot.max_alloc_bytes = 1ull << 30;
+    depot.disk_bytes_per_sec = config.depot_disk_bps;
+    depot.rng_seed = 0x1a00 + static_cast<std::uint64_t>(i);
+    fabric.add_depot(node, name, depot);
+    lan_depots.push_back(name);
+  }
+
+  // WAN: a shared trunk to the "California" side; server depots, the DVS
+  // server and the (publishing) server node live behind it.
+  wan_router = net.add_node("wan-router");
+  net.add_link(lan_switch, wan_router,
+               {config.wan_bandwidth_bps, config.wan_latency, config.wan_jitter});
+  const sim::LinkConfig far_lan{1e9, kMillisecond, 0.0};
+
+  for (int i = 0; i < config.wan_depot_count; ++i) {
+    const std::string name = "ca-" + std::to_string(i);
+    const sim::NodeId node = net.add_node(name + "-node");
+    net.add_link(node, wan_router, far_lan);
+    ibp::DepotConfig depot;
+    depot.capacity_bytes = 64ull << 30;
+    depot.max_alloc_bytes = 1ull << 30;
+    depot.disk_bytes_per_sec = config.depot_disk_bps;
+    depot.rng_seed = 0xca00 + static_cast<std::uint64_t>(i);
+    fabric.add_depot(node, name, depot);
+    wan_depots.push_back(name);
+  }
+  dvs_node = net.add_node("dvs-server");
+  net.add_link(dvs_node, wan_router, far_lan);
+  server_node = net.add_node("server");
+  net.add_link(server_node, wan_router, far_lan);
+
+  lbone = std::make_unique<lbone::Directory>(net, fabric, obs.get());
+  for (const auto& name : lan_depots) lbone->register_depot(name);
+  for (const auto& name : wan_depots) lbone->register_depot(name);
+
+  dvs = std::make_unique<streaming::DvsServer>(sim, net, dvs_node, source.lattice(),
+                                               streaming::DvsConfig{}, obs.get());
+}
+
+PublishResult& System::publish(const ExperimentConfig& config,
+                               const std::vector<const CursorScript*>& scripts) {
+  PublishOptions publish;
+  publish.depots = (config.which == Case::kLanData) ? lan_depots : wan_depots;
+  publish.replicas = config.publish_replicas;
+  publish.net.streams = 8;
+  publish.all_filler = config.all_filler;
+  publish.chunk_bytes = config.publish_chunk_bytes;
+  publish.pool = config.pool;
+  if (!config.full_content && !config.all_filler) {
+    std::set<std::pair<int, int>> visited;
+    for (const CursorScript* script : scripts) {
+      for (const CursorStep& step : script->steps()) {
+        const auto id = source.lattice().view_set_of(step.direction);
+        visited.insert({id.row, id.col});
+      }
+    }
+    for (const auto& [row, col] : visited) {
+      publish.real_ids.push_back({row, col});
+      visited_.push_back({row, col});
+    }
+  }
+  published = publish_database(sim, lors, *dvs, source, server_node, publish);
+  if (published.failed > 0) {
+    throw std::runtime_error("run_experiment: database publication failed");
+  }
+  ensure_lod(config);
+  return published;
+}
+
+void System::ensure_lod(const ExperimentConfig& config) {
+  if (config.lod_resolution == 0 || lod_dvs != nullptr) return;
+  // Same lattice geometry (identical view-set grid), lower view resolution:
+  // every full-resolution ViewSetId addresses the matching coarse set.
+  lightfield::LatticeConfig coarse = config.lattice;
+  coarse.view_resolution = config.lod_resolution;
+  multidb.add("full", {}, config.lattice);
+  multidb.add("coarse", {}, coarse);
+  lod_source = std::make_unique<lightfield::ProceduralSource>(coarse);
+  lod_dvs = std::make_unique<streaming::DvsServer>(
+      sim, net, dvs_node, lod_source->lattice(), streaming::DvsConfig{}, obs.get());
+
+  PublishOptions publish;
+  publish.depots = (config.which == Case::kLanData) ? lan_depots : wan_depots;
+  publish.replicas = config.publish_replicas;
+  publish.net.streams = 8;
+  publish.all_filler = config.all_filler;
+  publish.chunk_bytes = config.publish_chunk_bytes;
+  publish.pool = config.pool;
+  if (!config.full_content && !config.all_filler) publish.real_ids = visited_;
+  const PublishResult coarse_published =
+      publish_database(sim, lors, *lod_dvs, *lod_source, server_node, publish);
+  if (coarse_published.failed > 0) {
+    throw std::runtime_error("run_experiment: coarse-tier publication failed");
+  }
+}
+
+void System::make_agent(const ExperimentConfig& config) {
+  streaming::ClientAgentConfig agent_config;
+  agent_config.cache_bytes = config.agent_cache_bytes;
+  agent_config.prefetch = config.prefetch;
+  agent_config.prefetch_strategy = config.prefetch_strategy;
+  agent_config.eviction = config.eviction;
+  agent_config.prefetch_horizon = config.prefetch_horizon;
+  agent_config.prefetch_max_inflight = config.prefetch_max_inflight;
+  agent_config.prefetch_max_bytes = config.prefetch_max_bytes;
+  agent_config.staging = (config.which == Case::kWanWithLanDepot);
+  agent_config.lan_depots = lan_depots;
+  agent_config.staging_concurrency = config.staging_concurrency;
+  agent_config.staging_order = config.staging_order;
+  agent_config.pause_staging_on_miss = config.pause_staging_on_miss;
+  agent_config.wan_net.streams = config.wan_streams;
+  agent_config.retry = config.retry;
+  agent_config.max_refetch = config.max_refetch;
+  agent_config.staging_lease = config.staging_lease;
+  agent_config.lease_refresh = config.lease_refresh;
+  agent_config.lease_refresh_interval = config.lease_refresh_interval;
+  agent_config.pool = config.pool;
+  agent_config.pipeline_decompress = config.pipeline_decompress;
+  agent_config.pipeline_inflight = config.pipeline_inflight;
+  agent_config.admission = config.admission;
+  agent_config.deadline = config.interactivity_deadline;
+  agent_config.degrade = config.degrade;
+  agent_config.degrade_after_misses = config.degrade_after_misses;
+  agent_config.upgrade_after_hits = config.upgrade_after_hits;
+  agent_config.lod_dvs = lod_dvs.get();
+  agent_config.hot_report_threshold = config.hot_report_threshold;
+  agent = std::make_unique<streaming::ClientAgent>(sim, net, fabric, lors, *dvs,
+                                                   source.lattice(), agent_node,
+                                                   agent_config, obs.get());
+}
+
+void System::make_clients(const ExperimentConfig& config) {
+  for (const sim::NodeId node : client_nodes) {
+    clients.push_back(std::make_unique<streaming::Client>(
+        sim, net, config.lattice, node, *agent, config.client, obs.get()));
+  }
+}
+
+void System::make_server_agent(const ExperimentConfig& config) {
+  if (!config.server_agent) return;
+  streaming::ServerAgentConfig sa;
+  sa.depots = (config.which == Case::kLanData) ? lan_depots : wan_depots;
+  sa.replicas = config.publish_replicas;
+  sa.net.streams = 8;
+  sa.chunk_bytes = config.publish_chunk_bytes;
+  sa.pool = config.pool;
+  sa.admission = config.server_admission;
+  sa.deadline = config.interactivity_deadline;
+  sa.augment_threshold = config.augment_threshold;
+  sa.augment_cooldown = config.augment_cooldown;
+  // Fan hot view sets toward the client site: augmented replicas land on
+  // the LAN depots, so the flash crowd's next round is served locally.
+  sa.augment_depots = lan_depots;
+  server_agent = std::make_unique<streaming::ServerAgent>(
+      sim, net, lors, *dvs, server_node,
+      std::shared_ptr<lightfield::ViewSetSource>(
+          std::shared_ptr<lightfield::ViewSetSource>{}, &source),
+      sa, obs.get());
+  dvs->register_server_agent(server_agent.get());
+}
+
+void System::start_repair(const ExperimentConfig& config) {
+  if (config.repair_interval <= 0) return;
+  repair_interval_ = config.repair_interval;
+  repair_batch_ = config.repair_batch;
+  repair_target_replicas_ = config.repair_target_replicas > 0
+                                ? config.repair_target_replicas
+                                : config.publish_replicas;
+  repair_depots_ = (config.which == Case::kLanData) ? lan_depots : wan_depots;
+  repair_sweep_ = [this] {
+    if (published.exnodes.empty()) return;
+    auto batch = std::make_shared<std::size_t>(
+        std::min(repair_batch_, published.exnodes.size()));
+    for (std::size_t i = 0; i < *batch; ++i) {
+      auto& [id, owned] = published.exnodes[repair_cursor_++ % published.exnodes.size()];
+      lors::RepairOptions options;
+      options.target_replicas = repair_target_replicas_;
+      options.candidate_depots = repair_depots_;
+      lors.repair_async(server_node, owned, options,
+                        [this, batch, id = id](const lors::RepairResult& r) {
+                          if (r.status != lors::LorsStatus::kCancelled) {
+                            for (auto& [pid, pnode] : published.exnodes) {
+                              if (pid == id) pnode = r.exnode;
+                            }
+                            if (r.replicas_lost > 0 || r.replicas_added > 0) {
+                              exnode::ExNode copy = r.exnode;
+                              dvs->install(id, std::move(copy));
+                            }
+                          }
+                          if (--*batch == 0) {
+                            sim.after(repair_interval_, repair_sweep_);
+                          }
+                        });
+    }
+  };
+  sim.after(repair_interval_, repair_sweep_);
+}
+
+void System::arm_faults(fault::FaultInjector& injector, const fault::FaultPlan& faults,
+                        SimTime script_start) {
+  fault::FaultPlan plan = faults;
+  for (auto& c : plan.crashes) c.at += script_start;
+  for (auto& p : plan.partitions) p.at += script_start;
+  for (auto& d : plan.degradations) d.at += script_start;
+  for (auto& d : plan.drops) d.at += script_start;
+  for (auto& c : plan.corruptions) c.at += script_start;
+  injector.arm(plan);
+}
+
+}  // namespace lon::session

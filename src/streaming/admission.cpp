@@ -1,0 +1,58 @@
+#include "streaming/admission.hpp"
+
+#include <algorithm>
+
+namespace lon::streaming {
+
+const char* to_string(AdmissionDecision decision) {
+  switch (decision) {
+    case AdmissionDecision::kAdmit:
+      return "admit";
+    case AdmissionDecision::kShedQueueFull:
+      return "shed-queue-full";
+    case AdmissionDecision::kShedNoTokens:
+      return "shed-no-tokens";
+    case AdmissionDecision::kShedDeadline:
+      return "shed-deadline";
+  }
+  return "?";
+}
+
+AdmissionController::Bucket& AdmissionController::refill(std::uint64_t requester,
+                                                         SimTime now) {
+  auto [it, fresh] = buckets_.try_emplace(requester, Bucket{config_.token_burst, now});
+  Bucket& bucket = it->second;
+  if (!fresh && now > bucket.last_refill && config_.tokens_per_sec > 0.0) {
+    bucket.tokens = std::min(config_.token_burst,
+                             bucket.tokens + to_seconds(now - bucket.last_refill) *
+                                                 config_.tokens_per_sec);
+  }
+  bucket.last_refill = now;
+  return bucket;
+}
+
+double AdmissionController::tokens(std::uint64_t requester, SimTime now) {
+  return refill(requester, now).tokens;
+}
+
+AdmissionDecision AdmissionController::admit(std::uint64_t requester, SimTime now,
+                                             std::size_t queue_depth,
+                                             SimDuration estimated_completion,
+                                             SimDuration time_to_need) {
+  if (!config_.enabled) return AdmissionDecision::kAdmit;
+  if (config_.max_queue > 0 && queue_depth >= config_.max_queue) {
+    return AdmissionDecision::kShedQueueFull;
+  }
+  if (config_.deadline_triage && time_to_need > 0 && estimated_completion > 0 &&
+      estimated_completion > time_to_need) {
+    return AdmissionDecision::kShedDeadline;
+  }
+  if (config_.tokens_per_sec > 0.0) {
+    Bucket& bucket = refill(requester, now);
+    if (bucket.tokens < 1.0) return AdmissionDecision::kShedNoTokens;
+    bucket.tokens -= 1.0;
+  }
+  return AdmissionDecision::kAdmit;
+}
+
+}  // namespace lon::streaming

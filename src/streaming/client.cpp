@@ -28,7 +28,12 @@ Client::Client(sim::Simulator& sim, sim::Network& net,
                scope_.histogram("session.decompress_ns"),
                scope_.histogram("session.comm_hit_ns"),
                scope_.histogram("session.comm_lan_ns"),
-               scope_.histogram("session.comm_wan_ns")},
+               scope_.histogram("session.comm_wan_ns"),
+               scope_.counter("session.shed_retries"),
+               scope_.histogram("session.shed_wait_ns")},
+      shed_rng_(config_.shed_retry_seed != 0
+                    ? config_.shed_retry_seed
+                    : 0x51ed0000ULL + static_cast<std::uint64_t>(node)),
       renderer_(lattice) {}
 
 void Client::record_access(const AccessRecord& record) {
@@ -92,12 +97,16 @@ void Client::begin_request(const lightfield::ViewSetId& id, std::function<void(b
   obs_.trace.arg(span, "view_set", id.key());
   pending_->span = span;
 
+  send_request(id, span);
+}
+
+void Client::send_request(const lightfield::ViewSetId& id, obs::SpanId span) {
   // Request message travels to the agent; the agent answers with the
   // compressed view set, which then travels back over the LAN.
   const SimDuration to_agent = net_.path_latency(node_, agent_.node());
   sim_.after(to_agent, [this, id, span] {
     agent_.request_view_set(
-        id,
+        id, node_,
         [this](const ClientAgent::Delivery& d) {
           // Payload transfer agent -> client. The wire carries the compressed
           // bytes; a pre-decoded view set (pipeline) rides along as metadata.
@@ -136,6 +145,29 @@ SimDuration Client::charge_decompress(const Bytes& compressed,
 
 void Client::on_delivery(const ClientAgent::Delivery& delivery) {
   if (!pending_.has_value()) return;  // stale delivery (should not happen)
+
+  if (delivery.status == DeliveryStatus::kShed &&
+      pending_->shed_attempts + 1 < config_.shed_retry.max_attempts) {
+    // Overload refusal: back off (jittered, growing per round) and re-ask
+    // the same agent. Deliberately *not* the depot-failure path — no
+    // failover, no exNode invalidation, no repair: the data is fine, the
+    // serving tier is busy. The clock restarts at the re-send so
+    // session.total_ns keeps measuring admitted-request latency; the wait
+    // itself is visible in session.shed_retries / session.shed_wait_ns.
+    const int round = ++pending_->shed_attempts;
+    const SimDuration wait = config_.shed_retry.backoff_for(round, shed_rng_);
+    metrics_.shed_retries.inc();
+    metrics_.shed_wait_ns.record(wait);
+    obs_.trace.instant("client.shed_retry", sim_.now(), pending_->span);
+    const lightfield::ViewSetId id = pending_->id;
+    sim_.after(wait, [this, id] {
+      if (!pending_.has_value() || !(pending_->id == id)) return;
+      pending_->requested = sim_.now();
+      send_request(id, pending_->span);
+    });
+    return;
+  }
+
   PendingRequest request = std::move(*pending_);
   const Bytes& compressed = *delivery.payload;
 

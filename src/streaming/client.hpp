@@ -40,6 +40,14 @@ struct ClientConfig {
   /// core count so modeled runs are machine-independent.
   int modeled_decode_workers = 4;
   sim::TransferOptions lan_net;          ///< client <-> agent transfers
+
+  /// Retry discipline for kShed deliveries: the serving tier refused under
+  /// load, so the client waits out a jittered backoff and asks again —
+  /// crucially *without* touching the depot-failure machinery (no failover,
+  /// no exNode repair: nothing is broken, the system is busy). max_attempts
+  /// counts total tries; the default gives three backed-off retries.
+  lors::RetryPolicy shed_retry{.max_attempts = 4, .base_backoff = 100 * kMillisecond};
+  std::uint64_t shed_retry_seed = 0;     ///< jitter stream (0 = derive from node id)
 };
 
 class Client {
@@ -71,6 +79,7 @@ class Client {
     SimTime requested = 0;
     std::vector<std::function<void(bool)>> callbacks;
     obs::SpanId span = 0;  ///< client.request — root of the access lifeline
+    int shed_attempts = 0; ///< tries answered with kShed so far
   };
 
   struct Metrics {
@@ -85,9 +94,13 @@ class Client {
     obs::LatencyHistogram& comm_hit_ns;
     obs::LatencyHistogram& comm_lan_ns;
     obs::LatencyHistogram& comm_wan_ns;
+    obs::Counter& shed_retries;          ///< session.shed_retries
+    obs::LatencyHistogram& shed_wait_ns; ///< session.shed_wait_ns (per backoff)
   };
 
   void begin_request(const lightfield::ViewSetId& id, std::function<void(bool)> cb);
+  /// Sends (or re-sends) the pending request to the agent.
+  void send_request(const lightfield::ViewSetId& id, obs::SpanId span);
   void on_delivery(const ClientAgent::Delivery& delivery);
   /// Mirrors the AccessRecord into the session.* registry metrics.
   void record_access(const AccessRecord& record);
@@ -106,6 +119,7 @@ class Client {
   obs::Scope scope_;
   Metrics metrics_;
 
+  Rng shed_rng_;  ///< jitter stream for shed-retry backoff
   lightfield::Renderer renderer_;
   std::deque<lightfield::ViewSetId> resident_;  // eviction order (FIFO)
   Spherical direction_;

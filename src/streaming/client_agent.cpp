@@ -22,6 +22,20 @@ const char* to_string(AccessClass cls) {
   return "?";
 }
 
+const char* to_string(DegradeLevel level) {
+  switch (level) {
+    case DegradeLevel::kFull:
+      return "full";
+    case DegradeLevel::kLanOnly:
+      return "lan-only";
+    case DegradeLevel::kCoarseLod:
+      return "coarse-lod";
+    case DegradeLevel::kDemandOnly:
+      return "demand-only";
+  }
+  return "?";
+}
+
 ClientAgent::ClientAgent(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fabric,
                          lors::Lors& lors, DvsServer& dvs,
                          const lightfield::SphericalLattice& lattice, sim::NodeId node,
@@ -54,8 +68,19 @@ ClientAgent::ClientAgent(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fa
                scope_.counter("prefetch.useful_bytes"),
                scope_.counter("cache.pollution_evictions"),
                scope_.counter("cache.rejected_prefetch"),
-               scope_.counter("agent.pipeline_aborts")},
+               scope_.counter("agent.pipeline_aborts"),
+               scope_.counter("agent.demand_shed"),
+               scope_.counter("agent.shed_queue_full"),
+               scope_.counter("agent.shed_no_tokens"),
+               scope_.counter("agent.shed_deadline"),
+               scope_.counter("agent.downgrades"),
+               scope_.counter("agent.upgrades"),
+               scope_.counter("agent.degrade_lan_only"),
+               scope_.counter("agent.degrade_lod"),
+               scope_.counter("agent.degrade_demand_only"),
+               scope_.counter("agent.hot_reports")},
       cache_(config_.cache_bytes),
+      admission_(config_.admission),
       motion_(config_.motion),
       latency_(config_.latency) {
   if (config_.staging && config_.lan_depots.empty()) {
@@ -72,8 +97,61 @@ ClientAgent::ClientAgent(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fa
 
 void ClientAgent::request_view_set(const lightfield::ViewSetId& id,
                                    RichDeliverCallback on_done, obs::SpanId parent_span) {
+  request_view_set(id, node_, std::move(on_done), parent_span);
+}
+
+void ClientAgent::request_view_set(const lightfield::ViewSetId& id, sim::NodeId requester,
+                                   RichDeliverCallback on_done, obs::SpanId parent_span) {
   metrics_.requests.inc();
+  // Admission only guards work that would actually be started: a cache hit
+  // or joining an already-running fetch costs (almost) nothing and is always
+  // served — shedding those would only create retry traffic.
+  if (config_.admission.enabled && !cache_.contains(id) && !inflight_.contains(id)) {
+    const policy::FetchClass cls = fetch_class_of(id);
+    // The estimate only gates while the WAN demand path is actually busy: a
+    // frozen-high EWMA on an idle link must not starve the first request
+    // that would refresh it.
+    const bool congested = cls == policy::FetchClass::kWan && demand_wan_active_ > 0;
+    const SimDuration est = congested ? latency_.estimate(cls) : 0;
+    const AdmissionDecision decision =
+        admission_.admit(static_cast<std::uint64_t>(requester), sim_.now(),
+                         static_cast<std::size_t>(demand_inflight_), est, config_.deadline);
+    if (decision != AdmissionDecision::kAdmit) {
+      deliver_shed(id, decision, std::move(on_done), parent_span);
+      return;
+    }
+  }
   fetch(id, std::move(on_done), /*demand=*/true, parent_span);
+}
+
+void ClientAgent::deliver_shed(const lightfield::ViewSetId& id, AdmissionDecision reason,
+                               RichDeliverCallback cb, obs::SpanId parent) {
+  metrics_.demand_shed.inc();
+  switch (reason) {
+    case AdmissionDecision::kShedQueueFull:
+      metrics_.shed_queue_full.inc();
+      break;
+    case AdmissionDecision::kShedNoTokens:
+      metrics_.shed_no_tokens.inc();
+      break;
+    case AdmissionDecision::kShedDeadline:
+      metrics_.shed_deadline.inc();
+      break;
+    case AdmissionDecision::kAdmit:
+      break;
+  }
+  const obs::SpanId span = obs_.trace.instant("agent.shed", sim_.now(), parent);
+  obs_.trace.arg(span, "view_set", id.key());
+  obs_.trace.arg(span, "reason", to_string(reason));
+  note_pressure(id);
+  observe_deadline(/*miss=*/true);
+  if (!cb) return;
+  sim_.after(0, [cb = std::move(cb)] {
+    static const auto empty = std::make_shared<const Bytes>();
+    Delivery delivery{empty, AccessClass::kWan, 0, nullptr, nullptr};
+    delivery.status = DeliveryStatus::kShed;
+    cb(delivery);
+  });
 }
 
 void ClientAgent::request_view_set(const lightfield::ViewSetId& id,
@@ -93,7 +171,10 @@ void ClientAgent::fetch(const lightfield::ViewSetId& id, RichDeliverCallback cb,
   bool first_prefetch_hit = false;
   if (std::shared_ptr<const Bytes> data = cache_.get(id, &first_prefetch_hit, demand);
       data != nullptr) {
-    if (demand) metrics_.hits.inc();
+    if (demand) {
+      metrics_.hits.inc();
+      observe_deadline(/*miss=*/false);  // memory hits always beat the deadline
+    }
     if (first_prefetch_hit) {
       metrics_.prefetch_useful.inc();
       metrics_.prefetch_useful_bytes.inc(data->size());
@@ -129,6 +210,7 @@ void ClientAgent::fetch(const lightfield::ViewSetId& id, RichDeliverCallback cb,
   flight.waiters.push_back(Waiter{std::move(cb), sim_.now(), demand, parent});
   flight.started = sim_.now();
   flight.prefetch_origin = !demand;
+  if (demand) ++demand_inflight_;
   flight.span = obs_.trace.begin("agent.fetch", sim_.now(), parent);
   obs_.trace.arg(flight.span, "view_set", id.key());
   obs_.trace.arg(flight.span, "demand", demand ? "true" : "false");
@@ -163,7 +245,7 @@ policy::FetchClass ClientAgent::fetch_class_of(const lightfield::ViewSetId& id) 
   return policy::FetchClass::kWan;
 }
 
-void ClientAgent::resolve_and_download(const lightfield::ViewSetId& id) {
+void ClientAgent::resolve_and_download(const lightfield::ViewSetId& id, bool allow_coarse) {
   // Prestaged? Prefer the LAN copy.
   if (auto staged = staged_.find(id); staged != staged_.end()) {
     download(id, staged->second, AccessClass::kLanDepot);
@@ -171,9 +253,14 @@ void ClientAgent::resolve_and_download(const lightfield::ViewSetId& id) {
   }
   // Known exNode?
   if (auto cached = exnode_cache_.find(id); cached != exnode_cache_.end()) {
-    download(id, cached->second, classify(cached->second));
+    const AccessClass cls = classify(cached->second);
+    // kCoarseLod rung: a WAN-bound demand access is cheaper served coarse.
+    if (cls == AccessClass::kWan && allow_coarse && try_coarse(id)) return;
+    download(id, cached->second, cls);
     return;
   }
+  // Unknown exNode means a WAN round trip at best — degrade before asking.
+  if (allow_coarse && try_coarse(id)) return;
   // Ask the DVS (runtime generation allowed: the miss path of section 3.6).
   // The ambient register parents the DVS query span under this fetch.
   const auto flight = inflight_.find(id);
@@ -181,6 +268,17 @@ void ClientAgent::resolve_and_download(const lightfield::ViewSetId& id) {
       obs_.trace, flight != inflight_.end() ? flight->second.span : 0);
   dvs_.query_async(node_, id, /*generate_if_missing=*/true,
                    [this, id](const DvsServer::QueryResult& result) {
+                     if (result.shed) {
+                       // The generation tier refused under load: not a
+                       // failure, not a reason to repair anything — the
+                       // client backs off and retries.
+                       if (auto it = inflight_.find(id); it != inflight_.end()) {
+                         it->second.shed_upstream = true;
+                       }
+                       note_pressure(id);
+                       finish_fetch(id, Bytes{});
+                       return;
+                     }
                      if (!result.found) {
                        LON_LOG(kWarn, "client-agent")
                            << "view set " << id.key() << " unavailable";
@@ -190,6 +288,37 @@ void ClientAgent::resolve_and_download(const lightfield::ViewSetId& id) {
                      exnode_cache_[id] = result.exnode;
                      download(id, result.exnode, classify(result.exnode));
                    });
+}
+
+bool ClientAgent::try_coarse(const lightfield::ViewSetId& id) {
+  if (!config_.degrade || level_ < DegradeLevel::kCoarseLod ||
+      config_.lod_dvs == nullptr) {
+    return false;
+  }
+  auto it = inflight_.find(id);
+  if (it == inflight_.end()) return false;
+  // Only demand traffic degrades: a prefetch caching coarse bytes under the
+  // full-resolution id would poison every later access.
+  if (it->second.prefetch_origin && !it->second.demand_joined) return false;
+  const obs::Tracer::Ambient ambient(obs_.trace, it->second.span);
+  config_.lod_dvs->query_async(
+      node_, id, /*generate_if_missing=*/false,
+      [this, id](const DvsServer::QueryResult& result) {
+        if (!result.found) {
+          // No coarse copy either — fall through to the full-resolution
+          // path, with coarse lookups suppressed to break the recursion.
+          resolve_and_download(id, /*allow_coarse=*/false);
+          return;
+        }
+        metrics_.degrade_lod.inc();
+        note_pressure(id);
+        if (auto flight = inflight_.find(id); flight != inflight_.end()) {
+          flight->second.degraded_lod = true;
+          obs_.trace.arg(flight->second.span, "degraded", "coarse-lod");
+        }
+        download(id, result.exnode, classify(result.exnode));
+      });
+  return true;
 }
 
 void ClientAgent::download(const lightfield::ViewSetId& id, const exnode::ExNode& exnode,
@@ -276,16 +405,22 @@ void ClientAgent::finish_fetch(const lightfield::ViewSetId& id, Bytes data,
   if (it == inflight_.end()) return;
   Inflight flight = std::move(it->second);
   inflight_.erase(it);
+  if (!flight.prefetch_origin && demand_inflight_ > 0) --demand_inflight_;
 
   const bool ok = !data.empty();
+  const DeliveryStatus status = ok                     ? DeliveryStatus::kOk
+                                : flight.shed_upstream ? DeliveryStatus::kShed
+                                                       : DeliveryStatus::kFailed;
   auto payload = std::make_shared<const Bytes>(std::move(data));
   // A prefetch the user never caught up with is the speculative kind the
   // eviction policy may sacrifice or refuse; one a demand request joined is
   // demand working set from the start.
   const bool speculative = flight.prefetch_origin && !flight.demand_joined;
-  if (ok) {
+  if (ok && !flight.degraded_lod) {
     // Shared-ownership insert: the cache aliases this payload rather than
-    // deep-copying every delivered view set.
+    // deep-copying every delivered view set. Coarse substitutes stay out of
+    // both the cache and the estimators: they are neither the canonical
+    // bytes for this id nor representative of a full-resolution fetch.
     cache_.put(id, payload, speculative);
     sync_cache_metrics();
     const auto size = static_cast<double>(payload->size());
@@ -295,6 +430,16 @@ void ClientAgent::finish_fetch(const lightfield::ViewSetId& id, Bytes data,
       latency_.observe(flight.cls == AccessClass::kLanDepot ? policy::FetchClass::kLan
                                                             : policy::FetchClass::kWan,
                        sim_.now() - flight.started);
+    }
+  }
+  // Ladder feed: one outcome per demand flight. A shed is a miss by
+  // definition; a hard failure is availability, not overload, and does not
+  // move the ladder.
+  if (!flight.prefetch_origin || flight.demand_joined) {
+    if (status == DeliveryStatus::kShed) {
+      observe_deadline(/*miss=*/true);
+    } else if (ok && config_.deadline > 0) {
+      observe_deadline(sim_.now() - flight.started > config_.deadline);
     }
   }
   if (flight.prefetch_origin) {
@@ -336,24 +481,64 @@ void ClientAgent::finish_fetch(const lightfield::ViewSetId& id, Bytes data,
 
   for (const Waiter& waiter : flight.waiters) {
     if (waiter.demand) {
-      switch (flight.cls) {
-        case AccessClass::kLanDepot:
-          metrics_.lan_accesses.inc();
-          break;
-        case AccessClass::kWan:
-        case AccessClass::kGenerated:
-          metrics_.wan_accesses.inc();
-          break;
-        case AccessClass::kAgentHit:
-          metrics_.hits.inc();
-          break;
+      if (status == DeliveryStatus::kShed) {
+        // Not an access: the request was refused, not served.
+        metrics_.demand_shed.inc();
+      } else {
+        switch (flight.cls) {
+          case AccessClass::kLanDepot:
+            metrics_.lan_accesses.inc();
+            break;
+          case AccessClass::kWan:
+          case AccessClass::kGenerated:
+            metrics_.wan_accesses.inc();
+            break;
+          case AccessClass::kAgentHit:
+            metrics_.hits.inc();
+            break;
+        }
       }
     }
     if (waiter.cb) {
-      waiter.cb(Delivery{payload, flight.cls, sim_.now() - waiter.arrived, decoded,
-                         report});
+      Delivery delivery{payload, flight.cls, sim_.now() - waiter.arrived, decoded,
+                        report};
+      delivery.status = status;
+      delivery.degraded_lod = flight.degraded_lod;
+      waiter.cb(delivery);
     }
   }
+}
+
+void ClientAgent::observe_deadline(bool miss) {
+  if (!config_.degrade) return;
+  if (miss) {
+    hit_streak_ = 0;
+    if (++miss_streak_ >= config_.degrade_after_misses &&
+        level_ != DegradeLevel::kDemandOnly) {
+      miss_streak_ = 0;
+      level_ = static_cast<DegradeLevel>(static_cast<int>(level_) + 1);
+      metrics_.downgrades.inc();
+      const obs::SpanId span = obs_.trace.instant("agent.degrade", sim_.now());
+      obs_.trace.arg(span, "level", to_string(level_));
+    }
+  } else {
+    miss_streak_ = 0;
+    if (++hit_streak_ >= config_.upgrade_after_hits && level_ != DegradeLevel::kFull) {
+      hit_streak_ = 0;
+      level_ = static_cast<DegradeLevel>(static_cast<int>(level_) - 1);
+      metrics_.upgrades.inc();
+      const obs::SpanId span = obs_.trace.instant("agent.upgrade", sim_.now());
+      obs_.trace.arg(span, "level", to_string(level_));
+    }
+  }
+}
+
+void ClientAgent::note_pressure(const lightfield::ViewSetId& id) {
+  if (config_.hot_report_threshold <= 0) return;
+  if (++pressure_[id] < config_.hot_report_threshold) return;
+  pressure_[id] = 0;
+  metrics_.hot_reports.inc();
+  dvs_.report_hot_async(node_, id);
 }
 
 void ClientAgent::notify_cursor(const Spherical& dir) {
@@ -368,6 +553,11 @@ void ClientAgent::notify_cursor(const Spherical& dir) {
 }
 
 void ClientAgent::run_prefetch(const Spherical& dir) {
+  // Bottom ladder rung: demand-only — anticipation is suppressed entirely.
+  if (config_.degrade && level_ >= DegradeLevel::kDemandOnly) {
+    metrics_.degrade_demand_only.inc();
+    return;
+  }
   // Free inflight slots bound how many targets the policy may propose.
   std::size_t slots = std::numeric_limits<std::size_t>::max();
   if (config_.prefetch_max_inflight > 0) {
@@ -401,6 +591,13 @@ void ClientAgent::run_prefetch(const Spherical& dir) {
     if (config_.prefetch_max_bytes > 0 && charge > 0 &&
         prefetch_bytes_inflight_ + charge > config_.prefetch_max_bytes) {
       break;
+    }
+    // kLanOnly rung: anticipation may only touch data already on the LAN —
+    // the WAN belongs to demand traffic until the overload clears.
+    if (config_.degrade && level_ >= DegradeLevel::kLanOnly &&
+        fetch_class_of(target) != policy::FetchClass::kLan) {
+      metrics_.degrade_lan_only.inc();
+      continue;
     }
     metrics_.prefetches.inc();
     ++prefetch_inflight_;
@@ -524,6 +721,8 @@ std::optional<std::size_t> ClientAgent::pick_next_stage() const {
 void ClientAgent::staging_pump() {
   if (!staging_active_) return;
   if (config_.pause_staging_on_miss && demand_wan_active_ > 0) return;
+  // Demand-only rung: staging's third-party copies also yield the WAN.
+  if (config_.degrade && level_ >= DegradeLevel::kDemandOnly) return;
   while (staging_inflight_ < config_.staging_concurrency) {
     const auto pick = pick_next_stage();
     if (!pick.has_value()) break;
@@ -609,6 +808,16 @@ const ClientAgent::Stats& ClientAgent::stats() const {
   stats_view_.pipeline_aborts = metrics_.pipeline_aborts.value();
   stats_view_.pollution_evictions = metrics_.pollution_evictions.value();
   stats_view_.rejected_prefetch = metrics_.rejected_prefetch.value();
+  stats_view_.demand_shed = metrics_.demand_shed.value();
+  stats_view_.shed_queue_full = metrics_.shed_queue_full.value();
+  stats_view_.shed_no_tokens = metrics_.shed_no_tokens.value();
+  stats_view_.shed_deadline = metrics_.shed_deadline.value();
+  stats_view_.downgrades = metrics_.downgrades.value();
+  stats_view_.upgrades = metrics_.upgrades.value();
+  stats_view_.degrade_lan_only = metrics_.degrade_lan_only.value();
+  stats_view_.degrade_lod = metrics_.degrade_lod.value();
+  stats_view_.degrade_demand_only = metrics_.degrade_demand_only.value();
+  stats_view_.hot_reports = metrics_.hot_reports.value();
   return stats_view_;
 }
 

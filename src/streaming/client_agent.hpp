@@ -37,6 +37,7 @@
 #include "policy/latency.hpp"
 #include "policy/motion.hpp"
 #include "policy/prefetch.hpp"
+#include "streaming/admission.hpp"
 #include "streaming/cache.hpp"
 #include "streaming/dvs.hpp"
 #include "streaming/pipeline.hpp"
@@ -47,6 +48,25 @@ namespace lon::streaming {
 /// Modeled cost of serving a view set out of the agent's memory cache —
 /// the ~1e-4 s "hit" line of figure 12.
 inline constexpr SimDuration kAgentHitLatency = 100 * kMicrosecond;
+
+/// Graceful-degradation ladder. Under sustained deadline misses the agent
+/// descends one rung at a time, shrinking how much work each interaction
+/// costs; sustained on-time deliveries climb back up. Order matters and is
+/// tested: LAN-only restriction comes before dropping resolution, which
+/// comes before suppressing anticipation entirely.
+enum class DegradeLevel {
+  kFull,        ///< normal operation
+  kLanOnly,     ///< prefetch only what is already on LAN depots
+  kCoarseLod,   ///< serve WAN demand misses from the coarse-resolution database
+  kDemandOnly,  ///< no prefetch, no staging: demand traffic only
+};
+
+[[nodiscard]] const char* to_string(DegradeLevel level);
+
+/// How a delivery concluded. kShed is an explicit overload refusal (local
+/// admission control or the generation tier): the payload is empty but the
+/// request is retryable and must not be treated as a depot failure.
+enum class DeliveryStatus { kOk, kFailed, kShed };
 
 struct ClientAgentConfig {
   std::uint64_t cache_bytes = 512ull << 20;  ///< agent view-set cache budget
@@ -122,6 +142,29 @@ struct ClientAgentConfig {
   /// Chunk decodes in flight before the pipeline's producer blocks
   /// (0 = twice the pool size).
   std::size_t pipeline_inflight = 0;
+
+  // --- Overload protection --------------------------------------------------
+
+  /// Admission control over the demand path: bounded in-service demand
+  /// fetches, per-client fair-share token buckets (keyed by the requesting
+  /// client's node id) and deadline triage against the latency estimator.
+  /// Disabled by default — legacy behaviour admits everything.
+  AdmissionConfig admission;
+  /// The client's time-to-need: an interactive deadline for one access.
+  /// Feeds both admission triage and the degradation ladder. 0 = none.
+  SimDuration deadline = 0;
+  /// Master switch for the graceful-degradation ladder.
+  bool degrade = false;
+  int degrade_after_misses = 3;  ///< consecutive deadline misses per downgrade
+  int upgrade_after_hits = 8;    ///< consecutive on-time deliveries per upgrade
+  /// Coarse-resolution database for the kCoarseLod rung: a DVS over the same
+  /// lattice geometry published at a lower view resolution (see
+  /// lightfield::MultiDatabase). Null = the rung is skipped in effect.
+  DvsServer* lod_dvs = nullptr;
+  /// Shed/degrade events on one view set before the agent reports it hot to
+  /// the DVS (which relays to the server agent for replica augmentation).
+  /// 0 = no reporting.
+  int hot_report_threshold = 0;
 };
 
 class ClientAgent {
@@ -144,6 +187,16 @@ class ClientAgent {
     std::uint64_t pipeline_aborts = 0; ///< abandoned download attempts drained
     std::uint64_t pollution_evictions = 0;  ///< unused prefetches evicted
     std::uint64_t rejected_prefetch = 0;    ///< prefetch inserts refused admission
+    std::uint64_t demand_shed = 0;       ///< demand requests answered with kShed
+    std::uint64_t shed_queue_full = 0;   ///< ... because the demand queue was full
+    std::uint64_t shed_no_tokens = 0;    ///< ... because the client's bucket was dry
+    std::uint64_t shed_deadline = 0;     ///< ... because completion was predicted late
+    std::uint64_t downgrades = 0;        ///< ladder steps down
+    std::uint64_t upgrades = 0;          ///< ladder steps back up
+    std::uint64_t degrade_lan_only = 0;  ///< WAN prefetch targets skipped (kLanOnly)
+    std::uint64_t degrade_lod = 0;       ///< accesses served coarse (kCoarseLod)
+    std::uint64_t degrade_demand_only = 0;  ///< prefetch rounds suppressed
+    std::uint64_t hot_reports = 0;       ///< demand-pressure reports sent to the DVS
   };
 
   ClientAgent(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fabric,
@@ -168,6 +221,12 @@ class ClientAgent {
     /// The pipeline's virtual-time record (null when not pipelined) — input
     /// to residual_decompress_time for the client's modeled charge.
     std::shared_ptr<const DecompressPipeline::Report> pipeline;
+    /// kShed = overload refusal (retry with backoff); kFailed = the view set
+    /// could not be obtained. Either way the payload is empty.
+    DeliveryStatus status = DeliveryStatus::kOk;
+    /// The payload is the coarse-resolution substitute (kCoarseLod rung) —
+    /// do not treat it as the canonical full-resolution view set.
+    bool degraded_lod = false;
   };
   using RichDeliverCallback = std::function<void(const Delivery&)>;
 
@@ -183,6 +242,11 @@ class ClientAgent {
                         obs::SpanId parent_span = 0);
   void request_view_set(const lightfield::ViewSetId& id, DeliverCallback on_done,
                         obs::SpanId parent_span = 0);
+  /// Variant carrying the requesting client's identity, which keys the
+  /// per-client fair-share token bucket. The identity-less overloads charge
+  /// everything to one aggregate bucket (the agent's own node).
+  void request_view_set(const lightfield::ViewSetId& id, sim::NodeId requester,
+                        RichDeliverCallback on_done, obs::SpanId parent_span = 0);
 
   /// Cursor update from the client: drives quadrant prefetch and reorders
   /// the prestaging queue by proximity.
@@ -219,6 +283,10 @@ class ClientAgent {
   /// Prefetch fetches currently in flight (for budget tests).
   [[nodiscard]] std::size_t prefetch_inflight() const { return prefetch_inflight_; }
   [[nodiscard]] const policy::CursorMotionModel& motion_model() const { return motion_; }
+  /// Current rung of the graceful-degradation ladder.
+  [[nodiscard]] DegradeLevel degrade_level() const { return level_; }
+  /// Demand fetches currently in service (the admission queue depth).
+  [[nodiscard]] int demand_inflight() const { return demand_inflight_; }
 
  private:
   struct Waiter {
@@ -236,6 +304,8 @@ class ClientAgent {
     bool prefetch_origin = false;  ///< started by the prefetcher
     bool demand_joined = false;    ///< a demand request later joined it
     std::uint64_t prefetch_charge = 0;  ///< bytes charged to the prefetch budget
+    bool degraded_lod = false;     ///< served from the coarse-resolution database
+    bool shed_upstream = false;    ///< the generation tier shed this request
   };
 
   struct Metrics {
@@ -258,14 +328,42 @@ class ClientAgent {
     obs::Counter& pollution_evictions;   ///< cache.pollution_evictions
     obs::Counter& rejected_prefetch;     ///< cache.rejected_prefetch
     obs::Counter& pipeline_aborts;       ///< agent.pipeline_aborts
+    obs::Counter& demand_shed;           ///< agent.demand_shed
+    obs::Counter& shed_queue_full;       ///< agent.shed_queue_full
+    obs::Counter& shed_no_tokens;        ///< agent.shed_no_tokens
+    obs::Counter& shed_deadline;         ///< agent.shed_deadline
+    obs::Counter& downgrades;            ///< agent.downgrades
+    obs::Counter& upgrades;              ///< agent.upgrades
+    obs::Counter& degrade_lan_only;      ///< agent.degrade_lan_only
+    obs::Counter& degrade_lod;           ///< agent.degrade_lod
+    obs::Counter& degrade_demand_only;   ///< agent.degrade_demand_only
+    obs::Counter& hot_reports;           ///< agent.hot_reports
   };
 
   /// Starts (or joins) a fetch of `id`; cb may be null for prefetch.
   void fetch(const lightfield::ViewSetId& id, RichDeliverCallback cb, bool demand,
              obs::SpanId parent = 0);
 
-  /// Resolves the exNode (staged > cached > DVS) then downloads.
-  void resolve_and_download(const lightfield::ViewSetId& id);
+  /// Resolves the exNode (staged > cached > DVS) then downloads. While the
+  /// ladder sits at kCoarseLod or below, a would-be WAN demand access first
+  /// tries the coarse-resolution database (`allow_coarse` breaks recursion
+  /// when the coarse lookup itself missed).
+  void resolve_and_download(const lightfield::ViewSetId& id, bool allow_coarse = true);
+
+  /// Tries to serve a demand flight from the coarse-resolution database.
+  /// Returns true if a coarse lookup was dispatched (it owns the flight).
+  bool try_coarse(const lightfield::ViewSetId& id);
+
+  /// Feeds the degradation ladder one deadline outcome.
+  void observe_deadline(bool miss);
+
+  /// Counts shed/degrade pressure on `id`; past the threshold the DVS is
+  /// told the view set is hot (fire-and-forget, triggers augmentation).
+  void note_pressure(const lightfield::ViewSetId& id);
+
+  /// Answers a demand request with an explicit kShed delivery.
+  void deliver_shed(const lightfield::ViewSetId& id, AdmissionDecision reason,
+                    RichDeliverCallback cb, obs::SpanId parent);
 
   /// Where a download of this exNode will be served from: LAN if the best
   /// reachable replica across all extents is within lan_threshold.
@@ -326,6 +424,15 @@ class ClientAgent {
   std::size_t staging_rr_ = 0;  ///< round-robin over LAN depots
   int demand_wan_active_ = 0;
   std::optional<sim::TimerId> refresh_timer_;
+
+  // Overload-protection state.
+  AdmissionController admission_;
+  DegradeLevel level_ = DegradeLevel::kFull;
+  int miss_streak_ = 0;     ///< consecutive deadline misses at this rung
+  int hit_streak_ = 0;      ///< consecutive on-time deliveries at this rung
+  int demand_inflight_ = 0; ///< demand fetches in service (admission queue)
+  std::unordered_map<lightfield::ViewSetId, int, lightfield::ViewSetIdHash>
+      pressure_;  ///< shed/degrade events per id, toward hot_report_threshold
 
   lightfield::ViewSetId cursor_vs_{0, 0};
 

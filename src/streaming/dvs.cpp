@@ -15,7 +15,8 @@ DvsServer::DvsServer(sim::Simulator& sim, sim::Network& net, sim::NodeId node,
       scope_(obs_.metrics.scope("dvs")),
       metrics_{scope_.counter("dvs.queries"),    scope_.counter("dvs.hits"),
                scope_.counter("dvs.misses"),     scope_.counter("dvs.forwarded"),
-               scope_.counter("dvs.updates"),    scope_.counter("dvs.levels_visited")} {
+               scope_.counter("dvs.updates"),    scope_.counter("dvs.levels_visited"),
+               scope_.counter("dvs.generation_shed"), scope_.counter("dvs.hot_reports")} {
   if (config_.leaf_capacity == 0) throw std::invalid_argument("DvsServer: leaf capacity 0");
   Region whole{0, static_cast<int>(lattice.view_set_rows()), 0,
                static_cast<int>(lattice.view_set_cols())};
@@ -136,21 +137,29 @@ void DvsServer::query_async(sim::NodeId from, const lightfield::ViewSetId& id,
       // Ambient parent for the server agent's generate span: the forward is
       // a synchronous call, so the register survives exactly long enough.
       const obs::Tracer::Ambient ambient(obs_.trace, span);
-      agent_->generate_async(
+      agent_->generate_with_status_async(
           id, [this, id, levels, back, span,
-               cb = std::move(cb)](bool ok, const exnode::ExNode& exnode) {
+               cb = std::move(cb)](GenerateStatus status, const exnode::ExNode& exnode) {
             QueryResult result;
             result.levels = levels;
-            if (ok) {
+            if (status == GenerateStatus::kOk) {
               install(id, exnode);
               metrics_.updates.inc();
               result.found = true;
               result.exnode = exnode;
+            } else if (status == GenerateStatus::kShed) {
+              // Overload, not absence: the caller should back off and retry
+              // rather than give up or repair anything.
+              metrics_.generation_shed.inc();
+              result.shed = true;
             } else {
               metrics_.misses.inc();
             }
-            sim_.after(back, [this, span, ok, result, cb] {
-              obs_.trace.arg(span, "outcome", ok ? "generated" : "miss");
+            sim_.after(back, [this, span, status, result, cb] {
+              obs_.trace.arg(span, "outcome",
+                             status == GenerateStatus::kOk     ? "generated"
+                             : status == GenerateStatus::kShed ? "shed"
+                                                               : "miss");
               obs_.trace.end(span, sim_.now());
               cb(result);
             });
@@ -170,6 +179,23 @@ void DvsServer::update_async(sim::NodeId from, const lightfield::ViewSetId& id,
   });
 }
 
+void DvsServer::report_hot_async(sim::NodeId from, const lightfield::ViewSetId& id) {
+  // One-way control message; nothing to reply. The relay to the server
+  // agent is a local call on the DVS node, charging only the lookup.
+  const SimDuration to_server = net_.path_latency(from, node_);
+  sim_.after(to_server, [this, id] {
+    metrics_.hot_reports.inc();
+    if (agent_ == nullptr) return;
+    int levels = 0;
+    Node* leaf = descend(id, &levels);
+    if (leaf == nullptr) return;
+    auto it = leaf->entries.find(id);
+    if (it == leaf->entries.end()) return;  // nothing to augment yet
+    const SimDuration lookup = static_cast<SimDuration>(levels) * config_.level_overhead;
+    sim_.after(lookup, [this, id, exnode = it->second] { agent_->note_hot(id, exnode); });
+  });
+}
+
 const DvsServer::Stats& DvsServer::stats() const {
   stats_view_.queries = metrics_.queries.value();
   stats_view_.hits = metrics_.hits.value();
@@ -177,6 +203,8 @@ const DvsServer::Stats& DvsServer::stats() const {
   stats_view_.forwarded = metrics_.forwarded.value();
   stats_view_.updates = metrics_.updates.value();
   stats_view_.levels_visited = metrics_.levels_visited.value();
+  stats_view_.generation_shed = metrics_.generation_shed.value();
+  stats_view_.hot_reports = metrics_.hot_reports.value();
   return stats_view_;
 }
 

@@ -29,6 +29,12 @@
 
 namespace lon::streaming {
 
+/// Why a runtime-generation request did not return an exNode. kShed is an
+/// explicit overload response — the generator's admission control refused
+/// the work — and must not be confused with kFailed (invalid id, upload
+/// failure): a shed request is worth retrying, a failed one is not.
+enum class GenerateStatus { kOk, kFailed, kShed };
+
 /// The server-agent side of the DVS miss path (implemented by ServerAgent).
 class GeneratorService {
  public:
@@ -36,10 +42,30 @@ class GeneratorService {
 
   using GenerateCallback =
       std::function<void(bool ok, const exnode::ExNode& exnode)>;
+  using GenerateStatusCallback =
+      std::function<void(GenerateStatus status, const exnode::ExNode& exnode)>;
 
   /// Renders + uploads the view set, returning its new exNode.
   virtual void generate_async(const lightfield::ViewSetId& id,
                               GenerateCallback on_done) = 0;
+
+  /// Status-carrying variant: distinguishes an admission-control shed from a
+  /// hard failure. The default bridges to generate_async so existing
+  /// generators (which never shed) keep working unchanged.
+  virtual void generate_with_status_async(const lightfield::ViewSetId& id,
+                                          GenerateStatusCallback on_done) {
+    generate_async(id, [cb = std::move(on_done)](bool ok, const exnode::ExNode& exnode) {
+      cb(ok ? GenerateStatus::kOk : GenerateStatus::kFailed, exnode);
+    });
+  }
+
+  /// Demand-pressure signal: the client side is shedding or degrading
+  /// requests for this view set. A generator may react by fanning the view
+  /// set's replicas out to more depots (CDN-style tiering). Default: ignore.
+  virtual void note_hot(const lightfield::ViewSetId& id, const exnode::ExNode& exnode) {
+    (void)id;
+    (void)exnode;
+  }
 };
 
 /// DVS tuning knobs.
@@ -57,6 +83,8 @@ class DvsServer {
     std::uint64_t forwarded = 0;       ///< sent to the server-agent table
     std::uint64_t updates = 0;
     std::uint64_t levels_visited = 0;  ///< cumulative hops over all queries
+    std::uint64_t generation_shed = 0; ///< forwarded queries the generator shed
+    std::uint64_t hot_reports = 0;     ///< demand-pressure reports relayed
   };
 
   DvsServer(sim::Simulator& sim, sim::Network& net, sim::NodeId node,
@@ -77,7 +105,8 @@ class DvsServer {
   struct QueryResult {
     bool found = false;
     exnode::ExNode exnode;
-    int levels = 0;  ///< tree hops this query made
+    int levels = 0;   ///< tree hops this query made
+    bool shed = false; ///< the generator shed the request (overload, retryable)
   };
   using QueryCallback = std::function<void(const QueryResult&)>;
 
@@ -92,6 +121,12 @@ class DvsServer {
   void update_async(sim::NodeId from, const lightfield::ViewSetId& id,
                     exnode::ExNode exnode, std::function<void()> on_done);
 
+  /// Demand-pressure report from a client agent: `id` is being shed or
+  /// degraded faster than it is served. Fire-and-forget control traffic —
+  /// the DVS relays it (with the known exNode) to the server-agent table,
+  /// which may augment the view set's replicas.
+  void report_hot_async(sim::NodeId from, const lightfield::ViewSetId& id);
+
   /// Compatibility view over the obs registry counters.
   [[nodiscard]] const Stats& stats() const;
 
@@ -103,6 +138,8 @@ class DvsServer {
     obs::Counter& forwarded;
     obs::Counter& updates;
     obs::Counter& levels_visited;
+    obs::Counter& generation_shed;
+    obs::Counter& hot_reports;
   };
 
   struct Region {

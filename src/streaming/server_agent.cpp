@@ -21,7 +21,14 @@ ServerAgent::ServerAgent(sim::Simulator& sim, sim::Network& net, lors::Lors& lor
       scope_(obs_.metrics.scope("server")),
       metrics_{scope_.counter("server.requests"),
                scope_.counter("server.generated"),
-               scope_.counter("server.upload_failures")} {
+               scope_.counter("server.upload_failures"),
+               scope_.counter("server.generation_shed"),
+               scope_.counter("server.shed_queue_full"),
+               scope_.counter("server.shed_deadline"),
+               scope_.counter("server.hot_reports"),
+               scope_.counter("server.augments"),
+               scope_.counter("server.augment_failures")},
+      admission_(config_.admission) {
   if (source_ == nullptr) throw std::invalid_argument("ServerAgent: null source");
   if (config_.depots.empty()) throw std::invalid_argument("ServerAgent: no depots");
   if (config_.processors < 1) throw std::invalid_argument("ServerAgent: processors < 1");
@@ -45,17 +52,98 @@ SimDuration ServerAgent::generation_cost() const {
 
 void ServerAgent::generate_async(const lightfield::ViewSetId& id,
                                  GenerateCallback on_done) {
+  generate_with_status_async(
+      id, [cb = std::move(on_done)](GenerateStatus status, const exnode::ExNode& exnode) {
+        cb(status == GenerateStatus::kOk, exnode);
+      });
+}
+
+void ServerAgent::generate_with_status_async(const lightfield::ViewSetId& id,
+                                             GenerateStatusCallback on_done) {
   if (!source_->lattice().valid(id)) {
-    sim_.after(0, [cb = std::move(on_done)] { cb(false, exnode::ExNode{}); });
+    sim_.after(0, [cb = std::move(on_done)] { cb(GenerateStatus::kFailed, exnode::ExNode{}); });
     return;
   }
   metrics_.requests.inc();
+
+  // Admission: the queue depth counts waiting requests; the completion
+  // estimate is one generation when a lane is free, two when every lane is
+  // busy (at best we finish behind the request occupying it). Requester
+  // identity does not survive the DVS hop, so the token buckets keyed here
+  // would see one aggregate requester — fairness runs at the client agent.
+  const SimDuration est =
+      generation_cost() * (active_ < config_.generator_lanes ? 1 : 2);
+  const AdmissionDecision decision =
+      admission_.admit(0, sim_.now(), pending_.size(), est, config_.deadline);
+  if (decision != AdmissionDecision::kAdmit) {
+    metrics_.sheds.inc();
+    if (decision == AdmissionDecision::kShedQueueFull) {
+      metrics_.shed_queue_full.inc();
+    } else if (decision == AdmissionDecision::kShedDeadline) {
+      metrics_.shed_deadline.inc();
+    }
+    const obs::SpanId shed = obs_.trace.instant("server.shed", sim_.now());
+    obs_.trace.arg(shed, "view_set", id.key());
+    obs_.trace.arg(shed, "reason", to_string(decision));
+    sim_.after(0, [cb = std::move(on_done)] { cb(GenerateStatus::kShed, exnode::ExNode{}); });
+    return;
+  }
+
   // Parent is whatever the forwarding DVS left ambient; the span covers
   // queue wait as well as the render/upload/update pipeline.
   const obs::SpanId span = obs_.trace.begin("server.generate", sim_.now());
   obs_.trace.arg(span, "view_set", id.key());
   pending_.push_back(Request{id, std::move(on_done), span});
   maybe_start();
+}
+
+void ServerAgent::note_hot(const lightfield::ViewSetId& id, const exnode::ExNode& exnode) {
+  if (config_.augment_threshold <= 0) return;
+  metrics_.hot_reports.inc();
+  if (++hot_counts_[id] < config_.augment_threshold) return;
+  hot_counts_[id] = 0;
+  const SimTime now = sim_.now();
+  auto [it, fresh] = augment_not_before_.try_emplace(id, 0);
+  if (!fresh && now < it->second) return;  // cooling down — no replica flapping
+  // The cooldown gate closes *before* the asynchronous augment runs, so a
+  // burst of threshold crossings during the copy triggers exactly one fanout.
+  it->second = now + config_.augment_cooldown;
+  augment(id, exnode);
+}
+
+void ServerAgent::augment(const lightfield::ViewSetId& id, const exnode::ExNode& exnode) {
+  const std::vector<std::string>& pool =
+      config_.augment_depots.empty() ? config_.depots : config_.augment_depots;
+  const std::string& target = pool[augment_rr_++ % pool.size()];
+
+  const obs::SpanId span = obs_.trace.begin("server.augment", sim_.now());
+  obs_.trace.arg(span, "view_set", id.key());
+  obs_.trace.arg(span, "depot", target);
+
+  lors::AugmentOptions options;
+  options.target_depot = target;
+  options.lease = config_.lease;
+  options.alloc_type = ibp::AllocType::kSoft;
+  options.net = config_.net;
+  options.parent_span = span;
+  lors_.augment_async(
+      node_, exnode, options, [this, id, span](const lors::AugmentResult& result) {
+        if (result.status != lors::LorsStatus::kOk || result.extents_copied == 0) {
+          LON_LOG(kWarn, "server-agent")
+              << "augment of " << id.key() << " failed: " << lors::to_string(result.status);
+          metrics_.augment_failures.inc();
+          obs_.trace.arg(span, "outcome", "failed");
+          obs_.trace.end(span, sim_.now());
+          return;
+        }
+        metrics_.augments.inc();
+        obs_.trace.arg(span, "outcome", "ok");
+        // The DVS learns the widened exNode so subsequent queries resolve to
+        // the extra replicas.
+        dvs_.update_async(node_, id, result.exnode, [this, span] {
+          obs_.trace.end(span, sim_.now());
+        });
+      });
 }
 
 void ServerAgent::maybe_start() {
@@ -97,7 +185,7 @@ void ServerAgent::run_one(Request request) {
             metrics_.upload_failures.inc();
             obs_.trace.arg(request.span, "outcome", "upload_failed");
             obs_.trace.end(request.span, sim_.now());
-            request.on_done(false, exnode::ExNode{});
+            request.on_done(GenerateStatus::kFailed, exnode::ExNode{});
             --active_;
             maybe_start();
             return;
@@ -110,7 +198,7 @@ void ServerAgent::run_one(Request request) {
           dvs_.update_async(node_, request.id, exnode,
                             [this, request = std::move(request), exnode]() mutable {
                               obs_.trace.end(request.span, sim_.now());
-                              request.on_done(true, exnode);
+                              request.on_done(GenerateStatus::kOk, exnode);
                               --active_;
                               maybe_start();
                             });

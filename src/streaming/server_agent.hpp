@@ -19,9 +19,11 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 
 #include "lightfield/builder.hpp"
 #include "lors/lors.hpp"
+#include "streaming/admission.hpp"
 #include "streaming/dvs.hpp"
 
 namespace lon::streaming {
@@ -51,6 +53,30 @@ struct ServerAgentConfig {
   /// Emit inter-view-predicted LFZ2 containers instead of LFZC — fewer
   /// bytes on the wire, decoded transparently by the client agent.
   bool lfz2 = false;
+
+  // --- Overload protection ----------------------------------------------------
+  /// Admission control over the generation queue: bounded queue + deadline
+  /// triage. Per-requester token buckets are not used here (the DVS does not
+  /// forward requester identity); requester fairness is enforced at the
+  /// client agent, which knows which client is asking. Disabled by default —
+  /// the legacy unbounded LIFO queue.
+  AdmissionConfig admission;
+  /// Time-to-need for a freshly queued generation request: a request whose
+  /// estimated completion (generation cost times lane availability) lands
+  /// past this is shed instead of served uselessly late. 0 = no triage.
+  SimDuration deadline = 0;
+
+  // --- Demand-driven replica augmentation --------------------------------------
+  /// Hot reports on one view set before its replicas are fanned out to an
+  /// additional depot (0 = augmentation off).
+  int augment_threshold = 0;
+  /// Consecutive augments of one view set are at least this far apart — the
+  /// hysteresis that keeps an oscillating shed rate from flapping replicas
+  /// on and off a depot.
+  SimDuration augment_cooldown = 60 * kSecond;
+  /// Depots eligible to receive fanned-out replicas (round-robin). Empty =
+  /// the upload depot pool.
+  std::vector<std::string> augment_depots;
 };
 
 class ServerAgent final : public GeneratorService {
@@ -67,16 +93,29 @@ class ServerAgent final : public GeneratorService {
   /// DVS miss path: render at runtime, upload, update the DVS, reply.
   void generate_async(const lightfield::ViewSetId& id, GenerateCallback on_done) override;
 
+  /// Status-carrying path used by the DVS: admission control runs here, and
+  /// a refused request is answered with an explicit kShed the requester can
+  /// retry — never silently queued past the deadline.
+  void generate_with_status_async(const lightfield::ViewSetId& id,
+                                  GenerateStatusCallback on_done) override;
+
+  /// Demand-pressure relay from the DVS: past the configured threshold the
+  /// hot view set is fanned out to one more depot via `lors` augment (with
+  /// per-id cooldown hysteresis), and the DVS learns the wider exNode.
+  void note_hot(const lightfield::ViewSetId& id, const exnode::ExNode& exnode) override;
+
   [[nodiscard]] std::size_t queue_depth() const { return pending_.size(); }
   [[nodiscard]] int active_lanes() const { return active_; }
   [[nodiscard]] std::uint64_t generated_count() const {
     return metrics_.generated.value();
   }
+  [[nodiscard]] std::uint64_t shed_count() const { return metrics_.sheds.value(); }
+  [[nodiscard]] std::uint64_t augment_count() const { return metrics_.augments.value(); }
 
  private:
   struct Request {
     lightfield::ViewSetId id;
-    GenerateCallback on_done;
+    GenerateStatusCallback on_done;
     obs::SpanId span = 0;  ///< server.generate span, queue wait included
   };
 
@@ -84,10 +123,17 @@ class ServerAgent final : public GeneratorService {
     obs::Counter& requests;
     obs::Counter& generated;
     obs::Counter& upload_failures;
+    obs::Counter& sheds;            ///< server.generation_shed
+    obs::Counter& shed_queue_full;
+    obs::Counter& shed_deadline;
+    obs::Counter& hot_reports;
+    obs::Counter& augments;
+    obs::Counter& augment_failures;
   };
 
   void maybe_start();
   void run_one(Request request);
+  void augment(const lightfield::ViewSetId& id, const exnode::ExNode& exnode);
 
   sim::Simulator& sim_;
   sim::Network& net_;
@@ -102,6 +148,13 @@ class ServerAgent final : public GeneratorService {
 
   std::deque<Request> pending_;  // back = latest; scheduler pops the back (LIFO)
   int active_ = 0;               // requests currently occupying a lane
+
+  // Overload protection / augmentation state.
+  AdmissionController admission_;
+  std::unordered_map<lightfield::ViewSetId, int, lightfield::ViewSetIdHash> hot_counts_;
+  std::unordered_map<lightfield::ViewSetId, SimTime, lightfield::ViewSetIdHash>
+      augment_not_before_;  ///< per-id cooldown gate (hysteresis)
+  std::size_t augment_rr_ = 0;
 };
 
 }  // namespace lon::streaming
