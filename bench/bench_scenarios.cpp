@@ -11,6 +11,8 @@
 //   lease_expiry             staging-lease expiry wave mid-playback
 //   site_cache/cold          browse racing prestaging
 //   site_cache/warm          browse after prestaging completed
+//   pda_link/lod             PDA-class link, continuous LOD streaming on
+//   pda_link/full            the same link, full resolution only (control)
 //
 // Flags:
 //   --smoke   smaller configuration for the CI perf gate (fast, deterministic)
@@ -29,12 +31,18 @@ using namespace lon;
 struct Row {
   session::ScenarioResult r;
   double slo_s = 0.0;
+  std::size_t deadline_misses = 0;  ///< accesses whose total latency blew the SLO
 };
 
 Row run(session::Scenario scenario) {
   Row row;
   row.slo_s = to_seconds(scenario.slo_deadline);
   row.r = session::run_scenario(scenario);
+  for (const auto& pc : row.r.clients) {
+    for (const auto& a : pc.accesses) {
+      if (to_seconds(a.total()) > row.slo_s) ++row.deadline_misses;
+    }
+  }
   return row;
 }
 
@@ -51,6 +59,8 @@ void print_json(const std::vector<Row>& rows, bool smoke) {
         "\"demand_shed\":%llu,\"shed_retries\":%llu,\"downgrades\":%llu,"
         "\"upgrades\":%llu,\"degrade_lod\":%llu,\"hot_reports\":%llu,"
         "\"augments\":%llu,\"failovers\":%llu,\"corruption_detected\":%llu,"
+        "\"deadline_misses\":%zu,\"lod_coarse_serves\":%llu,"
+        "\"lod_refinements\":%llu,\"lod_refined\":%llu,"
         "\"virtual_duration_s\":%.3f}",
         i == 0 ? "" : ",", r.name.c_str(), r.clients.size(), r.total_accesses,
         r.failed_accesses, r.min_client_delivered, r.mean_total_s, r.p99_worst_s,
@@ -64,6 +74,10 @@ void print_json(const std::vector<Row>& rows, bool smoke) {
         static_cast<unsigned long long>(rb.augments),
         static_cast<unsigned long long>(rb.failovers),
         static_cast<unsigned long long>(rb.corruption_detected),
+        rows[i].deadline_misses,
+        static_cast<unsigned long long>(rb.lod_coarse_serves),
+        static_cast<unsigned long long>(rb.lod_refinements),
+        static_cast<unsigned long long>(rb.lod_refined),
         to_seconds(r.duration));
   }
   std::printf("]}\n");
@@ -91,6 +105,8 @@ int main(int argc, char** argv) {
   rows.push_back(run(session::lease_expiry_wave(browsers)));
   rows.push_back(run(session::site_cache(/*warm=*/false, browsers)));
   rows.push_back(run(session::site_cache(/*warm=*/true, browsers)));
+  rows.push_back(run(session::pda_link(/*lod_streaming=*/true)));
+  rows.push_back(run(session::pda_link(/*lod_streaming=*/false)));
 
   if (json) {
     print_json(rows, smoke);
@@ -100,19 +116,20 @@ int main(int argc, char** argv) {
   bench::print_header(
       "Adversarial scenarios: overload protection and graceful degradation",
       "flash crowd, faults, lease waves, cold/warm site cache — SLO harness");
-  std::printf("%-26s %8s %9s %7s %10s %10s %10s %7s %7s %7s %7s %7s\n", "scenario",
+  std::printf("%-26s %8s %9s %7s %10s %10s %10s %7s %7s %7s %7s %7s %7s\n", "scenario",
               "clients", "accesses", "failed", "mean (s)", "p99-worst", "p99-mean",
-              "shed", "retry", "lod", "augm", "fail/o");
+              "miss", "shed", "retry", "lod", "coarse", "refind");
   for (const Row& row : rows) {
     const session::ScenarioResult& r = row.r;
-    std::printf("%-26s %8zu %9zu %7zu %10.3f %10.3f %10.3f %7llu %7llu %7llu %7llu %7llu\n",
-                r.name.c_str(), r.clients.size(), r.total_accesses, r.failed_accesses,
-                r.mean_total_s, r.p99_worst_s, r.p99_mean_s,
-                static_cast<unsigned long long>(r.robustness.demand_shed),
-                static_cast<unsigned long long>(r.robustness.shed_retries),
-                static_cast<unsigned long long>(r.robustness.degrade_lod),
-                static_cast<unsigned long long>(r.robustness.augments),
-                static_cast<unsigned long long>(r.robustness.failovers));
+    std::printf(
+        "%-26s %8zu %9zu %7zu %10.3f %10.3f %10.3f %7zu %7llu %7llu %7llu %7llu %7llu\n",
+        r.name.c_str(), r.clients.size(), r.total_accesses, r.failed_accesses,
+        r.mean_total_s, r.p99_worst_s, r.p99_mean_s, row.deadline_misses,
+        static_cast<unsigned long long>(r.robustness.demand_shed),
+        static_cast<unsigned long long>(r.robustness.shed_retries),
+        static_cast<unsigned long long>(r.robustness.degrade_lod),
+        static_cast<unsigned long long>(r.robustness.lod_coarse_serves),
+        static_cast<unsigned long long>(r.robustness.lod_refined));
   }
   return 0;
 }

@@ -42,7 +42,11 @@ to BENCH_pr.json, and compares them against the committed BENCH_baseline.json:
       per-client p99 within the scenario SLO with no starved client, the
       identical crowd without admission misses that p99 by >= 2x, the
       teleport-under-faults chaos row detects injected corruption and loses
-      nothing permanently, and the warm site cache beats the cold one.
+      nothing permanently, the warm site cache beats the cold one, and on
+      the PDA-class constrained link continuous LOD streaming holds every
+      access inside the deadline (zero misses, nonzero coarse serves, every
+      background refinement reaching full resolution) while the
+      full-resolution-only control misses deadlines.
 
 Exit status is non-zero on any hard failure. A PR that intentionally changes
 performance updates the baseline in the same commit:
@@ -355,6 +359,37 @@ def check_scenarios(pr, base, tolerance):
     else:
         print(f"ok:   scenarios[site_cache]: warm {warm['mean_total_s']:.4f}s <= "
               f"cold {cold['mean_total_s']:.4f}s")
+
+    # Continuous LOD streaming (PR 7): degrade resolution, never fluidity.
+    lod = pr_rows.get("pda_link/lod")
+    full = pr_rows.get("pda_link/full")
+    if not lod or not full:
+        fail("scenarios: pda_link lod/full row pair not found")
+    else:
+        if lod.get("deadline_misses", 0) > 0:
+            fail(f"scenarios[pda_link]: LOD streaming missed the deadline on "
+                 f"{lod['deadline_misses']} accesses (fluidity not held)")
+        if lod.get("lod_coarse_serves", 0) == 0:
+            fail("scenarios[pda_link]: LOD streaming never served a coarse tier "
+                 "(scenario lost its teeth or the selector is dark)")
+        if lod.get("lod_refined", 0) == 0:
+            fail("scenarios[pda_link]: no background refinement reached full "
+                 "resolution (progressive refinement dark)")
+        if lod.get("lod_refined", 0) != lod.get("lod_refinements", 0):
+            fail(f"scenarios[pda_link]: {lod['lod_refinements']} refinements "
+                 f"started but only {lod['lod_refined']} completed")
+        if full.get("deadline_misses", 0) == 0:
+            fail("scenarios[pda_link]: the full-resolution control never missed "
+                 "the deadline (link not constrained enough to prove anything)")
+        if lod["p99_worst_s"] >= full["p99_worst_s"]:
+            fail(f"scenarios[pda_link]: LOD p99 {lod['p99_worst_s']:.3f}s not "
+                 f"below the full-only control {full['p99_worst_s']:.3f}s")
+        if all("pda_link" not in f for f in HARD_FAILURES):
+            print(f"ok:   scenarios[pda_link]: lod 0 misses "
+                  f"({lod['lod_coarse_serves']} coarse, "
+                  f"{lod['lod_refined']}/{lod['lod_refinements']} refined, "
+                  f"p99 {lod['p99_worst_s']:.3f}s) vs control "
+                  f"{full['deadline_misses']} misses, p99 {full['p99_worst_s']:.3f}s")
 
 
 def main():

@@ -1,6 +1,7 @@
 #include "lightfield/multidb.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
 #include <stdexcept>
 
@@ -52,8 +53,9 @@ bool MultiDatabase::usable(DatabaseId id, const Vec3& viewer) const {
 
 std::optional<DatabaseId> MultiDatabase::select(const Vec3& viewer,
                                                 std::optional<DatabaseId> current) const {
-  // Hysteresis: stick with the current database while the viewer is still
-  // comfortably outside its sphere.
+  // Hysteresis (see the class doc): keep the current database inside the
+  // band [R, R*(1+margin)) just outside its sphere, and beyond it unless a
+  // competitor is substantially closer.
   if (current.has_value() && *current < entries_.size()) {
     const DatabaseEntry& e = entries_[*current];
     const double distance = (viewer - e.center).norm();
@@ -121,23 +123,100 @@ std::string MultiDatabase::to_xml() const {
   return exnode::to_xml(root);
 }
 
+namespace {
+
+// Strict numeric attribute parsing: the whole attribute must be consumed, so
+// "0.5junk" / "abc" / "" fail with a clear XmlError instead of the
+// std::stod quirks (partial parses silently accepted, bare std::exceptions
+// bubbling out of the manifest loader).
+double parse_double_attr(const exnode::XmlElement& e, const std::string& key) {
+  const std::string& raw = e.attr(key);
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(raw, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  if (raw.empty() || pos != raw.size()) {
+    throw exnode::XmlError("multidb: attribute '" + key + "' is not a number: \"" +
+                           raw + "\"");
+  }
+  return value;
+}
+
+long parse_long_attr(const exnode::XmlElement& e, const std::string& key) {
+  const std::string& raw = e.attr(key);
+  std::size_t pos = 0;
+  long value = 0;
+  try {
+    value = std::stol(raw, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  if (raw.empty() || pos != raw.size()) {
+    throw exnode::XmlError("multidb: attribute '" + key + "' is not an integer: \"" +
+                           raw + "\"");
+  }
+  return value;
+}
+
+}  // namespace
+
 MultiDatabase MultiDatabase::from_xml(const std::string& xml) {
   const exnode::XmlElement root = exnode::parse_xml(xml);
   if (root.name != "multidb") {
     throw exnode::XmlError("expected <multidb> root, got <" + root.name + ">");
   }
-  MultiDatabase out(std::stod(root.attr("margin")));
+  const double margin = parse_double_attr(root, "margin");
+  // Negated comparison so NaN (which std::stod happily parses) is rejected
+  // too, with the same message.
+  if (!(margin >= 0.0 && margin < 1.0)) {
+    throw exnode::XmlError("multidb: margin \"" + root.attr("margin") +
+                           "\" outside [0, 1)");
+  }
+  MultiDatabase out(margin);
   for (const exnode::XmlElement* db : root.children_named("database")) {
     LatticeConfig lattice;
-    lattice.angular_step_deg = std::stod(db->attr("step"));
-    lattice.view_set_span = std::stoi(db->attr("span"));
-    lattice.view_resolution = static_cast<std::size_t>(std::stoul(db->attr("resolution")));
-    lattice.outer_radius = std::stod(db->attr("outer"));
-    lattice.inner_radius = std::stod(db->attr("inner"));
-    lattice.fov_deg = std::stod(db->attr("fov"));
-    const Vec3 center{std::stod(db->attr("cx")), std::stod(db->attr("cy")),
-                      std::stod(db->attr("cz"))};
-    out.add(db->attr("name"), center, lattice, std::stod(db->attr("scale")));
+    lattice.angular_step_deg = parse_double_attr(*db, "step");
+    lattice.view_set_span = static_cast<int>(parse_long_attr(*db, "span"));
+    const long resolution = parse_long_attr(*db, "resolution");
+    if (resolution <= 0) {
+      throw exnode::XmlError("multidb: attribute 'resolution' must be positive: \"" +
+                             db->attr("resolution") + "\"");
+    }
+    lattice.view_resolution = static_cast<std::size_t>(resolution);
+    lattice.outer_radius = parse_double_attr(*db, "outer");
+    lattice.inner_radius = parse_double_attr(*db, "inner");
+    lattice.fov_deg = parse_double_attr(*db, "fov");
+    const Vec3 center{parse_double_attr(*db, "cx"), parse_double_attr(*db, "cy"),
+                      parse_double_attr(*db, "cz")};
+    out.add(db->attr("name"), center, lattice, parse_double_attr(*db, "scale"));
+  }
+  return out;
+}
+
+MultiDatabase MultiDatabase::lod_ladder(const LatticeConfig& full,
+                                        std::vector<std::size_t> coarse_resolutions,
+                                        double margin) {
+  std::sort(coarse_resolutions.begin(), coarse_resolutions.end(),
+            std::greater<std::size_t>());
+  MultiDatabase out(margin);
+  out.add("full", {}, full);
+  std::size_t previous = full.view_resolution;
+  for (std::size_t res : coarse_resolutions) {
+    if (res == 0 || res >= full.view_resolution) {
+      throw std::invalid_argument(
+          "MultiDatabase::lod_ladder: coarse resolution must be in (0, full)");
+    }
+    if (res == previous) {
+      throw std::invalid_argument(
+          "MultiDatabase::lod_ladder: duplicate coarse resolution");
+    }
+    previous = res;
+    LatticeConfig coarse = full;
+    coarse.view_resolution = res;
+    out.add("lod" + std::to_string(res), {}, coarse);
   }
   return out;
 }

@@ -44,9 +44,14 @@ struct DatabaseEntry {
 
 class MultiDatabase {
  public:
-  /// Hysteresis margin: a currently-selected database is kept while the
-  /// viewer stays outside (1 - margin) of its switch radius, even if another
-  /// center became nearer.
+  /// Hysteresis margin in [0, 1). A currently-selected database with
+  /// world outer radius R is kept in two regimes:
+  ///   (a) while the viewer sits in the band [R, R * (1 + margin)) just
+  ///       outside its sphere — never switch while skimming the boundary;
+  ///   (b) beyond that band, unless another usable database is
+  ///       *substantially* closer: other_distance < distance * (1 - margin).
+  /// So the margin widens both the keep-band around the current sphere and
+  /// the lead a competitor needs before a switch happens.
   explicit MultiDatabase(double hysteresis_margin = 0.05);
 
   /// Registers a database; names must be unique. Returns its id.
@@ -80,10 +85,26 @@ class MultiDatabase {
   /// True if the viewer can be served by database `id` (outside its sphere).
   [[nodiscard]] bool usable(DatabaseId id, const Vec3& viewer) const;
 
+  [[nodiscard]] double margin() const { return margin_; }
+
   /// Manifest round trip (XML, like the exNode) so a scene layout can be
-  /// published alongside its databases.
+  /// published alongside its databases. from_xml validates every numeric
+  /// attribute strictly (full-string parse) and rejects a margin outside
+  /// [0, 1) with a clear XmlError.
   [[nodiscard]] std::string to_xml() const;
   static MultiDatabase from_xml(const std::string& xml);
+
+  /// Builds the LOD-ladder manifest for continuous LOD streaming: entry 0
+  /// ("full") is the full-resolution database, and each coarse resolution
+  /// adds a same-geometry entry named "lod<res>" — identical grid and
+  /// radii, lower view resolution — so any full-resolution ViewSetId
+  /// addresses the matching coarse set and each tier scopes its own DVS
+  /// namespace. `coarse_resolutions` must be strictly below the full view
+  /// resolution, non-zero, and free of duplicates; they are ordered finest
+  /// first in the result.
+  static MultiDatabase lod_ladder(const LatticeConfig& full,
+                                  std::vector<std::size_t> coarse_resolutions,
+                                  double margin = 0.05);
 
  private:
   double margin_;

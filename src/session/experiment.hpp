@@ -128,6 +128,19 @@ struct ExperimentConfig {
   /// > 0: publish a coarse tier at this view resolution next to the full
   /// database (lightfield::MultiDatabase) for the kCoarseLod rung.
   std::size_t lod_resolution = 0;
+
+  // Continuous LOD streaming. Coarse tiers of the scene published next to
+  // the full database (each in its own DVS namespace); with lod_streaming
+  // the agent serves the finest tier that fits the interactivity deadline
+  // and refines to full resolution in the background.
+  std::vector<std::size_t> lod_resolutions;  ///< coarse tier view resolutions
+  bool lod_streaming = false;  ///< per-access LOD pick by the policy engine
+  bool lod_refine = true;      ///< background upgrade after a coarse serve
+  /// Fetch-latency estimator priors handed to the agent. Constrained-link
+  /// profiles (the PDA-class scenario) seed the WAN prior above the deadline
+  /// so the very first access already degrades instead of blowing the SLO.
+  policy::FetchLatencyEstimator::Config fetch_latency;
+
   int hot_report_threshold = 0;  ///< sheds per view set before reporting hot
   /// Run the server-side generator/augmenter behind the DVS.
   bool server_agent = false;

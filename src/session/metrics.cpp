@@ -129,6 +129,8 @@ void print_robustness(std::ostream& os, const std::string& label,
      << "  degrade: down=" << s.downgrades << " up=" << s.upgrades
      << " lan_only=" << s.degrade_lan_only << " lod=" << s.degrade_lod
      << " demand_only=" << s.degrade_demand_only << '\n'
+     << "  lod: coarse_serves=" << s.lod_coarse_serves
+     << " refinements=" << s.lod_refinements << " refined=" << s.lod_refined << '\n'
      << "  augment: hot_reports=" << s.hot_reports << " augments=" << s.augments
      << '\n';
 }
@@ -162,6 +164,9 @@ RobustnessSummary collect_robustness(const obs::Registry& registry) {
   s.degrade_demand_only = registry.counter_total("agent.degrade_demand_only");
   s.hot_reports = registry.counter_total("agent.hot_reports");
   s.augments = registry.counter_total("server.augments");
+  s.lod_coarse_serves = registry.counter_total("agent.lod_coarse_serves");
+  s.lod_refinements = registry.counter_total("agent.lod_refinements");
+  s.lod_refined = registry.counter_total("agent.lod_refined");
   return s;
 }
 

@@ -83,6 +83,11 @@ struct RobustnessSummary {
   std::uint64_t degrade_demand_only = 0;  ///< prefetch rounds suppressed
   std::uint64_t hot_reports = 0;          ///< demand-pressure reports to the DVS
   std::uint64_t augments = 0;             ///< hot view sets fanned to more depots
+
+  // Continuous LOD streaming (PR 7): coarse serves and refinement progress.
+  std::uint64_t lod_coarse_serves = 0;    ///< demand deliveries at a coarse tier
+  std::uint64_t lod_refinements = 0;      ///< background full-res upgrades started
+  std::uint64_t lod_refined = 0;          ///< upgrades that swapped full-res bytes in
 };
 
 /// One-paragraph robustness block (used by the fault benches/tests).

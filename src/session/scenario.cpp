@@ -74,6 +74,12 @@ ScenarioResult run_scenario(const Scenario& scenario) {
   while (remaining > 0 && sim.step()) {
   }
   const SimTime script_end = sim.now();
+  if (scenario.drain) {
+    // Let tail work — background LOD refinements above all — run to
+    // completion so the end-of-run counters balance (refined == started).
+    while (sim.step()) {
+    }
+  }
 
   ScenarioResult result;
   result.name = scenario.name;
@@ -273,6 +279,63 @@ Scenario lease_expiry_wave(int clients) {
     sc.script = CursorScript::standard(lattice, s.base.dwell, 24,
                                        700 + static_cast<std::uint64_t>(i));
     sc.start = static_cast<SimDuration>(i) * (250 * kMillisecond);
+    s.clients.push_back(std::move(sc));
+  }
+  return s;
+}
+
+Scenario pda_link(bool lod_streaming) {
+  Scenario s;
+  s.name = lod_streaming ? "pda_link/lod" : "pda_link/full";
+  s.base.lattice = scenario_lattice();
+  s.base.which = Case::kWanStreaming;  // nothing on the LAN: every miss is WAN
+  filler_content(s.base);
+  s.base.dwell = 2 * kSecond;
+  // A PDA-class last-mile trunk: a full-resolution view set needs several
+  // seconds to cross it, so full-only delivery cannot make the 1 s deadline.
+  // The coarse tiers (1/4 and 1/16 of the full payload) fit with room to
+  // spare even when a background refinement shares the link.
+  s.base.wan_bandwidth_bps = 2.5e6;
+  s.base.wan_latency = 120 * kMillisecond;
+  s.base.wan_jitter = 0.0;
+  // No prefetch: on this link speculative transfers would only steal
+  // bandwidth from the demand path; fluidity comes from the LOD ladder.
+  s.base.prefetch = false;
+  s.slo_deadline = kSecond;
+  s.base.interactivity_deadline = s.slo_deadline;
+  // Seed the WAN latency estimate above the deadline so the policy engine
+  // degrades the very first access instead of blowing the SLO to learn.
+  s.base.fetch_latency.wan_prior = 3 * kSecond;
+  if (lod_streaming) {
+    s.base.lod_resolutions = {64, 32};
+    s.base.lod_streaming = true;
+    s.base.lod_refine = true;
+  }
+  // Run the simulator dry after the last step: background refinements must
+  // finish so the gate can check refined == refinements started.
+  s.drain = true;
+
+  // Two viewers pan out along their own latitude band and back. The return
+  // leg revisits view sets whose background refinement has had a full dwell
+  // to land — those accesses must be full-resolution cache hits, proving the
+  // coarse copy was swapped out rather than served stale.
+  const lightfield::SphericalLattice lattice(s.base.lattice);
+  const int vs_cols = static_cast<int>(lattice.view_set_cols());
+  for (int i = 0; i < 2; ++i) {
+    std::vector<CursorStep> steps;
+    const int row = 2 + i * 3;
+    const int col0 = i * (vs_cols / 2);
+    for (int k = 0; k < 6; ++k) {
+      const lightfield::ViewSetId id{row, (col0 + k) % vs_cols};
+      steps.push_back({lattice.view_set_center(id), s.base.dwell});
+    }
+    for (int k = 4; k >= 0; --k) {
+      const lightfield::ViewSetId id{row, (col0 + k) % vs_cols};
+      steps.push_back({lattice.view_set_center(id), s.base.dwell});
+    }
+    ScenarioClient sc;
+    sc.script = CursorScript(std::move(steps));
+    sc.start = static_cast<SimDuration>(i) * (500 * kMillisecond);
     s.clients.push_back(std::move(sc));
   }
   return s;

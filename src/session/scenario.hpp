@@ -33,6 +33,11 @@ struct Scenario {
   /// The interactivity SLO this scenario is judged against. Reported with
   /// the results; the enforcement lives in ci/perf_gate.py.
   SimDuration slo_deadline = kSecond;
+  /// After the last script step completes, keep pumping the simulator until
+  /// the event queue drains — lets background refinements (and any other
+  /// tail work) land so the run's counters balance. Duration still measures
+  /// first start to last script completion.
+  bool drain = false;
 };
 
 struct ScenarioResult {
@@ -97,5 +102,13 @@ Scenario lease_expiry_wave(int clients = 4);
 /// Cold vs. warm site cache: the same browse either races prestaging
 /// (cold) or starts after it completes (warm).
 Scenario site_cache(bool warm, int clients = 4);
+
+/// PDA-class constrained link (PR 7): two viewers pan across a fresh WAN
+/// publish behind a last-mile trunk so thin that a full-resolution view set
+/// cannot arrive inside the 1 s interactivity deadline. With `lod_streaming`
+/// the policy engine serves the finest coarse tier that fits and refines to
+/// full resolution in the background — degrading resolution, never fluidity;
+/// without it (the control) every access blows the deadline.
+Scenario pda_link(bool lod_streaming);
 
 }  // namespace lon::session

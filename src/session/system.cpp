@@ -109,29 +109,46 @@ PublishResult& System::publish(const ExperimentConfig& config,
 }
 
 void System::ensure_lod(const ExperimentConfig& config) {
-  if (config.lod_resolution == 0 || lod_dvs != nullptr) return;
-  // Same lattice geometry (identical view-set grid), lower view resolution:
-  // every full-resolution ViewSetId addresses the matching coarse set.
-  lightfield::LatticeConfig coarse = config.lattice;
-  coarse.view_resolution = config.lod_resolution;
-  multidb.add("full", {}, config.lattice);
-  multidb.add("coarse", {}, coarse);
-  lod_source = std::make_unique<lightfield::ProceduralSource>(coarse);
-  lod_dvs = std::make_unique<streaming::DvsServer>(
-      sim, net, dvs_node, lod_source->lattice(), streaming::DvsConfig{}, obs.get());
+  if (!lod_tiers.empty()) return;
+  // Union of the streaming ladder and the legacy single-tier spelling,
+  // finest first, duplicates and non-coarse resolutions dropped.
+  std::vector<std::size_t> resolutions = config.lod_resolutions;
+  if (config.lod_resolution > 0) resolutions.push_back(config.lod_resolution);
+  std::sort(resolutions.begin(), resolutions.end(), std::greater<std::size_t>());
+  resolutions.erase(std::unique(resolutions.begin(), resolutions.end()),
+                    resolutions.end());
+  std::erase_if(resolutions, [&](std::size_t res) {
+    return res == 0 || res >= config.lattice.view_resolution;
+  });
+  if (resolutions.empty()) return;
 
-  PublishOptions publish;
-  publish.depots = (config.which == Case::kLanData) ? lan_depots : wan_depots;
-  publish.replicas = config.publish_replicas;
-  publish.net.streams = 8;
-  publish.all_filler = config.all_filler;
-  publish.chunk_bytes = config.publish_chunk_bytes;
-  publish.pool = config.pool;
-  if (!config.full_content && !config.all_filler) publish.real_ids = visited_;
-  const PublishResult coarse_published =
-      publish_database(sim, lors, *lod_dvs, *lod_source, server_node, publish);
-  if (coarse_published.failed > 0) {
-    throw std::runtime_error("run_experiment: coarse-tier publication failed");
+  // Same lattice geometry (identical view-set grid) at lower view
+  // resolutions: every full-resolution ViewSetId addresses the matching
+  // coarse set, and each tier gets its own DVS namespace.
+  multidb = lightfield::MultiDatabase::lod_ladder(config.lattice, resolutions);
+  for (std::size_t res : resolutions) {
+    LodTier tier;
+    tier.resolution = res;
+    lightfield::LatticeConfig coarse = config.lattice;
+    coarse.view_resolution = res;
+    tier.source = std::make_unique<lightfield::ProceduralSource>(coarse);
+    tier.dvs = std::make_unique<streaming::DvsServer>(
+        sim, net, dvs_node, tier.source->lattice(), streaming::DvsConfig{}, obs.get());
+
+    PublishOptions publish;
+    publish.depots = (config.which == Case::kLanData) ? lan_depots : wan_depots;
+    publish.replicas = config.publish_replicas;
+    publish.net.streams = 8;
+    publish.all_filler = config.all_filler;
+    publish.chunk_bytes = config.publish_chunk_bytes;
+    publish.pool = config.pool;
+    if (!config.full_content && !config.all_filler) publish.real_ids = visited_;
+    const PublishResult coarse_published =
+        publish_database(sim, lors, *tier.dvs, *tier.source, server_node, publish);
+    if (coarse_published.failed > 0) {
+      throw std::runtime_error("run_experiment: coarse-tier publication failed");
+    }
+    lod_tiers.push_back(std::move(tier));
   }
 }
 
@@ -163,7 +180,12 @@ void System::make_agent(const ExperimentConfig& config) {
   agent_config.degrade = config.degrade;
   agent_config.degrade_after_misses = config.degrade_after_misses;
   agent_config.upgrade_after_hits = config.upgrade_after_hits;
-  agent_config.lod_dvs = lod_dvs.get();
+  for (const auto& tier : lod_tiers) {
+    agent_config.lod_tiers.push_back({tier.dvs.get(), tier.resolution});
+  }
+  agent_config.lod_streaming = config.lod_streaming;
+  agent_config.lod_refine = config.lod_refine;
+  agent_config.latency = config.fetch_latency;
   agent_config.hot_report_threshold = config.hot_report_threshold;
   agent = std::make_unique<streaming::ClientAgent>(sim, net, fabric, lors, *dvs,
                                                    source.lattice(), agent_node,
@@ -198,6 +220,16 @@ void System::make_server_agent(const ExperimentConfig& config) {
           std::shared_ptr<lightfield::ViewSetSource>{}, &source),
       sa, obs.get());
   dvs->register_server_agent(server_agent.get());
+  // Every coarse tier gets its own generator over the tier's source, so a
+  // coarse miss can be rendered on demand exactly like a full-resolution one.
+  for (auto& tier : lod_tiers) {
+    tier.agent = std::make_unique<streaming::ServerAgent>(
+        sim, net, lors, *tier.dvs, server_node,
+        std::shared_ptr<lightfield::ViewSetSource>(
+            std::shared_ptr<lightfield::ViewSetSource>{}, tier.source.get()),
+        sa, obs.get());
+    tier.dvs->register_server_agent(tier.agent.get());
+  }
 }
 
 void System::start_repair(const ExperimentConfig& config) {

@@ -53,13 +53,20 @@ struct System {
   /// Runtime generator + replica augmenter (config.server_agent only).
   std::unique_ptr<streaming::ServerAgent> server_agent;
 
-  /// Coarse-resolution tier for the kCoarseLod degradation rung
-  /// (config.lod_resolution > 0 only): the same lattice geometry published
-  /// at a lower view resolution, catalogued next to the full database in a
-  /// MultiDatabase manifest and served through its own DVS.
+  /// Coarse tiers for continuous LOD streaming and the kCoarseLod
+  /// degradation rung (config.lod_resolutions / lod_resolution): the same
+  /// lattice geometry published at lower view resolutions, catalogued next
+  /// to the full database in a MultiDatabase manifest (the LOD ladder), each
+  /// tier served through its own DVS namespace. Ordered finest first.
+  struct LodTier {
+    std::size_t resolution = 0;
+    std::unique_ptr<lightfield::ProceduralSource> source;
+    std::unique_ptr<streaming::DvsServer> dvs;
+    /// Per-tier runtime generator (config.server_agent only).
+    std::unique_ptr<streaming::ServerAgent> agent;
+  };
   lightfield::MultiDatabase multidb;
-  std::unique_ptr<lightfield::ProceduralSource> lod_source;
-  std::unique_ptr<streaming::DvsServer> lod_dvs;
+  std::vector<LodTier> lod_tiers;
 
   /// The owner's catalog from publish(); the repair daemon works from it.
   PublishResult published;
@@ -68,7 +75,8 @@ struct System {
 
   /// Publishes the database: real pixels for every view set any script
   /// visits, size-matched filler elsewhere (per the content policy). Also
-  /// publishes the coarse tier when config.lod_resolution is set.
+  /// publishes every coarse tier when config.lod_resolutions (or the legacy
+  /// config.lod_resolution) is set.
   PublishResult& publish(const ExperimentConfig& config,
                          const std::vector<const CursorScript*>& scripts);
 

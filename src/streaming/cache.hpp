@@ -14,6 +14,11 @@
 // since used them, which is what the pollution accounting and the
 // useful-prefetch metrics are built on.
 //
+// Entries are keyed by (ViewSetId, lod): the continuous-LOD path caches a
+// coarse tier of a view set next to (never in place of) the full-resolution
+// bytes, so a demand hit on the full key can never be silently served coarse.
+// lod 0 is full resolution; higher lods are coarser tiers.
+//
 // Thread-safe: the multi-client session driver hammers one shared agent's
 // cache from concurrent fetch completions, and the decompress pipeline holds
 // payloads while the simulator thread keeps evicting. All operations take an
@@ -60,15 +65,16 @@ class ViewSetCache {
   /// within budget. Items larger than the whole budget are not cached, and
   /// the policy may reject the insert outright. Returns whether the entry
   /// was cached.
-  bool put(const lightfield::ViewSetId& id, Bytes data, bool prefetched = false) {
-    return put(id, std::make_shared<const Bytes>(std::move(data)), prefetched);
+  bool put(const lightfield::ViewSetId& id, Bytes data, bool prefetched = false,
+           int lod = 0) {
+    return put(id, std::make_shared<const Bytes>(std::move(data)), prefetched, lod);
   }
 
   /// Shared-ownership insert: the cache aliases the caller's payload instead
   /// of deep-copying it. This is the demand-path overload — finish_fetch
   /// already holds the decoded bytes in a shared_ptr.
   bool put(const lightfield::ViewSetId& id, std::shared_ptr<const Bytes> data,
-           bool prefetched = false);
+           bool prefetched = false, int lod = 0);
 
   /// Returns shared ownership of the bytes (empty on miss) and marks the
   /// entry most recently used — and, on a demand lookup, *demand-used*. If a
@@ -78,12 +84,41 @@ class ViewSetCache {
   /// caller holds the pointer.
   [[nodiscard]] std::shared_ptr<const Bytes> get(const lightfield::ViewSetId& id,
                                                  bool* first_prefetch_hit = nullptr,
-                                                 bool demand = true);
+                                                 bool demand = true, int lod = 0);
 
   /// Lookup without touching recency (for inspection).
-  [[nodiscard]] bool contains(const lightfield::ViewSetId& id) const {
+  [[nodiscard]] bool contains(const lightfield::ViewSetId& id, int lod = 0) const {
     std::lock_guard lock(mutex_);
-    return map_.contains(id);
+    return map_.contains(Key{id, lod});
+  }
+
+  /// Finest coarse tier (smallest lod > 0, scanning up to `max_lod`) cached
+  /// for this id, or 0 when only the full-resolution entry (or nothing) is
+  /// cached. This is what the agent serves while the full fetch would blow
+  /// the deadline.
+  [[nodiscard]] int best_coarse_lod(const lightfield::ViewSetId& id, int max_lod) const {
+    std::lock_guard lock(mutex_);
+    for (int lod = 1; lod <= max_lod; ++lod) {
+      if (map_.contains(Key{id, lod})) return lod;
+    }
+    return 0;
+  }
+
+  /// Drops every coarse (lod > 0) entry for this id — the refinement swap:
+  /// once full-resolution bytes land, stale coarse substitutes must never be
+  /// served again. Returns how many entries were removed.
+  std::size_t erase_coarse(const lightfield::ViewSetId& id, int max_lod) {
+    std::lock_guard lock(mutex_);
+    std::size_t removed = 0;
+    for (int lod = 1; lod <= max_lod; ++lod) {
+      auto it = map_.find(Key{id, lod});
+      if (it == map_.end()) continue;
+      used_ -= it->second->data->size();
+      lru_.erase(it->second);
+      map_.erase(it);
+      ++removed;
+    }
+    return removed;
   }
 
   [[nodiscard]] std::size_t size() const {
@@ -116,8 +151,22 @@ class ViewSetCache {
   }
 
  private:
+  struct Key {
+    lightfield::ViewSetId id;
+    int lod = 0;
+    bool operator==(const Key& other) const {
+      return lod == other.lod && id == other.id;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      return lightfield::ViewSetIdHash{}(key.id) * 31u +
+             static_cast<std::size_t>(key.lod);
+    }
+  };
   struct Entry {
     lightfield::ViewSetId id;
+    int lod = 0;
     std::shared_ptr<const Bytes> data;
     std::uint64_t last_use = 0;
     bool prefetched = false;
@@ -138,8 +187,7 @@ class ViewSetCache {
   std::uint64_t prefetch_hits_ = 0;
   std::uint64_t seq_ = 0;  // monotonic use counter feeding Entry::last_use
   List lru_;               // front = most recent
-  std::unordered_map<lightfield::ViewSetId, List::iterator, lightfield::ViewSetIdHash>
-      map_;
+  std::unordered_map<Key, List::iterator, KeyHash> map_;
   const lightfield::SphericalLattice* lattice_ = nullptr;
   std::unique_ptr<policy::EvictionPolicy> policy_;
   Spherical cursor_{};
@@ -161,18 +209,19 @@ inline void ViewSetCache::evict_lru_to_fit(std::uint64_t incoming) {
   while (used_ + incoming > budget_ && !lru_.empty()) {
     const Entry& victim = lru_.back();
     account_eviction(victim);
-    map_.erase(victim.id);
+    map_.erase(Key{victim.id, victim.lod});
     lru_.pop_back();
   }
 }
 
 inline bool ViewSetCache::put(const lightfield::ViewSetId& id,
-                              std::shared_ptr<const Bytes> data, bool prefetched) {
+                              std::shared_ptr<const Bytes> data, bool prefetched,
+                              int lod) {
   std::lock_guard lock(mutex_);
-  // Drop any existing entry for this id first: even when the new payload is
-  // too big to cache, serving the old (possibly invalidated) version from
-  // get() would be worse than a miss.
-  auto it = map_.find(id);
+  // Drop any existing entry for this (id, lod) first: even when the new
+  // payload is too big to cache, serving the old (possibly invalidated)
+  // version from get() would be worse than a miss.
+  auto it = map_.find(Key{id, lod});
   if (it != map_.end()) {
     used_ -= it->second->data->size();
     lru_.erase(it->second);
@@ -210,22 +259,22 @@ inline bool ViewSetCache::put(const lightfield::ViewSetId& id,
     }
     for (auto victim : victims) {
       account_eviction(*victim);
-      map_.erase(victim->id);
+      map_.erase(Key{victim->id, victim->lod});
       lru_.erase(victim);
     }
   }
   used_ += incoming;
-  lru_.push_front(Entry{id, std::move(data), ++seq_, prefetched, false});
-  map_[id] = lru_.begin();
+  lru_.push_front(Entry{id, lod, std::move(data), ++seq_, prefetched, false});
+  map_[Key{id, lod}] = lru_.begin();
   return true;
 }
 
 inline std::shared_ptr<const Bytes> ViewSetCache::get(const lightfield::ViewSetId& id,
                                                       bool* first_prefetch_hit,
-                                                      bool demand) {
+                                                      bool demand, int lod) {
   std::lock_guard lock(mutex_);
   if (first_prefetch_hit != nullptr) *first_prefetch_hit = false;
-  auto it = map_.find(id);
+  auto it = map_.find(Key{id, lod});
   if (it == map_.end()) return nullptr;
   Entry& entry = *it->second;
   if (demand) {

@@ -177,6 +177,7 @@ void Client::on_delivery(const ClientAgent::Delivery& delivery) {
   record.requested = request.requested;
   record.comm_latency = delivery.comm_latency;
   record.compressed_bytes = compressed.size();
+  record.lod = delivery.lod;
 
   if (compressed.empty()) {
     // The view set could not be obtained anywhere.

@@ -78,14 +78,27 @@ ClientAgent::ClientAgent(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fa
                scope_.counter("agent.degrade_lan_only"),
                scope_.counter("agent.degrade_lod"),
                scope_.counter("agent.degrade_demand_only"),
-               scope_.counter("agent.hot_reports")},
+               scope_.counter("agent.hot_reports"),
+               scope_.counter("agent.lod_coarse_serves"),
+               scope_.counter("agent.lod_refinements"),
+               scope_.counter("agent.lod_refined")},
       cache_(config_.cache_bytes),
       admission_(config_.admission),
       motion_(config_.motion),
-      latency_(config_.latency) {
+      latency_(config_.latency),
+      lod_selector_(policy::LodSelector::Config{config_.lod_headroom}) {
   if (config_.staging && config_.lan_depots.empty()) {
     throw std::invalid_argument("ClientAgent: staging enabled without LAN depots");
   }
+  std::vector<std::size_t> tier_resolutions;
+  for (const auto& tier : config_.lod_tiers) {
+    if (tier.dvs == nullptr) {
+      throw std::invalid_argument("ClientAgent: LOD tier without a DVS");
+    }
+    tier_resolutions.push_back(tier.resolution);
+  }
+  lod_cost_ratios_ = policy::LodSelector::cost_ratios(
+      lattice_.config().view_resolution, tier_resolutions);
   // Plain LRU keeps the cache's O(1) legacy eviction path; other strategies
   // install a policy (and the lattice, for cursor-distance measurements).
   cache_.configure(&lattice_, config_.eviction == policy::EvictionStrategy::kLru
@@ -194,6 +207,40 @@ void ClientAgent::fetch(const lightfield::ViewSetId& id, RichDeliverCallback cb,
     return;
   }
 
+  // 1.5 Continuous LOD: when the selector says a full-resolution fetch
+  //     cannot make the deadline and a coarse tier of this view set is
+  //     already cached, serve it immediately — degrade resolution, never
+  //     fluidity — and upgrade in the background. Checked before the
+  //     join below: waiting on an in-flight full fetch would reintroduce
+  //     exactly the latency the coarse copy hides.
+  if (demand && max_lod() > 0 && choose_lod(id, sim_.now()) > 0) {
+    if (const int have = cache_.best_coarse_lod(id, max_lod()); have > 0) {
+      if (std::shared_ptr<const Bytes> data =
+              cache_.get(id, nullptr, /*demand=*/true, have)) {
+        metrics_.hits.inc();
+        metrics_.lod_coarse_serves.inc();
+        observe_deadline(/*miss=*/false);
+        start_refinement(id);
+        if (cb) {
+          const obs::SpanId span = obs_.trace.begin("agent.fetch", sim_.now(), parent);
+          obs_.trace.arg(span, "view_set", id.key());
+          obs_.trace.arg(span, "source", "cache-coarse");
+          obs_.trace.arg(span, "lod", std::to_string(have));
+          sim_.after(kAgentHitLatency,
+                     [this, span, have, data = std::move(data), cb = std::move(cb)] {
+                       obs_.trace.end(span, sim_.now());
+                       Delivery delivery{data, AccessClass::kAgentHit, kAgentHitLatency,
+                                         nullptr, nullptr};
+                       delivery.lod = have;
+                       delivery.degraded_lod = true;
+                       cb(delivery);
+                     });
+        }
+        return;
+      }
+    }
+  }
+
   // 2. Join an in-flight fetch of the same view set (e.g. the user caught up
   //    with an ongoing prefetch — part of the latency is already hidden).
   auto it = inflight_.find(id);
@@ -245,22 +292,43 @@ policy::FetchClass ClientAgent::fetch_class_of(const lightfield::ViewSetId& id) 
   return policy::FetchClass::kWan;
 }
 
+int ClientAgent::choose_lod(const lightfield::ViewSetId& id, SimTime started) const {
+  if (config_.lod_tiers.empty()) return 0;
+  // Ladder rung: overload already proved full resolution unaffordable —
+  // serve the coarsest tier regardless of the per-access prediction.
+  if (config_.degrade && level_ >= DegradeLevel::kCoarseLod) return max_lod();
+  if (!config_.lod_streaming || config_.deadline <= 0) return 0;
+  const SimDuration budget = config_.deadline - (sim_.now() - started);
+  return lod_selector_.pick(latency_.estimate(fetch_class_of(id)), budget,
+                            lod_cost_ratios_);
+}
+
 void ClientAgent::resolve_and_download(const lightfield::ViewSetId& id, bool allow_coarse) {
   // Prestaged? Prefer the LAN copy.
   if (auto staged = staged_.find(id); staged != staged_.end()) {
     download(id, staged->second, AccessClass::kLanDepot);
     return;
   }
+  // Which tier should a demand flight target? Only demand traffic degrades:
+  // a prefetch at a coarse tier would anticipate the wrong bytes.
+  int want = 0;
+  if (allow_coarse) {
+    if (auto flight = inflight_.find(id);
+        flight != inflight_.end() && !flight->second.refinement &&
+        (!flight->second.prefetch_origin || flight->second.demand_joined)) {
+      want = choose_lod(id, flight->second.started);
+    }
+  }
   // Known exNode?
   if (auto cached = exnode_cache_.find(id); cached != exnode_cache_.end()) {
     const AccessClass cls = classify(cached->second);
-    // kCoarseLod rung: a WAN-bound demand access is cheaper served coarse.
-    if (cls == AccessClass::kWan && allow_coarse && try_coarse(id)) return;
+    // Coarse substitution only pays when the full fetch would be WAN-bound.
+    if (cls == AccessClass::kWan && want > 0 && try_lod(id, want)) return;
     download(id, cached->second, cls);
     return;
   }
   // Unknown exNode means a WAN round trip at best — degrade before asking.
-  if (allow_coarse && try_coarse(id)) return;
+  if (want > 0 && try_lod(id, want)) return;
   // Ask the DVS (runtime generation allowed: the miss path of section 3.6).
   // The ambient register parents the DVS query span under this fetch.
   const auto flight = inflight_.find(id);
@@ -290,35 +358,55 @@ void ClientAgent::resolve_and_download(const lightfield::ViewSetId& id, bool all
                    });
 }
 
-bool ClientAgent::try_coarse(const lightfield::ViewSetId& id) {
-  if (!config_.degrade || level_ < DegradeLevel::kCoarseLod ||
-      config_.lod_dvs == nullptr) {
-    return false;
-  }
+bool ClientAgent::try_lod(const lightfield::ViewSetId& id, int lod) {
+  if (lod <= 0 || lod > max_lod()) return false;
   auto it = inflight_.find(id);
   if (it == inflight_.end()) return false;
-  // Only demand traffic degrades: a prefetch caching coarse bytes under the
-  // full-resolution id would poison every later access.
+  // Only demand traffic degrades; a refinement exists to fetch full bytes.
+  if (it->second.refinement) return false;
   if (it->second.prefetch_origin && !it->second.demand_joined) return false;
   const obs::Tracer::Ambient ambient(obs_.trace, it->second.span);
-  config_.lod_dvs->query_async(
+  config_.lod_tiers[static_cast<std::size_t>(lod) - 1].dvs->query_async(
       node_, id, /*generate_if_missing=*/false,
-      [this, id](const DvsServer::QueryResult& result) {
+      [this, id, lod](const DvsServer::QueryResult& result) {
         if (!result.found) {
           // No coarse copy either — fall through to the full-resolution
           // path, with coarse lookups suppressed to break the recursion.
           resolve_and_download(id, /*allow_coarse=*/false);
           return;
         }
-        metrics_.degrade_lod.inc();
+        // The ladder's forced pick keeps its historical counter; streaming
+        // picks are counted per delivery (lod_coarse_serves) instead.
+        if (config_.degrade && level_ >= DegradeLevel::kCoarseLod) {
+          metrics_.degrade_lod.inc();
+        }
         note_pressure(id);
         if (auto flight = inflight_.find(id); flight != inflight_.end()) {
-          flight->second.degraded_lod = true;
-          obs_.trace.arg(flight->second.span, "degraded", "coarse-lod");
+          flight->second.lod = lod;
+          obs_.trace.arg(flight->second.span, "lod", std::to_string(lod));
         }
         download(id, result.exnode, classify(result.exnode));
       });
   return true;
+}
+
+void ClientAgent::start_refinement(const lightfield::ViewSetId& id) {
+  if (!config_.lod_refine || !config_.lod_streaming) return;
+  if (cache_.contains(id) || inflight_.contains(id)) return;
+  // The ladder's WAN-yielding rungs apply to refinement just as they do to
+  // prefetch: background upgrades must not fight a demand-path overload.
+  if (config_.degrade && level_ >= DegradeLevel::kLanOnly &&
+      fetch_class_of(id) != policy::FetchClass::kLan) {
+    return;
+  }
+  metrics_.lod_refinements.inc();
+  fetch(id, nullptr, /*demand=*/false);
+  // fetch() always goes async for a non-resident id, so the flight exists;
+  // tagging it keeps refinement out of the prefetch slot/byte accounting.
+  if (auto it = inflight_.find(id); it != inflight_.end()) {
+    it->second.refinement = true;
+    obs_.trace.arg(it->second.span, "refinement", "true");
+  }
 }
 
 void ClientAgent::download(const lightfield::ViewSetId& id, const exnode::ExNode& exnode,
@@ -377,6 +465,11 @@ void ClientAgent::download(const lightfield::ViewSetId& id, const exnode::ExNode
                              metrics_.refetches.inc();
                              obs_.trace.instant("agent.refetch", sim_.now(),
                                                 it->second.span);
+                             // The retry re-decides its tier from scratch: a
+                             // failed coarse attempt may be re-resolved at
+                             // full resolution, and stale lod would mislabel
+                             // (and mis-cache) those bytes.
+                             it->second.lod = 0;
                              invalidate(id);
                              resolve_and_download(id);
                              return;
@@ -414,22 +507,34 @@ void ClientAgent::finish_fetch(const lightfield::ViewSetId& id, Bytes data,
   auto payload = std::make_shared<const Bytes>(std::move(data));
   // A prefetch the user never caught up with is the speculative kind the
   // eviction policy may sacrifice or refuse; one a demand request joined is
-  // demand working set from the start.
-  const bool speculative = flight.prefetch_origin && !flight.demand_joined;
-  if (ok && !flight.degraded_lod) {
+  // demand working set from the start. A refinement is neither: the demand
+  // path already consumed the coarse serve it upgrades, so its bytes are
+  // working set.
+  const bool speculative =
+      flight.prefetch_origin && !flight.demand_joined && !flight.refinement;
+  if (ok) {
     // Shared-ownership insert: the cache aliases this payload rather than
-    // deep-copying every delivered view set. Coarse substitutes stay out of
-    // both the cache and the estimators: they are neither the canonical
-    // bytes for this id nor representative of a full-resolution fetch.
-    cache_.put(id, payload, speculative);
+    // deep-copying every delivered view set. Coarse payloads are cached too,
+    // but under their own (id, lod) key — a full-resolution lookup can never
+    // be served coarse bytes.
+    cache_.put(id, payload, speculative, flight.lod);
     sync_cache_metrics();
-    const auto size = static_cast<double>(payload->size());
-    payload_bytes_ewma_ =
-        payload_bytes_ewma_ <= 0.0 ? size : 0.3 * size + 0.7 * payload_bytes_ewma_;
-    if (flight.cls != AccessClass::kAgentHit) {
-      latency_.observe(flight.cls == AccessClass::kLanDepot ? policy::FetchClass::kLan
-                                                            : policy::FetchClass::kWan,
-                       sim_.now() - flight.started);
+    if (flight.lod == 0) {
+      // Full-resolution bytes landed: retire every coarse substitute so a
+      // post-upgrade access is never served stale coarse bytes, and feed the
+      // estimators (coarse fetches are not representative of either the
+      // payload size or the full-fetch latency).
+      cache_.erase_coarse(id, max_lod());
+      if (flight.refinement) metrics_.lod_refined.inc();
+      const auto size = static_cast<double>(payload->size());
+      payload_bytes_ewma_ =
+          payload_bytes_ewma_ <= 0.0 ? size : 0.3 * size + 0.7 * payload_bytes_ewma_;
+      if (flight.cls != AccessClass::kAgentHit) {
+        latency_.observe(flight.cls == AccessClass::kLanDepot
+                             ? policy::FetchClass::kLan
+                             : policy::FetchClass::kWan,
+                         sim_.now() - flight.started);
+      }
     }
   }
   // Ladder feed: one outcome per demand flight. A shed is a miss by
@@ -442,7 +547,10 @@ void ClientAgent::finish_fetch(const lightfield::ViewSetId& id, Bytes data,
       observe_deadline(sim_.now() - flight.started > config_.deadline);
     }
   }
-  if (flight.prefetch_origin) {
+  // Refinements ride the prefetch_origin plumbing (null callback, no demand
+  // accounting) but were never charged a prefetch slot or bytes — releasing
+  // one here would free a slot a real prefetch still holds.
+  if (flight.prefetch_origin && !flight.refinement) {
     if (prefetch_inflight_ > 0) --prefetch_inflight_;
     prefetch_bytes_inflight_ -= std::min(prefetch_bytes_inflight_, flight.prefetch_charge);
     if (ok) {
@@ -497,16 +605,22 @@ void ClientAgent::finish_fetch(const lightfield::ViewSetId& id, Bytes data,
             metrics_.hits.inc();
             break;
         }
+        if (ok && flight.lod > 0) metrics_.lod_coarse_serves.inc();
       }
     }
     if (waiter.cb) {
       Delivery delivery{payload, flight.cls, sim_.now() - waiter.arrived, decoded,
                         report};
       delivery.status = status;
-      delivery.degraded_lod = flight.degraded_lod;
+      delivery.lod = flight.lod;
+      delivery.degraded_lod = flight.lod > 0;
       waiter.cb(delivery);
     }
   }
+  // A fresh coarse serve leaves the full-resolution bytes still missing:
+  // upgrade in the background so later accesses (and the estimators) see
+  // the canonical view set.
+  if (ok && flight.lod > 0 && !flight.prefetch_origin) start_refinement(id);
 }
 
 void ClientAgent::observe_deadline(bool miss) {
@@ -818,6 +932,10 @@ const ClientAgent::Stats& ClientAgent::stats() const {
   stats_view_.degrade_lod = metrics_.degrade_lod.value();
   stats_view_.degrade_demand_only = metrics_.degrade_demand_only.value();
   stats_view_.hot_reports = metrics_.hot_reports.value();
+  stats_view_.lod_coarse_serves = metrics_.lod_coarse_serves.value();
+  stats_view_.lod_refinements = metrics_.lod_refinements.value();
+  stats_view_.lod_refined = metrics_.lod_refined.value();
+  stats_view_.demand_wan_active = demand_wan_active_;
   return stats_view_;
 }
 

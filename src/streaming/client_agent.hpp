@@ -35,6 +35,7 @@
 #include "obs/obs.hpp"
 #include "policy/eviction.hpp"
 #include "policy/latency.hpp"
+#include "policy/lod.hpp"
 #include "policy/motion.hpp"
 #include "policy/prefetch.hpp"
 #include "streaming/admission.hpp"
@@ -157,14 +158,34 @@ struct ClientAgentConfig {
   bool degrade = false;
   int degrade_after_misses = 3;  ///< consecutive deadline misses per downgrade
   int upgrade_after_hits = 8;    ///< consecutive on-time deliveries per upgrade
-  /// Coarse-resolution database for the kCoarseLod rung: a DVS over the same
-  /// lattice geometry published at a lower view resolution (see
-  /// lightfield::MultiDatabase). Null = the rung is skipped in effect.
-  DvsServer* lod_dvs = nullptr;
   /// Shed/degrade events on one view set before the agent reports it hot to
   /// the DVS (which relays to the server agent for replica augmentation).
   /// 0 = no reporting.
   int hot_report_threshold = 0;
+
+  // --- Continuous LOD streaming ---------------------------------------------
+
+  /// One coarse tier of the scene: the same lattice geometry published at a
+  /// lower view resolution, with its own DVS namespace (see
+  /// lightfield::MultiDatabase::lod_ladder). Tier k serves lod k+1.
+  struct LodTier {
+    DvsServer* dvs = nullptr;
+    std::size_t resolution = 0;
+  };
+  /// Coarse tiers, finest first. With the ladder (`degrade`) the kCoarseLod
+  /// rung uses the coarsest tier; with `lod_streaming` the policy selector
+  /// picks a tier per demand access. Empty = single-resolution delivery.
+  std::vector<LodTier> lod_tiers;
+  /// Per-access LOD selection: when the latency estimator predicts a
+  /// full-resolution fetch would miss `deadline`, serve the finest coarse
+  /// tier that fits instead — degrade resolution, never fluidity.
+  bool lod_streaming = false;
+  /// After a coarse demand serve, fetch the full-resolution bytes in the
+  /// background and swap them into the cache (progressive refinement).
+  bool lod_refine = true;
+  /// A tier is only picked if its predicted fetch fits within this fraction
+  /// of the remaining deadline budget.
+  double lod_headroom = 0.8;
 };
 
 class ClientAgent {
@@ -197,6 +218,10 @@ class ClientAgent {
     std::uint64_t degrade_lod = 0;       ///< accesses served coarse (kCoarseLod)
     std::uint64_t degrade_demand_only = 0;  ///< prefetch rounds suppressed
     std::uint64_t hot_reports = 0;       ///< demand-pressure reports sent to the DVS
+    std::uint64_t lod_coarse_serves = 0; ///< demand deliveries at a coarse tier
+    std::uint64_t lod_refinements = 0;   ///< background full-res upgrades started
+    std::uint64_t lod_refined = 0;       ///< upgrades that swapped full-res bytes in
+    int demand_wan_active = 0;           ///< WAN demand downloads in flight now
   };
 
   ClientAgent(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fabric,
@@ -224,9 +249,12 @@ class ClientAgent {
     /// kShed = overload refusal (retry with backoff); kFailed = the view set
     /// could not be obtained. Either way the payload is empty.
     DeliveryStatus status = DeliveryStatus::kOk;
-    /// The payload is the coarse-resolution substitute (kCoarseLod rung) —
-    /// do not treat it as the canonical full-resolution view set.
+    /// The payload is a coarse-resolution substitute (LOD streaming pick or
+    /// the kCoarseLod rung) — not the canonical full-resolution view set.
     bool degraded_lod = false;
+    /// Which tier served this delivery: 0 = full resolution, k >= 1 = the
+    /// k-th coarse tier (degraded_lod == (lod > 0)).
+    int lod = 0;
   };
   using RichDeliverCallback = std::function<void(const Delivery&)>;
 
@@ -287,6 +315,10 @@ class ClientAgent {
   [[nodiscard]] DegradeLevel degrade_level() const { return level_; }
   /// Demand fetches currently in service (the admission queue depth).
   [[nodiscard]] int demand_inflight() const { return demand_inflight_; }
+  /// WAN demand downloads in flight right now. Balance invariant: zero
+  /// whenever the agent is idle — every increment in download() must be
+  /// matched across the shed/retry/coarse completion paths.
+  [[nodiscard]] int demand_wan_active() const { return demand_wan_active_; }
 
  private:
   struct Waiter {
@@ -304,7 +336,8 @@ class ClientAgent {
     bool prefetch_origin = false;  ///< started by the prefetcher
     bool demand_joined = false;    ///< a demand request later joined it
     std::uint64_t prefetch_charge = 0;  ///< bytes charged to the prefetch budget
-    bool degraded_lod = false;     ///< served from the coarse-resolution database
+    int lod = 0;                   ///< tier being fetched (0 = full resolution)
+    bool refinement = false;       ///< background full-res upgrade of a coarse serve
     bool shed_upstream = false;    ///< the generation tier shed this request
   };
 
@@ -338,21 +371,40 @@ class ClientAgent {
     obs::Counter& degrade_lod;           ///< agent.degrade_lod
     obs::Counter& degrade_demand_only;   ///< agent.degrade_demand_only
     obs::Counter& hot_reports;           ///< agent.hot_reports
+    obs::Counter& lod_coarse_serves;     ///< agent.lod_coarse_serves
+    obs::Counter& lod_refinements;       ///< agent.lod_refinements
+    obs::Counter& lod_refined;           ///< agent.lod_refined
   };
 
   /// Starts (or joins) a fetch of `id`; cb may be null for prefetch.
   void fetch(const lightfield::ViewSetId& id, RichDeliverCallback cb, bool demand,
              obs::SpanId parent = 0);
 
-  /// Resolves the exNode (staged > cached > DVS) then downloads. While the
-  /// ladder sits at kCoarseLod or below, a would-be WAN demand access first
-  /// tries the coarse-resolution database (`allow_coarse` breaks recursion
-  /// when the coarse lookup itself missed).
+  /// Resolves the exNode (staged > cached > DVS) then downloads. A demand
+  /// flight that would go to the WAN first asks choose_lod() whether a
+  /// coarse tier should serve instead (`allow_coarse` breaks recursion when
+  /// the coarse lookup itself missed).
   void resolve_and_download(const lightfield::ViewSetId& id, bool allow_coarse = true);
 
-  /// Tries to serve a demand flight from the coarse-resolution database.
+  /// Number of coarse tiers configured.
+  [[nodiscard]] int max_lod() const {
+    return static_cast<int>(config_.lod_tiers.size());
+  }
+
+  /// Which tier a fresh demand fetch of `id` should target right now: the
+  /// ladder forces the coarsest tier at kCoarseLod and below; otherwise,
+  /// with lod_streaming on, the selector fits the latency prediction into
+  /// the remaining deadline budget. 0 = full resolution.
+  [[nodiscard]] int choose_lod(const lightfield::ViewSetId& id, SimTime started) const;
+
+  /// Tries to serve the flight for `id` from coarse tier `lod` (>= 1).
   /// Returns true if a coarse lookup was dispatched (it owns the flight).
-  bool try_coarse(const lightfield::ViewSetId& id);
+  bool try_lod(const lightfield::ViewSetId& id, int lod);
+
+  /// Kicks a background full-resolution fetch of `id` that will swap the
+  /// coarse cache entry for the real bytes (no-op if one is already in
+  /// flight, the full bytes are cached, or refinement is disabled).
+  void start_refinement(const lightfield::ViewSetId& id);
 
   /// Feeds the degradation ladder one deadline outcome.
   void observe_deadline(bool miss);
@@ -439,6 +491,8 @@ class ClientAgent {
   // Policy engine state.
   policy::CursorMotionModel motion_;
   policy::FetchLatencyEstimator latency_;
+  policy::LodSelector lod_selector_;
+  std::vector<double> lod_cost_ratios_;  ///< per-tier cost vs a full fetch
   std::unique_ptr<policy::PrefetchPolicy> prefetch_policy_;
   std::size_t prefetch_inflight_ = 0;
   std::uint64_t prefetch_bytes_inflight_ = 0;

@@ -31,6 +31,9 @@ struct AccessRecord {
   /// Decompression overlapped the stripe transfers at the agent;
   /// decompress_time then holds only the unhidden residual tail.
   bool pipelined = false;
+  /// Level of detail this access was served at: 0 = full resolution,
+  /// higher = coarser tier (continuous LOD streaming / degradation ladder).
+  int lod = 0;
 
   /// Latency as measured at the client (figures 9-11).
   [[nodiscard]] SimDuration total() const { return delivered - requested; }

@@ -121,5 +121,138 @@ TEST_F(MultiDbTest, FromXmlRejectsWrongRoot) {
   EXPECT_THROW(MultiDatabase::from_xml("<nope/>"), lon::exnode::XmlError);
 }
 
+// --- hysteresis properties (PR 7) ---------------------------------------------
+
+TEST_F(MultiDbTest, HysteresisNoFlipFlopOnBoundaryDriftWalk) {
+  // A viewer dithering around the exact midpoint (the nearest-rule boundary
+  // at x = 5) must never switch: with margin 0.05 the switch thresholds sit
+  // at x = 10/(2-m) ~ 5.128 and x = 10(1-m)/(2-m) ~ 4.872, so any drift
+  // inside that dead band keeps the current selection.
+  std::optional<DatabaseId> current = db_.select({4.5, 0, 0});
+  ASSERT_EQ(current, left_);
+  const double amplitudes[] = {0.02, -0.05, 0.08, -0.1, 0.12, -0.12, 0.1, 0.05};
+  for (int lap = 0; lap < 25; ++lap) {
+    for (const double a : amplitudes) {
+      current = db_.select({5.0 + a, 0, 0}, current);
+      ASSERT_EQ(current, left_) << "flip at offset " << a << " lap " << lap;
+    }
+  }
+}
+
+TEST_F(MultiDbTest, HysteresisSwitchesExactlyOncePerCrossing) {
+  // A decisive monotonic crossing switches exactly once — and the return
+  // crossing switches exactly once back. More than one change per crossing
+  // would be the flip-flop the margin exists to prevent.
+  std::optional<DatabaseId> current = db_.select({4.0, 0, 0});
+  ASSERT_EQ(current, left_);
+  int switches = 0;
+  for (double x = 4.0; x <= 6.5; x += 0.01) {
+    const auto next = db_.select({x, 0, 0}, current);
+    if (next != current) ++switches;
+    current = next;
+  }
+  EXPECT_EQ(switches, 1);
+  EXPECT_EQ(current, right_);
+  for (double x = 6.5; x >= 4.0; x -= 0.01) {
+    const auto next = db_.select({x, 0, 0}, current);
+    if (next != current) ++switches;
+    current = next;
+  }
+  EXPECT_EQ(switches, 2);
+  EXPECT_EQ(current, left_);
+}
+
+// --- manifest strictness and round-trip fidelity (PR 7) -----------------------
+
+TEST_F(MultiDbTest, ManifestRoundTripPreservesMarginAndLatticeFields) {
+  MultiDatabase out(0.125);
+  LatticeConfig cfg = small_lattice();
+  cfg.fov_deg = 42.0;
+  out.add("a", {1, 2, 3}, cfg, 1.5);
+  const MultiDatabase back = MultiDatabase::from_xml(out.to_xml());
+  EXPECT_NEAR(back.margin(), 0.125, 1e-9);
+  const DatabaseEntry* a = back.find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_NEAR(a->center.x, 1.0, 1e-9);
+  EXPECT_NEAR(a->center.y, 2.0, 1e-9);
+  EXPECT_NEAR(a->center.z, 3.0, 1e-9);
+  EXPECT_NEAR(a->scale, 1.5, 1e-9);
+  EXPECT_NEAR(a->lattice.angular_step_deg, cfg.angular_step_deg, 1e-9);
+  EXPECT_EQ(a->lattice.view_set_span, cfg.view_set_span);
+  EXPECT_EQ(a->lattice.view_resolution, cfg.view_resolution);
+  EXPECT_NEAR(a->lattice.outer_radius, cfg.outer_radius, 1e-9);
+  EXPECT_NEAR(a->lattice.inner_radius, cfg.inner_radius, 1e-9);
+  EXPECT_NEAR(a->lattice.fov_deg, 42.0, 1e-9);
+}
+
+TEST_F(MultiDbTest, FromXmlRejectsMarginOutsideUnitInterval) {
+  // from_xml must reject bad margins with a clear XmlError, not bubble
+  // std::stod quirks (partial parses, bare std::invalid_argument) upward.
+  for (const char* bad : {"1.5", "-0.1", "1.0", "abc", "0.5junk", "nan", ""}) {
+    const std::string xml =
+        std::string("<multidb margin=\"") + bad + "\"></multidb>";
+    EXPECT_THROW(MultiDatabase::from_xml(xml), lon::exnode::XmlError) << bad;
+  }
+}
+
+TEST_F(MultiDbTest, FromXmlRejectsMalformedNumericAttributes) {
+  // Corrupt one attribute of an otherwise valid manifest: the loader must
+  // fail loudly instead of silently truncating ("3junk" -> 3).
+  MultiDatabase one;
+  one.add("db", {0, 0, 0}, small_lattice());
+  const std::string good = one.to_xml();
+  const auto corrupt = [&](const std::string& key, const std::string& value) {
+    const std::string needle = key + "=\"";
+    const std::size_t at = good.find(needle);
+    ASSERT_NE(at, std::string::npos) << key;
+    const std::size_t begin = at + needle.size();
+    const std::size_t end = good.find('"', begin);
+    std::string xml = good;
+    xml.replace(begin, end - begin, value);
+    EXPECT_THROW(MultiDatabase::from_xml(xml), lon::exnode::XmlError)
+        << key << "=" << value;
+  };
+  corrupt("span", "3junk");
+  corrupt("resolution", "abc");
+  corrupt("resolution", "0");
+  corrupt("resolution", "-16");
+  corrupt("cx", "");
+  corrupt("scale", "1.0x");
+}
+
+// --- the LOD ladder builder (PR 7) --------------------------------------------
+
+TEST(LodLadder, BuildsFullPlusDescendingCoarseTiers) {
+  LatticeConfig full;
+  full.angular_step_deg = 15.0;
+  full.view_set_span = 3;
+  full.view_resolution = 200;
+  const MultiDatabase ladder = MultiDatabase::lod_ladder(full, {50, 100});
+  ASSERT_EQ(ladder.size(), 3u);
+  // Entry 0 is the full database; coarse tiers follow finest first, however
+  // the caller ordered them.
+  EXPECT_EQ(ladder.entry(0).name, "full");
+  EXPECT_EQ(ladder.entry(0).lattice.view_resolution, 200u);
+  EXPECT_EQ(ladder.entry(1).name, "lod100");
+  EXPECT_EQ(ladder.entry(1).lattice.view_resolution, 100u);
+  EXPECT_EQ(ladder.entry(2).name, "lod50");
+  EXPECT_EQ(ladder.entry(2).lattice.view_resolution, 50u);
+  // Geometry is shared across tiers — only the resolution drops.
+  EXPECT_EQ(ladder.entry(2).lattice.view_set_span, full.view_set_span);
+  // Cache keys are namespaced per tier.
+  EXPECT_EQ(ladder.scoped_key(1, {2, 3}), "lod100/vs2_3");
+}
+
+TEST(LodLadder, RejectsDegenerateResolutions) {
+  LatticeConfig full;
+  full.angular_step_deg = 15.0;
+  full.view_set_span = 3;
+  full.view_resolution = 200;
+  EXPECT_THROW(MultiDatabase::lod_ladder(full, {0}), std::invalid_argument);
+  EXPECT_THROW(MultiDatabase::lod_ladder(full, {200}), std::invalid_argument);
+  EXPECT_THROW(MultiDatabase::lod_ladder(full, {300}), std::invalid_argument);
+  EXPECT_THROW(MultiDatabase::lod_ladder(full, {100, 100}), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace lon::lightfield
