@@ -41,6 +41,15 @@ struct Row {
   std::size_t failed = 0;
   bool admission = false;     ///< overload protection on (the large-N rows)
   double p99_vs_1user = 0.0;  ///< p99-mean degradation relative to the 1-user row
+
+  // Scheduler/reallocator cost (deterministic except wall_s/events_per_sec).
+  std::size_t min_delivered = 0;       ///< worst-off client's deliveries
+  std::uint64_t demand_shed = 0;       ///< admission-refused demand requests
+  std::uint64_t sim_events = 0;        ///< events executed
+  std::uint64_t reallocs = 0;          ///< max-min solves run
+  std::uint64_t realloc_flows_touched = 0;  ///< flows re-rated, summed
+  double wall_s = 0.0;                 ///< host wall-clock (informational)
+  double events_per_sec = 0.0;         ///< sim_events / wall_s
 };
 
 Row run_users(int n_clients, std::size_t accesses_per_client, bool admission = false) {
@@ -100,6 +109,14 @@ Row run_users(int n_clients, std::size_t accesses_per_client, bool admission = f
                      : 0.0;
   row.lan = stats.lan_accesses;
   row.wan = stats.wan_accesses;
+  row.min_delivered = result.min_client_delivered;
+  row.demand_shed = stats.demand_shed;
+  row.sim_events = result.sim_events;
+  row.reallocs = result.net_reallocs;
+  row.realloc_flows_touched = result.net_realloc_flows_touched;
+  row.wall_s = result.wall_s;
+  row.events_per_sec =
+      result.wall_s > 0.0 ? static_cast<double>(result.sim_events) / result.wall_s : 0.0;
   return row;
 }
 
@@ -142,11 +159,19 @@ int main(int argc, char** argv) {
           "%s{\"users\":%d,\"accesses\":%zu,\"mean_total_s\":%.6f,"
           "\"p99_worst_s\":%.6f,\"p99_mean_s\":%.6f,\"hit_rate\":%.4f,"
           "\"lan\":%llu,\"wan\":%llu,\"virtual_duration_s\":%.3f,\"failed\":%zu,"
-          "\"admission\":%s,\"p99_vs_1user\":%.4f}",
+          "\"admission\":%s,\"p99_vs_1user\":%.4f,"
+          "\"min_delivered\":%zu,\"demand_shed\":%llu,\"sim_events\":%llu,"
+          "\"reallocs\":%llu,\"realloc_flows_touched\":%llu,"
+          "\"wall_s\":%.3f,\"events_per_sec\":%.0f}",
           i == 0 ? "" : ",", r.users, r.accesses, r.mean_total_s, r.p99_worst_s,
           r.p99_mean_s, r.hit_rate, static_cast<unsigned long long>(r.lan),
           static_cast<unsigned long long>(r.wan), r.virtual_duration_s, r.failed,
-          r.admission ? "true" : "false", r.p99_vs_1user);
+          r.admission ? "true" : "false", r.p99_vs_1user, r.min_delivered,
+          static_cast<unsigned long long>(r.demand_shed),
+          static_cast<unsigned long long>(r.sim_events),
+          static_cast<unsigned long long>(r.reallocs),
+          static_cast<unsigned long long>(r.realloc_flows_touched), r.wall_s,
+          r.events_per_sec);
     }
     std::printf("]}\n");
     return 0;
@@ -164,6 +189,20 @@ int main(int argc, char** argv) {
                 r.hit_rate, static_cast<unsigned long long>(r.lan),
                 static_cast<unsigned long long>(r.wan), r.failed,
                 r.admission ? "on" : "off", r.p99_vs_1user);
+  }
+
+  // Scheduler-cost section: how hard the discrete-event core worked. The
+  // event and solve counts are deterministic; wall time and events/sec are
+  // host-dependent and informational only.
+  std::printf("\nScheduler cost (calendar-queue core, incremental max-min):\n");
+  std::printf("%8s %14s %10s %14s %10s %12s\n", "users", "sim-events", "reallocs",
+              "flows-touched", "wall (s)", "events/sec");
+  for (const Row& r : rows) {
+    std::printf("%8d %14llu %10llu %14llu %10.3f %12.0f\n", r.users,
+                static_cast<unsigned long long>(r.sim_events),
+                static_cast<unsigned long long>(r.reallocs),
+                static_cast<unsigned long long>(r.realloc_flows_touched), r.wall_s,
+                r.events_per_sec);
   }
   return 0;
 }

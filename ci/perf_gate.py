@@ -48,12 +48,28 @@ to BENCH_pr.json, and compares them against the committed BENCH_baseline.json:
       background refinement reaching full resolution) while the
       full-resolution-only control misses deadlines.
 
+With --scale-full the gate instead runs the one bench that does not fit the
+smoke budget:
+
+  bench_scalability_users --json        (no --smoke: the 1000-user crowd row)
+      The full-scale run the paper's future-work section asks for. All
+      virtual-time metrics are deterministic, so the gate demands them
+      bit-identical to the committed baseline: failed accesses, the
+      worst-off client's delivery count, admission sheds, executed event
+      count, and max-min solve counts are exact-match; mean/p99 latencies
+      and the p99-vs-1-user degradation factor allow the usual float
+      tolerance on parse/print round-trips. Host wall time only WARNS
+      against --wall-budget (runner-dependent), but a run that cannot
+      finish at all still fails the job via the CI timeout.
+
 Exit status is non-zero on any hard failure. A PR that intentionally changes
 performance updates the baseline in the same commit:
 
   python3 ci/perf_gate.py --build-dir build --update-baseline
+  python3 ci/perf_gate.py --build-dir build --scale-full --update-baseline
 
-or carries the `perf-override` label, which skips the gate job entirely.
+(the --scale-full update merges its section into the existing baseline file),
+or carries the `perf-override` label, which skips the gate jobs entirely.
 """
 
 import argparse
@@ -86,6 +102,11 @@ def run_json(cmd):
 def collect_scalability(build_dir):
     return run_json([os.path.join(build_dir, "bench", "bench_scalability_users"),
                      "--smoke", "--json"])
+
+
+def collect_scalability_full(build_dir):
+    return run_json([os.path.join(build_dir, "bench", "bench_scalability_users"),
+                     "--json"])
 
 
 def collect_framerate(build_dir):
@@ -134,6 +155,57 @@ def check_scalability(pr, base, tolerance):
                      f"by more than {tolerance:.0%} (virtual time: deterministic)")
             else:
                 print(f"ok:   {tag}: {key} {got:.4f}s (baseline {want:.4f}s)")
+
+
+def check_scalability_full(pr, base, tolerance, wall_budget):
+    """Full-scale (1000-user) run: every virtual metric gates, most exactly.
+
+    The simulator is single-threaded virtual time, so event counts, solve
+    counts, shed counters, and delivery floors reproduce bit-for-bit on any
+    host. Latency percentiles pass through printf/parse round-trips, so they
+    get the regular relative tolerance instead of exact equality.
+    """
+    base_rows = {row["users"]: row for row in base.get("results", [])}
+    wall_total = 0.0
+    for row in pr.get("results", []):
+        users = row["users"]
+        tag = f"scale_full[{users} users]"
+        wall_total += row.get("wall_s", 0.0)
+        if row.get("failed", 0) > 0:
+            fail(f"{tag}: {row['failed']} failed accesses")
+        if row.get("min_delivered", 0) == 0:
+            fail(f"{tag}: a client was starved to zero deliveries")
+        if users not in base_rows:
+            warn(f"{tag}: no baseline row; add one with "
+                 "--scale-full --update-baseline")
+            continue
+        ref = base_rows[users]
+        exact_ok = True
+        for key in ("accesses", "demand_shed", "sim_events", "reallocs",
+                    "realloc_flows_touched"):
+            got, want = row.get(key), ref.get(key)
+            if want is not None and got != want:
+                fail(f"{tag}: {key} {got} != baseline {want} "
+                     f"(virtual time: must be bit-identical)")
+                exact_ok = False
+        for key in ("mean_total_s", "p99_worst_s", "p99_mean_s", "p99_vs_1user"):
+            got, want = row[key], ref[key]
+            if got > want * (1.0 + tolerance):
+                fail(f"{tag}: {key} {got:.4f} exceeds baseline {want:.4f} "
+                     f"by more than {tolerance:.0%} (virtual time: deterministic)")
+                exact_ok = False
+        if exact_ok:
+            print(f"ok:   {tag}: {row['sim_events']} events, "
+                  f"{row['reallocs']} solves, p99-vs-1 {row['p99_vs_1user']:.2f}, "
+                  f"min delivered {row['min_delivered']}, "
+                  f"wall {row.get('wall_s', 0.0):.1f}s")
+    if wall_total > wall_budget:
+        warn(f"scale_full: total wall time {wall_total:.1f}s over the "
+             f"{wall_budget:.0f}s budget (runner-dependent; check for a "
+             f"scheduler/reallocator slowdown)")
+    else:
+        print(f"ok:   scale_full: total wall {wall_total:.1f}s "
+              f"within the {wall_budget:.0f}s budget")
 
 
 def fps_by_name(section):
@@ -406,9 +478,54 @@ def main():
                         help="wall-clock fps regressions fail instead of warning")
     parser.add_argument("--update-baseline", action="store_true",
                         help="write the measurements to --baseline and exit")
+    parser.add_argument("--scale-full", action="store_true",
+                        help="gate the full (non-smoke) 1000-user scalability "
+                             "run instead of the smoke suite")
+    parser.add_argument("--wall-budget", type=float, default=300.0,
+                        help="--scale-full wall-clock warn threshold in "
+                             "seconds (default 300)")
     args = parser.parse_args()
 
     cores = os.cpu_count() or 1
+
+    if args.scale_full:
+        section = collect_scalability_full(args.build_dir)
+        if args.update_baseline:
+            # Merge: the full-run section rides in the same baseline file as
+            # the smoke sections; do not clobber them.
+            try:
+                with open(args.baseline) as f:
+                    baseline = json.load(f)
+            except FileNotFoundError:
+                baseline = {}
+            baseline["scalability_users_full"] = section
+            with open(args.baseline, "w") as f:
+                json.dump(baseline, f, indent=2, sort_keys=True)
+                f.write("\n")
+            print(f"merged scalability_users_full into {args.baseline}")
+            return 0
+        results = {
+            "meta": {"cores": cores, "mode": "scale-full"},
+            "scalability_users_full": section,
+        }
+        with open(args.out, "w") as f:
+            json.dump(results, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.out}")
+        try:
+            with open(args.baseline) as f:
+                baseline = json.load(f)
+        except FileNotFoundError:
+            fail(f"missing {args.baseline}; create it with "
+                 "--scale-full --update-baseline")
+            return 1
+        check_scalability_full(section,
+                               baseline.get("scalability_users_full", {}),
+                               args.tolerance, args.wall_budget)
+        print(f"\nperf gate (scale-full): {len(HARD_FAILURES)} failure(s), "
+              f"{len(WARNINGS)} warning(s)")
+        return 1 if HARD_FAILURES else 0
+
     results = {
         "meta": {"cores": cores, "mode": "smoke"},
         "scalability_users": collect_scalability(args.build_dir),
@@ -419,6 +536,16 @@ def main():
     }
 
     target = args.baseline if args.update_baseline else args.out
+    if args.update_baseline:
+        # Preserve sections the smoke run does not produce (scale-full).
+        try:
+            with open(target) as f:
+                prior = json.load(f)
+        except FileNotFoundError:
+            prior = {}
+        for key in ("scalability_users_full",):
+            if key in prior:
+                results[key] = prior[key]
     with open(target, "w") as f:
         json.dump(results, f, indent=2, sort_keys=True)
         f.write("\n")

@@ -88,6 +88,15 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.failed_accesses = failed_accesses;
   result.fault_stats = injector.stats();
   result.robustness = collect_robustness(sys.obs->metrics);
+  obs::Registry& metrics = sys.obs->metrics;
+  metrics.counter("sim.events_executed", "component=simnet").inc(sim.executed());
+  metrics.counter("sim.events_scheduled", "component=simnet").inc(sim.scheduled());
+  metrics.counter("sim.events_cancelled", "component=simnet").inc(sim.cancelled());
+  metrics.counter("net.reallocs", "component=simnet").inc(sys.net.reallocs());
+  metrics.counter("net.realloc_requests", "component=simnet")
+      .inc(sys.net.realloc_requests());
+  metrics.counter("net.realloc_flows_touched", "component=simnet")
+      .inc(sys.net.realloc_flows_touched());
   result.obs = std::move(sys.obs);
   return result;
 }
@@ -125,8 +134,14 @@ MultiClientResult run_multi_client(const MultiClientConfig& mc) {
   result.agent_stats = run.agent_stats;
   result.script_duration = run.duration;
   result.failed_accesses = run.failed_accesses;
+  result.min_client_delivered = run.min_client_delivered;
   result.staging_complete = run.staging_complete;
   result.fault_stats = run.fault_stats;
+  result.sim_events = run.sim_events;
+  result.sim_scheduled = run.sim_scheduled;
+  result.net_reallocs = run.net_reallocs;
+  result.net_realloc_flows_touched = run.net_realloc_flows_touched;
+  result.wall_s = run.wall_s;
   result.obs = std::move(run.obs);
   return result;
 }

@@ -90,6 +90,10 @@ struct ExperimentConfig {
   int lan_depot_count = 4;   ///< "striped across four depots ... by a 1Gb/s LAN"
   double depot_disk_bps = 80e6;
   std::uint64_t net_seed = 7;  ///< 0 disables jitter entirely
+  /// Debug: force every max-min solve to cover the whole flow graph instead
+  /// of only the affected component. Results must be identical either way;
+  /// differential tests flip this to prove it.
+  bool full_network_resolve = false;
 
   // Robustness / fault injection. The defaults reproduce the fault-free
   // runs exactly: no faults, no deadlines, no retries, no repair.
@@ -205,8 +209,17 @@ struct MultiClientResult {
   streaming::ClientAgent::Stats agent_stats;
   SimTime script_duration = 0;         ///< first start to last completion
   std::size_t failed_accesses = 0;     ///< summed over clients
+  std::size_t min_client_delivered = 0;  ///< worst-off client's deliveries
   bool staging_complete = false;
   fault::FaultStats fault_stats;
+
+  // Simulator-core cost counters (deterministic; see ScenarioResult).
+  std::uint64_t sim_events = 0;
+  std::uint64_t sim_scheduled = 0;
+  std::uint64_t net_reallocs = 0;
+  std::uint64_t net_realloc_flows_touched = 0;
+  double wall_s = 0.0;  ///< host wall-clock of the run — NOT deterministic
+
   std::shared_ptr<obs::Context> obs;
 };
 

@@ -1,6 +1,7 @@
 #include "session/scenario.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "session/system.hpp"
@@ -12,6 +13,7 @@ ScenarioResult run_scenario(const Scenario& scenario) {
   if (scenario.clients.empty()) {
     throw std::invalid_argument("run_scenario: no clients");
   }
+  const auto wall_start = std::chrono::steady_clock::now();
   const ExperimentConfig& config = scenario.base;
   const int n_clients = static_cast<int>(scenario.clients.size());
   System sys(config, n_clients);
@@ -123,6 +125,30 @@ ScenarioResult run_scenario(const Scenario& scenario) {
   result.fault_stats = injector.stats();
   result.duration = script_end - script_start;
   result.staging_complete = sys.agent->staging_complete();
+
+  // Simulator-core cost, surfaced both on the result (exact-match gating)
+  // and through the obs registry (dashboards, artifact dumps).
+  result.sim_events = sim.executed();
+  result.sim_scheduled = sim.scheduled();
+  result.net_reallocs = sys.net.reallocs();
+  result.net_realloc_flows_touched = sys.net.realloc_flows_touched();
+  result.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                wall_start)
+                      .count();
+  obs::Registry& metrics = sys.obs->metrics;
+  metrics.counter("sim.events_executed", "component=simnet").inc(result.sim_events);
+  metrics.counter("sim.events_scheduled", "component=simnet").inc(result.sim_scheduled);
+  metrics.counter("sim.events_cancelled", "component=simnet").inc(sim.cancelled());
+  metrics.counter("net.reallocs", "component=simnet").inc(result.net_reallocs);
+  metrics.counter("net.realloc_requests", "component=simnet")
+      .inc(sys.net.realloc_requests());
+  metrics.counter("net.realloc_flows_touched", "component=simnet")
+      .inc(result.net_realloc_flows_touched);
+  if (result.wall_s > 0.0) {
+    metrics.gauge("sim.events_per_sec", "component=simnet")
+        .set(static_cast<double>(result.sim_events) / result.wall_s);
+  }
+
   result.obs = std::move(sys.obs);
   return result;
 }

@@ -69,6 +69,16 @@ struct ScenarioResult {
   fault::FaultStats fault_stats;
   SimTime duration = 0;  ///< first client start to last completion
   bool staging_complete = false;
+
+  // Simulator-core cost counters (deterministic; the scale gate matches
+  // them exactly). Also exported through the obs registry as
+  // sim.events_executed / net.reallocs / net.realloc_flows_touched.
+  std::uint64_t sim_events = 0;     ///< events executed
+  std::uint64_t sim_scheduled = 0;  ///< events scheduled (incl. cancelled)
+  std::uint64_t net_reallocs = 0;   ///< max-min solves run
+  std::uint64_t net_realloc_flows_touched = 0;  ///< flows re-rated, summed
+  double wall_s = 0.0;  ///< host wall-clock of the run — NOT deterministic
+
   std::shared_ptr<obs::Context> obs;
 };
 

@@ -19,6 +19,7 @@ System::System(const ExperimentConfig& config, int client_count)
   // on so every run comes back with its full span tree.
   obs->trace.set_enabled(true);
   fabric.set_timeouts(config.timeouts);
+  net.set_full_resolve(config.full_network_resolve);
 
   // LAN: client(s), client agent and the LAN depots hang off one switch.
   lan_switch = net.add_node("lan-switch");

@@ -51,6 +51,9 @@ LinkId Network::add_link(NodeId a, NodeId b, const LinkConfig& config) {
   const auto id = static_cast<LinkId>(links_.size() - 1);
   adjacency_[a].emplace_back(b, id);
   adjacency_[b].emplace_back(a, id);
+  link_members_.resize(2 * links_.size());
+  link_changed_.resize(2 * links_.size(), 0);
+  link_visited_.resize(2 * links_.size(), 0);
   routes_dirty_ = true;
   return id;
 }
@@ -60,9 +63,12 @@ void Network::set_link_up(LinkId id, bool up) {
   if (link.up == up) return;
   link.up = up;
   routes_dirty_ = true;
-  // Flows already routed across the link stall (or resume) immediately:
-  // reallocate() prices a down link at zero capacity.
-  reallocate();
+  // Flows already routed across the link stall (or resume) at the next
+  // solve, which prices a down link at zero capacity; the deferred solve
+  // runs at the current instant, so no virtual time passes in between.
+  mark_link_changed(dir_link(id, true));
+  mark_link_changed(dir_link(id, false));
+  request_reallocate();
 }
 
 std::optional<LinkId> Network::link_between(NodeId a, NodeId b) const {
@@ -73,7 +79,7 @@ std::optional<LinkId> Network::link_between(NodeId a, NodeId b) const {
   return std::nullopt;
 }
 
-void Network::recompute_routes() {
+void Network::recompute_routes() const {
   const std::size_t n = nodes_.size();
   next_hop_.assign(n, std::vector<LinkId>(n, kNoLink));
   latency_table_.assign(n, std::vector<SimDuration>(n, kUnreachable));
@@ -112,7 +118,7 @@ void Network::recompute_routes() {
 }
 
 SimDuration Network::path_latency(NodeId a, NodeId b) const {
-  if (routes_dirty_) const_cast<Network*>(this)->recompute_routes();
+  if (routes_dirty_) recompute_routes();
   if (a == b) return 0;
   const SimDuration d = latency_table_.at(a).at(b);
   if (d == kUnreachable) throw std::runtime_error("Network: nodes not connected");
@@ -122,7 +128,7 @@ SimDuration Network::path_latency(NodeId a, NodeId b) const {
 SimDuration Network::rtt(NodeId a, NodeId b) const { return 2 * path_latency(a, b); }
 
 bool Network::reachable(NodeId a, NodeId b) const {
-  if (routes_dirty_) const_cast<Network*>(this)->recompute_routes();
+  if (routes_dirty_) recompute_routes();
   if (a >= nodes_.size() || b >= nodes_.size()) return false;
   return a == b || latency_table_[a][b] != kUnreachable;
 }
@@ -218,8 +224,9 @@ FlowId Network::start_transfer(NodeId src, NodeId dst, std::uint64_t bytes,
   // Admit the flow into the fair-share machinery after connection setup.
   sim_.after(setup, [this, id, flow = std::move(flow)]() mutable {
     flow.last_update = sim_.now();
-    flows_.emplace(id, std::move(flow));
-    reallocate();
+    auto [it, inserted] = flows_.emplace(id, std::move(flow));
+    attach_flow(it->second);
+    request_reallocate();
   });
   return id;
 }
@@ -238,8 +245,10 @@ bool Network::cancel(FlowId id) {
   if (it == flows_.end()) return false;
   TransferResult result{id, it->second.started, sim_.now(), it->second.bytes, true};
   auto cb = std::move(it->second.on_done);
+  if (it->second.completion_scheduled) sim_.cancel(it->second.completion_event);
+  detach_flow(it->second);
   flows_.erase(it);
-  reallocate();
+  request_reallocate();
   if (cb) cb(result);
   return true;
 }
@@ -254,121 +263,233 @@ const LinkStats& Network::link_stats(LinkId link, bool forward) const {
   return forward ? l.stats_fwd : l.stats_rev;
 }
 
+void Network::attach_flow(Flow& flow) {
+  for (const DirLink dl : flow.path) {
+    auto& members = link_members_[dl];
+    // Member lists stay sorted by FlowId so weight sums accumulate in the
+    // same order as iterating flows_. New flows carry the largest id so far,
+    // so this is almost always a push_back.
+    if (members.empty() || members.back()->id < flow.id) {
+      members.push_back(&flow);
+    } else {
+      const auto pos = std::lower_bound(
+          members.begin(), members.end(), flow.id,
+          [](const Flow* f, FlowId id) { return f->id < id; });
+      members.insert(pos, &flow);
+    }
+    mark_link_changed(dl);
+  }
+}
+
+void Network::detach_flow(const Flow& flow) {
+  for (const DirLink dl : flow.path) {
+    auto& members = link_members_[dl];
+    const auto pos = std::lower_bound(
+        members.begin(), members.end(), flow.id,
+        [](const Flow* f, FlowId id) { return f->id < id; });
+    members.erase(pos);
+    mark_link_changed(dl);
+  }
+}
+
+void Network::mark_link_changed(DirLink dl) {
+  if (!link_changed_[dl]) {
+    link_changed_[dl] = 1;
+    changed_links_.push_back(dl);
+  }
+}
+
+void Network::request_reallocate() {
+  ++realloc_requests_;
+  if (realloc_pending_) return;
+  realloc_pending_ = true;
+  // The deferred solve's sequence number is above every event already queued
+  // for this instant, so it runs after all same-instant arrivals and
+  // departures and sees the batch as a whole. No virtual time passes.
+  sim_.after(0, [this] {
+    realloc_pending_ = false;
+    reallocate();
+  });
+}
+
 void Network::reallocate() {
   const SimTime now = sim_.now();
+  ++reallocs_;
 
-  // 1. Integrate progress since the last rate change.
+  // 1. Integrate progress of ALL flows since the last rate change, touched
+  //    or not: integration must break at every solve instant so the
+  //    piecewise sums accumulate identically no matter which component a
+  //    solve was scoped to.
   for (auto& [id, flow] : flows_) {
     const double dt = to_seconds(now - flow.last_update);
     flow.remaining = std::max(0.0, flow.remaining - flow.rate * dt);
     flow.last_update = now;
   }
 
-  // 2. Weighted max-min fair allocation with per-flow caps: repeatedly fix
-  //    either cap-limited flows or the flows crossing the tightest link.
-  std::unordered_map<DirLink, double> residual;  // bytes/second
-  std::unordered_map<DirLink, std::vector<Flow*>> link_flows;
-  std::vector<Flow*> unassigned;
-  for (auto& [id, flow] : flows_) {
-    unassigned.push_back(&flow);
-    for (const DirLink dl : flow.path) {
-      if (!residual.contains(dl)) {
-        const Link& link = links_[dl / 2];
-        residual[dl] = link.up ? link.config.bandwidth_bps / 8.0 : 0.0;
+  // 2. Collect the affected component: the closure of flows and links
+  //    reachable from the links whose membership or capacity changed.
+  //    Flows outside the closure share no link with it, so their rates are
+  //    left untouched (not merely recomputed to the same value).
+  std::vector<Flow*> affected;
+  std::vector<DirLink> affected_links;
+  if (full_resolve_) {
+    for (auto& [id, flow] : flows_) {
+      affected.push_back(&flow);
+      flow.wf_affected = true;
+      for (const DirLink dl : flow.path) {
+        if (!link_visited_[dl]) {
+          link_visited_[dl] = 1;
+          affected_links.push_back(dl);
+        }
       }
-      link_flows[dl].push_back(&flow);
     }
+  } else {
+    std::vector<DirLink> frontier;
+    for (const DirLink dl : changed_links_) {
+      if (!link_visited_[dl]) {
+        link_visited_[dl] = 1;
+        frontier.push_back(dl);
+      }
+    }
+    while (!frontier.empty()) {
+      const DirLink dl = frontier.back();
+      frontier.pop_back();
+      affected_links.push_back(dl);
+      for (Flow* f : link_members_[dl]) {
+        if (f->wf_affected) continue;
+        f->wf_affected = true;
+        affected.push_back(f);
+        for (const DirLink other : f->path) {
+          if (!link_visited_[other]) {
+            link_visited_[other] = 1;
+            frontier.push_back(other);
+          }
+        }
+      }
+    }
+    std::sort(affected.begin(), affected.end(),
+              [](const Flow* a, const Flow* b) { return a->id < b->id; });
+    std::sort(affected_links.begin(), affected_links.end());
   }
-  std::unordered_map<FlowId, bool> assigned;
+  for (const DirLink dl : changed_links_) link_changed_[dl] = 0;
+  changed_links_.clear();
+  realloc_flows_touched_ += affected.size();
 
-  while (!unassigned.empty()) {
+  // 3. Weighted max-min fair allocation with per-flow caps over the affected
+  //    component: repeatedly fix either cap-limited flows or the flows
+  //    crossing the tightest link. Links and flows are visited in ascending
+  //    id order so floating-point accumulation is deterministic.
+  std::vector<double> residual(affected_links.size());  // bytes/second
+  for (std::size_t i = 0; i < affected_links.size(); ++i) {
+    const Link& link = links_[affected_links[i] / 2];
+    residual[i] = link.up ? link.config.bandwidth_bps / 8.0 : 0.0;
+  }
+  // residual is indexed per affected link; map DirLink -> index via the
+  // visited scratch (reused as an index marker would alias, so use a local).
+  std::unordered_map<DirLink, std::size_t> link_index;
+  link_index.reserve(affected_links.size());
+  for (std::size_t i = 0; i < affected_links.size(); ++i) {
+    link_index.emplace(affected_links[i], i);
+  }
+
+  std::size_t unassigned = affected.size();
+  while (unassigned > 0) {
     // Tightest link share.
     double best_share = std::numeric_limits<double>::infinity();
     DirLink best_link = 0;
     bool have_link = false;
-    for (const auto& [dl, flows_on_link] : link_flows) {
+    for (std::size_t i = 0; i < affected_links.size(); ++i) {
       double weight_sum = 0.0;
-      for (const Flow* f : flows_on_link) {
-        if (!assigned[f->id]) weight_sum += f->weight;
+      for (const Flow* f : link_members_[affected_links[i]]) {
+        if (!f->wf_assigned) weight_sum += f->weight;
       }
       if (weight_sum <= 0.0) continue;
-      const double share = residual[dl] / weight_sum;
+      const double share = residual[i] / weight_sum;
       if (share < best_share) {
         best_share = share;
-        best_link = dl;
+        best_link = affected_links[i];
         have_link = true;
       }
     }
     // Tightest cap among unassigned flows (normalized by weight).
     double best_cap = std::numeric_limits<double>::infinity();
-    for (const Flow* f : unassigned) {
-      best_cap = std::min(best_cap, f->rate_cap / f->weight);
+    for (const Flow* f : affected) {
+      if (!f->wf_assigned) best_cap = std::min(best_cap, f->rate_cap / f->weight);
     }
 
     if (!have_link && !std::isfinite(best_cap)) {
       // No constraining links and no caps (cannot happen for inter-node
       // flows, which always traverse a link); give everything a huge rate.
-      for (Flow* f : unassigned) f->rate = kLocalBytesPerSec;
+      for (Flow* f : affected) {
+        if (!f->wf_assigned) f->rate = kLocalBytesPerSec;
+      }
       break;
     }
 
     if (best_cap <= best_share + kRateEps) {
       // Fix every flow whose cap binds at this level.
-      std::vector<Flow*> still;
-      for (Flow* f : unassigned) {
-        if (f->rate_cap / f->weight <= best_cap + kRateEps) {
-          f->rate = f->rate_cap;
-          assigned[f->id] = true;
-          for (const DirLink dl : f->path) {
-            residual[dl] = std::max(0.0, residual[dl] - f->rate);
-          }
-        } else {
-          still.push_back(f);
+      for (Flow* f : affected) {
+        if (f->wf_assigned || f->rate_cap / f->weight > best_cap + kRateEps) continue;
+        f->rate = f->rate_cap;
+        f->wf_assigned = true;
+        --unassigned;
+        for (const DirLink dl : f->path) {
+          double& r = residual[link_index.at(dl)];
+          r = std::max(0.0, r - f->rate);
         }
       }
-      unassigned = std::move(still);
     } else {
-      // Fix flows crossing the bottleneck link at their fair share.
-      std::vector<Flow*> still;
-      const auto& bottleneck_flows = link_flows[best_link];
-      for (Flow* f : unassigned) {
-        const bool on_link =
-            std::find(bottleneck_flows.begin(), bottleneck_flows.end(), f) !=
-            bottleneck_flows.end();
-        if (on_link) {
-          f->rate = f->weight * best_share;
-          assigned[f->id] = true;
-          for (const DirLink dl : f->path) {
-            residual[dl] = std::max(0.0, residual[dl] - f->rate);
-          }
-        } else {
-          still.push_back(f);
+      // Fix flows crossing the bottleneck link at their fair share. A
+      // per-flow flag replaces the seed's O(flows^2) std::find scan.
+      for (Flow* f : link_members_[best_link]) f->wf_on_bottleneck = true;
+      for (Flow* f : affected) {
+        if (f->wf_assigned || !f->wf_on_bottleneck) continue;
+        f->rate = f->weight * best_share;
+        f->wf_assigned = true;
+        --unassigned;
+        for (const DirLink dl : f->path) {
+          double& r = residual[link_index.at(dl)];
+          r = std::max(0.0, r - f->rate);
         }
       }
-      unassigned = std::move(still);
+      for (Flow* f : link_members_[best_link]) f->wf_on_bottleneck = false;
     }
   }
 
-  // 3. Schedule fresh completion events under the new rates.
+  // Clear component scratch.
+  for (Flow* f : affected) {
+    f->wf_affected = false;
+    f->wf_assigned = false;
+  }
+  for (const DirLink dl : affected_links) link_visited_[dl] = 0;
+
+  // 4. Reschedule completion events. Targets are recomputed for EVERY flow
+  //    (not just touched ones) with the same arithmetic the seed used, so
+  //    completion instants — including their ±1ns cast edges — are
+  //    bit-identical to a full re-solve. Each flow owns exactly one live
+  //    event; the superseded one is truly erased, not left as a tombstone.
   for (auto& [id, flow] : flows_) {
-    flow.epoch += 1;
-    if (flow.remaining <= kBytesEps) {
-      // Finished exactly at a reallocation boundary.
-      const FlowId fid = id;
-      sim_.after(0, [this, fid, epoch = flow.epoch] {
-        auto it = flows_.find(fid);
-        if (it != flows_.end() && it->second.epoch == epoch) complete_flow(fid);
-      });
-      continue;
+    if (flow.completion_scheduled) {
+      sim_.cancel(flow.completion_event);
+      flow.completion_scheduled = false;
     }
-    if (flow.rate <= kRateEps) continue;  // starved; will be rescheduled later
-    const double secs = flow.remaining / flow.rate;
-    const auto delay = static_cast<SimDuration>(secs * 1e9) + 1;
+    SimTime target = 0;
+    if (flow.remaining <= kBytesEps) {
+      target = now;  // finished exactly at a reallocation boundary
+    } else if (flow.rate <= kRateEps) {
+      continue;  // starved; rescheduled when a solve revives the flow
+    } else {
+      const double secs = flow.remaining / flow.rate;
+      target = now + static_cast<SimDuration>(secs * 1e9) + 1;
+    }
     const FlowId fid = id;
-    sim_.after(delay, [this, fid, epoch = flow.epoch] {
+    flow.completion_event = sim_.at(target, [this, fid] {
       auto it = flows_.find(fid);
-      if (it != flows_.end() && it->second.epoch == epoch) complete_flow(fid);
+      if (it == flows_.end()) return;
+      it->second.completion_scheduled = false;
+      complete_flow(fid);
     });
+    flow.completion_scheduled = true;
   }
 }
 
@@ -376,7 +497,9 @@ void Network::complete_flow(FlowId id) {
   auto it = flows_.find(id);
   if (it == flows_.end()) return;
   Flow flow = std::move(it->second);
+  detach_flow(flow);
   flows_.erase(it);
+  if (flow.completion_scheduled) sim_.cancel(flow.completion_event);
 
   TransferResult result;
   result.id = id;
@@ -388,7 +511,7 @@ void Network::complete_flow(FlowId id) {
   sim_.after(flow.delivery_latency, [cb = std::move(flow.on_done), result] {
     if (cb) cb(result);
   });
-  reallocate();
+  request_reallocate();
 }
 
 }  // namespace lon::sim

@@ -11,9 +11,18 @@
 // opening parallel streams; modelling it lets the reproduction show the same
 // effect.
 //
-// Whenever a flow starts or finishes, every affected flow's progress is
-// integrated up to the current instant and rates are recomputed, so the
-// model is exact for piecewise-constant rate allocations.
+// Whenever a flow starts or finishes, every flow's progress is integrated up
+// to the current instant and rates are recomputed, so the model is exact for
+// piecewise-constant rate allocations.
+//
+// The re-solve is incremental: arrivals and departures mark the directed
+// links whose membership changed, same-instant changes coalesce into one
+// deferred solve, and the waterfill runs only over the closure of flows and
+// links reachable from the marked links (flows in untouched components keep
+// their previous rates — bit-for-bit, since they are not even recomputed).
+// Each flow carries exactly one live completion event that is rescheduled as
+// its rate changes, so a reallocation storm cannot pile dead closures into
+// the event queue. See DESIGN.md §15 for the determinism argument.
 #pragma once
 
 #include <cstdint>
@@ -97,9 +106,10 @@ class Network {
   /// The link connecting a and b directly, if any.
   [[nodiscard]] std::optional<LinkId> link_between(NodeId a, NodeId b) const;
 
-  /// Recomputes all-pairs routes. Called lazily on first transfer after a
-  /// topology change; exposed for tests.
-  void recompute_routes();
+  /// Recomputes all-pairs routes. Called lazily on first use after a
+  /// topology change; exposed for tests. Route tables are derived state, so
+  /// the rebuild is const (the Network is simulator-thread-confined).
+  void recompute_routes() const;
 
   /// One-way propagation latency along the route from a to b (no jitter).
   [[nodiscard]] SimDuration path_latency(NodeId a, NodeId b) const;
@@ -136,6 +146,22 @@ class Network {
 
   [[nodiscard]] Simulator& simulator() { return sim_; }
 
+  // --- Reallocation instrumentation ---------------------------------------
+
+  /// Number of max-min solves actually executed.
+  [[nodiscard]] std::uint64_t reallocs() const { return reallocs_; }
+  /// Number of solve requests (same-instant requests coalesce into one solve).
+  [[nodiscard]] std::uint64_t realloc_requests() const { return realloc_requests_; }
+  /// Total flows whose rate was recomputed, summed over all solves.
+  [[nodiscard]] std::uint64_t realloc_flows_touched() const {
+    return realloc_flows_touched_;
+  }
+
+  /// Debug switch: treat every solve as a full-graph solve instead of the
+  /// affected-component solve. Differential tests compare the two modes.
+  void set_full_resolve(bool on) { full_resolve_ = on; }
+  [[nodiscard]] bool full_resolve() const { return full_resolve_; }
+
  private:
   struct Link {
     NodeId a = kInvalidNode;
@@ -163,13 +189,28 @@ class Network {
     SimTime last_update = 0;
     SimTime started = 0;
     SimDuration delivery_latency = 0;  // one-way latency incl. jitter
-    std::uint64_t epoch = 0;     // invalidates stale completion events
+    TimerId completion_event = 0;      // the flow's single live completion timer
+    bool completion_scheduled = false;
+    // Scratch flags for the waterfill (valid only inside reallocate()).
+    bool wf_affected = false;
+    bool wf_assigned = false;
+    bool wf_on_bottleneck = false;
     TransferCallback on_done;
   };
 
   /// Integrates progress of all flows up to now, recomputes the weighted
-  /// max-min allocation, and schedules fresh completion events.
+  /// max-min allocation over the affected component, and reschedules
+  /// completion events.
   void reallocate();
+
+  /// Coalesces solve requests: the first request at an instant schedules one
+  /// deferred solve that runs after every already-queued same-instant event.
+  void request_reallocate();
+
+  /// Registers the flow on its links' member lists and marks them changed.
+  void attach_flow(Flow& flow);
+  void detach_flow(const Flow& flow);
+  void mark_link_changed(DirLink dl);
 
   void complete_flow(FlowId id);
   [[nodiscard]] std::vector<DirLink> route(NodeId src, NodeId dst) const;
@@ -183,13 +224,28 @@ class Network {
   // adjacency: node -> list of (neighbor, link id)
   std::vector<std::vector<std::pair<NodeId, LinkId>>> adjacency_;
 
-  // next_hop_[src][dst] = link id to take, or kInvalidNode-marker.
-  std::vector<std::vector<LinkId>> next_hop_;
-  std::vector<std::vector<SimDuration>> latency_table_;
-  bool routes_dirty_ = true;
+  // Route tables are derived from the topology and rebuilt lazily on first
+  // use after a change; mutable so const queries can trigger the rebuild.
+  // next_hop_[src][dst] = link id to take, or kNoLink.
+  mutable std::vector<std::vector<LinkId>> next_hop_;
+  mutable std::vector<std::vector<SimDuration>> latency_table_;
+  mutable bool routes_dirty_ = true;
 
-  std::map<FlowId, Flow> flows_;
+  std::map<FlowId, Flow> flows_;  // node-stable; iterates in FlowId order
   FlowId next_flow_id_ = 1;
+
+  // Per-directed-link member lists, each sorted by FlowId — the waterfill's
+  // accumulation order must match iterating flows_ in id order.
+  std::vector<std::vector<Flow*>> link_members_;
+  std::vector<DirLink> changed_links_;   // membership/capacity changes since
+  std::vector<char> link_changed_;       // the last solve (flag per DirLink)
+  std::vector<char> link_visited_;       // closure scratch
+  bool realloc_pending_ = false;
+  bool full_resolve_ = false;
+
+  std::uint64_t reallocs_ = 0;
+  std::uint64_t realloc_requests_ = 0;
+  std::uint64_t realloc_flows_touched_ = 0;
 };
 
 }  // namespace lon::sim

@@ -1,15 +1,37 @@
 #include "simnet/simulator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace lon::sim {
+namespace {
+
+constexpr std::size_t kMinBuckets = 16;
+/// Day-width estimation samples this many of the earliest pending events.
+constexpr std::size_t kWidthSamples = 32;
+/// Drained bucket prefixes compact once they cross this length.
+constexpr std::size_t kCompactThreshold = 64;
+
+}  // namespace
+
+Simulator::Simulator(SchedulerKind kind) : kind_(kind) {
+  buckets_.resize(kMinBuckets);
+  bucket_top_ = width_;
+}
 
 TimerId Simulator::at(SimTime when, EventFn fn) {
   if (when < now_) {
     throw std::invalid_argument("Simulator::at: scheduling into the past");
   }
   const TimerId id = next_seq_++;
-  queue_.push(Event{when, id, std::move(fn)});
+  live_.emplace(id, when);
+  if (use_calendar()) {
+    cal_insert(Event{when, id, std::move(fn)});
+    if (kind_ == SchedulerKind::kCrossCheck) heap_.push(HeapEntry{when, id, nullptr});
+  } else {
+    heap_.push(HeapEntry{when, id, std::move(fn)});
+  }
   return id;
 }
 
@@ -19,25 +41,39 @@ TimerId Simulator::after(SimDuration delay, EventFn fn) {
 }
 
 bool Simulator::cancel(TimerId id) {
-  if (id >= next_seq_) return false;
-  return cancelled_.insert(id).second;
-}
-
-void Simulator::drop_cancelled_head() {
-  while (!queue_.empty() && cancelled_.contains(queue_.top().seq)) {
-    cancelled_.erase(queue_.top().seq);
-    queue_.pop();
-  }
+  const auto it = live_.find(id);
+  if (it == live_.end()) return false;  // already ran, already cancelled, or bogus
+  if (use_calendar()) cal_erase(id, it->second);
+  if (use_heap()) heap_tombstones_.insert(id);
+  live_.erase(it);
+  ++cancelled_count_;
+  return true;
 }
 
 bool Simulator::step() {
-  drop_cancelled_head();
-  if (queue_.empty()) return false;
-  // Moving out of a priority_queue requires const_cast; the element is
-  // popped immediately afterwards so this never observes the moved-from fn.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  if (live_.empty()) return false;
+  Event ev;
+  if (use_calendar()) {
+    ev = cal_pop();
+    if (kind_ == SchedulerKind::kCrossCheck) {
+      heap_drop_tombstones();
+      if (heap_.empty() || heap_.top().time != ev.time || heap_.top().seq != ev.seq) {
+        throw std::logic_error("Simulator cross-check: calendar/heap order diverged");
+      }
+      heap_.pop();
+    }
+  } else {
+    heap_drop_tombstones();
+    // Moving out of a priority_queue requires const_cast; the element is
+    // popped immediately afterwards so this never observes the moved-from fn.
+    auto& top = const_cast<HeapEntry&>(heap_.top());
+    ev.time = top.time;
+    ev.seq = top.seq;
+    ev.fn = std::move(top.fn);
+    heap_.pop();
+  }
   now_ = ev.time;
+  live_.erase(ev.seq);
   ++executed_;
   ev.fn();
   return true;
@@ -51,14 +87,181 @@ std::size_t Simulator::run() {
 
 std::size_t Simulator::run_until(SimTime deadline) {
   std::size_t n = 0;
-  for (;;) {
-    drop_cancelled_head();
-    if (queue_.empty() || queue_.top().time > deadline) break;
+  while (const SimTime* next = next_event_time()) {
+    if (*next > deadline) break;
     step();
     ++n;
   }
   if (now_ < deadline) now_ = deadline;
   return n;
+}
+
+const SimTime* Simulator::next_event_time() {
+  if (use_calendar()) {
+    const Event* ev = cal_peek();
+    return ev != nullptr ? &ev->time : nullptr;
+  }
+  heap_drop_tombstones();
+  return heap_.empty() ? nullptr : &heap_.top().time;
+}
+
+void Simulator::heap_drop_tombstones() {
+  while (!heap_.empty()) {
+    const auto it = heap_tombstones_.find(heap_.top().seq);
+    if (it == heap_tombstones_.end()) break;
+    heap_tombstones_.erase(it);
+    heap_.pop();
+  }
+}
+
+// --- Calendar queue ---------------------------------------------------------
+
+void Simulator::cal_insert(Event ev) {
+  if (cal_size_ == 0 || ev.time < bucket_top_ - width_) {
+    // Queue was empty, or the event lands on a day before the cursor's:
+    // park the cursor on the event's day so the scan cannot pop a later
+    // event first.
+    cur_bucket_ = bucket_of(ev.time);
+    bucket_top_ = (ev.time / width_ + 1) * width_;
+  }
+  cal_insert_sorted(buckets_[bucket_of(ev.time)], std::move(ev));
+  ++cal_size_;
+  if (cal_size_ > 2 * buckets_.size()) cal_resize(2 * buckets_.size());
+}
+
+void Simulator::cal_insert_sorted(Bucket& bucket, Event ev) {
+  auto& events = bucket.events;
+  // Hot path: appends dominate — new timers mostly land after what's queued.
+  if (events.size() == bucket.head || events.back().time < ev.time ||
+      (events.back().time == ev.time && events.back().seq < ev.seq)) {
+    events.push_back(std::move(ev));
+    return;
+  }
+  const auto pos = std::upper_bound(
+      events.begin() + static_cast<std::ptrdiff_t>(bucket.head), events.end(), ev,
+      [](const Event& a, const Event& b) {
+        return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+      });
+  events.insert(pos, std::move(ev));
+}
+
+const Simulator::Event* Simulator::cal_peek() {
+  if (cal_size_ == 0) return nullptr;
+  // Year scan: walk days forward from the cursor. The first day whose bucket
+  // holds an event inside the day's window holds the global minimum — all
+  // events of one day share one bucket, kept sorted ascending.
+  const std::size_t nbuckets = buckets_.size();
+  for (std::size_t i = 0; i < nbuckets; ++i) {
+    const Bucket& bucket = buckets_[cur_bucket_];
+    if (!bucket.empty() && bucket.front().time < bucket_top_) {
+      return &bucket.front();
+    }
+    cur_bucket_ = (cur_bucket_ + 1) & (nbuckets - 1);
+    bucket_top_ += width_;
+  }
+  // Nothing within a whole year: the earliest event is over nbuckets*width
+  // away. Find it directly and jump the cursor to its day.
+  const Event* min_ev = nullptr;
+  std::size_t min_bucket = 0;
+  for (std::size_t b = 0; b < nbuckets; ++b) {
+    const Bucket& bucket = buckets_[b];
+    if (bucket.empty()) continue;
+    const Event& front = bucket.front();
+    if (min_ev == nullptr || front.time < min_ev->time ||
+        (front.time == min_ev->time && front.seq < min_ev->seq)) {
+      min_ev = &front;
+      min_bucket = b;
+    }
+  }
+  cur_bucket_ = min_bucket;
+  bucket_top_ = (min_ev->time / width_ + 1) * width_;
+  return min_ev;
+}
+
+Simulator::Event Simulator::cal_pop() {
+  cal_peek();  // parks the cursor on the minimum event's day
+  Bucket& bucket = buckets_[cur_bucket_];
+  Event ev = std::move(bucket.events[bucket.head]);
+  ++bucket.head;
+  if (bucket.empty()) {
+    bucket.events.clear();
+    bucket.head = 0;
+  } else if (bucket.head >= kCompactThreshold && bucket.head * 2 >= bucket.events.size()) {
+    bucket.events.erase(bucket.events.begin(),
+                        bucket.events.begin() + static_cast<std::ptrdiff_t>(bucket.head));
+    bucket.head = 0;
+  }
+  --cal_size_;
+  if (buckets_.size() > kMinBuckets && cal_size_ < buckets_.size() / 2) {
+    cal_resize(buckets_.size() / 2);
+  }
+  return ev;
+}
+
+void Simulator::cal_erase(TimerId id, SimTime time) {
+  Bucket& bucket = buckets_[bucket_of(time)];
+  auto& events = bucket.events;
+  const Event key{time, id, nullptr};
+  const auto pos = std::lower_bound(
+      events.begin() + static_cast<std::ptrdiff_t>(bucket.head), events.end(), key,
+      [](const Event& a, const Event& b) {
+        return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+      });
+  // live_ guarantees the event is queued, so pos is always an exact hit.
+  events.erase(pos);
+  if (bucket.empty()) {
+    bucket.events.clear();
+    bucket.head = 0;
+  }
+  --cal_size_;
+  if (buckets_.size() > kMinBuckets && cal_size_ < buckets_.size() / 2) {
+    cal_resize(buckets_.size() / 2);
+  }
+}
+
+void Simulator::cal_resize(std::size_t nbuckets) {
+  std::vector<Event> all;
+  all.reserve(cal_size_);
+  for (Bucket& bucket : buckets_) {
+    for (std::size_t i = bucket.head; i < bucket.events.size(); ++i) {
+      all.push_back(std::move(bucket.events[i]));
+    }
+    bucket.events.clear();
+    bucket.head = 0;
+  }
+
+  // Re-derive the day width from the spacing of the earliest events: a day
+  // should hold a handful of events, so ~3x the mean inter-event gap.
+  if (all.size() >= 2) {
+    const std::size_t k = std::min(all.size(), kWidthSamples);
+    std::vector<SimTime> times;
+    times.reserve(all.size());
+    for (const Event& ev : all) times.push_back(ev.time);
+    std::nth_element(times.begin(), times.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     times.end());
+    times.resize(k);
+    std::sort(times.begin(), times.end());
+    const SimTime span = times.back() - times.front();
+    if (span > 0) {
+      width_ = std::max<SimDuration>(1, 3 * span / static_cast<SimTime>(k - 1));
+    }
+  }
+
+  buckets_.assign(nbuckets, Bucket{});
+  cal_size_ = 0;
+  if (all.empty()) {
+    cur_bucket_ = bucket_of(now_);
+    bucket_top_ = (now_ / width_ + 1) * width_;
+    return;
+  }
+  SimTime min_time = all.front().time;
+  for (const Event& ev : all) min_time = std::min(min_time, ev.time);
+  cur_bucket_ = bucket_of(min_time);
+  bucket_top_ = (min_time / width_ + 1) * width_;
+  for (Event& ev : all) {
+    cal_insert_sorted(buckets_[bucket_of(ev.time)], std::move(ev));
+    ++cal_size_;
+  }
 }
 
 }  // namespace lon::sim

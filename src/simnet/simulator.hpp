@@ -4,11 +4,38 @@
 // for the same instant execute in scheduling order (a monotonically
 // increasing sequence number breaks ties), which makes every run exactly
 // reproducible.
+//
+// Two interchangeable schedulers sit behind the same API:
+//
+//  * kCalendar (default) — a calendar queue (Brown, CACM 1988; the scheduler
+//    ns-style network simulators use): events hash by time into the "days"
+//    of a circular "year", so insert and pop-min are O(1) amortized at any
+//    queue size. The bucket count and day width adapt to the observed event
+//    density, and cancel() erases the event in place — a cancelled
+//    closure's captures are released immediately instead of lingering as a
+//    tombstone until the queue drains past it.
+//  * kHeap — the reference binary-heap scheduler (the seed implementation),
+//    kept for differential testing; cancellation is lazy (tombstoned), but
+//    the tombstone is reclaimed when the entry surfaces, so accounting
+//    stays exact.
+//  * kCrossCheck — the calendar queue as primary with a (time, seq) heap
+//    mirror; every pop is verified against the mirror and any divergence
+//    throws std::logic_error. Tests run whole experiments in this mode to
+//    prove the two schedulers are order-equivalent.
+//
+// All three execute the exact same (time, seq) order by construction, so
+// virtual-time results are bit-identical across scheduler kinds.
+//
+// Exact accounting: pending()/idle() are backed by a live-event index, so
+// cancelling an id that already ran (or was never issued) returns false and
+// perturbs nothing — the seed implementation leaked such ids into its
+// tombstone set forever and let pending() underflow.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -21,9 +48,16 @@ using EventFn = std::function<void()>;
 /// Handle returned by at()/after(); pass to cancel() to disarm the event.
 using TimerId = std::uint64_t;
 
+/// Which event-queue implementation a Simulator runs on (see file comment).
+enum class SchedulerKind {
+  kCalendar,    ///< calendar queue, O(1) amortized (the default)
+  kHeap,        ///< reference binary heap (the seed implementation)
+  kCrossCheck,  ///< calendar + heap mirror; divergence throws
+};
+
 class Simulator {
  public:
-  Simulator() = default;
+  explicit Simulator(SchedulerKind kind = SchedulerKind::kCalendar);
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -40,7 +74,7 @@ class Simulator {
   /// Disarms a pending event. A cancelled event neither runs nor advances
   /// the clock (timeout guards must not drag virtual time forward when the
   /// guarded operation completes first). Returns false if the event already
-  /// ran or was cancelled.
+  /// ran or was cancelled — such ids leave no trace behind.
   bool cancel(TimerId id);
 
   /// Executes the next event, advancing the clock. Returns false if the
@@ -54,30 +88,81 @@ class Simulator {
   /// (even if idle). Returns the number of events run.
   std::size_t run_until(SimTime deadline);
 
-  [[nodiscard]] bool idle() const { return queue_.size() == cancelled_.size(); }
-  [[nodiscard]] std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  [[nodiscard]] bool idle() const { return live_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return live_.size(); }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
+  [[nodiscard]] std::uint64_t scheduled() const { return next_seq_; }
+  [[nodiscard]] std::uint64_t cancelled() const { return cancelled_count_; }
+  [[nodiscard]] SchedulerKind scheduler() const { return kind_; }
 
  private:
   struct Event {
-    SimTime time;
-    std::uint64_t seq;
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    EventFn fn;
+  };
+
+  /// One calendar "day": events whose day index hashes here, kept sorted
+  /// ascending by (time, seq). Pops advance `head` instead of erasing, so
+  /// the hot path never shifts elements; the vector compacts as it drains.
+  struct Bucket {
+    std::vector<Event> events;
+    std::size_t head = 0;
+
+    [[nodiscard]] bool empty() const { return head == events.size(); }
+    [[nodiscard]] const Event& front() const { return events[head]; }
+  };
+
+  struct HeapEntry {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
     EventFn fn;
 
-    bool operator>(const Event& o) const {
+    bool operator>(const HeapEntry& o) const {
       return time != o.time ? time > o.time : seq > o.seq;
     }
   };
 
-  /// Pops cancelled events off the front of the queue without running them
-  /// or touching the clock.
-  void drop_cancelled_head();
+  // --- Calendar queue ------------------------------------------------------
+  [[nodiscard]] std::size_t bucket_of(SimTime t) const {
+    return static_cast<std::size_t>(t / width_) & (buckets_.size() - 1);
+  }
+  void cal_insert(Event ev);
+  void cal_insert_sorted(Bucket& bucket, Event ev);
+  /// Locates the earliest (time, seq) event; nullptr when empty.
+  const Event* cal_peek();
+  Event cal_pop();
+  void cal_erase(TimerId id, SimTime time);
+  /// Rebuilds the calendar with `nbuckets` days, re-deriving the day width
+  /// from the spacing of the earliest pending events.
+  void cal_resize(std::size_t nbuckets);
 
+  // --- Heap (reference scheduler / cross-check mirror) ---------------------
+  void heap_drop_tombstones();
+  [[nodiscard]] bool use_calendar() const { return kind_ != SchedulerKind::kHeap; }
+  [[nodiscard]] bool use_heap() const { return kind_ != SchedulerKind::kCalendar; }
+
+  /// Time of the earliest pending event; nullptr when idle.
+  const SimTime* next_event_time();
+
+  SchedulerKind kind_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::unordered_set<TimerId> cancelled_;  ///< disarmed but still queued
+  std::uint64_t cancelled_count_ = 0;
+
+  /// Every queued event id -> its scheduled time. Exact pending accounting
+  /// plus the O(1) id->bucket lookup true deletion needs.
+  std::unordered_map<TimerId, SimTime> live_;
+
+  std::vector<Bucket> buckets_;
+  SimDuration width_ = kMillisecond;  ///< day width, adapted on resize
+  std::size_t cal_size_ = 0;
+  std::size_t cur_bucket_ = 0;  ///< the day the dequeue cursor is on
+  SimTime bucket_top_ = 0;      ///< exclusive upper time edge of that day
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::unordered_set<TimerId> heap_tombstones_;  ///< lazily-deleted heap ids
 };
 
 }  // namespace lon::sim

@@ -372,6 +372,36 @@ TEST(Scenarios, RunsAreDeterministic) {
   EXPECT_EQ(a.robustness.demand_shed, b.robustness.demand_shed);
   EXPECT_EQ(a.robustness.shed_retries, b.robustness.shed_retries);
   EXPECT_EQ(a.duration, b.duration);
+  // The simulator-core counters are part of the deterministic surface: the
+  // scale gate matches them exactly across machines and runs.
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.sim_scheduled, b.sim_scheduled);
+  EXPECT_EQ(a.net_reallocs, b.net_reallocs);
+  EXPECT_EQ(a.net_realloc_flows_touched, b.net_realloc_flows_touched);
+}
+
+// The incremental reallocator (affected-component solve) must be observably
+// identical to a forced full-graph solve — same latencies, same virtual
+// duration, same event count — on the heaviest contention scenario we have.
+TEST(Scenarios, FlashCrowdIsIdenticalUnderIncrementalAndFullResolve) {
+  session::Scenario incremental = session::flash_crowd(10, true);
+  session::Scenario full = session::flash_crowd(10, true);
+  full.base.full_network_resolve = true;
+  const session::ScenarioResult a = session::run_scenario(incremental);
+  const session::ScenarioResult b = session::run_scenario(full);
+  EXPECT_EQ(a.mean_total_s, b.mean_total_s);
+  EXPECT_EQ(a.p99_worst_s, b.p99_worst_s);
+  EXPECT_EQ(a.p99_mean_s, b.p99_mean_s);
+  EXPECT_EQ(a.total_accesses, b.total_accesses);
+  EXPECT_EQ(a.failed_accesses, b.failed_accesses);
+  EXPECT_EQ(a.robustness.demand_shed, b.robustness.demand_shed);
+  EXPECT_EQ(a.duration, b.duration);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.sim_scheduled, b.sim_scheduled);
+  EXPECT_EQ(a.net_reallocs, b.net_reallocs);
+  // The one sanctioned difference: the full solve re-rates every flow on
+  // every solve, the incremental one only the affected component.
+  EXPECT_LE(a.net_realloc_flows_touched, b.net_realloc_flows_touched);
 }
 
 TEST(Scenarios, FlashCrowdAdmissionShedsRetriesAndNobodyStarves) {

@@ -3,7 +3,10 @@
 // TCP window cap, multi-stream downloads, cancellation and jitter.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "simnet/network.hpp"
@@ -67,6 +70,135 @@ TEST(Simulator, SchedulingIntoThePastThrows) {
   sim.run();
   EXPECT_THROW(sim.at(50, [] {}), std::invalid_argument);
   EXPECT_THROW(sim.after(-1, [] {}), std::invalid_argument);
+}
+
+// Regression: cancelling an id that already executed must be a no-op. The
+// seed inserted such ids into its tombstone set forever, so idle() went
+// permanently false and pending() (queue size minus tombstones) underflowed.
+TEST(Simulator, CancelAfterExecutionIsARefusedNoOp) {
+  Simulator sim;
+  const TimerId ran = sim.at(10, [] {});
+  sim.run();
+  EXPECT_TRUE(sim.idle());
+  EXPECT_FALSE(sim.cancel(ran));           // already executed
+  EXPECT_FALSE(sim.cancel(ran));           // still refused, no state change
+  EXPECT_FALSE(sim.cancel(TimerId{999}));  // never issued
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.pending(), 0u);  // the seed underflowed to SIZE_MAX here
+  const TimerId pending = sim.at(100, [] {});
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_TRUE(sim.cancel(pending));
+  EXPECT_FALSE(sim.cancel(pending));  // double-cancel refused
+  EXPECT_TRUE(sim.idle());
+  sim.run();
+  EXPECT_EQ(sim.executed(), 1u);
+  EXPECT_EQ(sim.cancelled(), 1u);
+}
+
+// cancel() must erase the event in place: the closure's captures are
+// released immediately, not when the queue eventually drains past a
+// tombstone.
+TEST(Simulator, CancelReleasesTheClosureImmediately) {
+  Simulator sim;
+  auto payload = std::make_shared<int>(42);
+  const TimerId id = sim.after(kSecond, [payload] { (void)*payload; });
+  EXPECT_EQ(payload.use_count(), 2);
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_EQ(payload.use_count(), 1);  // a tombstoned copy would still hold it
+  EXPECT_TRUE(sim.idle());
+}
+
+// A cancelled event must not run even when the queue holds same-instant
+// neighbours on both sides of it.
+TEST(Simulator, CancelledEventAmongTiesDoesNotRun) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(10, [&] { order.push_back(0); });
+  const TimerId doomed = sim.at(10, [&] { order.push_back(1); });
+  sim.at(10, [&] { order.push_back(2); });
+  EXPECT_TRUE(sim.cancel(doomed));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+}
+
+// Deterministic 64-bit LCG for the property workloads (std::minstd_rand
+// would do, but this keeps the sequence pinned in the test itself).
+std::uint64_t lcg_next(std::uint64_t& s) {
+  s = s * 6364136223846793005ull + 1442695040888963407ull;
+  return s >> 11;
+}
+
+/// Runs a randomized at/after/cancel workload on one simulator and returns
+/// the executed (time, marker) sequence.
+std::vector<std::pair<SimTime, int>> run_workload(Simulator& sim, std::uint64_t seed) {
+  std::vector<std::pair<SimTime, int>> trace;
+  std::vector<TimerId> issued;
+  std::uint64_t s = seed;
+  int marker = 0;
+  // Interleave bursts of scheduling with partial draining, far-future
+  // outliers (forces calendar resizes and year wraps), same-instant ties,
+  // and cancels of pending, executed and bogus ids.
+  for (int round = 0; round < 40; ++round) {
+    const int burst = 1 + static_cast<int>(lcg_next(s) % 50);
+    for (int i = 0; i < burst; ++i) {
+      SimDuration delay;
+      switch (lcg_next(s) % 4) {
+        case 0:
+          delay = static_cast<SimDuration>(lcg_next(s) % 100);  // dense, with ties
+          break;
+        case 1:
+          delay = static_cast<SimDuration>(lcg_next(s) % (10 * kMillisecond));
+          break;
+        case 2:
+          delay = static_cast<SimDuration>(lcg_next(s) % kSecond);
+          break;
+        default:
+          delay = static_cast<SimDuration>(lcg_next(s) % (3600 * kSecond));  // outlier
+          break;
+      }
+      const int m = marker++;
+      issued.push_back(sim.after(delay, [&trace, &sim, m] {
+        trace.emplace_back(sim.now(), m);
+      }));
+    }
+    const int cancels = static_cast<int>(lcg_next(s) % 8);
+    for (int i = 0; i < cancels && !issued.empty(); ++i) {
+      sim.cancel(issued[lcg_next(s) % issued.size()]);  // pending, done or stale
+    }
+    if (round % 3 == 0) {
+      sim.run_until(sim.now() + static_cast<SimDuration>(lcg_next(s) % kSecond));
+    } else {
+      for (int i = 0; i < 20; ++i) sim.step();
+    }
+  }
+  sim.run();
+  return trace;
+}
+
+// Property: the calendar queue and the reference heap execute the exact
+// same (time, sequence) order on randomized workloads, so virtual-time
+// results cannot depend on the scheduler kind.
+TEST(Simulator, CalendarAndHeapExecuteIdenticalOrders) {
+  for (const std::uint64_t seed : {1ull, 7ull, 2003ull, 0xdeadbeefull}) {
+    Simulator cal(SchedulerKind::kCalendar);
+    Simulator heap(SchedulerKind::kHeap);
+    const auto cal_trace = run_workload(cal, seed);
+    const auto heap_trace = run_workload(heap, seed);
+    ASSERT_EQ(cal_trace, heap_trace) << "seed " << seed;
+    EXPECT_EQ(cal.executed(), heap.executed());
+    EXPECT_EQ(cal.cancelled(), heap.cancelled());
+    EXPECT_TRUE(cal.idle());
+    EXPECT_TRUE(heap.idle());
+  }
+}
+
+// The cross-check scheduler verifies every pop against its heap mirror and
+// throws on divergence — whole workloads run clean under it.
+TEST(Simulator, CrossCheckModeRunsWorkloadsClean) {
+  Simulator sim(SchedulerKind::kCrossCheck);
+  EXPECT_NO_THROW(run_workload(sim, 42));
+  EXPECT_TRUE(sim.idle());
+  EXPECT_GT(sim.executed(), 0u);
 }
 
 // -----------------------------------------------------------------------------
@@ -355,6 +487,107 @@ TEST_F(NetworkTest, InvalidArgumentsThrow) {
   TransferOptions opts;
   opts.streams = 0;
   EXPECT_THROW(net_.start_transfer(a_, b_, 1, opts, [](auto&) {}), std::invalid_argument);
+}
+
+// Event hygiene: every flow owns exactly one live completion event, so a
+// reallocation storm (many flows arriving and departing on one shared link)
+// keeps the pending-event count proportional to the number of live flows.
+// The seed's epoch-guarded design left every superseded completion closure
+// in the queue — pending() grew with the square of the flow count.
+TEST_F(NetworkTest, ReallocationStormKeepsTheEventQueueBounded) {
+  make_pair_topology(100e6);
+  constexpr int kFlows = 64;
+  TransferOptions opts;
+  opts.window_bytes = 1 << 30;
+  int done = 0;
+  for (int i = 0; i < kFlows; ++i) {
+    sim_.after(static_cast<SimDuration>(i) * kMillisecond, [&, this] {
+      net_.start_transfer(a_, b_, 200'000, opts, [&](const TransferResult&) { ++done; });
+    });
+  }
+  std::size_t max_pending = 0;
+  while (sim_.step()) max_pending = std::max(max_pending, sim_.pending());
+  EXPECT_EQ(done, kFlows);
+  // One completion timer and one delivery/driver event per flow, plus the
+  // coalesced solve — far below the seed's quadratic stale-closure pile-up.
+  EXPECT_LE(max_pending, static_cast<std::size_t>(3 * kFlows + 8));
+}
+
+// Differential check: the affected-component solve and a forced full-graph
+// solve must produce identical transfer completions, down to the nanosecond,
+// on a topology with several independent contention domains.
+TEST_F(NetworkTest, IncrementalAndFullResolveAgreeExactly) {
+  struct Run {
+    std::vector<std::pair<FlowId, SimTime>> completions;
+    std::uint64_t events = 0;
+  };
+  const auto run_mixed = [](bool full_resolve) {
+    Simulator sim;
+    Network net(sim);
+    net.set_full_resolve(full_resolve);
+    // Two disjoint WAN pairs plus a shared trunk: solves triggered on one
+    // side must not perturb the other.
+    const NodeId a = net.add_node("a");
+    const NodeId b = net.add_node("b");
+    const NodeId c = net.add_node("c");
+    const NodeId d = net.add_node("d");
+    const NodeId hub = net.add_node("hub");
+    net.add_link(a, b, {100e6, 10 * kMillisecond, 0.0});
+    net.add_link(c, d, {50e6, 5 * kMillisecond, 0.0});
+    net.add_link(a, hub, {200e6, 2 * kMillisecond, 0.0});
+    net.add_link(hub, c, {200e6, 2 * kMillisecond, 0.0});
+    Run run;
+    TransferOptions opts;
+    opts.window_bytes = 1 << 30;
+    const auto record = [&run](const TransferResult& r) {
+      run.completions.emplace_back(r.id, r.finished);
+    };
+    // Staggered cross-traffic across all three domains, with weights.
+    for (int i = 0; i < 12; ++i) {
+      sim.after(static_cast<SimDuration>(i) * (3 * kMillisecond), [&, i] {
+        TransferOptions o = opts;
+        o.weight = 1.0 + (i % 3);
+        switch (i % 4) {
+          case 0: net.start_transfer(a, b, 400'000, o, record); break;
+          case 1: net.start_transfer(c, d, 300'000, o, record); break;
+          case 2: net.start_transfer(a, c, 250'000, o, record); break;
+          default: net.start_transfer(d, c, 150'000, o, record); break;
+        }
+      });
+    }
+    sim.run();
+    run.events = sim.executed();
+    return run;
+  };
+  const Run incremental = run_mixed(false);
+  const Run full = run_mixed(true);
+  ASSERT_EQ(incremental.completions.size(), 12u);
+  EXPECT_EQ(incremental.completions, full.completions);
+  EXPECT_EQ(incremental.events, full.events);
+}
+
+// The instrumentation counters move and the component solve stays scoped:
+// transfers confined to one link must not touch flows on a disjoint link.
+TEST_F(NetworkTest, ReallocCountersTrackComponentScopedSolves) {
+  const NodeId a = net_.add_node("a");
+  const NodeId b = net_.add_node("b");
+  const NodeId c = net_.add_node("c");
+  const NodeId d = net_.add_node("d");
+  net_.add_link(a, b, {100e6, 10 * kMillisecond, 0.0});
+  net_.add_link(c, d, {100e6, 10 * kMillisecond, 0.0});
+  TransferOptions opts;
+  opts.window_bytes = 1 << 30;
+  int done = 0;
+  const auto count = [&](const TransferResult&) { ++done; };
+  net_.start_transfer(a, b, 100'000, opts, count);
+  net_.start_transfer(c, d, 100'000, opts, count);
+  sim_.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_GE(net_.reallocs(), 2u);
+  EXPECT_GT(net_.realloc_requests(), 0u);
+  // Each solve re-rated at most its own pair's single flow: with disjoint
+  // links the touched-flow total stays at one per membership change.
+  EXPECT_LE(net_.realloc_flows_touched(), 4u);
 }
 
 }  // namespace
