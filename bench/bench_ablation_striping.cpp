@@ -66,7 +66,7 @@ double timed_download(int depot_count, std::uint64_t block_bytes, int streams,
   SimTime end = 0;
   s->lors.download_async(s->client, *exnode, down, [&](lors::DownloadResult r) {
     end = s->sim.now();
-    if (r.status != lors::LorsStatus::kOk || r.data != data) end = -1;
+    if (r.status != lors::LorsStatus::kOk || *r.data != data) end = -1;
   });
   s->sim.run();
   return end < 0 ? -1.0 : to_seconds(end - start);

@@ -56,7 +56,7 @@ void fetch(Playback& pb, const TemporalKey& key, std::function<void()> on_done) 
                          [&pb, key, cb = std::move(on_done)](lors::DownloadResult r) {
                            pb.inflight[key] = false;
                            if (r.status == lors::LorsStatus::kOk) {
-                             pb.cache[key] = std::move(r.data);
+                             pb.cache[key] = std::move(*r.data);
                            }
                            if (cb) cb();
                          });

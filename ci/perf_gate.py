@@ -272,6 +272,13 @@ def check_compression(pr, base, tolerance, strict, min_decode_speedup):
             if want and got < want * (1.0 - tolerance):
                 report(f"{tag}: {key} {got:.1f} vs baseline {want:.1f} "
                        f"(wall clock; runner-dependent)")
+        # Copy accounting is deterministic: one metered decode of a stored
+        # body copies exactly its payload, LZ bodies copy nothing.
+        got = row.get("decode_copied_bytes")
+        want = ref.get("decode_copied_bytes")
+        if got is not None and want is not None and got != want:
+            fail(f"{tag}: decode_copied_bytes {got} != baseline {want} "
+                 f"(copy meter is deterministic; an extra pass crept in)")
 
     # Same-run, machine-relative: the whole point of the wire format.
     if "lfzc" in pr_rows and "lfz2" in pr_rows:
@@ -292,6 +299,45 @@ def check_compression(pr, base, tolerance, strict, min_decode_speedup):
     else:
         print(f"ok:   compression: table decode {speedup:.2f}x over bitwise "
               f"({decode.get('table_msym_s', 0):.1f} Msym/s)")
+
+    # Vectorized unfilter kernels: wall clock, so cross-run deltas only warn;
+    # the fast/scalar bit-exactness is asserted inside the bench itself.
+    filters = pr.get("filters", {})
+    base_filters = base.get("filters", {})
+    if filters:
+        got, want = filters.get("fast_mb_s", 0.0), base_filters.get("fast_mb_s")
+        if want and got < want * (1.0 - tolerance):
+            report(f"compression[filters]: fast unfilter {got:.1f} MB/s vs "
+                   f"baseline {want:.1f} (wall clock; runner-dependent)")
+        else:
+            print(f"ok:   compression[filters]: fast {got:.1f} MB/s, "
+                  f"{filters.get('speedup', 0.0):.2f}x over scalar")
+
+    # Zero-copy demand path: virtual-time scenario, every field deterministic.
+    # Same-run invariants are the contract itself — a cold fetch is allowed
+    # exactly one pass over the compressed payload, a warm hit none.
+    demand = pr.get("demand", {})
+    if demand:
+        compressed = demand.get("compressed_bytes", 0)
+        cold = demand.get("cold_copied_bytes")
+        warm = demand.get("warm_copied_bytes")
+        if cold != compressed:
+            fail(f"compression[demand]: cold fetch copied {cold} bytes, "
+                 f"expected exactly one pass over the {compressed}-byte payload")
+        if warm != 0:
+            fail(f"compression[demand]: warm cache hit copied {warm} bytes, "
+                 f"expected 0 (hit must serve the pooled slab by reference)")
+        base_demand = base.get("demand", {})
+        for key in ("compressed_bytes", "cold_copied_bytes", "warm_copied_bytes"):
+            got, want = demand.get(key), base_demand.get(key)
+            if want is not None and got != want:
+                fail(f"compression[demand]: {key} {got} != baseline {want} "
+                     f"(virtual time: must be bit-identical)")
+        if all("compression[demand]" not in f for f in HARD_FAILURES):
+            print(f"ok:   compression[demand]: cold {cold} == payload "
+                  f"{compressed}, warm {warm} == 0")
+    else:
+        fail("compression: demand copy section not found")
 
 
 def check_prefetch(pr, base, tolerance):

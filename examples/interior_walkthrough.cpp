@@ -1,7 +1,7 @@
 // interior_walkthrough: navigating a scene with multiple light-field
 // databases (paper section 3.2 and the rail-track viewer of Yang & Crawfis).
 //
-//   $ ./interior_walkthrough [output-dir]
+//   $ ./interior_walkthrough [output-dir]   (default: ./out, created if missing)
 //
 // A single spherical light field only supports external views. This example
 // places two databases in one world — two renderings of the same volume
@@ -12,6 +12,7 @@
 // replays from its view sets, fetching view sets lazily as the walk crosses
 // view-set windows. Three frames along the track are written as PPM.
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
@@ -23,7 +24,8 @@
 
 int main(int argc, char** argv) {
   using namespace lon;
-  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  const std::string out_dir = argc > 1 ? argv[1] : "out";
+  std::filesystem::create_directories(out_dir);
 
   lightfield::LatticeConfig lattice;
   lattice.angular_step_deg = 15.0;

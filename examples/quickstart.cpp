@@ -1,11 +1,12 @@
 // Quickstart: build a small light-field database from a synthetic volume and
 // synthesize novel views from it by pure table lookups.
 //
-//   $ ./quickstart [output-dir]
+//   $ ./quickstart [output-dir]   (default: ./out, created if missing)
 //
 // Writes three PPM images (a rendered sample view, an interpolated novel
 // view, and a zoomed view) and prints what happened at each step.
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "lightfield/builder.hpp"
@@ -14,7 +15,8 @@
 
 int main(int argc, char** argv) {
   using namespace lon;
-  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  const std::string out_dir = argc > 1 ? argv[1] : "out";
+  std::filesystem::create_directories(out_dir);
 
   // 1. A 64^3 scientific dataset (a stand-in for the paper's negHip).
   std::printf("[1/4] building a 64^3 Coulomb-potential volume...\n");

@@ -1,8 +1,10 @@
 #include "compress/filters.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 namespace lon::lfz {
@@ -19,10 +21,26 @@ std::uint8_t paeth_predict(std::uint8_t left, std::uint8_t up, std::uint8_t uple
 
 namespace {
 
-/// Computes the residual row for one filter type.
-void filter_row(FilterType type, std::span<const std::uint8_t> row,
-                std::span<const std::uint8_t> prev, std::size_t bpp,
-                std::span<std::uint8_t> out) {
+/// paeth_predict with the selects expressed as conditional moves — the same
+/// comparison order and tie-breaks, no branches for the vectorizer / OoO core
+/// to mispredict on noisy residual data.
+inline std::uint8_t paeth_branchless(std::uint8_t left, std::uint8_t up,
+                                     std::uint8_t upleft) {
+  const int p = static_cast<int>(left) + up - upleft;
+  const int pa = std::abs(p - left);
+  const int pb = std::abs(p - up);
+  const int pc = std::abs(p - upleft);
+  const std::uint8_t bc = pb <= pc ? up : upleft;
+  return (pa <= pb && pa <= pc) ? left : bc;
+}
+
+}  // namespace
+
+// --- scalar reference kernels ------------------------------------------------
+
+void filter_row_scalar(FilterType type, std::span<const std::uint8_t> row,
+                       std::span<const std::uint8_t> prev, std::size_t bpp,
+                       std::span<std::uint8_t> out) {
   const std::size_t n = row.size();
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint8_t left = i >= bpp ? row[i - bpp] : 0;
@@ -50,6 +68,171 @@ void filter_row(FilterType type, std::span<const std::uint8_t> row,
   }
 }
 
+void unfilter_row_scalar(FilterType type, std::span<const std::uint8_t> src,
+                         std::uint8_t* row, const std::uint8_t* prev,
+                         std::size_t bpp) {
+  const std::size_t n = src.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t left = i >= bpp ? row[i - bpp] : 0;
+    const std::uint8_t up = prev != nullptr ? prev[i] : 0;
+    const std::uint8_t upleft = (prev != nullptr && i >= bpp) ? prev[i - bpp] : 0;
+    std::uint8_t prediction = 0;
+    switch (type) {
+      case FilterType::kNone:
+        prediction = 0;
+        break;
+      case FilterType::kSub:
+        prediction = left;
+        break;
+      case FilterType::kUp:
+        prediction = up;
+        break;
+      case FilterType::kAverage:
+        prediction = static_cast<std::uint8_t>((left + up) / 2);
+        break;
+      case FilterType::kPaeth:
+        prediction = paeth_predict(left, up, upleft);
+        break;
+    }
+    row[i] = static_cast<std::uint8_t>(src[i] + prediction);
+  }
+}
+
+// --- fast kernels ------------------------------------------------------------
+
+// Forward filtering reads only source data, so every type is a loop over
+// independent elements once the i < bpp boundary is peeled — ideal
+// auto-vectorization targets.
+void filter_row(FilterType type, std::span<const std::uint8_t> row,
+                std::span<const std::uint8_t> prev, std::size_t bpp,
+                std::span<std::uint8_t> out) {
+  const std::size_t n = row.size();
+  const std::size_t head = std::min(bpp, n);
+  const std::uint8_t* r = row.data();
+  const std::uint8_t* p = prev.empty() ? nullptr : prev.data();
+  std::uint8_t* o = out.data();
+  // First rows have no `up`/`upleft`: Up degenerates to None and Paeth's
+  // first-column/first-row cases collapse (paeth(left,0,0) == left,
+  // paeth(0,up,0) == up), mirroring the scalar reference exactly.
+  switch (type) {
+    case FilterType::kNone:
+      if (n > 0) std::memcpy(o, r, n);
+      break;
+    case FilterType::kSub:
+      if (head > 0) std::memcpy(o, r, head);
+      for (std::size_t i = bpp; i < n; ++i) {
+        o[i] = static_cast<std::uint8_t>(r[i] - r[i - bpp]);
+      }
+      break;
+    case FilterType::kUp:
+      if (p == nullptr) {
+        if (n > 0) std::memcpy(o, r, n);
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          o[i] = static_cast<std::uint8_t>(r[i] - p[i]);
+        }
+      }
+      break;
+    case FilterType::kAverage:
+      if (p == nullptr) {
+        if (head > 0) std::memcpy(o, r, head);
+        for (std::size_t i = bpp; i < n; ++i) {
+          o[i] = static_cast<std::uint8_t>(r[i] - r[i - bpp] / 2);
+        }
+      } else {
+        for (std::size_t i = 0; i < head; ++i) {
+          o[i] = static_cast<std::uint8_t>(r[i] - p[i] / 2);
+        }
+        for (std::size_t i = bpp; i < n; ++i) {
+          o[i] = static_cast<std::uint8_t>(r[i] - (r[i - bpp] + p[i]) / 2);
+        }
+      }
+      break;
+    case FilterType::kPaeth:
+      if (p == nullptr) {
+        // paeth(left, 0, 0) == left: identical to Sub.
+        if (head > 0) std::memcpy(o, r, head);
+        for (std::size_t i = bpp; i < n; ++i) {
+          o[i] = static_cast<std::uint8_t>(r[i] - r[i - bpp]);
+        }
+      } else {
+        // paeth(0, up, 0) == up for the first pixel.
+        for (std::size_t i = 0; i < head; ++i) {
+          o[i] = static_cast<std::uint8_t>(r[i] - p[i]);
+        }
+        for (std::size_t i = bpp; i < n; ++i) {
+          o[i] = static_cast<std::uint8_t>(
+              r[i] - paeth_branchless(r[i - bpp], p[i], p[i - bpp]));
+        }
+      }
+      break;
+  }
+}
+
+// Reconstruction carries a dependency on the bytes just written for
+// Sub/Average/Paeth, so those stay serial but with the boundary tests peeled
+// and the Paeth select branch-free; None and Up have no carried dependency
+// and run as memcpy / one wide add loop over the completed previous row.
+void unfilter_row(FilterType type, std::span<const std::uint8_t> src,
+                  std::uint8_t* row, const std::uint8_t* prev, std::size_t bpp) {
+  const std::size_t n = src.size();
+  const std::size_t head = std::min(bpp, n);
+  const std::uint8_t* s = src.data();
+  switch (type) {
+    case FilterType::kNone:
+      if (n > 0) std::memcpy(row, s, n);
+      break;
+    case FilterType::kSub:
+      if (head > 0) std::memcpy(row, s, head);
+      for (std::size_t i = bpp; i < n; ++i) {
+        row[i] = static_cast<std::uint8_t>(s[i] + row[i - bpp]);
+      }
+      break;
+    case FilterType::kUp:
+      if (prev == nullptr) {
+        if (n > 0) std::memcpy(row, s, n);
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          row[i] = static_cast<std::uint8_t>(s[i] + prev[i]);
+        }
+      }
+      break;
+    case FilterType::kAverage:
+      if (prev == nullptr) {
+        if (head > 0) std::memcpy(row, s, head);
+        for (std::size_t i = bpp; i < n; ++i) {
+          row[i] = static_cast<std::uint8_t>(s[i] + row[i - bpp] / 2);
+        }
+      } else {
+        for (std::size_t i = 0; i < head; ++i) {
+          row[i] = static_cast<std::uint8_t>(s[i] + prev[i] / 2);
+        }
+        for (std::size_t i = bpp; i < n; ++i) {
+          row[i] = static_cast<std::uint8_t>(s[i] + (row[i - bpp] + prev[i]) / 2);
+        }
+      }
+      break;
+    case FilterType::kPaeth:
+      if (prev == nullptr) {
+        if (head > 0) std::memcpy(row, s, head);
+        for (std::size_t i = bpp; i < n; ++i) {
+          row[i] = static_cast<std::uint8_t>(s[i] + row[i - bpp]);
+        }
+      } else {
+        for (std::size_t i = 0; i < head; ++i) {
+          row[i] = static_cast<std::uint8_t>(s[i] + prev[i]);
+        }
+        for (std::size_t i = bpp; i < n; ++i) {
+          row[i] = static_cast<std::uint8_t>(
+              s[i] + paeth_branchless(row[i - bpp], prev[i], prev[i - bpp]));
+        }
+      }
+      break;
+  }
+}
+
+namespace {
+
 /// Sum of "signed magnitudes" — the PNG heuristic for picking a filter.
 std::uint64_t residual_cost(std::span<const std::uint8_t> residuals) {
   std::uint64_t sum = 0;
@@ -57,6 +240,26 @@ std::uint64_t residual_cost(std::span<const std::uint8_t> residuals) {
     sum += r < 128 ? r : 256 - r;
   }
   return sum;
+}
+
+template <typename UnfilterRow>
+Bytes unfilter_image_with(std::span<const std::uint8_t> filtered, std::size_t width,
+                          std::size_t height, std::size_t bpp, UnfilterRow&& one_row) {
+  const std::size_t stride = width * bpp;
+  if (filtered.size() != height * (stride + 1)) {
+    throw DecodeError("unfilter_image: size mismatch");
+  }
+  Bytes out(stride * height);
+  for (std::size_t y = 0; y < height; ++y) {
+    const std::uint8_t type_byte = filtered[y * (stride + 1)];
+    if (type_byte > 4) throw DecodeError("unfilter_image: bad filter type");
+    const auto type = static_cast<FilterType>(type_byte);
+    const auto src = filtered.subspan(y * (stride + 1) + 1, stride);
+    std::uint8_t* row = out.data() + y * stride;
+    const std::uint8_t* prev = y > 0 ? out.data() + (y - 1) * stride : nullptr;
+    one_row(type, src, row, prev, bpp);
+  }
+  return out;
 }
 
 }  // namespace
@@ -95,44 +298,22 @@ Bytes filter_image(std::span<const std::uint8_t> data, std::size_t width,
 
 Bytes unfilter_image(std::span<const std::uint8_t> filtered, std::size_t width,
                      std::size_t height, std::size_t bpp) {
-  const std::size_t stride = width * bpp;
-  if (filtered.size() != height * (stride + 1)) {
-    throw DecodeError("unfilter_image: size mismatch");
-  }
-  Bytes out(stride * height);
-  for (std::size_t y = 0; y < height; ++y) {
-    const std::uint8_t type_byte = filtered[y * (stride + 1)];
-    if (type_byte > 4) throw DecodeError("unfilter_image: bad filter type");
-    const auto type = static_cast<FilterType>(type_byte);
-    const auto src = filtered.subspan(y * (stride + 1) + 1, stride);
-    std::uint8_t* row = out.data() + y * stride;
-    const std::uint8_t* prev = y > 0 ? out.data() + (y - 1) * stride : nullptr;
-    for (std::size_t i = 0; i < stride; ++i) {
-      const std::uint8_t left = i >= bpp ? row[i - bpp] : 0;
-      const std::uint8_t up = prev != nullptr ? prev[i] : 0;
-      const std::uint8_t upleft = (prev != nullptr && i >= bpp) ? prev[i - bpp] : 0;
-      std::uint8_t prediction = 0;
-      switch (type) {
-        case FilterType::kNone:
-          prediction = 0;
-          break;
-        case FilterType::kSub:
-          prediction = left;
-          break;
-        case FilterType::kUp:
-          prediction = up;
-          break;
-        case FilterType::kAverage:
-          prediction = static_cast<std::uint8_t>((left + up) / 2);
-          break;
-        case FilterType::kPaeth:
-          prediction = paeth_predict(left, up, upleft);
-          break;
-      }
-      row[i] = static_cast<std::uint8_t>(src[i] + prediction);
-    }
-  }
-  return out;
+  return unfilter_image_with(filtered, width, height, bpp,
+                             [](FilterType type, std::span<const std::uint8_t> src,
+                                std::uint8_t* row, const std::uint8_t* prev,
+                                std::size_t bpp_) {
+                               unfilter_row(type, src, row, prev, bpp_);
+                             });
+}
+
+Bytes unfilter_image_scalar(std::span<const std::uint8_t> filtered, std::size_t width,
+                            std::size_t height, std::size_t bpp) {
+  return unfilter_image_with(filtered, width, height, bpp,
+                             [](FilterType type, std::span<const std::uint8_t> src,
+                                std::uint8_t* row, const std::uint8_t* prev,
+                                std::size_t bpp_) {
+                               unfilter_row_scalar(type, src, row, prev, bpp_);
+                             });
 }
 
 }  // namespace lon::lfz

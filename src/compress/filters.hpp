@@ -6,6 +6,14 @@
 // the paper reports on view sets are reached. One filter-type byte precedes
 // each row; the type is chosen per row by the minimum-sum-of-absolute-
 // residuals heuristic.
+//
+// Each direction ships two row kernels: a per-byte scalar reference (the
+// original formulation, kept for property tests and the bench comparison)
+// and the default fast path — per-type loops with the boundary conditionals
+// hoisted out and the Paeth select made branch-free, shaped so the compiler
+// vectorizes the independent lanes (None/Up both ways, Sub/Average/Paeth on
+// the encode side where every input is source data). The two are bit-exact
+// by construction and tested so.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +40,29 @@ Bytes filter_image(std::span<const std::uint8_t> data, std::size_t width,
 /// Reverses filter_image. Throws DecodeError on bad size or filter type.
 Bytes unfilter_image(std::span<const std::uint8_t> filtered, std::size_t width,
                      std::size_t height, std::size_t bpp);
+
+/// Scalar-reference unfilter_image (bench comparison and equivalence tests).
+Bytes unfilter_image_scalar(std::span<const std::uint8_t> filtered, std::size_t width,
+                            std::size_t height, std::size_t bpp);
+
+// --- row kernels (exposed for tests and bench) -------------------------------
+
+/// Forward-filters one row: out[i] = row[i] - predict(...). `prev` is the
+/// *source* row above (empty for the first row); out aliases nothing.
+void filter_row(FilterType type, std::span<const std::uint8_t> row,
+                std::span<const std::uint8_t> prev, std::size_t bpp,
+                std::span<std::uint8_t> out);
+void filter_row_scalar(FilterType type, std::span<const std::uint8_t> row,
+                       std::span<const std::uint8_t> prev, std::size_t bpp,
+                       std::span<std::uint8_t> out);
+
+/// Reconstructs one row in place: row[i] = src[i] + predict(...). `prev` is
+/// the *reconstructed* row above (null for the first row).
+void unfilter_row(FilterType type, std::span<const std::uint8_t> src,
+                  std::uint8_t* row, const std::uint8_t* prev, std::size_t bpp);
+void unfilter_row_scalar(FilterType type, std::span<const std::uint8_t> src,
+                         std::uint8_t* row, const std::uint8_t* prev,
+                         std::size_t bpp);
 
 /// The Paeth predictor (exposed for tests).
 std::uint8_t paeth_predict(std::uint8_t left, std::uint8_t up, std::uint8_t upleft);

@@ -8,6 +8,7 @@
 
 #include "compress/bitio.hpp"
 #include "compress/huffman.hpp"
+#include "util/buffer_pool.hpp"
 #include "util/checksum.hpp"
 
 namespace lon::lfz {
@@ -163,36 +164,46 @@ Header read_header(ByteReader& in) {
   return h;
 }
 
-}  // namespace
+/// LZ match copy into a flat destination. When the match distance allows,
+/// copy 8 bytes per stride: with distance >= 8 every 8-byte load reads bytes
+/// strictly before the current write frontier, so the stride sees exactly the
+/// bytes the byte-at-a-time reference would — bit-exact, ~8x fewer ops on the
+/// long matches smooth imagery produces. distance == 1 is a run (memset);
+/// distances 2..7 must replicate byte-by-byte.
+void copy_match(std::uint8_t* dst, std::uint32_t distance, std::uint32_t length) {
+  const std::uint8_t* src = dst - distance;
+  if (distance >= 8) {
+    std::uint32_t k = 0;
+    for (; k + 8 <= length; k += 8) std::memcpy(dst + k, src + k, 8);
+    for (; k < length; ++k) dst[k] = src[k];
+  } else if (distance == 1) {
+    std::memset(dst, src[0], length);
+  } else {
+    for (std::uint32_t k = 0; k < length; ++k) dst[k] = src[k];
+  }
+}
 
-Bytes decompress(std::span<const std::uint8_t> compressed) {
-  ByteReader in(compressed);
-  const Header h = read_header(in);
-
-  Bytes out;
+/// Shared decode core: `in` is positioned just past the header, `out` is
+/// exactly h.original_size bytes.
+void decompress_body(ByteReader& in, std::span<const std::uint8_t> compressed,
+                     const Header& h, std::span<std::uint8_t> out) {
   if (h.method == 0) {
     const auto raw = in.raw(h.original_size);
-    out.assign(raw.begin(), raw.end());
+    util::copy_payload(out.data(), raw.data(), raw.size());
   } else {
-    // A corrupt header can claim any original size; bound it by the maximum
-    // lz77+huffman expansion (a 2-bit match token emits <= 258 bytes, so
-    // ~1032x) before reserving output, so length overflows throw instead of
-    // attempting absurd allocations.
-    if (h.original_size > (static_cast<std::uint64_t>(in.remaining()) + 16) * 1032) {
-      throw DecodeError("lfz: implausible original size");
-    }
     const auto lit_lengths = read_lengths_packed(in, kLitAlphabet);
     const auto dist_lengths = read_lengths_packed(in, kDistAlphabet);
     const HuffmanDecoder lit_dec(lit_lengths);
     const HuffmanDecoder dist_dec(dist_lengths);
 
     BitReader bits(compressed.subspan(in.position()));
-    out.reserve(h.original_size);
+    std::size_t pos = 0;
     for (;;) {
       const std::uint32_t sym = lit_dec.decode(bits);
       if (sym == kEob) break;
       if (sym < 256) {
-        out.push_back(static_cast<std::uint8_t>(sym));
+        if (pos >= out.size()) throw DecodeError("lfz: output overrun");
+        out[pos++] = static_cast<std::uint8_t>(sym);
         continue;
       }
       if (sym >= 257 + kLengthCodes.size()) throw DecodeError("lfz: bad length symbol");
@@ -203,18 +214,43 @@ Bytes decompress(std::span<const std::uint8_t> compressed) {
       if (dsym >= kDistCodes.size()) throw DecodeError("lfz: bad distance symbol");
       const LengthCode& dc = kDistCodes[dsym];
       const std::uint32_t distance = dc.base + (dc.extra > 0 ? bits.get(dc.extra) : 0);
-      if (distance == 0 || distance > out.size()) {
+      if (distance == 0 || distance > pos) {
         throw DecodeError("lfz: reference before start of stream");
       }
-      const std::size_t from = out.size() - distance;
-      for (std::uint32_t k = 0; k < length; ++k) out.push_back(out[from + k]);
-      if (out.size() > h.original_size) throw DecodeError("lfz: output overrun");
+      if (length > out.size() - pos) throw DecodeError("lfz: output overrun");
+      copy_match(out.data() + pos, distance, length);
+      pos += length;
     }
+    if (pos != h.original_size) throw DecodeError("lfz: size mismatch");
   }
 
-  if (out.size() != h.original_size) throw DecodeError("lfz: size mismatch");
   if (adler32(out) != h.checksum) throw DecodeError("lfz: checksum mismatch");
+}
+
+}  // namespace
+
+Bytes decompress(std::span<const std::uint8_t> compressed) {
+  ByteReader in(compressed);
+  const Header h = read_header(in);
+  // A corrupt header can claim any original size; bound it (stored blocks by
+  // the remaining input, lz77+huffman by the maximum token expansion — a
+  // 2-bit match token emits <= 258 bytes, so ~1032x) before allocating, so
+  // length overflows throw instead of attempting absurd allocations.
+  if (h.method == 0) {
+    if (h.original_size > in.remaining()) throw DecodeError("lfz: truncated stored block");
+  } else if (h.original_size > (static_cast<std::uint64_t>(in.remaining()) + 16) * 1032) {
+    throw DecodeError("lfz: implausible original size");
+  }
+  Bytes out(h.original_size);
+  decompress_body(in, compressed, h, out);
   return out;
+}
+
+void decompress_into(std::span<const std::uint8_t> compressed, std::span<std::uint8_t> out) {
+  ByteReader in(compressed);
+  const Header h = read_header(in);
+  if (out.size() != h.original_size) throw DecodeError("lfz: destination size mismatch");
+  decompress_body(in, compressed, h, out);
 }
 
 std::uint64_t decompressed_size(std::span<const std::uint8_t> compressed) {
@@ -304,17 +340,44 @@ Bytes decompress_chunked(std::span<const std::uint8_t> compressed, ThreadPool* p
   // Every chunk carries at least a length prefix, so the count is bounded by
   // the remaining bytes — reject overflowed directories before reserving.
   if (chunks > in.remaining()) throw DecodeError("lfz: implausible chunk count");
-  std::vector<Bytes> bodies;
-  bodies.reserve(chunks);
-  for (std::uint32_t c = 0; c < chunks; ++c) bodies.push_back(in.blob());
-  if (!in.done()) throw DecodeError("lfz: trailing bytes in chunked container");
 
-  std::vector<Bytes> plain(chunks);
-  // Exceptions from workers must surface on the caller's thread.
+  // Walk the directory once: chunk bodies stay spans over the input (no
+  // staging copies), and each chunk's LFZ1 header gives its decoded size, so
+  // output offsets are a prefix sum computable before any decode runs.
+  struct ChunkRef {
+    std::span<const std::uint8_t> body;
+    std::uint64_t offset = 0;
+    std::uint64_t size = 0;
+  };
+  std::vector<ChunkRef> refs;
+  refs.reserve(chunks);
+  std::uint64_t total = 0;
+  for (std::uint32_t c = 0; c < chunks; ++c) {
+    const std::uint32_t length = in.u32();
+    const auto body = in.raw(length);
+    const std::uint64_t size = decompressed_size(body);
+    // Re-apply decompress()'s expansion bound here: the prefix sum drives the
+    // output allocation, so a forged chunk header must throw before it can
+    // inflate `total` past anything the body could actually produce.
+    if (size > (static_cast<std::uint64_t>(body.size()) + 16) * 1032) {
+      throw DecodeError("lfz: implausible original size");
+    }
+    if (size > original - total) throw DecodeError("lfz: chunked size mismatch");
+    refs.push_back({body, total, size});
+    total += size;
+  }
+  if (!in.done()) throw DecodeError("lfz: trailing bytes in chunked container");
+  if (total != original) throw DecodeError("lfz: chunked size mismatch");
+
+  // Decode each chunk in place into its output slice — disjoint regions, so
+  // the parallel path is race-free. Exceptions from workers must surface on
+  // the caller's thread.
+  Bytes out(total);
   std::vector<std::exception_ptr> errors(chunks);
   auto one = [&](std::size_t c) {
     try {
-      plain[c] = decompress(bodies[c]);
+      decompress_into(refs[c].body,
+                      std::span(out).subspan(refs[c].offset, refs[c].size));
     } catch (...) {
       errors[c] = std::current_exception();
     }
@@ -327,13 +390,6 @@ Bytes decompress_chunked(std::span<const std::uint8_t> compressed, ThreadPool* p
   for (const auto& error : errors) {
     if (error) std::rethrow_exception(error);
   }
-
-  std::uint64_t total = 0;
-  for (const auto& chunk : plain) total += chunk.size();
-  if (total != original) throw DecodeError("lfz: chunked size mismatch");
-  Bytes out;
-  out.reserve(total);
-  for (const auto& chunk : plain) out.insert(out.end(), chunk.begin(), chunk.end());
   return out;
 }
 

@@ -45,6 +45,15 @@ Bytes compress(std::span<const std::uint8_t> data, const CompressOptions& option
 /// Throws DecodeError on any corruption.
 Bytes decompress(std::span<const std::uint8_t> compressed);
 
+/// In-place variant: decodes directly into `out`, which must be exactly
+/// decompressed_size(compressed) bytes — the zero-copy demand path decodes
+/// chunks straight into their slice of the pooled destination slab. Stored
+/// (method 0) payloads are copied through the payload-copy meter; LZ output
+/// is written once, with 8-byte-wide match copies when the distance allows.
+/// Throws DecodeError on any corruption; `out` contents are then unspecified.
+void decompress_into(std::span<const std::uint8_t> compressed,
+                     std::span<std::uint8_t> out);
+
 /// Peeks at the original size without decompressing.
 std::uint64_t decompressed_size(std::span<const std::uint8_t> compressed);
 

@@ -1,6 +1,7 @@
 #include "ibp/service.hpp"
 
 #include "ibp/protocol.hpp"
+#include "util/buffer_pool.hpp"
 
 #include <memory>
 #include <stdexcept>
@@ -209,6 +210,63 @@ void Fabric::load_async(sim::NodeId client, const Capability& read_cap,
                                      }
                                      cb(IbpStatus::kOk, std::move(*payload));
                                    });
+             });
+           });
+}
+
+void Fabric::load_async(sim::NodeId client, const Capability& read_cap,
+                        std::uint64_t offset, std::uint64_t length,
+                        const sim::TransferOptions& net_options, std::shared_ptr<Bytes> dest,
+                        std::uint64_t dest_offset, LoadIntoCallback on_done) {
+  auto it = depots_.find(read_cap.depot);
+  if (it == depots_.end()) {
+    sim_.after(0, [cb = std::move(on_done)] { cb(IbpStatus::kNotFound, 0); });
+    return;
+  }
+  Hosted& hosted = it->second;
+  auto cb = with_deadline<IbpStatus, std::size_t>(timeouts_.data, std::move(on_done),
+                                                  {IbpStatus::kTimeout, 0});
+  if (dropped(read_cap.depot)) return;
+  // Request travels to the depot; the depot reads and streams the bytes back.
+  at_depot(client, hosted.node,
+           [this, client, &hosted, read_cap, offset, length, opts = net_options,
+            dest = std::move(dest), dest_offset, cb = std::move(cb)] {
+             if (hosted.offline) {
+               reply_to(hosted.node, client, [cb] { cb(IbpStatus::kRefused, 0); });
+               return;
+             }
+             Bytes data;
+             const IbpStatus status = hosted.depot.load(read_cap, offset, length, data);
+             if (status != IbpStatus::kOk) {
+               reply_to(hosted.node, client, [status, cb] { cb(status, 0); });
+               return;
+             }
+             // Silent corruption happens here: the depot believes it served
+             // the bytes it stored.
+             if (corrupt_) corrupt_(read_cap.depot, data);
+             auto payload = std::make_shared<Bytes>(std::move(data));
+             // The read waits its turn on the depot disk before streaming.
+             const SimDuration disk = book_disk(hosted, payload->size());
+             sim_.after(disk, [this, client, &hosted, payload, opts, dest, dest_offset, cb] {
+               if (!net_.reachable(hosted.node, client)) {
+                 metrics_.requests_lost.inc();
+                 return;
+               }
+               // The request leg above already served as connection setup.
+               sim::TransferOptions flow = opts;
+               flow.handshake = false;
+               net_.start_transfer(
+                   hosted.node, client, payload->size(), flow,
+                   [payload, dest, dest_offset, cb](const sim::TransferResult& r) {
+                     if (r.cancelled ||
+                         dest_offset + payload->size() > dest->size()) {
+                       cb(IbpStatus::kRefused, 0);
+                       return;
+                     }
+                     util::copy_payload(dest->data() + dest_offset, payload->data(),
+                                        payload->size());
+                     cb(IbpStatus::kOk, payload->size());
+                   });
              });
            });
 }

@@ -117,6 +117,21 @@ class Fabric {
                   std::uint64_t length, const sim::TransferOptions& net_options,
                   LoadCallback on_done);
 
+  using LoadIntoCallback = std::function<void(IbpStatus, std::size_t)>;
+  /// Scatter-gather variant: the loaded bytes land directly at
+  /// dest->data() + dest_offset (which must already cover `length` bytes) —
+  /// the model of a NIC delivering into a caller-owned slab. Depot-side
+  /// semantics (disk queue, corruption hook, offline behaviour) are identical
+  /// to the Bytes-returning overload; the single client-side landing pass is
+  /// the one payload copy of a download and is charged to the payload-copy
+  /// meter. The callback reports how many bytes landed (0 on failure). The
+  /// destination is written only on success, and only on the simulator
+  /// thread.
+  void load_async(sim::NodeId client, const Capability& read_cap, std::uint64_t offset,
+                  std::uint64_t length, const sim::TransferOptions& net_options,
+                  std::shared_ptr<Bytes> dest, std::uint64_t dest_offset,
+                  LoadIntoCallback on_done);
+
   using ProbeCallback = std::function<void(IbpStatus, const AllocInfo&)>;
   /// Remote probe (manage capability). The request and reply travel as
   /// protocol-encoded messages (see ibp/protocol.hpp).

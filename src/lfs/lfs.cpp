@@ -249,7 +249,7 @@ void LfsClient::read_async(const std::string& path, const lors::DownloadOptions&
                                                cb(LfsStatus::kTransferFailed, Bytes{});
                                                return;
                                              }
-                                             cb(LfsStatus::kOk, std::move(result.data));
+                                             cb(LfsStatus::kOk, std::move(*result.data));
                                            });
                     });
 }

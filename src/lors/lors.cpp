@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 #include <set>
+#include <span>
 
 #include "util/checksum.hpp"
 #include "util/log.hpp"
@@ -94,8 +95,13 @@ void upload_block_replica(const std::shared_ptr<UploadState>& st, std::size_t bl
           upload_launch(st);
           return;
         }
+        // Server-bound staging copy: store_async takes ownership of the block
+        // it sends, so striping the source object means one slice per block.
+        // This is upload-side cost, not demand-path cost, but it is a real
+        // payload pass — account it on the global copy meter.
         Bytes chunk(st->data.begin() + static_cast<long>(offset),
                     st->data.begin() + static_cast<long>(offset + length));
+        util::account_payload_copy(length);
         st->fabric->store_async(
             st->client, caps.write, 0, std::move(chunk), st->options.net,
             [st, block, offset, caps](ibp::IbpStatus store_status) {
@@ -192,7 +198,11 @@ struct DownloadState {
   DownloadOptions options;
   Lors::DownloadCallback on_done;
 
-  Bytes data;
+  /// Pooled result slab. Extents land in here scatter-gather (the fabric's
+  /// destination-buffer load writes each block at its final offset), so the
+  /// assembled object is never copied again after the landing pass.
+  std::shared_ptr<Bytes> data;
+  std::uint64_t copied = 0;  ///< payload bytes landed (incl. re-fetched blocks)
   std::size_t next_extent = 0;
   std::size_t outstanding = 0;
   std::size_t failed = 0;
@@ -216,7 +226,7 @@ struct DownloadState {
     std::shared_ptr<std::vector<std::size_t>> order;
     std::size_t attempt = 0;
     int round = 1;
-    Bytes bytes;
+    std::size_t received = 0;  ///< bytes the fabric landed in the slab
     bool ok = false;
   };
   std::vector<ArrivedBlock> verify_batch;
@@ -232,15 +242,16 @@ void download_stripe_done(const std::shared_ptr<DownloadState>& st,
                           const exnode::Extent& ext) {
   --st->outstanding;
   if (st->options.on_stripe) {
-    st->options.on_stripe(StripeEvent{ext.offset, ext.length, &st->data});
+    st->options.on_stripe(StripeEvent{ext.offset, ext.length, st->data.get(), st->data});
   }
 }
 
-/// Drains the batch of same-instant arrivals: checksums and result-buffer
-/// copies run across the pool (disjoint regions), then outcomes are handled
-/// on the simulator thread in ascending extent order. The barrier fires via
-/// after(0), so no virtual time passes and the serial path's behaviour —
-/// bytes, counters, failovers, completion time — is reproduced exactly.
+/// Drains the batch of same-instant arrivals: checksums run across the pool
+/// (each block verified in place over its disjoint slab region — nothing is
+/// copied), then outcomes are handled on the simulator thread in ascending
+/// extent order. The barrier fires via after(0), so no virtual time passes
+/// and the serial path's behaviour — bytes, counters, failovers, completion
+/// time — is reproduced exactly.
 void download_verify_batch(const std::shared_ptr<DownloadState>& st) {
   st->verify_scheduled = false;
   auto batch = std::move(st->verify_batch);
@@ -253,12 +264,10 @@ void download_verify_batch(const std::shared_ptr<DownloadState>& st) {
   st->options.pool->parallel_for(0, batch.size(), [&](std::size_t i) {
     DownloadState::ArrivedBlock& block = batch[i];
     const exnode::Extent& ext = st->node.extents()[block.extent_index];
-    block.ok = block.bytes.size() == ext.length &&
-               (!ext.checksum.has_value() || crc32(block.bytes) == *ext.checksum);
-    if (block.ok) {
-      std::copy(block.bytes.begin(), block.bytes.end(),
-                st->data.begin() + static_cast<long>(ext.offset));
-    }
+    block.ok = block.received == ext.length &&
+               (!ext.checksum.has_value() ||
+                crc32(std::span<const std::uint8_t>(*st->data)
+                          .subspan(ext.offset, ext.length)) == *ext.checksum);
   });
   for (auto& block : batch) {
     const exnode::Extent& ext = st->node.extents()[block.extent_index];
@@ -316,6 +325,14 @@ void download_extent_try(const std::shared_ptr<DownloadState>& st, std::size_t e
       });
       return;
     }
+    // A corrupt or short attempt may have landed bytes in the slab before
+    // verification rejected it; the delivery contract is that a failed
+    // extent reads as zeros, never as rejected bytes.
+    if (st->data != nullptr && extent.offset + extent.length <= st->data->size()) {
+      std::fill(st->data->begin() + static_cast<long>(extent.offset),
+                st->data->begin() + static_cast<long>(extent.offset + extent.length),
+                std::uint8_t{0});
+    }
     ++st->failed;
     --st->outstanding;
     download_launch(st);
@@ -332,10 +349,14 @@ void download_extent_try(const std::shared_ptr<DownloadState>& st, std::size_t e
   const obs::SpanId load_span = st->trace->begin("ibp.load", st->sim->now(), st->span);
   st->trace->arg(load_span, "depot", replica.read.depot);
   st->trace->arg(load_span, "offset", extent.offset);
+  // Scatter-gather fetch: the fabric lands the block directly at its final
+  // offset in the pooled result slab, so the landing pass is the only time
+  // these payload bytes are touched by a copy.
   st->fabric->load_async(
       st->client, replica.read, replica.alloc_offset, extent.length, st->options.net,
+      st->data, extent.offset,
       [st, extent_index, order, attempt, round, load_span](ibp::IbpStatus status,
-                                                           Bytes bytes) {
+                                                           std::size_t received) {
         st->trace->arg(load_span, "status", ibp::to_string(status));
         st->trace->end(load_span, st->sim->now());
         const exnode::Extent& ext = st->node.extents()[extent_index];
@@ -345,12 +366,15 @@ void download_extent_try(const std::shared_ptr<DownloadState>& st, std::size_t e
           download_extent_try(st, extent_index, order, attempt + 1, round);
           return;
         }
-        // CPU-bound verification + assembly goes to the pool when one is
-        // configured: batch this arrival and drain behind a zero-delay
-        // barrier so same-instant blocks are checksummed in parallel.
+        // Every landed byte is one physical copy, including blocks a failed
+        // verification forces back over the network.
+        st->copied += received;
+        // CPU-bound verification goes to the pool when one is configured:
+        // batch this arrival and drain behind a zero-delay barrier so
+        // same-instant blocks are checksummed in parallel.
         if (st->options.pool != nullptr && st->options.verify_checksums) {
           st->verify_batch.push_back(DownloadState::ArrivedBlock{
-              extent_index, order, attempt, round, std::move(bytes)});
+              extent_index, order, attempt, round, received});
           if (!st->verify_scheduled) {
             st->verify_scheduled = true;
             st->sim->after(0, [st] { download_verify_batch(st); });
@@ -359,9 +383,12 @@ void download_extent_try(const std::shared_ptr<DownloadState>& st, std::size_t e
         }
         // Trust nothing that crossed the network: a depot can serve rotted
         // bytes with a straight face. A mismatch is a failed fetch — the
-        // corrupt block is never copied into the result.
+        // rejected block is re-fetched over (or zeroed out of) its slab
+        // region, never delivered.
         if (st->options.verify_checksums && ext.checksum.has_value() &&
-            (bytes.size() != ext.length || crc32(bytes) != *ext.checksum)) {
+            (received != ext.length ||
+             crc32(std::span<const std::uint8_t>(*st->data)
+                       .subspan(ext.offset, ext.length)) != *ext.checksum)) {
           ++st->corrupt;
           st->corruption_metric->inc();
           st->trace->instant("lors.corruption", st->sim->now(), st->span);
@@ -370,8 +397,6 @@ void download_extent_try(const std::shared_ptr<DownloadState>& st, std::size_t e
           download_extent_try(st, extent_index, order, attempt + 1, round);
           return;
         }
-        std::copy(bytes.begin(), bytes.end(),
-                  st->data.begin() + static_cast<long>(ext.offset));
         download_stripe_done(st, ext);
         download_launch(st);
       });
@@ -396,6 +421,7 @@ void download_launch(const std::shared_ptr<DownloadState>& st) {
     result.retries = st->retries;
     result.status = st->failed == 0 ? LorsStatus::kOk : LorsStatus::kPartial;
     result.data = std::move(st->data);
+    result.copied_bytes = st->copied;
     st->trace->arg(st->span, "status", to_string(result.status));
     st->trace->arg(st->span, "blocks_failed", result.blocks_failed);
     st->trace->end(st->span, st->sim->now());
@@ -414,7 +440,12 @@ void Lors::download_async(sim::NodeId client, const exnode::ExNode& node,
   st->node = node;
   st->options = options;
   st->on_done = std::move(on_done);
-  st->data.assign(node.length(), 0);
+  // The result slab comes from a buffer pool: a steady-state client re-uses
+  // the same few slabs instead of churning the allocator per access, and the
+  // slab travels by reference all the way to the renderer.
+  auto& buffers =
+      options.buffers != nullptr ? *options.buffers : util::BufferPool::shared();
+  st->data = buffers.acquire(node.length());
   st->fabric = &fabric_;
   st->net = &net_;
   st->sim = &sim_;

@@ -28,6 +28,7 @@
 #include "ibp/service.hpp"
 #include "obs/obs.hpp"
 #include "simnet/network.hpp"
+#include "util/buffer_pool.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -70,14 +71,18 @@ struct RetryPolicy {
   [[nodiscard]] SimDuration backoff_for(int round, Rng& rng) const;
 };
 
-/// Notification that one extent's bytes have been verified and copied into
-/// the download's result buffer. `buffer` is the in-progress result object
-/// (full length, zero-filled where extents are still in flight); only
+/// Notification that one extent's bytes have been verified in place in the
+/// download's result slab. `buffer` is the in-progress result object (full
+/// length, zero-filled where extents are still in flight); only
 /// [offset, offset + length) is guaranteed valid during this callback.
+/// `owner` shares ownership of that slab — a consumer that reads stripe
+/// bytes asynchronously (the decompress pipeline's pool tasks) must hold it
+/// so the pooled buffer cannot be recycled underneath the reads.
 struct StripeEvent {
   std::uint64_t offset = 0;
   std::uint64_t length = 0;
   const Bytes* buffer = nullptr;
+  std::shared_ptr<const Bytes> owner;
 };
 
 struct DownloadOptions {
@@ -101,6 +106,8 @@ struct DownloadOptions {
   /// Parent for the lors.download trace span — lets the span chain survive
   /// the async hop from whoever requested the download.
   obs::SpanId parent_span = 0;
+  /// Pool the result slab is acquired from (null = util::BufferPool::shared()).
+  util::BufferPool* buffers = nullptr;
 };
 
 struct AugmentOptions {
@@ -120,12 +127,21 @@ struct UploadResult {
 
 struct DownloadResult {
   LorsStatus status = LorsStatus::kOk;
-  Bytes data;
+  /// The assembled object in a pooled slab (never null once the callback
+  /// fires). Stripes land scatter-gather directly in here; downstream layers
+  /// alias the slab instead of copying it, and the pool reclaims it when the
+  /// last holder lets go.
+  std::shared_ptr<Bytes> data;
   std::size_t blocks_total = 0;
   std::size_t blocks_failed = 0;
   std::size_t replica_failovers = 0;  ///< fetches that had to try another replica
   std::size_t corruption_detected = 0;  ///< checksum mismatches (never delivered)
   std::size_t retries = 0;            ///< extra retry rounds taken
+  /// Payload bytes physically copied assembling this download — one landing
+  /// pass per delivered block, plus one per corrupt/failed arrival that had
+  /// to be re-fetched. The demand path's bytes-copied-per-access gate is
+  /// built on this.
+  std::uint64_t copied_bytes = 0;
 };
 
 struct AugmentResult {

@@ -177,6 +177,7 @@ void Client::on_delivery(const ClientAgent::Delivery& delivery) {
   record.requested = request.requested;
   record.comm_latency = delivery.comm_latency;
   record.compressed_bytes = compressed.size();
+  record.copied_bytes = delivery.copied_bytes;
   record.lod = delivery.lod;
 
   if (compressed.empty()) {

@@ -81,7 +81,8 @@ ClientAgent::ClientAgent(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fa
                scope_.counter("agent.hot_reports"),
                scope_.counter("agent.lod_coarse_serves"),
                scope_.counter("agent.lod_refinements"),
-               scope_.counter("agent.lod_refined")},
+               scope_.counter("agent.lod_refined"),
+               scope_.counter("agent.payload_copy_bytes")},
       cache_(config_.cache_bytes),
       admission_(config_.admission),
       motion_(config_.motion),
@@ -344,13 +345,13 @@ void ClientAgent::resolve_and_download(const lightfield::ViewSetId& id, bool all
                          it->second.shed_upstream = true;
                        }
                        note_pressure(id);
-                       finish_fetch(id, Bytes{});
+                       finish_fetch(id, nullptr, 0);
                        return;
                      }
                      if (!result.found) {
                        LON_LOG(kWarn, "client-agent")
                            << "view set " << id.key() << " unavailable";
-                       finish_fetch(id, Bytes{});
+                       finish_fetch(id, nullptr, 0);
                        return;
                      }
                      exnode_cache_[id] = result.exnode;
@@ -444,6 +445,9 @@ void ClientAgent::download(const lightfield::ViewSetId& id, const exnode::ExNode
                            LON_LOG(kWarn, "client-agent")
                                << "download of " << id.key() << " failed: "
                                << lors::to_string(result.status);
+                           // The failed attempt's landed bytes were real
+                           // copy work even though nothing is delivered.
+                           metrics_.payload_copy_bytes.inc(result.copied_bytes);
                            // This attempt's pipeline dies with the attempt:
                            // drain its in-flight chunk decodes now, or they
                            // keep holding pool slots and decoded buffers
@@ -474,10 +478,11 @@ void ClientAgent::download(const lightfield::ViewSetId& id, const exnode::ExNode
                              resolve_and_download(id);
                              return;
                            }
-                           finish_fetch(id, Bytes{});
+                           finish_fetch(id, nullptr, 0);
                            return;
                          }
-                         finish_fetch(id, std::move(result.data), pipeline);
+                         finish_fetch(id, std::move(result.data),
+                                      result.copied_bytes, pipeline);
                        });
 }
 
@@ -492,7 +497,8 @@ void ClientAgent::invalidate(const lightfield::ViewSetId& id) {
   }
 }
 
-void ClientAgent::finish_fetch(const lightfield::ViewSetId& id, Bytes data,
+void ClientAgent::finish_fetch(const lightfield::ViewSetId& id, std::shared_ptr<Bytes> data,
+                               std::uint64_t copied_bytes,
                                const std::shared_ptr<DecompressPipeline>& pipeline) {
   auto it = inflight_.find(id);
   if (it == inflight_.end()) return;
@@ -500,11 +506,16 @@ void ClientAgent::finish_fetch(const lightfield::ViewSetId& id, Bytes data,
   inflight_.erase(it);
   if (!flight.prefetch_origin && demand_inflight_ > 0) --demand_inflight_;
 
-  const bool ok = !data.empty();
+  const bool ok = data != nullptr && !data->empty();
   const DeliveryStatus status = ok                     ? DeliveryStatus::kOk
                                 : flight.shed_upstream ? DeliveryStatus::kShed
                                                        : DeliveryStatus::kFailed;
-  auto payload = std::make_shared<const Bytes>(std::move(data));
+  // The pooled download slab is handed onward by reference — cache entries
+  // and deliveries all alias it; nothing below copies a payload byte.
+  std::shared_ptr<const Bytes> payload =
+      data != nullptr ? std::shared_ptr<const Bytes>(std::move(data))
+                      : std::make_shared<const Bytes>();
+  metrics_.payload_copy_bytes.inc(copied_bytes);
   // A prefetch the user never caught up with is the speculative kind the
   // eviction policy may sacrifice or refuse; one a demand request joined is
   // demand working set from the start. A refinement is neither: the demand
@@ -612,6 +623,7 @@ void ClientAgent::finish_fetch(const lightfield::ViewSetId& id, Bytes data,
       Delivery delivery{payload, flight.cls, sim_.now() - waiter.arrived, decoded,
                         report};
       delivery.status = status;
+      delivery.copied_bytes = copied_bytes;
       delivery.lod = flight.lod;
       delivery.degraded_lod = flight.lod > 0;
       waiter.cb(delivery);
@@ -935,6 +947,7 @@ const ClientAgent::Stats& ClientAgent::stats() const {
   stats_view_.lod_coarse_serves = metrics_.lod_coarse_serves.value();
   stats_view_.lod_refinements = metrics_.lod_refinements.value();
   stats_view_.lod_refined = metrics_.lod_refined.value();
+  stats_view_.payload_copy_bytes = metrics_.payload_copy_bytes.value();
   stats_view_.demand_wan_active = demand_wan_active_;
   return stats_view_;
 }

@@ -221,6 +221,10 @@ class ClientAgent {
     std::uint64_t lod_coarse_serves = 0; ///< demand deliveries at a coarse tier
     std::uint64_t lod_refinements = 0;   ///< background full-res upgrades started
     std::uint64_t lod_refined = 0;       ///< upgrades that swapped full-res bytes in
+    /// Payload bytes physically copied on the demand path (network landing
+    /// passes plus any decode fallback staging). Warm cache hits add zero;
+    /// a cold fetch adds exactly one pass over its compressed payload.
+    std::uint64_t payload_copy_bytes = 0;
     int demand_wan_active = 0;           ///< WAN demand downloads in flight now
   };
 
@@ -249,6 +253,11 @@ class ClientAgent {
     /// kShed = overload refusal (retry with backoff); kFailed = the view set
     /// could not be obtained. Either way the payload is empty.
     DeliveryStatus status = DeliveryStatus::kOk;
+    /// Payload bytes physically copied to produce this delivery: 0 for a
+    /// cache hit (the slab is handed over by reference), one pass over the
+    /// compressed payload for a cold fetch. Feeds AccessRecord.copied_bytes
+    /// and the bytes-copied-per-access perf gate.
+    std::uint64_t copied_bytes = 0;
     /// The payload is a coarse-resolution substitute (LOD streaming pick or
     /// the kCoarseLod rung) — not the canonical full-resolution view set.
     bool degraded_lod = false;
@@ -374,6 +383,7 @@ class ClientAgent {
     obs::Counter& lod_coarse_serves;     ///< agent.lod_coarse_serves
     obs::Counter& lod_refinements;       ///< agent.lod_refinements
     obs::Counter& lod_refined;           ///< agent.lod_refined
+    obs::Counter& payload_copy_bytes;    ///< agent.payload_copy_bytes
   };
 
   /// Starts (or joins) a fetch of `id`; cb may be null for prefetch.
@@ -434,7 +444,11 @@ class ClientAgent {
   void download(const lightfield::ViewSetId& id, const exnode::ExNode& exnode,
                 AccessClass cls);
 
-  void finish_fetch(const lightfield::ViewSetId& id, Bytes data,
+  /// Completes a fetch: `data` is the pooled download slab (aliased into the
+  /// cache and deliveries, never copied), `copied_bytes` the payload bytes
+  /// physically copied obtaining it (LoRS landing passes).
+  void finish_fetch(const lightfield::ViewSetId& id, std::shared_ptr<Bytes> data,
+                    std::uint64_t copied_bytes,
                     const std::shared_ptr<DecompressPipeline>& pipeline = nullptr);
 
   /// Drops every cached belief about `id` (exNode cache and staged entry);

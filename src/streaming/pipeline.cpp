@@ -1,6 +1,7 @@
 #include "streaming/pipeline.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "compress/lfz.hpp"
 
@@ -28,7 +29,8 @@ std::uint64_t read_u64(const Bytes& buffer, std::uint64_t pos) {
 
 DecompressPipeline::DecompressPipeline(const Options& options)
     : pool_(options.pool != nullptr ? *options.pool : ThreadPool::shared()),
-      max_inflight_(options.max_inflight > 0 ? options.max_inflight : 2 * pool_.size()) {}
+      max_inflight_(options.max_inflight > 0 ? options.max_inflight : 2 * pool_.size()),
+      buffers_(options.buffers != nullptr ? *options.buffers : util::BufferPool::shared()) {}
 
 DecompressPipeline::~DecompressPipeline() { abort(); }
 
@@ -37,8 +39,8 @@ std::size_t DecompressPipeline::abort() {
   for (; drained_ < inflight_.size(); ++drained_, ++drained) {
     inflight_[drained_].get();
   }
-  decoded_.clear();
-  decoded_.shrink_to_fit();
+  out_.reset();     // back to the pool
+  source_.reset();  // release the dead attempt's download slab
   // Stray stripe events from the failed download's callbacks must not start
   // new decodes on a dead attempt.
   header_ = Header::kNotChunked;
@@ -70,6 +72,9 @@ std::uint64_t DecompressPipeline::contiguous_prefix() const {
 
 void DecompressPipeline::on_stripe(const lors::StripeEvent& event, SimTime now) {
   if (header_ == Header::kNotChunked || event.buffer == nullptr) return;
+  // Hold the download slab: chunk decodes read compressed bodies straight
+  // out of it on pool workers, possibly after the download object is gone.
+  if (source_ == nullptr) source_ = event.owner;
   merge_stripe(event.offset, event.length);
   report_.last_stripe_at = now;
   pump(*event.buffer, contiguous_prefix(), now, /*final_pass=*/false);
@@ -86,13 +91,19 @@ bool DecompressPipeline::pump(const Bytes& buffer, std::uint64_t prefix, SimTime
     }
     original_size_ = read_u64(buffer, 4);
     chunk_count_ = read_u32(buffer, 12);
-    if (chunk_count_ == 0 || chunk_count_ > buffer.size()) {
+    // A forged header must not drive the slab allocation below: bound the
+    // claimed plaintext by the container's worst-case expansion ratio.
+    if (chunk_count_ == 0 || chunk_count_ > buffer.size() ||
+        original_size_ > (buffer.size() + 16) * 1032) {
       header_ = Header::kNotChunked;  // malformed; the fallback path reports it
       return false;
     }
     header_ = Header::kChunked;
     parse_pos_ = kHeaderBytes;
-    decoded_.resize(chunk_count_);
+    // One pooled slab the whole object decodes into, chunk by chunk, each at
+    // its prefix-summed offset — the in-place half of the zero-copy path.
+    out_ = buffers_.acquire(original_size_);
+    out_pos_ = 0;
     report_.chunked = true;
     report_.chunks_total = chunk_count_;
     report_.chunks.resize(chunk_count_);
@@ -115,34 +126,48 @@ bool DecompressPipeline::pump(const Bytes& buffer, std::uint64_t prefix, SimTime
 void DecompressPipeline::submit_chunk(const Bytes& buffer, std::size_t index,
                                       std::uint64_t body_offset, std::uint32_t body_length,
                                       SimTime now) {
-  Bytes body(buffer.begin() + static_cast<long>(body_offset),
-             buffer.begin() + static_cast<long>(body_offset + body_length));
+  // The compressed body is read in place out of the download slab — no
+  // per-chunk staging vector. `source_` (held by the task) keeps the slab
+  // alive; regions still being landed by the download are disjoint from any
+  // completed chunk, so pool-side reads never race the simulator thread.
+  const std::span<const std::uint8_t> body =
+      std::span(buffer).subspan(body_offset, body_length);
   ChunkRecord& record = report_.chunks[index];
   record.available_at = now;
   record.compressed_bytes = body_length;
   try {
     record.original_bytes = lfz::decompressed_size(body);
   } catch (const DecodeError&) {
-    record.original_bytes = 0;  // the decode task will report the failure
+    record.original_bytes = 0;
+    any_failed_ = true;  // undecodable header; the fallback path reports it
+    return;
   }
+  if (record.original_bytes > original_size_ - out_pos_) {
+    any_failed_ = true;  // chunks claim more than the container header did
+    return;
+  }
+  const std::span<std::uint8_t> dest =
+      std::span(*out_).subspan(out_pos_, record.original_bytes);
+  out_pos_ += record.original_bytes;
   // Bounded producer/consumer: block the producer on the oldest decode when
-  // too many are outstanding, keeping undrained plaintext memory bounded.
+  // too many are outstanding, keeping undrained decode work bounded.
   while (inflight_.size() - drained_ >= max_inflight_) {
     if (!inflight_[drained_].get()) any_failed_ = true;
     ++drained_;
   }
-  inflight_.push_back(pool_.submit([this, index, body = std::move(body)]() -> bool {
-    try {
-      decoded_[index] = lfz::decompress(body);
-      return true;
-    } catch (...) {
-      return false;
-    }
-  }));
+  inflight_.push_back(
+      pool_.submit([body, dest, keepalive = source_, out = out_]() -> bool {
+        try {
+          lfz::decompress_into(body, dest);
+          return true;
+        } catch (...) {
+          return false;
+        }
+      }));
 }
 
-std::optional<Bytes> DecompressPipeline::finish(const Bytes& full, SimTime now,
-                                                Report& report) {
+std::shared_ptr<Bytes> DecompressPipeline::finish(const Bytes& full, SimTime now,
+                                                  Report& report) {
   if (header_ != Header::kNotChunked) {
     // Pick up chunks whose stripes bypassed on_stripe (retried blocks, or a
     // caller that never wired the stripe callback).
@@ -152,21 +177,14 @@ std::optional<Bytes> DecompressPipeline::finish(const Bytes& full, SimTime now,
     if (!inflight_[drained_].get()) any_failed_ = true;
   }
   report = report_;
-  if (header_ != Header::kChunked) return std::nullopt;
-  if (any_failed_ || next_chunk_ < chunk_count_) {
+  if (header_ != Header::kChunked) return nullptr;
+  if (any_failed_ || next_chunk_ < chunk_count_ || out_pos_ != original_size_) {
     report.ok = false;
-    return std::nullopt;
-  }
-  Bytes out;
-  out.reserve(original_size_);
-  for (const Bytes& chunk : decoded_) out.insert(out.end(), chunk.begin(), chunk.end());
-  if (out.size() != original_size_) {
-    report.ok = false;
-    return std::nullopt;
+    return nullptr;
   }
   report_.ok = true;
   report = report_;
-  return out;
+  return std::move(out_);
 }
 
 SimDuration residual_decompress_time(const DecompressPipeline::Report& report,

@@ -20,10 +20,11 @@
 
 #include <cstdint>
 #include <future>
-#include <optional>
+#include <memory>
 #include <vector>
 
 #include "lors/lors.hpp"
+#include "util/buffer_pool.hpp"
 #include "util/bytes.hpp"
 #include "util/thread_pool.hpp"
 #include "util/time.hpp"
@@ -37,6 +38,9 @@ class DecompressPipeline {
     /// Chunk decodes allowed in flight before the producer blocks; 0 = twice
     /// the pool size. Bounds the memory held by undrained decodes.
     std::size_t max_inflight = 0;
+    /// Pool the decoded-output slab is acquired from (null =
+    /// util::BufferPool::shared()).
+    util::BufferPool* buffers = nullptr;
   };
 
   /// One chunk's virtual-time footprint, for the deterministic replay.
@@ -78,13 +82,15 @@ class DecompressPipeline {
   /// Called on the simulator thread only.
   void on_stripe(const lors::StripeEvent& event, SimTime now);
 
-  /// Drains all in-flight decodes and assembles the original serialized
-  /// bytes. `full` is the completed download buffer (also used to pick up
-  /// chunks whose stripes never went through on_stripe, e.g. failover
-  /// re-fetches). Returns nullopt when the payload is not a chunked
-  /// container or any chunk failed to decode — the caller falls back to the
-  /// ordinary whole-buffer decompress.
-  std::optional<Bytes> finish(const Bytes& full, SimTime now, Report& report);
+  /// Drains all in-flight decodes and hands back the decoded object. Chunks
+  /// were decoded in place into one pooled slab at prefix-summed offsets, so
+  /// there is no assembly pass — the returned slab *is* the original
+  /// serialized bytes, already laid out. `full` is the completed download
+  /// buffer (also used to pick up chunks whose stripes never went through
+  /// on_stripe, e.g. failover re-fetches). Returns null when the payload is
+  /// not a chunked container or any chunk failed to decode — the caller
+  /// falls back to the ordinary whole-buffer decompress.
+  std::shared_ptr<Bytes> finish(const Bytes& full, SimTime now, Report& report);
 
  private:
   /// Parses and submits chunks out of buffer[0, prefix); returns false when
@@ -97,6 +103,7 @@ class DecompressPipeline {
 
   ThreadPool& pool_;
   std::size_t max_inflight_;
+  util::BufferPool& buffers_;
 
   // Arrived byte ranges, merged and sorted by offset.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges_;  // [offset, end)
@@ -108,7 +115,13 @@ class DecompressPipeline {
   std::uint64_t parse_pos_ = 0;   ///< next unparsed byte of the container
   std::size_t next_chunk_ = 0;    ///< next chunk index to submit
 
-  std::vector<Bytes> decoded_;
+  /// Shares ownership of the download slab the overlapped decode tasks read
+  /// compressed bodies from — the pool must not recycle it under a worker.
+  std::shared_ptr<const Bytes> source_;
+  /// Pooled destination slab every chunk decodes into, in place, at its
+  /// prefix-summed output offset.
+  std::shared_ptr<Bytes> out_;
+  std::uint64_t out_pos_ = 0;     ///< output offset of the next chunk
   std::vector<std::future<bool>> inflight_;
   std::size_t drained_ = 0;       ///< inflight_ futures already waited on
   bool any_failed_ = false;

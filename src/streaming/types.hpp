@@ -28,6 +28,10 @@ struct AccessRecord {
   SimDuration comm_latency = 0; ///< data-access time as measured at the agent
   SimDuration decompress_time = 0;
   std::uint64_t compressed_bytes = 0;
+  /// Payload bytes physically copied to satisfy this access: zero when the
+  /// agent served its cached slab by reference, one pass over the compressed
+  /// payload when the bytes had to cross the network.
+  std::uint64_t copied_bytes = 0;
   /// Decompression overlapped the stripe transfers at the agent;
   /// decompress_time then holds only the unhidden residual tail.
   bool pipelined = false;

@@ -1,0 +1,121 @@
+#include "util/buffer_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+namespace lon::util {
+
+namespace {
+
+std::atomic<std::uint64_t> g_payload_bytes_copied{0};
+
+}  // namespace
+
+std::uint64_t payload_bytes_copied() {
+  return g_payload_bytes_copied.load(std::memory_order_relaxed);
+}
+
+void account_payload_copy(std::uint64_t n) {
+  g_payload_bytes_copied.fetch_add(n, std::memory_order_relaxed);
+}
+
+void copy_payload(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  if (n == 0) return;
+  std::memcpy(dst, src, n);
+  account_payload_copy(n);
+}
+
+// A slab's size class is the power of two covering its requested size, never
+// below min_class_bytes. Capacity is reserved to exactly the class, so
+// assign() on reuse never reallocates and the class is an exact accounting
+// unit for the retained-bytes budget.
+struct BufferPool::Impl {
+  explicit Impl(Config c) : config(c) {
+    config.min_class_bytes = std::max<std::size_t>(std::bit_ceil(config.min_class_bytes), 64);
+  }
+
+  [[nodiscard]] std::size_t class_bytes(std::size_t size) const {
+    return std::max(config.min_class_bytes, std::bit_ceil(std::max<std::size_t>(size, 1)));
+  }
+
+  // Free lists keyed by log2(class) — at most ~40 distinct classes.
+  [[nodiscard]] std::size_t class_index(std::size_t bytes) const {
+    return static_cast<std::size_t>(std::countr_zero(bytes));
+  }
+
+  void recycle(Bytes* slab) {
+    const std::size_t bytes = slab->capacity();
+    {
+      std::lock_guard lock(mutex);
+      if (retained + bytes <= config.max_retained_bytes && std::has_single_bit(bytes) &&
+          bytes >= config.min_class_bytes) {
+        slab->clear();  // keeps capacity
+        const std::size_t idx = class_index(bytes);
+        if (free_lists.size() <= idx) free_lists.resize(idx + 1);
+        free_lists[idx].emplace_back(slab);
+        retained += bytes;
+        return;
+      }
+    }
+    delete slab;
+  }
+
+  Config config;
+  std::mutex mutex;
+  std::vector<std::vector<std::unique_ptr<Bytes>>> free_lists;
+  std::uint64_t retained = 0;
+  std::atomic<std::uint64_t> reuses{0};
+  std::atomic<std::uint64_t> allocations{0};
+};
+
+BufferPool::BufferPool(const Config& config) : impl_(std::make_shared<Impl>(config)) {}
+
+std::shared_ptr<Bytes> BufferPool::acquire(std::size_t size) {
+  const std::size_t cls = impl_->class_bytes(size);
+  std::unique_ptr<Bytes> slab;
+  {
+    std::lock_guard lock(impl_->mutex);
+    const std::size_t idx = impl_->class_index(cls);
+    if (idx < impl_->free_lists.size() && !impl_->free_lists[idx].empty()) {
+      slab = std::move(impl_->free_lists[idx].back());
+      impl_->free_lists[idx].pop_back();
+      impl_->retained -= cls;
+    }
+  }
+  if (slab) {
+    impl_->reuses.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    slab = std::make_unique<Bytes>();
+    slab->reserve(cls);
+    impl_->allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  slab->assign(size, 0);
+  // The deleter holds the Impl alive, so slabs may outlive the pool object.
+  auto impl = impl_;
+  return std::shared_ptr<Bytes>(slab.release(),
+                                [impl](Bytes* b) { impl->recycle(b); });
+}
+
+std::uint64_t BufferPool::retained_bytes() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->retained;
+}
+
+std::uint64_t BufferPool::reuses() const {
+  return impl_->reuses.load(std::memory_order_relaxed);
+}
+
+std::uint64_t BufferPool::allocations() const {
+  return impl_->allocations.load(std::memory_order_relaxed);
+}
+
+BufferPool& BufferPool::shared() {
+  static BufferPool* pool = new BufferPool();
+  return *pool;
+}
+
+}  // namespace lon::util

@@ -130,8 +130,8 @@ TEST(ParallelDownload, PooledVerificationMatchesSerialExactly) {
   ASSERT_EQ(serial_result.status, lors::LorsStatus::kOk);
   ASSERT_EQ(pooled_result.status, lors::LorsStatus::kOk);
   // Byte-for-byte identical assembly...
-  EXPECT_EQ(pooled_result.data, data);
-  EXPECT_EQ(pooled_result.data, serial_result.data);
+  EXPECT_EQ(*pooled_result.data, data);
+  EXPECT_EQ(*pooled_result.data, *serial_result.data);
   // ...same counters, and the same virtual completion time: the pool only
   // moves real CPU work, never virtual time.
   EXPECT_EQ(pooled_result.blocks_total, serial_result.blocks_total);
@@ -188,7 +188,7 @@ TEST(DecompressPipeline, OverlapsChunkDecodesWithStripeArrival) {
 
   streaming::DecompressPipeline::Report report;
   const auto out = pipeline.finish(container, 100 * kMillisecond, report);
-  ASSERT_TRUE(out.has_value());
+  ASSERT_TRUE(out != nullptr);
   EXPECT_EQ(*out, original);
   EXPECT_TRUE(report.chunked);
   EXPECT_TRUE(report.ok);
@@ -231,7 +231,7 @@ TEST(DecompressPipeline, DrainsWhenStripesBypassedTheCallback) {
 
   streaming::DecompressPipeline::Report report;
   const auto out = pipeline.finish(container, 50 * kMillisecond, report);
-  ASSERT_TRUE(out.has_value());
+  ASSERT_TRUE(out != nullptr);
   EXPECT_EQ(*out, original);
   EXPECT_TRUE(report.ok);
   EXPECT_LT(report.chunks_overlapped, report.chunks_total);
@@ -241,7 +241,7 @@ TEST(DecompressPipeline, DrainsWhenStripesBypassedTheCallback) {
   streaming::DecompressPipeline cold({.pool = &pool});
   streaming::DecompressPipeline::Report cold_report;
   const auto cold_out = cold.finish(container, kMillisecond, cold_report);
-  ASSERT_TRUE(cold_out.has_value());
+  ASSERT_TRUE(cold_out != nullptr);
   EXPECT_EQ(*cold_out, original);
   EXPECT_EQ(cold_report.chunks_overlapped, 0u);
 }
@@ -258,7 +258,7 @@ TEST(DecompressPipeline, FallsBackOnCorruptChunkAndNonChunkedPayload) {
   streaming::DecompressPipeline corrupt({.pool = &pool});
   feed_stripes(corrupt, container, 25'000);
   streaming::DecompressPipeline::Report report;
-  EXPECT_FALSE(corrupt.finish(container, 50 * kMillisecond, report).has_value());
+  EXPECT_EQ(corrupt.finish(container, 50 * kMillisecond, report), nullptr);
   EXPECT_TRUE(report.chunked);
   EXPECT_FALSE(report.ok);
 
@@ -268,7 +268,7 @@ TEST(DecompressPipeline, FallsBackOnCorruptChunkAndNonChunkedPayload) {
   streaming::DecompressPipeline passthrough({.pool = &pool});
   feed_stripes(passthrough, plain, 25'000);
   streaming::DecompressPipeline::Report plain_report;
-  EXPECT_FALSE(passthrough.finish(plain, 50 * kMillisecond, plain_report).has_value());
+  EXPECT_EQ(passthrough.finish(plain, 50 * kMillisecond, plain_report), nullptr);
   EXPECT_FALSE(plain_report.chunked);
 }
 

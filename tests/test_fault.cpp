@@ -336,9 +336,9 @@ TEST_F(LorsFaultTest, InjectedCorruptionIsAlwaysDetectedNeverDelivered) {
   EXPECT_EQ(result.status, lors::LorsStatus::kPartial);
   EXPECT_EQ(result.blocks_failed, result.blocks_total);
   EXPECT_EQ(result.corruption_detected, result.blocks_total);
-  EXPECT_NE(result.data, data);
-  for (std::size_t i = 0; i < result.data.size(); ++i) {
-    EXPECT_EQ(result.data[i], 0) << "corrupt byte delivered at offset " << i;
+  EXPECT_NE(*result.data, data);
+  for (std::size_t i = 0; i < result.data->size(); ++i) {
+    EXPECT_EQ((*result.data)[i], 0) << "corrupt byte delivered at offset " << i;
   }
   EXPECT_GE(lors_.stats().corruption_detected, result.blocks_total);
 }
@@ -352,7 +352,7 @@ TEST_F(LorsFaultTest, CorruptReplicaFailsOverToACleanOne) {
 
   const auto result = download(node);
   EXPECT_EQ(result.status, lors::LorsStatus::kOk);
-  EXPECT_EQ(result.data, data);
+  EXPECT_EQ(*result.data, data);
   // Block 0 prefers d0, catches the rot, and silently heals via d1.
   EXPECT_GE(result.corruption_detected, 1u);
   EXPECT_GE(result.replica_failovers, 1u);
@@ -372,7 +372,7 @@ TEST_F(LorsFaultTest, RetryRoundsOutlastATransientPartition) {
   retry.max_backoff = 2 * kSecond;
   const auto result = download(node, retry);
   EXPECT_EQ(result.status, lors::LorsStatus::kOk);
-  EXPECT_EQ(result.data, data);
+  EXPECT_EQ(*result.data, data);
   EXPECT_GE(result.retries, 1u);
   EXPECT_GE(fabric_.stats().timeouts, 1u);
   EXPECT_GE(fabric_.stats().requests_lost, 1u);
@@ -406,7 +406,7 @@ TEST_F(LorsFaultTest, RepairRestoresFullReplicaCountAfterACrash) {
   // The healed exNode downloads clean with the dead depot still dark.
   const auto dl = download(result->exnode);
   EXPECT_EQ(dl.status, lors::LorsStatus::kOk);
-  EXPECT_EQ(dl.data, data);
+  EXPECT_EQ(*dl.data, data);
 }
 
 TEST_F(LorsFaultTest, RepairKeepsPointersWhenEveryReplicaGoesDark) {
@@ -449,7 +449,7 @@ TEST_F(LorsFaultTest, RepairKeepsPointersWhenEveryReplicaGoesDark) {
   EXPECT_EQ(healed->replicas_lost, 0u);
   const auto dl = download(healed->exnode);
   EXPECT_EQ(dl.status, lors::LorsStatus::kOk);
-  EXPECT_EQ(dl.data, data);
+  EXPECT_EQ(*dl.data, data);
 }
 
 TEST_F(LorsFaultTest, InjectorRunsItsPlanOnTheVirtualClock) {

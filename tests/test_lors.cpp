@@ -108,7 +108,7 @@ TEST_F(LorsTest, DownloadReassemblesExactBytes) {
 
   const auto downloaded = download(uploaded.exnode);
   ASSERT_EQ(downloaded.status, LorsStatus::kOk);
-  EXPECT_EQ(downloaded.data, data);
+  EXPECT_EQ(*downloaded.data, data);
   EXPECT_EQ(downloaded.blocks_total, uploaded.exnode.extents().size());
   EXPECT_EQ(downloaded.replica_failovers, 0u);
 }
@@ -137,7 +137,7 @@ TEST_F(LorsTest, DownloadPrefersCloserReplica) {
   const std::uint64_t lan_loaded_before = fabric_.find_depot("lan")->stats().bytes_loaded;
   const auto result = download(augmented->exnode);
   ASSERT_EQ(result.status, LorsStatus::kOk);
-  EXPECT_EQ(result.data, data);
+  EXPECT_EQ(*result.data, data);
   EXPECT_EQ(fabric_.find_depot("lan")->stats().bytes_loaded - lan_loaded_before,
             data.size());
 }
@@ -172,7 +172,7 @@ TEST_F(LorsTest, DownloadFailsOverToSurvivingReplica) {
 
   const auto result = download(broken);
   ASSERT_EQ(result.status, LorsStatus::kOk);
-  EXPECT_EQ(result.data, data);
+  EXPECT_EQ(*result.data, data);
   EXPECT_GT(result.replica_failovers, 0u);
 }
 
@@ -215,7 +215,7 @@ TEST_F(LorsTest, MultiStreamDownloadIsFasterOverWan) {
     const SimTime start = sim_.now();
     const auto result = download(uploaded.exnode, opts);
     EXPECT_EQ(result.status, LorsStatus::kOk);
-    EXPECT_EQ(result.data, data);
+    EXPECT_EQ(*result.data, data);
     return sim_.now() - start;
   };
   const SimDuration slow = timed_download(1, 1);

@@ -303,7 +303,7 @@ TEST_F(ManageOpsTest, LorsRefreshExtendsEveryReplica) {
   sim_.run();
   ASSERT_TRUE(down.has_value());
   EXPECT_EQ(down->status, lors::LorsStatus::kOk);
-  EXPECT_EQ(down->data, data);
+  EXPECT_EQ(*down->data, data);
 }
 
 TEST_F(ManageOpsTest, RefreshWithoutManageCapsReportsPartial) {

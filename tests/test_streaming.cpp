@@ -364,6 +364,75 @@ TEST_F(PipelineTest, SecondRequestIsAHit) {
   EXPECT_EQ(agent->stats().hits, 1u);
 }
 
+TEST_F(PipelineTest, ColdDemandFetchCopiesTheCompressedPayloadExactlyOnce) {
+  // Zero-copy regression gate: a cold WAN fetch is allowed exactly one
+  // metered pass over the compressed payload — the scatter-gather landing of
+  // depot blocks into the pooled slab. Assembly, verification, decode and
+  // delivery must not add passes.
+  const ViewSetId id{1, 2};
+  publish(id);
+  const std::size_t compressed_size = source_->build_compressed(id).size();
+  auto agent = make_agent(false, false);
+  ASSERT_EQ(agent->stats().payload_copy_bytes, 0u);
+
+  bool done = false;
+  agent->request_view_set(id, [&](const Bytes& data, AccessClass, SimDuration) {
+    EXPECT_FALSE(data.empty());
+    done = true;
+  });
+  sim_.run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(agent->stats().payload_copy_bytes, compressed_size);
+}
+
+TEST_F(PipelineTest, WarmCacheHitCopiesZeroPayloadBytes) {
+  const ViewSetId id{1, 2};
+  publish(id);
+  auto agent = make_agent(false, false);
+  agent->request_view_set(id, [](const Bytes&, AccessClass, SimDuration) {});
+  sim_.run();
+  const std::uint64_t after_cold = agent->stats().payload_copy_bytes;
+  EXPECT_GT(after_cold, 0u);
+
+  std::optional<AccessClass> cls;
+  agent->request_view_set(id, [&](const Bytes& data, AccessClass c, SimDuration) {
+    EXPECT_FALSE(data.empty());
+    cls = c;
+  });
+  sim_.run();
+  EXPECT_EQ(cls, AccessClass::kAgentHit);
+  // The hit serves the cached slab by reference: not one byte copied.
+  EXPECT_EQ(agent->stats().payload_copy_bytes, after_cold);
+}
+
+TEST_F(PipelineTest, AccessRecordsCarryPerAccessCopiedBytes) {
+  publish_all();
+  auto agent = make_agent(false, false);
+  Client client(sim_, net_, small_config(kResolution), client_node_, *agent, {});
+
+  const auto& lattice = source_->lattice();
+  bool ready = false;
+  client.set_view(lattice.view_set_center({1, 3}), [&](bool ok) { ready = ok; });
+  sim_.run();
+  ASSERT_TRUE(ready);
+  ASSERT_EQ(client.accesses().size(), 1u);
+  const AccessRecord& cold = client.accesses().front();
+  EXPECT_EQ(cold.cls, AccessClass::kWan);
+  EXPECT_EQ(cold.copied_bytes, cold.compressed_bytes);
+  EXPECT_EQ(cold.copied_bytes, agent->stats().payload_copy_bytes);
+
+  // A different client instance re-requesting hits the agent cache: the
+  // access record shows a zero-copy serve.
+  Client second(sim_, net_, small_config(kResolution), client_node_, *agent, {});
+  bool again = false;
+  second.set_view(lattice.view_set_center({1, 3}), [&](bool ok) { again = ok; });
+  sim_.run();
+  ASSERT_TRUE(again);
+  ASSERT_EQ(second.accesses().size(), 1u);
+  EXPECT_EQ(second.accesses().front().cls, AccessClass::kAgentHit);
+  EXPECT_EQ(second.accesses().front().copied_bytes, 0u);
+}
+
 TEST_F(PipelineTest, CursorTriggersQuadrantPrefetch) {
   publish_all();
   auto agent = make_agent(false, true);

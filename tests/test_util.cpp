@@ -4,11 +4,13 @@
 
 #include <atomic>
 #include <cmath>
+#include <future>
 #include <numeric>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "util/buffer_pool.hpp"
 #include "util/bytes.hpp"
 #include "util/checksum.hpp"
 #include "util/rng.hpp"
@@ -292,6 +294,99 @@ TEST(Spherical, AngularDistance) {
 TEST(Spherical, DegreeConversions) {
   EXPECT_NEAR(deg2rad(180.0), kPi, 1e-12);
   EXPECT_NEAR(rad2deg(kPi / 2), 90.0, 1e-12);
+}
+
+// --- buffer pool -----------------------------------------------------------
+
+TEST(BufferPool, AcquireIsZeroFilledAndExactlySized) {
+  util::BufferPool pool;
+  const auto slab = pool.acquire(10'000);
+  ASSERT_EQ(slab->size(), 10'000u);
+  for (const std::uint8_t b : *slab) EXPECT_EQ(b, 0);
+  EXPECT_EQ(pool.allocations(), 1u);
+  EXPECT_EQ(pool.reuses(), 0u);
+}
+
+TEST(BufferPool, ReleaseRecyclesTheAllocationForTheSameSizeClass) {
+  util::BufferPool pool;
+  std::uint8_t* first = nullptr;
+  {
+    auto slab = pool.acquire(5'000);
+    (*slab)[0] = 0xAB;
+    first = slab->data();
+  }
+  EXPECT_GT(pool.retained_bytes(), 0u);
+  // Same size class (8 KiB covers both) -> same backing allocation, re-zeroed.
+  const auto again = pool.acquire(6'000);
+  EXPECT_EQ(again->data(), first);
+  EXPECT_EQ((*again)[0], 0);
+  EXPECT_EQ(pool.reuses(), 1u);
+  EXPECT_EQ(pool.allocations(), 1u);
+}
+
+TEST(BufferPool, RefcountedSlabIsNotRecycledWhileAliased) {
+  util::BufferPool pool;
+  auto slab = pool.acquire(1'000);
+  (*slab)[7] = 42;
+  const std::shared_ptr<const Bytes> alias = slab;
+  slab.reset();
+  // The alias still owns the slab: nothing retained, contents intact.
+  EXPECT_EQ(pool.retained_bytes(), 0u);
+  EXPECT_EQ((*alias)[7], 42);
+}
+
+TEST(BufferPool, SlabOutlivesThePoolObject) {
+  std::shared_ptr<Bytes> survivor;
+  {
+    util::BufferPool pool;
+    survivor = pool.acquire(2'048);
+    (*survivor)[100] = 9;
+  }
+  // Releasing after the pool is gone must be safe (deleter owns pool state).
+  EXPECT_EQ((*survivor)[100], 9);
+  survivor.reset();
+}
+
+TEST(BufferPool, RetainedBytesStayWithinTheConfiguredBudget) {
+  util::BufferPool::Config config;
+  config.min_class_bytes = 4'096;
+  config.max_retained_bytes = 8'192;  // room for exactly two minimum slabs
+  util::BufferPool pool(config);
+  { const auto a = pool.acquire(100); const auto b = pool.acquire(100); const auto c = pool.acquire(100); }
+  EXPECT_LE(pool.retained_bytes(), 8'192u);
+}
+
+TEST(BufferPool, ConcurrentAcquireReleaseHammer) {
+  util::BufferPool pool;
+  ThreadPool workers(4);
+  std::vector<std::future<bool>> jobs;
+  for (int t = 0; t < 4; ++t) {
+    jobs.push_back(workers.submit([&pool, t]() -> bool {
+      for (int i = 0; i < 500; ++i) {
+        const std::size_t size = 64 + static_cast<std::size_t>((i * 37 + t * 101) % 20'000);
+        const auto slab = pool.acquire(size);
+        if (slab->size() != size) return false;
+        // Every byte must arrive zeroed even when slabs are recycled across
+        // threads; write a marker to catch sharing of live slabs.
+        if ((*slab)[size / 2] != 0) return false;
+        (*slab)[size / 2] = static_cast<std::uint8_t>(t + 1);
+      }
+      return true;
+    }));
+  }
+  for (auto& job : jobs) EXPECT_TRUE(job.get());
+  EXPECT_EQ(pool.reuses() + pool.allocations(), 2'000u);
+}
+
+TEST(BufferPool, CopyMeterCountsEveryCopyPayload) {
+  const std::uint64_t before = util::payload_bytes_copied();
+  Bytes src(1'234, 0x5A);
+  Bytes dst(1'234, 0);
+  util::copy_payload(dst.data(), src.data(), src.size());
+  EXPECT_EQ(util::payload_bytes_copied() - before, 1'234u);
+  EXPECT_EQ(dst, src);
+  util::account_payload_copy(10);
+  EXPECT_EQ(util::payload_bytes_copied() - before, 1'244u);
 }
 
 }  // namespace
