@@ -9,10 +9,12 @@
 //   flash_crowd/no_admission the same crowd with no overload protection
 //   teleport_faults          teleport browsing under crash/drop/corruption
 //   lease_expiry             staging-lease expiry wave mid-playback
-//   site_cache/cold          browse racing prestaging
+//   site_cache/cold          browse racing prestaging (co-sited agents)
 //   site_cache/warm          browse after prestaging completed
 //   pda_link/lod             PDA-class link, continuous LOD streaming on
 //   pda_link/full            the same link, full resolution only (control)
+//   co_sited/site            co-sited crowd, cooperative site cache on
+//   co_sited/control         the same crowd, every agent restages alone
 //
 // Flags:
 //   --smoke   smaller configuration for the CI perf gate (fast, deterministic)
@@ -61,6 +63,9 @@ void print_json(const std::vector<Row>& rows, bool smoke) {
         "\"augments\":%llu,\"failovers\":%llu,\"corruption_detected\":%llu,"
         "\"deadline_misses\":%zu,\"lod_coarse_serves\":%llu,"
         "\"lod_refinements\":%llu,\"lod_refined\":%llu,"
+        "\"restaged\":%llu,\"restage_coalesced\":%llu,\"site_hits\":%llu,"
+        "\"site_adopted\":%llu,\"stage_wan_bytes\":%llu,"
+        "\"site_restage_leaders\":%llu,\"site_restage_keys\":%llu,"
         "\"virtual_duration_s\":%.3f}",
         i == 0 ? "" : ",", r.name.c_str(), r.clients.size(), r.total_accesses,
         r.failed_accesses, r.min_client_delivered, r.mean_total_s, r.p99_worst_s,
@@ -78,6 +83,13 @@ void print_json(const std::vector<Row>& rows, bool smoke) {
         static_cast<unsigned long long>(rb.lod_coarse_serves),
         static_cast<unsigned long long>(rb.lod_refinements),
         static_cast<unsigned long long>(rb.lod_refined),
+        static_cast<unsigned long long>(rb.restaged),
+        static_cast<unsigned long long>(rb.restage_coalesced),
+        static_cast<unsigned long long>(rb.site_hits),
+        static_cast<unsigned long long>(rb.site_adopted),
+        static_cast<unsigned long long>(rb.stage_wan_bytes),
+        static_cast<unsigned long long>(rb.site_restage_leaders),
+        static_cast<unsigned long long>(rb.site_restage_keys),
         to_seconds(r.duration));
   }
   std::printf("]}\n");
@@ -107,6 +119,8 @@ int main(int argc, char** argv) {
   rows.push_back(run(session::site_cache(/*warm=*/true, browsers)));
   rows.push_back(run(session::pda_link(/*lod_streaming=*/true)));
   rows.push_back(run(session::pda_link(/*lod_streaming=*/false)));
+  rows.push_back(run(session::co_sited_crowd(/*site=*/true, crowd)));
+  rows.push_back(run(session::co_sited_crowd(/*site=*/false, crowd)));
 
   if (json) {
     print_json(rows, smoke);

@@ -42,7 +42,12 @@ to BENCH_pr.json, and compares them against the committed BENCH_baseline.json:
       per-client p99 within the scenario SLO with no starved client, the
       identical crowd without admission misses that p99 by >= 2x, the
       teleport-under-faults chaos row detects injected corruption and loses
-      nothing permanently, the warm site cache beats the cold one, and on
+      nothing permanently, the warm site cache beats the cold one, the
+      co-sited crowd with the cooperative site cache stages each hot view
+      set over the WAN exactly once (restage leaders == distinct keys, with
+      strictly fewer WAN bytes and a no-worse p99 than the
+      every-agent-restages-alone control, and the coalescing counters
+      bit-identical to the baseline), and on
       the PDA-class constrained link continuous LOD streaming holds every
       access inside the deadline (zero misses, nonzero coarse serves, every
       background refinement reaching full resolution) while the
@@ -477,6 +482,60 @@ def check_scenarios(pr, base, tolerance):
     else:
         print(f"ok:   scenarios[site_cache]: warm {warm['mean_total_s']:.4f}s <= "
               f"cold {cold['mean_total_s']:.4f}s")
+
+    # Cooperative site cache (PR 10): the co-sited crowd must coalesce its
+    # restage stampede to exactly one WAN staging per hot view set, and that
+    # must buy strictly fewer WAN bytes and a no-worse tail than the control
+    # where every agent restages alone.
+    site = pr_rows.get("co_sited/site")
+    ctrl = pr_rows.get("co_sited/control")
+    if not site or not ctrl:
+        fail("scenarios: co_sited site/control row pair not found")
+    else:
+        if site["stage_wan_bytes"] >= ctrl["stage_wan_bytes"]:
+            fail(f"scenarios[co_sited]: site WAN staging bytes "
+                 f"{site['stage_wan_bytes']} not below control "
+                 f"{ctrl['stage_wan_bytes']} (coalescing bought nothing)")
+        if site["p99_worst_s"] > ctrl["p99_worst_s"]:
+            fail(f"scenarios[co_sited]: site p99 {site['p99_worst_s']:.3f}s "
+                 f"worse than control {ctrl['p99_worst_s']:.3f}s")
+        if site.get("restage_coalesced", 0) == 0:
+            fail("scenarios[co_sited]: no restage was ever coalesced "
+                 "(single-flight path dark)")
+        if site.get("site_adopted", 0) == 0:
+            fail("scenarios[co_sited]: no staging target was adopted from the "
+                 "site index (sharing path dark)")
+        leaders = site.get("site_restage_leaders", 0)
+        keys = site.get("site_restage_keys", 0)
+        if leaders == 0 or leaders != keys:
+            fail(f"scenarios[co_sited]: {leaders} restage leaders for {keys} "
+                 f"distinct view sets — the stampede fix demands exactly one "
+                 f"WAN staging per hot view set")
+        if ctrl.get("restage_coalesced", 0) != 0 or \
+                ctrl.get("site_restage_leaders", 0) != 0:
+            fail("scenarios[co_sited]: the control row touched the site cache "
+                 "(feature-off run is not actually off)")
+        if all("co_sited" not in f for f in HARD_FAILURES):
+            saved = 1.0 - site["stage_wan_bytes"] / ctrl["stage_wan_bytes"]
+            print(f"ok:   scenarios[co_sited]: {leaders} stagings for {keys} "
+                  f"view sets, WAN {site['stage_wan_bytes']} vs control "
+                  f"{ctrl['stage_wan_bytes']} ({saved:.0%} saved), p99 "
+                  f"{site['p99_worst_s']:.3f}s <= {ctrl['p99_worst_s']:.3f}s")
+
+    # The coalescing counters are pure virtual-time bookkeeping, so they must
+    # reproduce bit-for-bit against the baseline on every site-cache row.
+    for name in ("site_cache/cold", "site_cache/warm",
+                 "co_sited/site", "co_sited/control"):
+        row, ref = pr_rows.get(name), base_rows.get(name)
+        if not row or not ref:
+            continue
+        for key in ("restaged", "restage_coalesced", "site_adopted",
+                    "stage_wan_bytes", "site_restage_leaders",
+                    "site_restage_keys"):
+            got, want = row.get(key), ref.get(key)
+            if want is not None and got != want:
+                fail(f"scenarios[{name}]: {key} {got} != baseline {want} "
+                     f"(virtual time: must be bit-identical)")
 
     # Continuous LOD streaming (PR 7): degrade resolution, never fluidity.
     lod = pr_rows.get("pda_link/lod")

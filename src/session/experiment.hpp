@@ -105,6 +105,21 @@ struct ExperimentConfig {
   SimDuration staging_lease = 24 * 3600 * kSecond;
   bool lease_refresh = false;        ///< keep staged soft copies alive
   SimDuration lease_refresh_interval = 0;  ///< 0 = staging_lease / 4
+
+  // --- Cooperative site cache / sharded DVS ---------------------------------
+
+  /// Client agents behind the one LAN switch; clients are assigned to them
+  /// round-robin. 1 (default) is the historical single-agent topology.
+  int site_agents = 1;
+  /// Share one cooperative SiteCache index across all co-sited agents:
+  /// staged copies are discoverable site-wide and concurrent restages of
+  /// the same view set coalesce into a single WAN fetch.
+  bool site_cache = false;
+  std::uint64_t site_cache_bytes = 0;  ///< site index byte budget (0 = unbounded)
+  /// DVS directory shards (lookup tables partitioned by ViewSetId hash).
+  std::size_t dvs_shards = 1;
+  /// Serial per-query service time a DVS shard charges (0 = uncontended).
+  SimDuration dvs_shard_service = 0;
   /// > 0: the publisher runs a repair sweep this often, probing a slice of
   /// the database's exNodes and re-replicating extents that lost replicas
   /// to crashed depots (healed exNodes are re-installed into the DVS).

@@ -132,7 +132,12 @@ void print_robustness(std::ostream& os, const std::string& label,
      << "  lod: coarse_serves=" << s.lod_coarse_serves
      << " refinements=" << s.lod_refinements << " refined=" << s.lod_refined << '\n'
      << "  augment: hot_reports=" << s.hot_reports << " augments=" << s.augments
-     << '\n';
+     << '\n'
+     << "  site: hits=" << s.site_hits << " adopted=" << s.site_adopted
+     << " coalesced=" << s.restage_coalesced
+     << " leaders=" << s.site_restage_leaders << " keys=" << s.site_restage_keys
+     << " expirations=" << s.site_expirations
+     << " stage_wan_bytes=" << s.stage_wan_bytes << '\n';
 }
 
 RobustnessSummary collect_robustness(const obs::Registry& registry) {
@@ -167,6 +172,13 @@ RobustnessSummary collect_robustness(const obs::Registry& registry) {
   s.lod_coarse_serves = registry.counter_total("agent.lod_coarse_serves");
   s.lod_refinements = registry.counter_total("agent.lod_refinements");
   s.lod_refined = registry.counter_total("agent.lod_refined");
+  s.restage_coalesced = registry.counter_total("agent.restage_coalesced");
+  s.site_hits = registry.counter_total("agent.site_hits");
+  s.site_adopted = registry.counter_total("agent.site_adopted");
+  s.stage_wan_bytes = registry.counter_total("agent.stage_wan_bytes");
+  s.site_expirations = registry.counter_total("site.expirations");
+  s.site_restage_leaders = registry.counter_total("site.restage_leaders");
+  s.site_restage_keys = registry.counter_total("site.restage_keys");
   return s;
 }
 

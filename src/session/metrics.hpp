@@ -88,6 +88,15 @@ struct RobustnessSummary {
   std::uint64_t lod_coarse_serves = 0;    ///< demand deliveries at a coarse tier
   std::uint64_t lod_refinements = 0;      ///< background full-res upgrades started
   std::uint64_t lod_refined = 0;          ///< upgrades that swapped full-res bytes in
+
+  // Cooperative site cache (PR 10): cross-agent sharing and coalescing.
+  std::uint64_t restage_coalesced = 0;    ///< restages joined to another agent's flight
+  std::uint64_t site_hits = 0;            ///< demand resolves served via the site index
+  std::uint64_t site_adopted = 0;         ///< staging targets adopted from the index
+  std::uint64_t stage_wan_bytes = 0;      ///< payload bytes staged over the WAN
+  std::uint64_t site_expirations = 0;     ///< site entries dropped on lease expiry
+  std::uint64_t site_restage_leaders = 0; ///< single-flight restages led
+  std::uint64_t site_restage_keys = 0;    ///< distinct view sets ever restaged
 };
 
 /// One-paragraph robustness block (used by the fault benches/tests).

@@ -29,11 +29,12 @@ ScenarioResult run_scenario(const Scenario& scenario) {
   sim::Simulator& sim = sys.sim;
 
   SimTime script_start = sim.now();
-  sys.agent->start_staging();
+  sys.start_staging();
   if (scenario.warm_site_cache) {
-    // Warm half of the cold/warm pair: let prestaging finish before the
-    // first viewer arrives, so every LAN replica is already in place.
-    while (!sys.agent->staging_complete() && sim.step()) {
+    // Warm half of the cold/warm pair: let prestaging finish — on every
+    // co-sited agent — before the first viewer arrives, so the site's LAN
+    // replicas (and the shared index) are already in place.
+    while (!sys.staging_complete() && sim.step()) {
     }
     script_start = sim.now();
   }
@@ -115,7 +116,7 @@ ScenarioResult run_scenario(const Scenario& scenario) {
                             ? latency_sum / static_cast<double>(result.total_accesses)
                             : 0.0;
   result.p99_mean_s = p99_sum / static_cast<double>(n_clients);
-  result.agent_stats = sys.agent->stats();
+  result.agent_stats = sys.agent_stats();
   result.shed_fraction =
       result.agent_stats.requests > 0
           ? static_cast<double>(result.agent_stats.demand_shed) /
@@ -124,7 +125,7 @@ ScenarioResult run_scenario(const Scenario& scenario) {
   result.robustness = collect_robustness(sys.obs->metrics);
   result.fault_stats = injector.stats();
   result.duration = script_end - script_start;
-  result.staging_complete = sys.agent->staging_complete();
+  result.staging_complete = sys.staging_complete();
 
   // Simulator-core cost, surfaced both on the result (exact-match gating)
   // and through the obs registry (dashboards, artifact dumps).
@@ -375,6 +376,12 @@ Scenario site_cache(bool warm, int clients) {
   filler_content(s.base);
   s.base.dwell = kSecond;
   s.warm_site_cache = warm;
+  // Warm the *site*, not one lucky agent: the clients are spread over
+  // several co-sited agents sharing one SiteCache index, so the warm half
+  // measures cross-client sharing of staged replicas, and the cold half
+  // races demand against coalesced (single-flight) staging.
+  s.base.site_agents = std::max(2, clients / 2);
+  s.base.site_cache = true;
 
   const lightfield::SphericalLattice lattice(s.base.lattice);
   for (int i = 0; i < clients; ++i) {
@@ -382,6 +389,36 @@ Scenario site_cache(bool warm, int clients) {
     sc.script = CursorScript::standard(lattice, s.base.dwell, 8,
                                        900 + static_cast<std::uint64_t>(i));
     sc.start = static_cast<SimDuration>(i) * (250 * kMillisecond);
+    s.clients.push_back(std::move(sc));
+  }
+  return s;
+}
+
+Scenario co_sited_crowd(bool site, int clients) {
+  Scenario s;
+  s.name = site ? "co_sited/site" : "co_sited/control";
+  s.base.lattice = scenario_lattice();
+  s.base.which = Case::kWanWithLanDepot;  // aggressive prestaging on
+  filler_content(s.base);
+  s.base.dwell = 400 * kMillisecond;
+  s.base.wan_bandwidth_bps = 50e6;
+  // The crowd shares one LAN site behind several client agents, and every
+  // agent prestages the whole database: without the cooperative index the
+  // site pays the WAN staging bill `site_agents` times over — the restage
+  // stampede this pair of rows measures.
+  s.base.site_agents = std::max(2, clients / 10);
+  s.base.site_cache = site;
+  // The sharded directory runs on both rows (the 100-user query fan-in is
+  // identical either way), so the pair isolates the site cache's effect.
+  s.base.dvs_shards = 4;
+  s.base.dvs_shard_service = 200 * kMicrosecond;
+
+  const lightfield::SphericalLattice lattice(s.base.lattice);
+  for (int i = 0; i < clients; ++i) {
+    ScenarioClient sc;
+    sc.script = CursorScript::standard(lattice, s.base.dwell, 12,
+                                       1300 + static_cast<std::uint64_t>(i));
+    sc.start = static_cast<SimDuration>(i) * (50 * kMillisecond);
     s.clients.push_back(std::move(sc));
   }
   return s;

@@ -110,8 +110,18 @@ Scenario teleport_under_faults(int clients = 4);
 Scenario lease_expiry_wave(int clients = 4);
 
 /// Cold vs. warm site cache: the same browse either races prestaging
-/// (cold) or starts after it completes (warm).
+/// (cold) or starts after it completes (warm). The clients sit behind
+/// several co-sited agents sharing one cooperative SiteCache index, so the
+/// warm half measures site-wide sharing, not per-client staging luck.
 Scenario site_cache(bool warm, int clients = 4);
+
+/// Co-sited flash crowd: `clients` viewers spread round-robin over
+/// clients/10 co-sited agents, all prestaging the same database over one
+/// WAN trunk (the restage stampede). With `site` the cooperative SiteCache
+/// coalesces the staging to one WAN copy per view set; without it every
+/// agent restages independently — the control. Both rows run the sharded
+/// DVS directory.
+Scenario co_sited_crowd(bool site, int clients = 100);
 
 /// PDA-class constrained link (PR 7): two viewers pan across a fresh WAN
 /// publish behind a last-mile trunk so thin that a full-resolution view set

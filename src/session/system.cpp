@@ -75,8 +75,19 @@ System::System(const ExperimentConfig& config, int client_count)
   for (const auto& name : lan_depots) lbone->register_depot(name);
   for (const auto& name : wan_depots) lbone->register_depot(name);
 
+  streaming::DvsConfig dvs_config;
+  dvs_config.shards = config.dvs_shards;
+  dvs_config.shard_service = config.dvs_shard_service;
   dvs = std::make_unique<streaming::DvsServer>(sim, net, dvs_node, source.lattice(),
-                                               streaming::DvsConfig{}, obs.get());
+                                               dvs_config, obs.get());
+
+  // Extra co-sited agent nodes last, so the historical node-id assignment —
+  // and with it every seeded single-agent run — stays bit-identical.
+  for (int i = 1; i < config.site_agents; ++i) {
+    const sim::NodeId node = net.add_node("client-agent-" + std::to_string(i));
+    net.add_link(node, lan_switch, lan_link);
+    agent_nodes.push_back(node);
+  }
 }
 
 PublishResult& System::publish(const ExperimentConfig& config,
@@ -188,16 +199,85 @@ void System::make_agent(const ExperimentConfig& config) {
   agent_config.lod_refine = config.lod_refine;
   agent_config.latency = config.fetch_latency;
   agent_config.hot_report_threshold = config.hot_report_threshold;
-  agent = std::make_unique<streaming::ClientAgent>(sim, net, fabric, lors, *dvs,
-                                                   source.lattice(), agent_node,
-                                                   agent_config, obs.get());
+  if (config.site_cache) {
+    streaming::SiteCacheConfig site_config;
+    site_config.capacity_bytes = config.site_cache_bytes;
+    site_cache = std::make_unique<streaming::SiteCache>(sim, site_config, obs.get());
+    agent_config.site_cache = site_cache.get();
+  }
+  const int count = std::max(1, config.site_agents);
+  agents.clear();
+  for (int i = 0; i < count; ++i) {
+    const sim::NodeId node =
+        i == 0 ? agent_node : agent_nodes[static_cast<std::size_t>(i) - 1];
+    agents.push_back(std::make_unique<streaming::ClientAgent>(
+        sim, net, fabric, lors, *dvs, source.lattice(), node, agent_config,
+        obs.get()));
+  }
+  agent = agents.front().get();
 }
 
 void System::make_clients(const ExperimentConfig& config) {
-  for (const sim::NodeId node : client_nodes) {
+  for (std::size_t i = 0; i < client_nodes.size(); ++i) {
     clients.push_back(std::make_unique<streaming::Client>(
-        sim, net, config.lattice, node, *agent, config.client, obs.get()));
+        sim, net, config.lattice, client_nodes[i], *agents[i % agents.size()],
+        config.client, obs.get()));
   }
+}
+
+void System::start_staging() {
+  for (auto& a : agents) a->start_staging();
+}
+
+bool System::staging_complete() const {
+  for (const auto& a : agents) {
+    if (!a->staging_complete()) return false;
+  }
+  return true;
+}
+
+streaming::ClientAgent::Stats System::agent_stats() const {
+  streaming::ClientAgent::Stats total;
+  for (const auto& a : agents) {
+    const auto& s = a->stats();
+    total.requests += s.requests;
+    total.hits += s.hits;
+    total.lan_accesses += s.lan_accesses;
+    total.wan_accesses += s.wan_accesses;
+    total.prefetches += s.prefetches;
+    total.staged += s.staged;
+    total.staging_failures += s.staging_failures;
+    total.refetches += s.refetches;
+    total.invalidations += s.invalidations;
+    total.restaged += s.restaged;
+    total.lease_refreshes += s.lease_refreshes;
+    total.pipelined += s.pipelined;
+    total.predictions += s.predictions;
+    total.prefetch_useful += s.prefetch_useful;
+    total.pipeline_aborts += s.pipeline_aborts;
+    total.pollution_evictions += s.pollution_evictions;
+    total.rejected_prefetch += s.rejected_prefetch;
+    total.demand_shed += s.demand_shed;
+    total.shed_queue_full += s.shed_queue_full;
+    total.shed_no_tokens += s.shed_no_tokens;
+    total.shed_deadline += s.shed_deadline;
+    total.downgrades += s.downgrades;
+    total.upgrades += s.upgrades;
+    total.degrade_lan_only += s.degrade_lan_only;
+    total.degrade_lod += s.degrade_lod;
+    total.degrade_demand_only += s.degrade_demand_only;
+    total.hot_reports += s.hot_reports;
+    total.lod_coarse_serves += s.lod_coarse_serves;
+    total.lod_refinements += s.lod_refinements;
+    total.lod_refined += s.lod_refined;
+    total.payload_copy_bytes += s.payload_copy_bytes;
+    total.restage_coalesced += s.restage_coalesced;
+    total.site_hits += s.site_hits;
+    total.site_adopted += s.site_adopted;
+    total.stage_wan_bytes += s.stage_wan_bytes;
+    total.demand_wan_active += s.demand_wan_active;
+  }
+  return total;
 }
 
 void System::make_server_agent(const ExperimentConfig& config) {

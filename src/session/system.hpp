@@ -26,6 +26,7 @@
 #include "streaming/client_agent.hpp"
 #include "streaming/dvs.hpp"
 #include "streaming/server_agent.hpp"
+#include "streaming/site_cache.hpp"
 
 namespace lon::session {
 
@@ -40,6 +41,9 @@ struct System {
   sim::NodeId lan_switch = 0;
   std::vector<sim::NodeId> client_nodes;
   sim::NodeId agent_node = 0;
+  /// Extra co-sited agent nodes (config.site_agents > 1). Appended after
+  /// every historical node so single-agent runs stay bit-identical.
+  std::vector<sim::NodeId> agent_nodes;
   std::vector<std::string> lan_depots;
   sim::NodeId wan_router = 0;
   std::vector<std::string> wan_depots;
@@ -48,7 +52,13 @@ struct System {
 
   std::unique_ptr<lbone::Directory> lbone;
   std::unique_ptr<streaming::DvsServer> dvs;
-  std::unique_ptr<streaming::ClientAgent> agent;
+  /// Shared per-site depot cache index (config.site_cache only). Declared
+  /// before the agents: they deregister their listeners on destruction.
+  std::unique_ptr<streaming::SiteCache> site_cache;
+  /// All co-sited client agents (config.site_agents of them; at least one).
+  std::vector<std::unique_ptr<streaming::ClientAgent>> agents;
+  /// The first (historical) agent — the single-agent topology's only one.
+  streaming::ClientAgent* agent = nullptr;
   std::vector<std::unique_ptr<streaming::Client>> clients;
   /// Runtime generator + replica augmenter (config.server_agent only).
   std::unique_ptr<streaming::ServerAgent> server_agent;
@@ -82,6 +92,13 @@ struct System {
 
   void make_agent(const ExperimentConfig& config);
   void make_clients(const ExperimentConfig& config);
+
+  /// Begins aggressive prestaging on every agent.
+  void start_staging();
+  /// True once every agent's staging queue has drained.
+  [[nodiscard]] bool staging_complete() const;
+  /// Per-agent stats summed over all co-sited agents.
+  [[nodiscard]] streaming::ClientAgent::Stats agent_stats() const;
   /// Registers the runtime generator behind the DVS (no-op unless
   /// config.server_agent).
   void make_server_agent(const ExperimentConfig& config);

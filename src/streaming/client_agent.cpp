@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "streaming/site_cache.hpp"
 #include "util/log.hpp"
 
 namespace lon::streaming {
@@ -82,7 +83,11 @@ ClientAgent::ClientAgent(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fa
                scope_.counter("agent.lod_coarse_serves"),
                scope_.counter("agent.lod_refinements"),
                scope_.counter("agent.lod_refined"),
-               scope_.counter("agent.payload_copy_bytes")},
+               scope_.counter("agent.payload_copy_bytes"),
+               scope_.counter("agent.restage_coalesced"),
+               scope_.counter("agent.site_hits"),
+               scope_.counter("agent.site_adopted"),
+               scope_.counter("agent.stage_wan_bytes")},
       cache_(config_.cache_bytes),
       admission_(config_.admission),
       motion_(config_.motion),
@@ -107,6 +112,16 @@ ClientAgent::ClientAgent(sim::Simulator& sim, sim::Network& net, ibp::Fabric& fa
                                   : policy::make_eviction_policy(config_.eviction));
   prefetch_policy_ = policy::make_prefetch_policy(
       config_.prefetch ? config_.prefetch_strategy : policy::PrefetchStrategy::kNone);
+  if (config_.site_cache != nullptr) {
+    site_listener_ = config_.site_cache->add_listener(
+        [this](const lightfield::ViewSetId& id, int /*lod*/) { on_site_invalidate(id); });
+  }
+}
+
+ClientAgent::~ClientAgent() {
+  if (site_listener_.has_value() && config_.site_cache != nullptr) {
+    config_.site_cache->remove_listener(*site_listener_);
+  }
 }
 
 void ClientAgent::request_view_set(const lightfield::ViewSetId& id,
@@ -286,6 +301,10 @@ AccessClass ClientAgent::classify(const exnode::ExNode& exnode) const {
 
 policy::FetchClass ClientAgent::fetch_class_of(const lightfield::ViewSetId& id) const {
   if (staged_.contains(id)) return policy::FetchClass::kLan;
+  // A neighbour's staged copy counts too: the site index would serve it LAN-locally.
+  if (config_.site_cache != nullptr && config_.site_cache->contains(id)) {
+    return policy::FetchClass::kLan;
+  }
   if (auto cached = exnode_cache_.find(id); cached != exnode_cache_.end()) {
     return classify(cached->second) == AccessClass::kLanDepot ? policy::FetchClass::kLan
                                                               : policy::FetchClass::kWan;
@@ -307,8 +326,20 @@ int ClientAgent::choose_lod(const lightfield::ViewSetId& id, SimTime started) co
 void ClientAgent::resolve_and_download(const lightfield::ViewSetId& id, bool allow_coarse) {
   // Prestaged? Prefer the LAN copy.
   if (auto staged = staged_.find(id); staged != staged_.end()) {
+    if (auto it = inflight_.find(id); it != inflight_.end()) it->second.from_staged = true;
     download(id, staged->second, AccessClass::kLanDepot);
     return;
+  }
+  // A co-sited agent's staged copy? The shared site index names it, and the
+  // bytes are already on a LAN depot.
+  if (config_.site_cache != nullptr) {
+    if (auto site = config_.site_cache->lookup(id); site.has_value()) {
+      metrics_.site_hits.inc();
+      if (auto it = inflight_.find(id); it != inflight_.end())
+        it->second.from_staged = true;
+      download(id, *site, classify(*site));
+      return;
+    }
   }
   // Which tier should a demand flight target? Only demand traffic degrades:
   // a prefetch at a coarse tier would anticipate the wrong bytes.
@@ -474,7 +505,14 @@ void ClientAgent::download(const lightfield::ViewSetId& id, const exnode::ExNode
                              // full resolution, and stale lod would mislabel
                              // (and mis-cache) those bytes.
                              it->second.lod = 0;
-                             invalidate(id);
+                             // Drop the staged/site copy only if this flight
+                             // was actually served from it — a WAN-side
+                             // failure must not destroy a healthy (possibly
+                             // freshly restaged) LAN replica, nor count a
+                             // second restage for the same incident.
+                             const bool drop = it->second.from_staged;
+                             it->second.from_staged = false;
+                             invalidate(id, drop);
                              resolve_and_download(id);
                              return;
                            }
@@ -486,15 +524,40 @@ void ClientAgent::download(const lightfield::ViewSetId& id, const exnode::ExNode
                        });
 }
 
-void ClientAgent::invalidate(const lightfield::ViewSetId& id) {
+void ClientAgent::invalidate(const lightfield::ViewSetId& id, bool drop_staged) {
   metrics_.invalidations.inc();
   obs_.trace.instant("agent.invalidate", sim_.now());
   exnode_cache_.erase(id);
-  if (staged_.erase(id) > 0 && staging_active_ && config_.restage_on_failure) {
-    unstaged_.push_back(id);
-    metrics_.restaged.inc();
-    staging_pump();
-  }
+  if (!drop_staged) return;
+  const bool had_staged = staged_.erase(id) > 0;
+  const bool had_site =
+      config_.site_cache != nullptr && config_.site_cache->contains(id);
+  // Telling the site fans out to every co-sited agent (this one included;
+  // its own listener just deduplicates against the restage queue).
+  if (had_site) config_.site_cache->invalidate(id);
+  if (had_staged || had_site) queue_restage(id);
+}
+
+void ClientAgent::queue_restage(const lightfield::ViewSetId& id) {
+  if (!staging_active_ || !config_.restage_on_failure) return;
+  if (staged_.contains(id)) return;  // a fresh copy already landed
+  // One incident, one restage: queue_restage can re-enter while the pump is
+  // already staging this id (the local invalidate and the site-wide fanout
+  // both fire for the same drop), and unstaged_ alone cannot see an attempt
+  // that the pump has already picked up.
+  if (staging_ids_.contains(id)) return;
+  if (std::find(unstaged_.begin(), unstaged_.end(), id) != unstaged_.end()) return;
+  unstaged_.push_back(id);
+  metrics_.restaged.inc();
+  staging_pump();
+}
+
+void ClientAgent::on_site_invalidate(const lightfield::ViewSetId& id) {
+  // A shared copy this agent may rely on is dead: drop the derived local
+  // beliefs in the same instant as every co-sited agent, then heal.
+  exnode_cache_.erase(id);
+  staged_.erase(id);
+  queue_restage(id);
 }
 
 void ClientAgent::finish_fetch(const lightfield::ViewSetId& id, std::shared_ptr<Bytes> data,
@@ -856,6 +919,7 @@ void ClientAgent::staging_pump() {
     unstaged_.erase(unstaged_.begin() + static_cast<long>(*pick));
     if (staged_.contains(id)) continue;
     ++staging_inflight_;
+    staging_ids_.insert(id);
     stage_one(id);
   }
 }
@@ -866,9 +930,49 @@ void ClientAgent::stage_one(const lightfield::ViewSetId& id) {
   const obs::SpanId span = obs_.trace.begin("agent.stage", sim_.now());
   obs_.trace.arg(span, "view_set", id.key());
 
+  // A co-sited agent already staged this view set? Adopt the shared copy —
+  // no WAN traffic, no second replica. Synchronous, so only the inflight
+  // slot is released; stage_one's caller (staging_pump) keeps looping.
+  if (config_.site_cache != nullptr) {
+    if (auto site = config_.site_cache->lookup(id); site.has_value()) {
+      metrics_.site_adopted.inc();
+      staged_[id] = *site;
+      exnode_cache_[id] = *site;
+      --staging_inflight_;
+      staging_ids_.erase(id);
+      obs_.trace.arg(span, "outcome", "site-adopted");
+      obs_.trace.end(span, sim_.now());
+      return;
+    }
+  }
+
   // Resolve the exNode first (cheap control traffic), then issue third-party
   // copies toward a LAN depot. The data path is depot-to-depot.
   auto do_stage = [this, id, span](const exnode::ExNode& exnode) {
+    // Single-flight: N co-sited agents racing to (re)stage the same view
+    // set collapse to one WAN fetch. Followers park a callback and adopt
+    // whatever the leader's copy turns out to be.
+    if (config_.site_cache != nullptr) {
+      const bool leader = config_.site_cache->begin_restage(
+          id, 0, [this, id, span](bool ok, const exnode::ExNode& staged) {
+            --staging_inflight_;
+            staging_ids_.erase(id);
+            if (ok) {
+              metrics_.staged.inc();
+              staged_[id] = staged;
+              exnode_cache_[id] = staged;
+            } else {
+              metrics_.staging_failures.inc();
+            }
+            obs_.trace.arg(span, "outcome", ok ? "coalesced" : "coalesced-failed");
+            obs_.trace.end(span, sim_.now());
+            staging_pump();
+          });
+      if (!leader) {
+        metrics_.restage_coalesced.inc();
+        return;
+      }
+    }
     lors::AugmentOptions options;
     options.target_depot = config_.lan_depots[staging_rr_++ % config_.lan_depots.size()];
     options.preferred = true;  // downloads should find the LAN replica first
@@ -879,10 +983,18 @@ void ClientAgent::stage_one(const lightfield::ViewSetId& id) {
     lors_.augment_async(node_, exnode, options,
                         [this, id, span](const lors::AugmentResult& result) {
                           --staging_inflight_;
-                          if (result.status == lors::LorsStatus::kOk) {
+                          staging_ids_.erase(id);
+                          const bool ok = result.status == lors::LorsStatus::kOk;
+                          if (ok) {
                             metrics_.staged.inc();
+                            metrics_.stage_wan_bytes.inc(result.exnode.length());
                             staged_[id] = result.exnode;
                             exnode_cache_[id] = result.exnode;
+                            if (config_.site_cache != nullptr) {
+                              config_.site_cache->publish(
+                                  id, 0, result.exnode, result.exnode.length(),
+                                  sim_.now() + config_.staging_lease);
+                            }
                           } else {
                             metrics_.staging_failures.inc();
                             LON_LOG(kDebug, "client-agent")
@@ -892,6 +1004,10 @@ void ClientAgent::stage_one(const lightfield::ViewSetId& id) {
                           obs_.trace.arg(span, "outcome",
                                          lors::to_string(result.status));
                           obs_.trace.end(span, sim_.now());
+                          if (config_.site_cache != nullptr) {
+                            config_.site_cache->finish_restage(id, 0, ok,
+                                                               result.exnode);
+                          }
                           staging_pump();
                         });
   };
@@ -906,10 +1022,30 @@ void ClientAgent::stage_one(const lightfield::ViewSetId& id) {
                      if (!result.found) {
                        metrics_.staging_failures.inc();
                        --staging_inflight_;
+                       staging_ids_.erase(id);
                        obs_.trace.arg(span, "outcome", "unresolved");
                        obs_.trace.end(span, sim_.now());
                        staging_pump();
                        return;
+                     }
+                     // The DVS round trip took virtual time: a co-sited
+                     // leader may have finished (and published) this very
+                     // view set meanwhile. Re-check the index so the late
+                     // arrival adopts instead of leading a redundant
+                     // second restage.
+                     if (config_.site_cache != nullptr) {
+                       if (auto site = config_.site_cache->lookup(id);
+                           site.has_value()) {
+                         metrics_.site_adopted.inc();
+                         staged_[id] = *site;
+                         exnode_cache_[id] = *site;
+                         --staging_inflight_;
+                         staging_ids_.erase(id);
+                         obs_.trace.arg(span, "outcome", "site-adopted");
+                         obs_.trace.end(span, sim_.now());
+                         staging_pump();
+                         return;
+                       }
                      }
                      exnode_cache_[id] = result.exnode;
                      do_stage(result.exnode);
@@ -948,6 +1084,10 @@ const ClientAgent::Stats& ClientAgent::stats() const {
   stats_view_.lod_refinements = metrics_.lod_refinements.value();
   stats_view_.lod_refined = metrics_.lod_refined.value();
   stats_view_.payload_copy_bytes = metrics_.payload_copy_bytes.value();
+  stats_view_.restage_coalesced = metrics_.restage_coalesced.value();
+  stats_view_.site_hits = metrics_.site_hits.value();
+  stats_view_.site_adopted = metrics_.site_adopted.value();
+  stats_view_.stage_wan_bytes = metrics_.stage_wan_bytes.value();
   stats_view_.demand_wan_active = demand_wan_active_;
   return stats_view_;
 }

@@ -46,6 +46,8 @@
 
 namespace lon::streaming {
 
+class SiteCache;
+
 /// Modeled cost of serving a view set out of the agent's memory cache —
 /// the ~1e-4 s "hit" line of figure 12.
 inline constexpr SimDuration kAgentHitLatency = 100 * kMicrosecond;
@@ -128,6 +130,11 @@ struct ClientAgentConfig {
   /// When a staged copy turns out dead (failed download or failed refresh),
   /// queue the view set for prestaging again.
   bool restage_on_failure = true;
+  /// Cooperative site cache shared by every co-sited agent (null = none).
+  /// With it, staging first consults the shared index (adopting copies a
+  /// neighbour already staged), restages of the same view set coalesce into
+  /// one WAN fetch, and lease expiry invalidates all agents atomically.
+  SiteCache* site_cache = nullptr;
 
   // --- Concurrency ----------------------------------------------------------
 
@@ -225,6 +232,10 @@ class ClientAgent {
     /// passes plus any decode fallback staging). Warm cache hits add zero;
     /// a cold fetch adds exactly one pass over its compressed payload.
     std::uint64_t payload_copy_bytes = 0;
+    std::uint64_t restage_coalesced = 0; ///< restages joined to another agent's flight
+    std::uint64_t site_hits = 0;         ///< demand resolves served via the site index
+    std::uint64_t site_adopted = 0;      ///< staging targets adopted from the site index
+    std::uint64_t stage_wan_bytes = 0;   ///< payload bytes this agent staged over the WAN
     int demand_wan_active = 0;           ///< WAN demand downloads in flight now
   };
 
@@ -232,6 +243,7 @@ class ClientAgent {
               lors::Lors& lors, DvsServer& dvs,
               const lightfield::SphericalLattice& lattice, sim::NodeId node,
               ClientAgentConfig config, obs::Context* obs = nullptr);
+  ~ClientAgent();
 
   [[nodiscard]] sim::NodeId node() const { return node_; }
   [[nodiscard]] const ClientAgentConfig& config() const { return config_; }
@@ -348,6 +360,10 @@ class ClientAgent {
     int lod = 0;                   ///< tier being fetched (0 = full resolution)
     bool refinement = false;       ///< background full-res upgrade of a coarse serve
     bool shed_upstream = false;    ///< the generation tier shed this request
+    /// The flight resolved through a staged/site copy. On a failed retry the
+    /// agent drops that copy exactly once (see the drop_staged plumbing) —
+    /// this is what keeps Stats::restaged from double-counting one incident.
+    bool from_staged = false;
   };
 
   struct Metrics {
@@ -384,6 +400,10 @@ class ClientAgent {
     obs::Counter& lod_refinements;       ///< agent.lod_refinements
     obs::Counter& lod_refined;           ///< agent.lod_refined
     obs::Counter& payload_copy_bytes;    ///< agent.payload_copy_bytes
+    obs::Counter& restage_coalesced;     ///< agent.restage_coalesced
+    obs::Counter& site_hits;             ///< agent.site_hits
+    obs::Counter& site_adopted;          ///< agent.site_adopted
+    obs::Counter& stage_wan_bytes;       ///< agent.stage_wan_bytes
   };
 
   /// Starts (or joins) a fetch of `id`; cb may be null for prefetch.
@@ -451,9 +471,19 @@ class ClientAgent {
                     std::uint64_t copied_bytes,
                     const std::shared_ptr<DecompressPipeline>& pipeline = nullptr);
 
-  /// Drops every cached belief about `id` (exNode cache and staged entry);
-  /// optionally queues it for prestaging again.
-  void invalidate(const lightfield::ViewSetId& id);
+  /// Drops every cached belief about `id`. With drop_staged (the default)
+  /// the staged entry and any shared site copy go too, and the id is queued
+  /// for prestaging again; a retry whose flight never touched the staged
+  /// copy passes false so a healthy (possibly just-restaged) replica is not
+  /// destroyed — and restaged not double-counted — for a WAN-side failure.
+  void invalidate(const lightfield::ViewSetId& id, bool drop_staged = true);
+
+  /// Queues `id` for prestaging again (deduplicated against the queue).
+  void queue_restage(const lightfield::ViewSetId& id);
+
+  /// Site-cache fanout: a shared copy of `id` expired or died; drop the
+  /// derived local state and requeue staging.
+  void on_site_invalidate(const lightfield::ViewSetId& id);
 
   // Lease-refresh daemon.
   void start_lease_refresh();
@@ -487,9 +517,12 @@ class ClientAgent {
   std::unordered_map<lightfield::ViewSetId, exnode::ExNode, lightfield::ViewSetIdHash>
       staged_;
   int staging_inflight_ = 0;
+  std::unordered_set<lightfield::ViewSetId, lightfield::ViewSetIdHash>
+      staging_ids_;  ///< view sets with a staging attempt in flight
   std::size_t staging_rr_ = 0;  ///< round-robin over LAN depots
   int demand_wan_active_ = 0;
   std::optional<sim::TimerId> refresh_timer_;
+  std::optional<std::size_t> site_listener_;  ///< token in the site cache
 
   // Overload-protection state.
   AdmissionController admission_;

@@ -1,6 +1,7 @@
 #include "streaming/dvs.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace lon::streaming {
 
@@ -18,10 +19,29 @@ DvsServer::DvsServer(sim::Simulator& sim, sim::Network& net, sim::NodeId node,
                scope_.counter("dvs.updates"),    scope_.counter("dvs.levels_visited"),
                scope_.counter("dvs.generation_shed"), scope_.counter("dvs.hot_reports")} {
   if (config_.leaf_capacity == 0) throw std::invalid_argument("DvsServer: leaf capacity 0");
+  if (config_.shards == 0) throw std::invalid_argument("DvsServer: shard count 0");
   Region whole{0, static_cast<int>(lattice.view_set_rows()), 0,
                static_cast<int>(lattice.view_set_cols())};
   depth_ = 1;
-  root_ = build_tree(whole, config_.leaf_capacity, &depth_, 1);
+  // Each shard's tree spans the whole grid but holds only ~1/K of the
+  // entries, so leaves are sized leaf_capacity * K to keep per-leaf density
+  // (and therefore tree depth and per-query hop counts) comparable to the
+  // unsharded table. With shards == 1 this builds the exact classic tree.
+  shards_.resize(config_.shards);
+  for (std::size_t k = 0; k < config_.shards; ++k) {
+    Shard& shard = shards_[k];
+    shard.depth = 1;
+    shard.root =
+        build_tree(whole, config_.leaf_capacity * config_.shards, &shard.depth, 1);
+    depth_ = std::max(depth_, shard.depth);
+    if (config_.shards > 1) {
+      const obs::Scope shard_scope(obs_.metrics,
+                                   scope_.labels() + ",shard=" + std::to_string(k));
+      shard.queries = &shard_scope.counter("dvs.shard.queries");
+      shard.hits = &shard_scope.counter("dvs.shard.hits");
+      shard.waits = &shard_scope.counter("dvs.shard.waits");
+    }
+  }
 }
 
 std::unique_ptr<DvsServer::Node> DvsServer::build_tree(const Region& region,
@@ -52,7 +72,7 @@ std::unique_ptr<DvsServer::Node> DvsServer::build_tree(const Region& region,
 }
 
 DvsServer::Node* DvsServer::descend(const lightfield::ViewSetId& id, int* levels) {
-  Node* node = root_.get();
+  Node* node = shards_[shard_of(id)].root.get();
   *levels = 1;
   if (!node->region.contains(id)) return nullptr;
   while (!node->children.empty()) {
@@ -93,16 +113,32 @@ void DvsServer::query_async(sim::NodeId from, const lightfield::ViewSetId& id,
   sim_.after(to_server, [this, from, id, generate_if_missing, span,
                          cb = std::move(on_done)]() mutable {
     metrics_.queries.inc();
+    Shard& shard = shards_[shard_of(id)];
+    if (shard.queries != nullptr) shard.queries->inc();
     int levels = 0;
     Node* leaf = descend(id, &levels);
     metrics_.levels_visited.inc(static_cast<std::uint64_t>(levels));
-    const SimDuration lookup = static_cast<SimDuration>(levels) * config_.level_overhead;
+    // Serial service: the shard works one query at a time, so a burst to the
+    // same shard queues while other shards answer in parallel. shard_service
+    // of 0 never waits — classic uncontended-directory timing.
+    SimDuration wait = 0;
+    if (config_.shard_service > 0) {
+      const SimTime now = sim_.now();
+      if (shard.busy_until > now) {
+        wait = shard.busy_until - now;
+        if (shard.waits != nullptr) shard.waits->inc();
+      }
+      shard.busy_until = now + wait + config_.shard_service;
+    }
+    const SimDuration lookup =
+        wait + static_cast<SimDuration>(levels) * config_.level_overhead;
     const SimDuration back = net_.path_latency(node_, from);
 
     if (leaf != nullptr) {
       auto it = leaf->entries.find(id);
       if (it != leaf->entries.end()) {
         metrics_.hits.inc();
+        if (shard.hits != nullptr) shard.hits->inc();
         QueryResult result;
         result.found = true;
         result.exnode = it->second;

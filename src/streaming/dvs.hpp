@@ -72,6 +72,19 @@ class GeneratorService {
 struct DvsConfig {
   std::size_t leaf_capacity = 16;                   ///< view-set entries per leaf
   SimDuration level_overhead = 200 * kMicrosecond;  ///< per-hop lookup cost
+  /// Lookup-table shards. The exNode table is partitioned by ViewSetId hash
+  /// into `shards` independent spatial trees, each holding ~1/K of the
+  /// entries (leaves sized leaf_capacity * shards keep per-leaf density
+  /// unchanged), so directory queries from a crowd fan out instead of
+  /// serializing. 1 = the classic single-table server, bit-identical to the
+  /// pre-shard behaviour.
+  std::size_t shards = 1;
+  /// Serial service time a query occupies its shard for. 0 (default) models
+  /// an uncontended directory — no queueing, identical to pre-shard timing.
+  /// When set, concurrent queries to the *same* shard queue behind each
+  /// other while different shards proceed in parallel — this is what makes
+  /// sharding observable as a latency win under a flash crowd.
+  SimDuration shard_service = 0;
 };
 
 class DvsServer {
@@ -160,10 +173,25 @@ class DvsServer {
         entries;  // leaves only
   };
 
+  /// One hash partition of the exNode table: its own spatial tree plus (when
+  /// sharded) per-shard dvs.shard.* counters and a serial-service horizon.
+  struct Shard {
+    std::unique_ptr<Node> root;
+    int depth = 1;
+    SimTime busy_until = 0;            ///< serial service: shard free again at
+    obs::Counter* queries = nullptr;   ///< dvs.shard.queries (shards > 1 only)
+    obs::Counter* hits = nullptr;      ///< dvs.shard.hits    (shards > 1 only)
+    obs::Counter* waits = nullptr;     ///< dvs.shard.waits   (shards > 1 only)
+  };
+
   static std::unique_ptr<Node> build_tree(const Region& region, std::size_t leaf_capacity,
                                           int* depth_out, int depth);
 
-  /// Walks root -> leaf; returns the leaf and the number of hops.
+  [[nodiscard]] std::size_t shard_of(const lightfield::ViewSetId& id) const {
+    return lightfield::ViewSetIdHash{}(id) % shards_.size();
+  }
+
+  /// Walks the id's shard root -> leaf; returns the leaf and the hop count.
   Node* descend(const lightfield::ViewSetId& id, int* levels);
 
   sim::Simulator& sim_;
@@ -173,8 +201,8 @@ class DvsServer {
   obs::Context& obs_;
   obs::Scope scope_;
   Metrics metrics_;
-  std::unique_ptr<Node> root_;
-  int depth_ = 1;
+  std::vector<Shard> shards_;
+  int depth_ = 1;  ///< max tree depth over all shards
   GeneratorService* agent_ = nullptr;
   mutable Stats stats_view_;
 };
